@@ -1,0 +1,66 @@
+// Ablation: replenish-while-sending vs pause-only replenish.
+// The paper observes that "once the token bucket empties, transmission at
+// the capped rate is sufficient to keep it from filling back up" — which is
+// only true if tokens replenish *concurrently* with sending (our model).
+// This ablation contrasts that model with an alternative where tokens only
+// accrue while the link is idle, and shows the concurrent model is the one
+// matching the measured EC2 behaviour (low rate == replenish rate => the
+// bucket never recovers under load; the alternative would recover whenever
+// the sender pauses even briefly at the capped rate).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "simnet/token_bucket.h"
+
+using namespace cloudrepro;
+
+int main() {
+  bench::header("Ablation: token-bucket replenish semantics",
+                "DESIGN.md section 5 (bucket-model choice)");
+
+  simnet::TokenBucketConfig cfg;
+  cfg.capacity_gbit = 100.0;
+  cfg.initial_gbit = 0.0;
+  cfg.high_rate_gbps = 10.0;
+  cfg.low_rate_gbps = 1.0;
+  cfg.replenish_gbps = 1.0;
+
+  bench::section("Concurrent replenish (implemented): capped sending pins the bucket");
+  {
+    simnet::TokenBucket tb{cfg};
+    core::TablePrinter t{{"t [s]", "Budget [Gbit]", "Allowed rate [Gbps]"}};
+    for (int step = 0; step <= 5; ++step) {
+      t.add_row({std::to_string(step * 60), core::fmt(tb.budget(), 1),
+                 core::fmt(tb.allowed_rate(), 1)});
+      tb.advance(60.0, tb.allowed_rate());  // Keep sending at the cap.
+    }
+    t.print(std::cout);
+    std::cout << "Budget stays at 0 under capped-rate transmission — matching\n"
+                 "the paper's measurement.\n\n";
+  }
+
+  bench::section("Pause-only replenish (counterfactual)");
+  {
+    // Emulate pause-only accrual: tokens only advance during idle seconds.
+    double budget = 0.0;
+    core::TablePrinter t{{"t [s]", "Budget [Gbit]", "Note"}};
+    double high_seconds = 0.0;
+    for (int minute = 0; minute <= 5; ++minute) {
+      t.add_row({std::to_string(minute * 60), core::fmt(budget, 1),
+                 budget > 0 ? "would grant bursts at 10 Gbps" : "capped"});
+      // 55 s sending (no refill under this semantics), 5 s OS-level stalls.
+      budget += 5.0 * cfg.replenish_gbps;
+      high_seconds += budget / (cfg.high_rate_gbps - cfg.replenish_gbps);
+      budget = 0.0;  // Burst immediately spends it.
+    }
+    t.print(std::cout);
+    std::cout << "Under pause-only accrual even tiny stalls would buy visible\n"
+                 "10 Gbps bursts (" << core::fmt(high_seconds, 1)
+              << " s of high rate over 5 min) — a sawtooth the paper's\n"
+                 "full-speed EC2 traces do not show. The concurrent model is\n"
+                 "the faithful one.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: stragglers need BOTH partition skew and a mid-sized budget.
+// Sweeps skew x budget for repeated Q65 runs and reports the worst straggler
+// ratio seen: with no skew the drain is even (no straggler at any budget);
+// with huge budgets nothing depletes; with tiny budgets everyone throttles
+// (slow but balanced). Only the skew x mid-budget corner reproduces
+// Figure 18.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "core/report.h"
+#include "simnet/qos.h"
+
+using namespace cloudrepro;
+
+int main() {
+  bench::header("Ablation: straggler emergence vs skew and budget",
+                "DESIGN.md section 5 (Figure 18 mechanism)");
+
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  const simnet::TokenBucketQos proto{bucket};
+
+  core::TablePrinter t{{"Skew \\ Budget [Gbit]", "10", "2500", "5400 (full)"}};
+  for (const double skew : {0.0, 0.3, 0.6}) {
+    std::vector<std::string> row{core::fmt(skew, 1)};
+    for (const double budget : {10.0, 2500.0, 5400.0}) {
+      stats::Rng rng{bench::kBenchSeed};
+      bigdata::EngineOptions opt;
+      opt.partition_skew = skew;
+      bigdata::SparkEngine engine{opt};
+      auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+      cluster.set_token_budgets(budget);
+      double worst = 0.0;
+      for (int run = 0; run < 16; ++run) {
+        worst = std::max(worst,
+                         engine.run(bigdata::tpcds_query(65), cluster, rng)
+                             .straggler_ratio);
+      }
+      row.push_back(core::fmt(worst, 2) + (worst >= 1.5 ? " (straggler!)" : ""));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nWorst straggler ratio over 16 consecutive runs (>= 1.5 flags a\n"
+               "straggler). Without skew no node ever sticks out (column-wise\n"
+               "1.00); with a full budget nothing depletes within the horizon\n"
+               "(row-wise 1.00). Stragglers need BOTH: at budget 2500 the heavy\n"
+               "node depletes mid-sequence (Figure 18); at budget 10 the light\n"
+               "nodes refill during the heavy node's long transfers and recover\n"
+               "to the high rate while the heavy node stays capped — the\n"
+               "paper's 'non-trivial combination' (F4.3).\n";
+  return 0;
+}

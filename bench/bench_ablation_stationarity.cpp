@@ -1,0 +1,59 @@
+// Ablation/extension: F5.4's stationarity testing in action.
+// "When performance is not stationary, results can be limited to time
+// periods when stationarity holds." Scans the bandwidth traces of the three
+// clouds with a rolling ADF test: the stochastic clouds are stationary
+// nearly everywhere, while an EC2 full-speed trace has a non-stationary
+// throttle transition that any honest analysis must not average across.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/instances.h"
+#include "core/report.h"
+#include "measure/iperf.h"
+#include "measure/patterns.h"
+#include "stats/stationarity.h"
+
+using namespace cloudrepro;
+
+int main() {
+  bench::header("Stationarity scan of bandwidth traces (rolling ADF)",
+                "Guideline F5.4 (test samples for stationarity)");
+
+  stats::Rng rng{bench::kBenchSeed};
+  measure::BandwidthProbeOptions probe;
+  probe.duration_s = 2.0 * 3600.0;  // Two hours: spans EC2's throttle point.
+
+  stats::StationarityScanOptions scan;
+  scan.window = 60;   // 10-minute ADF windows (60 x 10-s samples).
+  scan.stride = 30;
+
+  core::TablePrinter t{{"Cloud", "Stationary windows", "Largest stationary range"}};
+  const struct {
+    const char* name;
+    cloud::CloudProfile profile;
+  } clouds[] = {{"Amazon EC2 c5.xlarge (throttles mid-trace)", cloud::ec2_c5_xlarge()},
+                {"Google Cloud 8-core", cloud::gce_8core()},
+                {"HPCCloud 8-core", cloud::hpccloud_8core()}};
+
+  for (const auto& c : clouds) {
+    const auto trace =
+        measure::run_bandwidth_probe(c.profile, measure::full_speed(), probe, rng);
+    const auto bw = trace.bandwidths();
+    const double fraction = stats::stationary_fraction(bw, scan);
+    const auto ranges = stats::stationary_ranges(bw, scan);
+    std::size_t largest = 0;
+    for (const auto& r : ranges) largest = std::max(largest, r.size());
+    t.add_row({c.name, core::fmt_pct(fraction),
+               core::fmt(static_cast<double>(largest) * 10.0 / 60.0, 0) + " min"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nThe EC2 trace has a structural break at the token-bucket\n"
+               "depletion (~10 min in): windows straddling it test\n"
+               "non-stationary, so per-F5.4 the pre- and post-throttle periods\n"
+               "must be analyzed separately. The contention-noise clouds are\n"
+               "stationary nearly everywhere — classic statistics apply there\n"
+               "directly (F5.3).\n";
+  return 0;
+}

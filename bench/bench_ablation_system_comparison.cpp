@@ -1,0 +1,88 @@
+// Ablation: "comparing established systems" under cloud variability — the
+// survey's motivating scenario. System B is a genuinely 4%-faster variant
+// of system A; both run K-Means on the noisy HPCCloud. The table shows how
+// often comparisons at the literature's repetition counts (3/5/10) reach a
+// supported verdict, versus the paper-recommended scale.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "core/comparison.h"
+#include "core/report.h"
+#include "stats/rng.h"
+
+using namespace cloudrepro;
+
+namespace {
+
+bigdata::WorkloadProfile faster_variant(const bigdata::WorkloadProfile& base,
+                                        double speedup) {
+  auto w = base;
+  w.name = base.name + "-optimized";
+  for (auto& s : w.stages) s.compute_s_mean /= speedup;
+  return w;
+}
+
+std::vector<double> run_n(const bigdata::WorkloadProfile& w, int n, stats::Rng& rng) {
+  bigdata::EngineOptions opt;
+  opt.machine_noise_cv = 0.06;  // Direct-on-cloud runs (Section 4.1).
+  bigdata::SparkEngine engine{opt};
+  std::vector<double> runtimes;
+  for (int i = 0; i < n; ++i) {
+    auto cluster = bigdata::Cluster::from_cloud(12, 16, cloud::hpccloud_8core(), rng);
+    runtimes.push_back(engine.run(w, cluster, rng).runtime_s);
+  }
+  return runtimes;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("System comparison under cloud variability",
+                "Section 2 motivation (sound comparison of systems)");
+
+  const auto system_a = bigdata::hibench_kmeans();
+  const auto system_b = faster_variant(system_a, 1.04);
+
+  stats::Rng rng{bench::kBenchSeed};
+  constexpr int kTrials = 30;
+
+  core::TablePrinter t{{"Repetitions per system", "Supported verdicts",
+                        "Wrong-direction medians", "Inconclusive (no CI)"}};
+  for (const int reps : {3, 5, 10, 30}) {
+    int supported = 0, wrong_direction = 0, inconclusive = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const auto a = run_n(system_a, reps, rng);
+      const auto b = run_n(system_b, reps, rng);
+      // B is the optimized system: measuring runtimes, B's should be lower.
+      const auto v = core::compare_systems(a, b);
+      if (!v.median_a.valid || !v.median_b.valid) ++inconclusive;
+      if (v.significant) ++supported;
+      if (v.a_faster) ++wrong_direction;  // Truth: B is faster.
+    }
+    t.add_row({std::to_string(reps),
+               std::to_string(supported) + "/" + std::to_string(kTrials),
+               std::to_string(wrong_direction) + "/" + std::to_string(kTrials),
+               std::to_string(inconclusive) + "/" + std::to_string(kTrials)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nGround truth: the 'optimized' system is 4% faster. With the\n"
+               "literature's 3-10 repetitions most comparisons cannot support\n"
+               "any verdict (and some point the wrong way); at 30 repetitions\n"
+               "the improvement is reliably detected with valid CIs.\n\n";
+
+  // One fully-reported comparison, the way F5.3/F5.4 want it published.
+  bench::section("A single sound comparison, fully reported");
+  const auto a = run_n(system_a, 30, rng);
+  const auto b = run_n(system_b, 30, rng);
+  const auto v = core::compare_systems(a, b);
+  std::cout << "System A (baseline):  " << core::fmt_ci(v.median_a, 1) << " s\n";
+  std::cout << "System B (optimized): " << core::fmt_ci(v.median_b, 1) << " s\n";
+  std::cout << "Verdict: " << v.summary() << '\n';
+  return 0;
+}

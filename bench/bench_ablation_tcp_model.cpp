@@ -1,0 +1,112 @@
+// Ablation: the statistical packet path vs a full TCP congestion-control
+// simulation. The figure benches use the statistical model (constant-time
+// per segment); this bench validates it against an event-driven TCP with
+// slow start, AIMD, and fast recovery over the same vNIC bottlenecks, on
+// the scenarios that matter for the paper: the three clouds' steady states
+// and the EC2 throttle transition.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/instances.h"
+#include "core/report.h"
+#include "simnet/packet_path.h"
+#include "simnet/tcp_stream.h"
+#include "stats/descriptive.h"
+
+using namespace cloudrepro;
+
+namespace {
+
+struct ModelComparison {
+  double statistical_gbps = 0.0;
+  double tcp_gbps = 0.0;
+  double statistical_rtt_ms = 0.0;
+  double tcp_rtt_ms = 0.0;
+};
+
+ModelComparison compare(const cloud::VmNetwork& vm, double write_bytes,
+                        double duration_s, stats::Rng& rng) {
+  ModelComparison cmp;
+  simnet::PacketPathConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.write_bytes = write_bytes;
+
+  {
+    auto qos = vm.egress->clone();
+    const auto r = simnet::run_packet_stream(*qos, vm.vnic, cfg, rng);
+    cmp.statistical_gbps = stats::mean(r.bandwidth_gbps);
+    cmp.statistical_rtt_ms = stats::median(r.rtts()) * 1e3;
+  }
+  {
+    auto qos = vm.egress->clone();
+    const auto r = simnet::run_tcp_stream(*qos, vm.vnic, simnet::TcpConfig{}, cfg, rng);
+    cmp.tcp_gbps = r.mean_goodput_gbps();
+    std::vector<double> rtts;
+    for (const auto& p : r.packets) {
+      if (!p.retransmitted) rtts.push_back(p.rtt_s);
+    }
+    cmp.tcp_rtt_ms = rtts.empty() ? 0.0 : stats::median(rtts) * 1e3;
+  }
+  return cmp;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: statistical packet model vs full TCP simulation",
+                "DESIGN.md section 5 (model-fidelity check)");
+
+  stats::Rng rng{bench::kBenchSeed};
+  core::TablePrinter t{{"Scenario", "Stat. model [Gbps]", "TCP sim [Gbps]",
+                        "Stat. RTT [ms]", "TCP RTT [ms]"}};
+
+  {
+    auto vm = cloud::ec2_c5_xlarge().create_vm(rng);
+    const auto cmp = compare(vm, 9000.0, 5.0, rng);
+    t.add_row({"EC2 fresh (10 Gbps, 9K writes)", core::fmt(cmp.statistical_gbps),
+               core::fmt(cmp.tcp_gbps), core::fmt(cmp.statistical_rtt_ms, 3),
+               core::fmt(cmp.tcp_rtt_ms, 3)});
+  }
+  {
+    auto vm = cloud::ec2_c5_xlarge().create_vm(rng);
+    vm.egress->advance(1000.0, 10.0);  // Deplete the bucket.
+    const auto cmp = compare(vm, 9000.0, 5.0, rng);
+    t.add_row({"EC2 throttled (1 Gbps)", core::fmt(cmp.statistical_gbps),
+               core::fmt(cmp.tcp_gbps), core::fmt(cmp.statistical_rtt_ms, 2),
+               core::fmt(cmp.tcp_rtt_ms, 2)});
+  }
+  {
+    auto vm = cloud::gce_8core().create_vm(rng);
+    const auto cmp = compare(vm, 128.0 * 1024.0, 5.0, rng);
+    t.add_row({"GCE 8-core (128K writes, lossy)", core::fmt(cmp.statistical_gbps),
+               core::fmt(cmp.tcp_gbps), core::fmt(cmp.statistical_rtt_ms, 2),
+               core::fmt(cmp.tcp_rtt_ms, 2)});
+  }
+  {
+    auto vm = cloud::hpccloud_8core().create_vm(rng);
+    const auto cmp = compare(vm, 9000.0, 5.0, rng);
+    t.add_row({"HPCCloud 8-core", core::fmt(cmp.statistical_gbps),
+               core::fmt(cmp.tcp_gbps), core::fmt(cmp.statistical_rtt_ms, 3),
+               core::fmt(cmp.tcp_rtt_ms, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReadings:\n"
+               " * On the loss-free paths (EC2, HPCCloud) and in the throttled\n"
+               "   regime the two models agree on bandwidth to within a few\n"
+               "   percent; the statistical model reports *device-queue*\n"
+               "   latency (what wireshark sees at the vNIC) while the TCP\n"
+               "   simulation reports end-to-end sender RTT including\n"
+               "   bufferbloat, so its RTTs run higher.\n"
+               " * The GCE row is an honest divergence: single-flow Reno under\n"
+               "   uniform 2% random loss obeys the Mathis bound (~2.7 Gbps\n"
+               "   here), yet the paper MEASURED ~15 Gbps alongside ~2%\n"
+               "   retransmissions. Real GCE sustains this because losses are\n"
+               "   bursty (buffer-pressure-correlated, amortized by SACK-style\n"
+               "   recovery) and offloads hide them from the control loop —\n"
+               "   which is why the figure-generating path models the\n"
+               "   *measured* throughput/loss jointly instead of deriving one\n"
+               "   from the other through Reno.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared helpers for the per-figure bench binaries. Every bench prints the
+// rows/series of one of the paper's tables or figures; EXPERIMENTS.md maps
+// paper values to the values these binaries print.
+
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "stats/descriptive.h"
+
+namespace cloudrepro::bench {
+
+/// Fixed seed so every bench run prints identical numbers (F5.x in action).
+inline constexpr std::uint64_t kBenchSeed = 20200225;  // NSDI '20 day one.
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==========================================================================\n"
+            << title << '\n'
+            << "Reproduces: " << paper_ref << '\n'
+            << "==========================================================================\n\n";
+}
+
+inline void section(const std::string& name) { std::cout << "--- " << name << " ---\n"; }
+
+/// Prints a box-stat row in the paper's 1/25/50/75/99-percentile convention.
+inline std::string box_row(const stats::BoxStats& b, int precision = 2) {
+  using core::fmt;
+  return fmt(b.p1, precision) + " / " + fmt(b.p25, precision) + " / " +
+         fmt(b.p50, precision) + " / " + fmt(b.p75, precision) + " / " +
+         fmt(b.p99, precision);
+}
+
+/// Downsampled "t, value" series dump (for the time-series figures).
+inline void print_series(const std::string& name, std::span<const double> t,
+                         std::span<const double> v, std::size_t max_points = 24) {
+  std::cout << name << " (t -> value, " << v.size() << " points, downsampled):\n";
+  const std::size_t stride = v.size() <= max_points ? 1 : v.size() / max_points;
+  for (std::size_t i = 0; i < v.size(); i += stride) {
+    std::cout << "  t=" << core::fmt(t[i], 0) << "  " << core::fmt(v[i], 3) << '\n';
+  }
+  std::cout << '\n';
+}
+
+/// ASCII sparkline of a series (quick visual shape check in the terminal).
+inline std::string sparkline(std::span<const double> v, std::size_t width = 60) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (v.empty()) return "";
+  double lo = v[0], hi = v[0];
+  for (const double x : v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  const double span = hi - lo;
+  std::string out;
+  const std::size_t stride = v.size() <= width ? 1 : v.size() / width;
+  for (std::size_t i = 0; i < v.size(); i += stride) {
+    const double norm = span > 0.0 ? (v[i] - lo) / span : 0.5;
+    out += levels[static_cast<std::size_t>(norm * 7.0)];
+  }
+  return out;
+}
+
+}  // namespace cloudrepro::bench

@@ -1,0 +1,51 @@
+// Figure 4: variable network bandwidth in HPCCloud — a week of continuous
+// (full-speed) transfer between an 8-core VM pair, 10-second samples, plus
+// the IQR box with 1st/99th-percentile whiskers.
+// Paper: bandwidth ranges from 7.7 to 10.4 Gbps with significant
+// sample-to-sample variability (up to ~33%).
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/instances.h"
+#include "core/report.h"
+#include "measure/iperf.h"
+#include "measure/patterns.h"
+#include "stats/descriptive.h"
+#include "stats/timeseries.h"
+
+using namespace cloudrepro;
+
+int main() {
+  bench::header("HPCCloud bandwidth variability (8-core pair)", "Figure 4");
+
+  stats::Rng rng{bench::kBenchSeed};
+  measure::BandwidthProbeOptions probe;  // Defaults: one week, 10-s samples.
+  const auto trace = measure::run_bandwidth_probe(cloud::hpccloud_8core(),
+                                                  measure::full_speed(), probe, rng);
+  const auto bw = trace.bandwidths();
+  const auto s = trace.bandwidth_summary();
+  const auto box = trace.bandwidth_box();
+
+  std::cout << "Samples: " << bw.size() << " (one week at 10-s resolution)\n\n";
+  bench::section("Statistical distribution (paper: ~7.7 to ~10.4 Gbps)");
+  core::TablePrinter t{{"Metric", "Value [Gbps]"}};
+  t.add_row({"min", core::fmt(s.min)});
+  t.add_row({"p1 (whisker)", core::fmt(box.p1)});
+  t.add_row({"p25 (box)", core::fmt(box.p25)});
+  t.add_row({"median", core::fmt(box.p50)});
+  t.add_row({"p75 (box)", core::fmt(box.p75)});
+  t.add_row({"p99 (whisker)", core::fmt(box.p99)});
+  t.add_row({"max", core::fmt(s.max)});
+  t.print(std::cout);
+
+  std::cout << "\nMax sample-to-sample change: "
+            << core::fmt_pct(stats::max_sample_to_sample_variability(bw))
+            << " (paper: up to 33%)\n";
+  std::cout << "CoV: " << core::fmt_pct(s.coefficient_of_variation) << "\n\n";
+
+  std::vector<double> first_day(bw.begin(), bw.begin() + 8640);
+  std::cout << "Shape (first day): " << bench::sparkline(first_day) << '\n';
+  return 0;
+}

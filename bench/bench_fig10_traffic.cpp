@@ -1,0 +1,51 @@
+// Figure 10: total data transferred per experiment over the week.
+// Paper: on Google Cloud, full-speed moves orders of magnitude more than
+// the intermittent patterns; on EC2 all three move roughly the same total —
+// the token bucket equalizes them, which is how the paper corroborates the
+// token-bucket hypothesis.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/instances.h"
+#include "core/report.h"
+#include "measure/iperf.h"
+#include "measure/patterns.h"
+
+using namespace cloudrepro;
+
+int main() {
+  bench::header("Total traffic per experiment (one week)", "Figure 10");
+
+  stats::Rng rng{bench::kBenchSeed};
+
+  const struct {
+    const char* name;
+    cloud::CloudProfile profile;
+  } clouds[] = {{"Amazon EC2 (c5.xlarge)", cloud::ec2_c5_xlarge()},
+                {"Google Cloud (8-core)", cloud::gce_8core()}};
+
+  for (const auto& c : clouds) {
+    bench::section(c.name);
+    core::TablePrinter t{{"Pattern", "Total traffic [TB]", "Mean rate [Gbps]"}};
+    double full_tb = 0.0, t530_tb = 0.0;
+    for (const auto& pattern : measure::canonical_patterns()) {
+      measure::BandwidthProbeOptions probe;  // One week.
+      const auto trace = measure::run_bandwidth_probe(c.profile, pattern, probe, rng);
+      const double tb = trace.cumulative_terabytes().back();
+      if (pattern.name == "full-speed") full_tb = tb;
+      if (pattern.name == "5-30") t530_tb = tb;
+      t.add_row({pattern.name, core::fmt(tb, 1),
+                 core::fmt(trace.total_gbit() / (7.0 * 24.0 * 3600.0))});
+    }
+    t.print(std::cout);
+    std::cout << "full-speed : 5-30 traffic ratio = " << core::fmt(full_tb / t530_tb, 1)
+              << "x\n\n";
+  }
+
+  std::cout << "Paper reference: GCE full-speed moved ~1000 TB vs tens for the\n"
+               "intermittent patterns (~8x+ ratio); EC2's three experiments all\n"
+               "moved roughly equal totals (~100 TB, ratio near 1) because the\n"
+               "token bucket caps long-run throughput at the replenish rate.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 16: HiBench average runtime (left) and performance variability
+// (right, IQR boxes with 1st/99th whiskers) induced by token-bucket budget
+// variability, budgets {5000, 1000, 100, 10} Gbit, 10 runs each.
+// Paper: the more network-dependent applications (TS, WC) are affected more
+// by lower budgets — the initial budget state can cost them 25-50%.
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "core/report.h"
+#include "simnet/qos.h"
+#include "stats/descriptive.h"
+
+using namespace cloudrepro;
+
+int main() {
+  bench::header("HiBench runtimes vs initial token budget (10 runs each)",
+                "Figure 16");
+
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  const simnet::TokenBucketQos proto{bucket};
+  const double budgets[] = {5000.0, 1000.0, 100.0, 10.0};
+
+  std::map<std::string, std::map<double, std::vector<double>>> runtimes;
+  std::map<std::string, std::vector<double>> pooled;
+
+  stats::Rng rng{bench::kBenchSeed};
+  bigdata::SparkEngine engine;
+  for (const auto& workload : bigdata::hibench_suite()) {
+    for (const double budget : budgets) {
+      for (int rep = 0; rep < 10; ++rep) {
+        auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+        cluster.set_token_budgets(budget);
+        const double rt = engine.run(workload, cluster, rng).runtime_s;
+        runtimes[workload.name][budget].push_back(rt);
+        pooled[workload.name].push_back(rt);
+      }
+    }
+  }
+
+  bench::section("(a) Average runtime [s] per budget");
+  core::TablePrinter t{{"Budget [Gbit]", "TS", "WC", "S", "BS", "KM"}};
+  for (const double budget : budgets) {
+    std::vector<std::string> row{core::fmt(budget, 0)};
+    for (const char* app : {"TS", "WC", "S", "BS", "KM"}) {
+      row.push_back(core::fmt(stats::mean(runtimes[app][budget]), 0));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nBudget impact (budget-10 mean vs budget-5000 mean):\n";
+  for (const char* app : {"TS", "WC", "S", "BS", "KM"}) {
+    const double hi = stats::mean(runtimes[app][5000.0]);
+    const double lo = stats::mean(runtimes[app][10.0]);
+    std::cout << "  " << app << ": +" << core::fmt(100.0 * (lo / hi - 1.0), 0)
+              << "%\n";
+  }
+  std::cout << "(paper: 25-50% for the network-intensive TS and WC)\n\n";
+
+  bench::section("(b) Performance variability pooled over budgets (IQR box, 1/99 whiskers)");
+  core::TablePrinter v{{"App", "p1 / p25 / p50 / p75 / p99 [s]", "IQR [s]"}};
+  for (const char* app : {"BS", "KM", "S", "WC", "TS"}) {
+    const auto box = stats::box_stats(pooled[app]);
+    v.add_row({app, bench::box_row(box, 0), core::fmt(box.iqr(), 0)});
+  }
+  v.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Performance microbenchmarks (google-benchmark): the hot paths that make
+// week-scale simulations and 100-repetition CONFIRM sweeps cheap.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "measure/iperf.h"
+#include "measure/patterns.h"
+#include "simnet/fluid_network.h"
+#include "simnet/packet_path.h"
+#include "simnet/qos.h"
+#include "stats/ci.h"
+#include "stats/rng.h"
+
+using namespace cloudrepro;
+
+namespace {
+
+void BM_FluidAllToAll(benchmark::State& state) {
+  const auto nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    simnet::FluidNetwork net;
+    for (int i = 0; i < nodes; ++i) {
+      net.add_node(std::make_unique<simnet::FixedRateQos>(10.0), 10.0);
+    }
+    for (int s = 0; s < nodes; ++s) {
+      for (int d = 0; d < nodes; ++d) {
+        if (s != d) net.start_flow(static_cast<std::size_t>(s),
+                                   static_cast<std::size_t>(d), 8.0);
+      }
+    }
+    benchmark::DoNotOptimize(net.run_until_flows_complete(1e6));
+  }
+  state.SetItemsProcessed(state.iterations() * nodes * (nodes - 1));
+}
+BENCHMARK(BM_FluidAllToAll)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_WeekLongTokenBucketProbe(benchmark::State& state) {
+  for (auto _ : state) {
+    stats::Rng rng{1};
+    measure::BandwidthProbeOptions probe;
+    probe.duration_s = 24.0 * 3600.0;  // One simulated day per iteration.
+    benchmark::DoNotOptimize(measure::run_bandwidth_probe(
+        cloud::ec2_c5_xlarge(), measure::full_speed(), probe, rng));
+  }
+}
+BENCHMARK(BM_WeekLongTokenBucketProbe)->Unit(benchmark::kMillisecond);
+
+void BM_PacketStreamOneSecond(benchmark::State& state) {
+  const double write = static_cast<double>(state.range(0));
+  stats::Rng rng{2};
+  for (auto _ : state) {
+    simnet::FixedRateQos qos{10.0};
+    auto vnic = simnet::ec2_vnic();
+    simnet::PacketPathConfig cfg;
+    cfg.duration_s = 1.0;
+    cfg.write_bytes = write;
+    cfg.max_recorded_packets = 1000;
+    benchmark::DoNotOptimize(simnet::run_packet_stream(qos, vnic, cfg, rng));
+  }
+  state.SetLabel("write=" + std::to_string(state.range(0)) + "B");
+}
+BENCHMARK(BM_PacketStreamOneSecond)->Arg(9000)->Arg(131072)->Unit(benchmark::kMillisecond);
+
+void BM_SparkJob(benchmark::State& state) {
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  const simnet::TokenBucketQos proto{bucket};
+  stats::Rng rng{3};
+  for (auto _ : state) {
+    auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+    bigdata::SparkEngine engine;
+    benchmark::DoNotOptimize(engine.run(bigdata::tpcds_query(65), cluster, rng));
+  }
+}
+BENCHMARK(BM_SparkJob)->Unit(benchmark::kMicrosecond);
+
+void BM_MedianCi(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng{4};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(100.0, 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::median_ci(xs));
+  }
+}
+BENCHMARK(BM_MedianCi)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Tables 1 & 2: the systematic-survey parameters and selection funnel.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "survey/corpus.h"
+
+using namespace cloudrepro;
+
+int main() {
+  bench::header("Survey parameters and funnel",
+                "Tables 1 and 2 (survey methodology)");
+
+  {
+    bench::section("Table 1: survey parameters");
+    core::TablePrinter t{{"Venues", "Keywords", "Years"}};
+    t.add_row({"NSDI, OSDI, SOSP, SC",
+               "big data, streaming, Hadoop, MapReduce, Spark, data storage,",
+               "2008 - 2018"});
+    t.add_row({"", "graph processing, data analytics", ""});
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  stats::Rng rng{bench::kBenchSeed};
+  const auto corpus = survey::generate_corpus({}, rng);
+  const auto keyword_matches = survey::filter_by_keywords(corpus);
+  const auto selected = survey::filter_cloud_experiments(keyword_matches);
+
+  long long citations = 0;
+  int nsdi = 0, osdi = 0, sosp = 0, sc = 0;
+  for (const auto& a : selected) {
+    citations += a.citations;
+    switch (a.venue) {
+      case survey::Venue::kNsdi: ++nsdi; break;
+      case survey::Venue::kOsdi: ++osdi; break;
+      case survey::Venue::kSosp: ++sosp; break;
+      case survey::Venue::kSc: ++sc; break;
+    }
+  }
+
+  bench::section("Table 2: survey process (paper: 1,867 -> 138 -> 44; 11,203 citations)");
+  core::TablePrinter t{{"Stage", "Articles"}};
+  t.add_row({"Total articles", std::to_string(corpus.size())});
+  t.add_row({"Filtered automatically by keywords", std::to_string(keyword_matches.size())});
+  t.add_row({"Filtered manually for cloud experiments",
+             std::to_string(selected.size()) + " (" + std::to_string(nsdi) + " NSDI, " +
+                 std::to_string(osdi) + " OSDI, " + std::to_string(sosp) + " SOSP, " +
+                 std::to_string(sc) + " SC)"});
+  t.add_row({"Citations for selected articles", std::to_string(citations)});
+  t.print(std::cout);
+  return 0;
+}

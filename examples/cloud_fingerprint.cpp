@@ -1,0 +1,97 @@
+// Example: the F5.2 workflow — establish a baseline network fingerprint for
+// a cloud, store it, and later verify that the platform still behaves the
+// same before trusting new results.
+//
+// Usage: cloud_fingerprint [ec2|gce|hpccloud]
+//
+// The demo fingerprints the chosen cloud twice: once "before" and once
+// "after" a (simulated) provider policy change — the August 2019 incident
+// where c5.xlarge NICs silently started arriving capped at 5 Gbps — and
+// shows the drift detector firing.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "cloud/instances.h"
+#include "core/fingerprint.h"
+#include "core/report.h"
+#include "stats/rng.h"
+
+using namespace cloudrepro;
+
+namespace {
+
+cloud::CloudProfile profile_for(const std::string& name, cloud::PolicyEra era) {
+  cloud::IncarnationOptions options;
+  options.era = era;
+  options.capped_nic_probability = 1.0;  // Deterministic for the demo.
+  if (name == "gce") return cloud::gce_8core(options);
+  if (name == "hpccloud") return cloud::hpccloud_8core(options);
+  return cloud::ec2_c5_xlarge(options);
+}
+
+void print_fingerprint(const core::NetworkFingerprint& fp) {
+  core::TablePrinter t{{"Micro-benchmark", "Value"}};
+  t.add_row({"base latency [ms]", core::fmt(fp.base_latency_ms, 3)});
+  t.add_row({"latency under load [ms]", core::fmt(fp.loaded_latency_ms, 3)});
+  t.add_row({"base bandwidth [Gbps]", core::fmt(fp.base_bandwidth_gbps)});
+  t.add_row({"bandwidth CoV", core::fmt_pct(fp.bandwidth_cov)});
+  t.add_row({"retransmission rate", core::fmt_pct(fp.retransmission_rate)});
+  t.add_row({"QoS class", to_string(fp.qos)});
+  if (fp.qos == core::QosClass::kTokenBucket) {
+    t.add_row({"bucket: time-to-empty [s]", core::fmt(fp.bucket.time_to_empty_s, 0)});
+    t.add_row({"bucket: high rate [Gbps]", core::fmt(fp.bucket.high_rate_gbps, 1)});
+    t.add_row({"bucket: low rate [Gbps]", core::fmt(fp.bucket.low_rate_gbps, 1)});
+    t.add_row({"bucket: replenish [Gbps]", core::fmt(fp.bucket.replenish_gbps, 2)});
+    t.add_row({"bucket: budget [Gbit]", core::fmt(fp.bucket.inferred_budget_gbit, 0)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "ec2";
+  stats::Rng rng{2024};
+
+  std::cout << "Fingerprinting cloud '" << which
+            << "' (guideline F5.2: establish baselines before experiments)\n\n";
+
+  core::FingerprintOptions options;
+  options.bucket_probe.max_probe_s = 1800.0;
+
+  const auto measured =
+      core::fingerprint_network(profile_for(which, cloud::PolicyEra::kPreAugust2019),
+                                options, rng);
+  // Persist it — F5.2/F5.5: the baseline is part of the published artifact.
+  const auto baseline_path =
+      std::filesystem::temp_directory_path() / ("fingerprint_" + which + ".txt");
+  core::save_fingerprint(baseline_path, measured);
+  const auto baseline = core::load_fingerprint(baseline_path);
+
+  std::cout << "=== Baseline fingerprint (saved to " << baseline_path.string()
+            << ") ===\n";
+  print_fingerprint(baseline);
+
+  std::cout << "\n=== Months later: re-fingerprint before the next campaign ===\n";
+  const auto current =
+      core::fingerprint_network(profile_for(which, cloud::PolicyEra::kPostAugust2019),
+                                options, rng);
+  print_fingerprint(current);
+
+  const auto cmp = core::compare_fingerprints(baseline, current);
+  std::cout << "\n=== Drift verdict ===\n";
+  if (cmp.baselines_match()) {
+    std::cout << "Baselines match: new results are comparable to the old ones.\n";
+  } else {
+    std::cout << "BASELINES DO NOT MATCH:";
+    if (cmp.bandwidth_drift) std::cout << " bandwidth";
+    if (cmp.latency_drift) std::cout << " latency";
+    if (cmp.qos_class_change) std::cout << " qos-class";
+    if (cmp.bucket_parameter_drift) std::cout << " bucket-parameters";
+    std::cout << " drifted.\nDo not compare new numbers against the published"
+                 " ones (F5.5: provider policies change at any time).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Example: the full reproducibility protocol from the paper's Section 5,
+// as one API call — fingerprint the platform, plan rests from the measured
+// bucket parameters, run enough repetitions with diagnostics, run CONFIRM,
+// and audit the design. Contrasts three designs on the same workload:
+//
+//   (1) the literature's modal design: 3 repetitions, reused VMs;
+//   (2) a naive "more repetitions" fix that still reuses VMs;
+//   (3) the paper's protocol: fresh state per run + statistics.
+//
+// Usage: reproducible_experiment [tpcds-query-number]   (default 65)
+
+#include <iostream>
+#include <string>
+
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "core/protocol.h"
+#include "core/report.h"
+#include "stats/rng.h"
+
+using namespace cloudrepro;
+
+int main(int argc, char** argv) {
+  const int query = argc > 1 ? std::stoi(argv[1]) : 65;
+  const auto& workload = bigdata::tpcds_query(query);
+
+  std::cout << "Workload: TPC-DS " << workload.name << " ("
+            << core::fmt(workload.total_shuffle_gbit_per_node(), 0)
+            << " Gbit shuffle/node, "
+            << core::fmt(workload.nominal_compute_s(16), 0)
+            << " s compute/node)\n\n";
+
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  const simnet::TokenBucketQos prototype{bucket};
+  auto cluster = bigdata::Cluster::uniform(12, 16, prototype, 10.0);
+  bigdata::SparkEngine engine;
+  stats::Rng rng{7};
+
+  core::LambdaEnvironment env{
+      "TPC-DS " + workload.name + " on 12-node emulated c5.xlarge cluster",
+      [&] { cluster.reset_network(); },
+      [&](double s) { cluster.rest(s); },
+      [&](stats::Rng& r) { return engine.run(workload, cluster, r).runtime_s; }};
+
+  core::FingerprintOptions fp;
+  fp.bucket_probe.max_probe_s = 1800.0;
+
+  const struct {
+    const char* label;
+    int repetitions;
+    bool fresh;
+  } designs[] = {
+      {"(1) literature modal design: 3 reps, reused VMs", 3, false},
+      {"(2) more reps, still reused VMs", 20, false},
+      {"(3) the paper's protocol: 20 reps, fresh state", 20, true},
+  };
+
+  for (const auto& design : designs) {
+    std::cout << "==========================================================\n"
+              << design.label << "\n"
+              << "==========================================================\n";
+    cluster.reset_network();
+
+    core::ProtocolOptions options;
+    options.fingerprint = fp;
+    options.plan.repetitions = design.repetitions;
+    options.plan.fresh_environment_each_run = design.fresh;
+    // Design (2) deliberately ignores the rest recommendation, as a paper
+    // unaware of token buckets would.
+    options.planned_transfer_gbit_per_run =
+        design.fresh ? workload.total_shuffle_gbit_per_node() : 0.0;
+
+    const auto report = core::run_protocol(cloud::ec2_c5_xlarge(), env, options, rng);
+    core::print_protocol_report(std::cout, report);
+    std::cout << '\n';
+  }
+
+  std::cout << "Only design (3) yields a verdict of REPRODUCIBLE: design (1)\n"
+               "cannot even form a confidence interval, and design (2) is\n"
+               "flagged for reusing VMs under a token-bucket policy — its\n"
+               "repetitions drain the budget future runs depend on. On a\n"
+               "freshly-allocated cluster the damage is latent (the budget\n"
+               "outlasts 20 runs); on a cluster 'left in an unknown state by\n"
+               "previous experiments' it is exactly Figure 19. The audit\n"
+               "catches the design flaw either way.\n";
+  return 0;
+}

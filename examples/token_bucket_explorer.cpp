@@ -1,0 +1,80 @@
+// Example: explore token-bucket dynamics interactively from the command
+// line — the "what will this shaper do to my workload?" calculator.
+//
+// Usage: token_bucket_explorer [budget_gbit] [high_gbps] [low_gbps]
+//                              [replenish_gbps] [burst_s] [idle_s]
+// Defaults: the paper's c5.xlarge parameters under the 10-30 pattern.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cloud/tc_emulator.h"
+#include "core/report.h"
+#include "simnet/qos.h"
+#include "simnet/token_bucket.h"
+
+using namespace cloudrepro;
+
+int main(int argc, char** argv) {
+  const auto arg = [&](int i, double fallback) {
+    return argc > i ? std::stod(argv[i]) : fallback;
+  };
+  simnet::TokenBucketConfig cfg;
+  cfg.capacity_gbit = arg(1, 5400.0);
+  cfg.initial_gbit = cfg.capacity_gbit;
+  cfg.high_rate_gbps = arg(2, 10.0);
+  cfg.low_rate_gbps = arg(3, 1.0);
+  cfg.replenish_gbps = arg(4, 1.0);
+  const double burst_s = arg(5, 10.0);
+  const double idle_s = arg(6, 30.0);
+
+  std::cout << "Token bucket: budget " << core::fmt(cfg.capacity_gbit, 0)
+            << " Gbit, " << core::fmt(cfg.high_rate_gbps, 1) << " -> "
+            << core::fmt(cfg.low_rate_gbps, 1) << " Gbps, replenish "
+            << core::fmt(cfg.replenish_gbps, 2) << " Gbit/s\n\n";
+
+  // Analytic facts an experimenter wants first.
+  simnet::TokenBucket bucket{cfg};
+  core::TablePrinter t{{"Question", "Answer"}};
+  t.add_row({"Time to empty at full speed",
+             core::fmt(bucket.time_until_change(cfg.high_rate_gbps), 0) + " s"});
+  t.add_row({"Time to fully refill while resting",
+             core::fmt(cfg.capacity_gbit / cfg.replenish_gbps, 0) + " s"});
+  const double cycle_refill = idle_s * cfg.replenish_gbps;
+  const double cycle_need = burst_s * (cfg.high_rate_gbps - cfg.replenish_gbps);
+  t.add_row({"Tokens refilled per " + core::fmt(idle_s, 0) + "-s rest",
+             core::fmt(cycle_refill, 1) + " Gbit"});
+  t.add_row({"Tokens to run a full " + core::fmt(burst_s, 0) + "-s burst at high rate",
+             core::fmt(cycle_need, 1) + " Gbit"});
+  const double high_window =
+      cycle_refill / std::max(cfg.high_rate_gbps - cfg.replenish_gbps, 1e-9);
+  const double steady_avg =
+      cycle_refill >= cycle_need
+          ? cfg.high_rate_gbps
+          : (high_window * cfg.high_rate_gbps + (burst_s - high_window) * cfg.low_rate_gbps) /
+                burst_s;
+  t.add_row({"Steady-state burst bandwidth under " + core::fmt(burst_s, 0) + "-" +
+                 core::fmt(idle_s, 0) + " pattern",
+             core::fmt(steady_avg, 2) + " Gbps"});
+  t.add_row({"Long-run average (any pattern)",
+             core::fmt(std::min(cfg.high_rate_gbps, cfg.replenish_gbps), 2) +
+                 " Gbps (the replenish rate bounds sustained throughput)"});
+  t.print(std::cout);
+
+  // A 120-second simulated trace from a nearly-empty bucket (Figure 14).
+  std::cout << "\nSimulated per-second bandwidth from an empty bucket ("
+            << core::fmt(burst_s, 0) << "s on / " << core::fmt(idle_s, 0)
+            << "s off):\n";
+  auto empty_cfg = cfg;
+  empty_cfg.initial_gbit = 0.0;
+  simnet::TokenBucketQos qos{empty_cfg};
+  const auto curve = cloud::onoff_bandwidth_curve(qos, burst_s, idle_s, 120.0);
+  std::vector<double> series;
+  for (const auto& p : curve) series.push_back(p.bandwidth_gbps);
+  for (std::size_t i = 0; i < series.size(); i += 4) {
+    std::cout << "  t=" << core::fmt(curve[i].t, 0) << "s  "
+              << core::fmt(series[i], 2) << " Gbps\n";
+  }
+  return 0;
+}

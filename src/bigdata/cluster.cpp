@@ -1,0 +1,88 @@
+#include "bigdata/cluster.h"
+
+#include <stdexcept>
+
+#include "cloud/tc_emulator.h"
+#include "simnet/token_bucket.h"
+
+namespace cloudrepro::bigdata {
+
+Cluster::Cluster(int cores_per_node, std::vector<Node> nodes)
+    : cores_per_node_{cores_per_node}, nodes_{std::move(nodes)} {
+  if (cores_per_node <= 0) throw std::invalid_argument{"Cluster: cores_per_node must be positive"};
+  if (nodes_.size() < 2) throw std::invalid_argument{"Cluster: need at least 2 nodes"};
+  for (const auto& n : nodes_) {
+    if (!n.egress) throw std::invalid_argument{"Cluster: node without egress policy"};
+    if (n.line_rate_gbps <= 0.0) throw std::invalid_argument{"Cluster: invalid line rate"};
+  }
+}
+
+Cluster Cluster::uniform(int node_count, int cores_per_node,
+                         const simnet::QosPolicy& prototype, double line_rate_gbps) {
+  if (node_count < 2) throw std::invalid_argument{"Cluster::uniform: need at least 2 nodes"};
+  std::vector<Node> nodes;
+  nodes.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    nodes.push_back(Node{prototype.clone(), line_rate_gbps, std::nullopt});
+  }
+  return Cluster{cores_per_node, std::move(nodes)};
+}
+
+Cluster Cluster::from_cloud(int node_count, int cores_per_node,
+                            const cloud::CloudProfile& profile, stats::Rng& rng) {
+  if (node_count < 2) throw std::invalid_argument{"Cluster::from_cloud: need at least 2 nodes"};
+  std::vector<Node> nodes;
+  nodes.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    auto vm = profile.create_vm(rng);
+    nodes.push_back(Node{std::move(vm.egress), vm.line_rate_gbps, std::nullopt});
+  }
+  return Cluster{cores_per_node, std::move(nodes)};
+}
+
+void Cluster::reset_network() {
+  for (auto& n : nodes_) {
+    n.egress->reset();
+    if (n.cpu.has_value()) n.cpu->reset();
+  }
+}
+
+void Cluster::attach_cpu_credits(const cloud::CpuCreditConfig& config) {
+  for (auto& n : nodes_) n.cpu.emplace(config);
+}
+
+std::optional<double> Cluster::cpu_credits(std::size_t i) const {
+  const auto& n = nodes_.at(i);
+  if (!n.cpu.has_value()) return std::nullopt;
+  return n.cpu->credits();
+}
+
+void Cluster::set_cpu_credits(double credits) {
+  for (auto& n : nodes_) {
+    if (n.cpu.has_value()) n.cpu->set_credits(credits);
+  }
+}
+
+void Cluster::set_token_budgets(double gbit) {
+  for (auto& n : nodes_) {
+    if (auto* tb = dynamic_cast<simnet::TokenBucketQos*>(n.egress.get())) {
+      tb->bucket().set_budget(gbit);
+    } else if (auto* tc = dynamic_cast<cloud::TcEmulator*>(n.egress.get())) {
+      tc->bucket().set_budget(gbit);
+    }
+  }
+}
+
+std::optional<double> Cluster::token_budget(std::size_t i) const {
+  return nodes_.at(i).egress->budget_gbit();
+}
+
+void Cluster::rest(double seconds) {
+  if (seconds <= 0.0) return;
+  for (auto& n : nodes_) {
+    n.egress->advance(seconds, 0.0);
+    if (n.cpu.has_value()) n.cpu->advance(seconds, 0.0);
+  }
+}
+
+}  // namespace cloudrepro::bigdata

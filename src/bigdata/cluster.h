@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cloud/cpu_credits.h"
+#include "cloud/instances.h"
+#include "simnet/qos.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::bigdata {
+
+/// A cluster of worker nodes, each with its own egress QoS policy — every VM
+/// has its *own* token bucket (F4.4), which is what makes straggler
+/// behaviour and non-i.i.d. repetitions possible.
+class Cluster {
+ public:
+  struct Node {
+    std::unique_ptr<simnet::QosPolicy> egress;
+    double line_rate_gbps = 10.0;
+    /// CPU-credit shaping for burstable instances (the paper's closing
+    /// remark that providers token-bucket CPU too); nullopt = unshaped CPU.
+    std::optional<cloud::CpuCreditBucket> cpu;
+  };
+
+  Cluster(int cores_per_node, std::vector<Node> nodes);
+
+  /// Homogeneous cluster whose nodes all clone `prototype`.
+  static Cluster uniform(int node_count, int cores_per_node,
+                         const simnet::QosPolicy& prototype,
+                         double line_rate_gbps);
+
+  /// Cluster built from fresh VM incarnations of a cloud profile — each
+  /// node's realized policy differs slightly, as in real allocations.
+  static Cluster from_cloud(int node_count, int cores_per_node,
+                            const cloud::CloudProfile& profile, stats::Rng& rng);
+
+  int cores_per_node() const noexcept { return cores_per_node_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  Node& node(std::size_t i) { return nodes_.at(i); }
+  const Node& node(std::size_t i) const { return nodes_.at(i); }
+
+  /// Resets every node's policy — the "create a fresh set of VMs for every
+  /// experiment" guideline (F5.4).
+  void reset_network();
+
+  /// Sets every token-bucket node's budget (Figures 15-19 sweep this).
+  /// No-op on nodes without budget-tracked policies.
+  void set_token_budgets(double gbit);
+
+  /// Remaining budget of a node, if its policy tracks one.
+  std::optional<double> token_budget(std::size_t i) const;
+
+  /// Attaches CPU-credit shaping to every node (burstable instances).
+  void attach_cpu_credits(const cloud::CpuCreditConfig& config);
+
+  /// Remaining CPU credits of a node, if CPU shaping is attached.
+  std::optional<double> cpu_credits(std::size_t i) const;
+
+  /// Sets every CPU-shaped node's credit balance.
+  void set_cpu_credits(double credits);
+
+  /// Lets the whole cluster rest (network and CPU buckets replenish).
+  void rest(double seconds);
+
+ private:
+  int cores_per_node_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cloudrepro::bigdata

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bigdata/cluster.h"
+#include "bigdata/workload.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::bigdata {
+
+/// One point of a per-node network timeline (Figures 15 and 18): the mean
+/// egress rate over the sampling bucket, and the remaining token budget at
+/// the bucket boundary (negative when the policy tracks no budget).
+struct TimelinePoint {
+  double t = 0.0;
+  double egress_gbps = 0.0;
+  double budget_gbit = -1.0;
+};
+
+/// Outcome of one job execution.
+struct JobResult {
+  std::string workload;
+  double runtime_s = 0.0;
+
+  /// Gbit each node pushed into shuffles.
+  std::vector<double> per_node_sent_gbit;
+
+  /// Total time each node's egress spent busy across all shuffles
+  /// (per-stage: last sourced flow's end minus the stage's shuffle start).
+  std::vector<double> node_egress_busy_s;
+
+  /// Effective egress rate of each node while busy (sent / busy, Gbps).
+  /// A healthy node runs near the high QoS; a bucket-depleted node's
+  /// effective rate collapses toward the capped rate.
+  std::vector<double> node_effective_rate_gbps;
+
+  /// The node with the lowest effective egress rate, and how much faster
+  /// the median node was (median rate / slowest rate). Load imbalance alone
+  /// keeps this near 1 (all nodes at the same QoS); only QoS throttling of
+  /// *some* nodes pushes it up — >1.5 flags a straggler (Figure 18, F4.3).
+  std::size_t slowest_node = 0;
+  double straggler_ratio = 1.0;
+
+  /// Per-node egress timelines (empty when recording is disabled).
+  std::vector<std::vector<TimelinePoint>> timelines;
+
+  bool has_straggler(double threshold = 1.5) const noexcept {
+    return straggler_ratio >= threshold;
+  }
+};
+
+struct EngineOptions {
+  /// Zipf exponent of per-node shuffle-volume weights. 0 = perfectly
+  /// balanced; positive values model the "(imbalanced) big data
+  /// applications" whose interaction with token buckets creates stragglers
+  /// (F4.3).
+  double partition_skew = 0.0;
+
+  /// Keep the same node-to-load assignment across consecutive runs (the
+  /// same input partitioning re-submitted repeatedly, as in Figures 15/18).
+  /// When false, every job draws a fresh assignment, spreading the drain
+  /// evenly across nodes.
+  bool stable_partitioning = true;
+
+  /// Timeline sampling interval; 0 disables timeline recording.
+  double timeline_interval_s = 0.0;
+
+  /// Non-network machine variability (CPU steal, memory bandwidth, I/O):
+  /// each run draws a per-node lognormal speed factor with this coefficient
+  /// of variation and scales compute times by it. The paper notes that when
+  /// "running experiments directly on these clouds we cannot differentiate
+  /// the effects of network variability from other sources" (Section 4.1) —
+  /// set this non-zero to model direct-on-cloud runs (Figure 13); leave 0
+  /// for the isolated-emulation experiments (Figures 15-19).
+  double machine_noise_cv = 0.0;
+
+  /// Safety horizon for a single job.
+  double deadline_s = 24.0 * 3600.0;
+};
+
+/// Spark-like execution engine: runs a workload's stages as compute waves
+/// separated by all-to-all shuffles over a fluid-simulated network built
+/// from the cluster's per-node QoS policies. QoS state (token budgets,
+/// warm-up paths) persists in the Cluster across runs, so back-to-back jobs
+/// interact exactly as the paper describes: "an application influences not
+/// only its own runtime, but also future applications' runtimes" (F4.2).
+class SparkEngine {
+ public:
+  explicit SparkEngine(EngineOptions options = {});
+
+  JobResult run(const WorkloadProfile& workload, Cluster& cluster, stats::Rng& rng);
+
+  const EngineOptions& options() const noexcept { return options_; }
+
+ private:
+  EngineOptions options_;
+  /// Cached per-node load weights for stable partitioning.
+  std::vector<double> cached_weights_;
+};
+
+}  // namespace cloudrepro::bigdata

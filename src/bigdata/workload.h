@@ -1,0 +1,79 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cloudrepro::bigdata {
+
+/// One stage of a Spark-like job: a wave of parallel tasks followed
+/// (optionally) by an all-to-all shuffle of its output.
+struct StageProfile {
+  std::string name;
+  int tasks_per_node = 16;        ///< Parallel tasks scheduled on each node.
+  double compute_s_mean = 10.0;   ///< Mean per-task compute time.
+  double compute_s_cv = 0.15;     ///< Coefficient of variation (lognormal).
+  /// Gbit each node must send into the following shuffle (0 = no shuffle,
+  /// e.g. the final collect/output stage).
+  double shuffle_gbit_per_node = 0.0;
+};
+
+/// A complete workload: the unit both HiBench applications and TPC-DS
+/// queries are described as. Stage parameters are calibrated so the
+/// workloads' *network-intensity ordering* matches the paper's findings
+/// (TS/WC most network-dependent among HiBench — Figure 16; queries 65/68
+/// network-heavy vs 82 network-light — Figures 17 and 19).
+struct WorkloadProfile {
+  std::string name;
+  std::string suite;  ///< "HiBench" or "TPC-DS".
+  std::vector<StageProfile> stages;
+
+  /// Total shuffle volume per node across all stages (Gbit).
+  double total_shuffle_gbit_per_node() const noexcept;
+
+  /// Expected serial compute time per node, ignoring task-time jitter.
+  double nominal_compute_s(int cores_per_node) const noexcept;
+
+  /// Shuffle Gbit per nominal compute second — the knob that determines
+  /// how exposed a workload is to network throttling.
+  double network_intensity(int cores_per_node = 16) const noexcept;
+};
+
+// ---- HiBench (Table 4 / Figures 3a, 13, 15, 16) -----------------------------
+
+WorkloadProfile hibench_terasort();   ///< TS — most network-intensive.
+WorkloadProfile hibench_wordcount();  ///< WC — network-intensive.
+WorkloadProfile hibench_sort();       ///< S.
+WorkloadProfile hibench_bayes();      ///< BS.
+WorkloadProfile hibench_kmeans();     ///< KM — iterative, compute-dominated.
+
+/// The five HiBench applications of Figure 16, in the paper's {TS, WC, S,
+/// BS, KM} naming.
+std::span<const WorkloadProfile> hibench_suite();
+
+// ---- TPC-DS (Figures 3b, 13, 17, 18, 19) ------------------------------------
+
+/// The 21 TPC-DS queries of Figure 17 (SF-2000 profiles):
+/// 3, 7, 19, 27, 34, 42, 43, 46, 52, 53, 55, 59, 63, 65, 68, 70, 73, 79,
+/// 82, 89, 98.
+std::span<const WorkloadProfile> tpcds_suite();
+
+/// Lookup a TPC-DS query profile by number; throws std::out_of_range.
+const WorkloadProfile& tpcds_query(int number);
+
+// ---- Extensions beyond the paper's evaluated set ----------------------------
+
+/// Additional HiBench applications (PageRank, Join, Aggregation) for wider
+/// workload coverage; same calibration conventions as the core five.
+std::span<const WorkloadProfile> hibench_extended_suite();
+
+/// A TPC-H-style suite of short-lived analytics queries — the workload
+/// class the paper's 10-30/5-30 access patterns mimic ("short-lived
+/// analytics queries, such as TPC-H"). Eight representative queries
+/// (1, 3, 5, 6, 9, 13, 18, 21) spanning scan-bound to join-heavy.
+std::span<const WorkloadProfile> tpch_suite();
+
+/// Lookup a TPC-H query profile by number; throws std::out_of_range.
+const WorkloadProfile& tpch_query(int number);
+
+}  // namespace cloudrepro::bigdata

@@ -1,0 +1,51 @@
+#include "cloud/ballani.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace cloudrepro::cloud {
+
+double BandwidthDistribution::quantile_mbps(double q) const {
+  q = std::clamp(q, 0.01, 0.99);
+  struct Point { double q; double v; };
+  const Point pts[] = {{0.01, p1}, {0.25, p25}, {0.50, p50}, {0.75, p75}, {0.99, p99}};
+  for (std::size_t i = 1; i < std::size(pts); ++i) {
+    if (q <= pts[i].q) {
+      const double frac = (q - pts[i - 1].q) / (pts[i].q - pts[i - 1].q);
+      return pts[i - 1].v + frac * (pts[i].v - pts[i - 1].v);
+    }
+  }
+  return p99;
+}
+
+double BandwidthDistribution::sample_mbps(stats::Rng& rng) const {
+  return quantile_mbps(rng.uniform());
+}
+
+std::span<const BandwidthDistribution> ballani_distributions() {
+  // Reconstructed from the box-and-whiskers plots of Figure 2 (percentiles
+  // in Mb/s). The paper's clouds span medians from ~350 to ~850 Mb/s with
+  // very different spreads; F and G additionally show significant
+  // fine-grained (sub-minute) variability per [61] and [23].
+  static const std::vector<BandwidthDistribution> kDistributions = {
+      {"A", 200.0, 550.0, 650.0, 750.0, 900.0},
+      {"B", 400.0, 700.0, 800.0, 870.0, 980.0},
+      {"C", 100.0, 300.0, 400.0, 550.0, 800.0},
+      {"D", 300.0, 500.0, 600.0, 700.0, 850.0},
+      {"E", 50.0, 200.0, 350.0, 500.0, 750.0},
+      {"F", 500.0, 600.0, 700.0, 900.0, 990.0},
+      {"G", 100.0, 400.0, 620.0, 800.0, 950.0},
+      {"H", 600.0, 800.0, 850.0, 900.0, 970.0},
+  };
+  return kDistributions;
+}
+
+const BandwidthDistribution& ballani_distribution(const std::string& label) {
+  for (const auto& d : ballani_distributions()) {
+    if (d.label == label) return d;
+  }
+  throw std::out_of_range{"ballani_distribution: unknown label " + label};
+}
+
+}  // namespace cloudrepro::cloud

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "stats/rng.h"
+
+namespace cloudrepro::cloud {
+
+/// The eight real-world cloud bandwidth distributions (labelled A-H) that
+/// Ballani et al. [7] measured and the paper replays in its Figure 2 /
+/// Figure 3 emulation study.
+///
+/// Only the 1st/25th/50th/75th/99th percentiles are published ("the
+/// quartiles give us only a rough idea about the probability densities"),
+/// so — exactly as the paper does — we reconstruct each distribution from
+/// those five points and sample it uniformly: the inverse CDF is piecewise
+/// linear through the known percentiles.
+///
+/// Values are in Mb/s, matching Figure 2's axis.
+struct BandwidthDistribution {
+  std::string label;
+  double p1 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p99 = 0.0;
+
+  /// Draws one bandwidth value (Mb/s) by inverting the piecewise-linear CDF
+  /// at a uniform quantile.
+  double sample_mbps(stats::Rng& rng) const;
+
+  /// Inverse CDF at quantile q (clamped to the known [0.01, 0.99] range).
+  double quantile_mbps(double q) const;
+};
+
+/// All eight distributions, A through H (reconstructed from Figure 2).
+std::span<const BandwidthDistribution> ballani_distributions();
+
+/// Lookup by label ("A".."H"); throws std::out_of_range for other labels.
+const BandwidthDistribution& ballani_distribution(const std::string& label);
+
+}  // namespace cloudrepro::cloud

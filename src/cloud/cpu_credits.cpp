@@ -1,0 +1,83 @@
+#include "cloud/cpu_credits.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cloudrepro::cloud {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}
+
+CpuCreditBucket::CpuCreditBucket(const CpuCreditConfig& config)
+    : config_{config}, credits_{config.initial_credits} {
+  if (config.baseline_fraction <= 0.0 || config.baseline_fraction > 1.0) {
+    throw std::invalid_argument{"CpuCreditBucket: baseline fraction must be in (0, 1]"};
+  }
+  if (config.max_credits < 0.0 || config.initial_credits < 0.0) {
+    throw std::invalid_argument{"CpuCreditBucket: credits must be non-negative"};
+  }
+  if (config.initial_credits > config.max_credits) {
+    throw std::invalid_argument{"CpuCreditBucket: initial credits exceed the cap"};
+  }
+  if (config.vcpus <= 0) throw std::invalid_argument{"CpuCreditBucket: vcpus must be positive"};
+}
+
+double CpuCreditBucket::speed_factor() const noexcept {
+  return credits_ > 0.0 ? 1.0 : config_.baseline_fraction;
+}
+
+double CpuCreditBucket::net_burn_per_s(double utilization) const noexcept {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  // Spend: u * vcpus credits per minute at full speed. When depleted, the
+  // scheduler caps execution so spend == earn (the bucket pins at zero).
+  const double effective_u = credits_ > 0.0 ? u : std::min(u, config_.baseline_fraction);
+  const double spend_per_s = effective_u * static_cast<double>(config_.vcpus) / 60.0;
+  const double earn_per_s = config_.credits_per_hour() / 3600.0;
+  return spend_per_s - earn_per_s;
+}
+
+void CpuCreditBucket::advance(double dt_s, double utilization) noexcept {
+  if (dt_s <= 0.0) return;
+  credits_ = std::clamp(credits_ - net_burn_per_s(utilization) * dt_s, 0.0,
+                        config_.max_credits);
+}
+
+double CpuCreditBucket::time_until_change(double utilization) const noexcept {
+  const double burn = net_burn_per_s(utilization);
+  if (credits_ > 0.0 && burn > 0.0) return credits_ / burn;
+  if (credits_ <= 0.0 && burn < 0.0) return 1e-6;  // Recovers immediately.
+  return kInfinity;
+}
+
+double CpuCreditBucket::run_compute(double nominal_s, double utilization) noexcept {
+  if (nominal_s <= 0.0) return 0.0;
+  double remaining_work = nominal_s;  // In full-speed seconds.
+  double elapsed = 0.0;
+  // Two regimes at most: burst until depletion, then baseline.
+  while (remaining_work > 1e-12) {
+    const double factor = speed_factor();
+    double phase_wall;
+    if (credits_ > 0.0) {
+      const double burn = net_burn_per_s(utilization);
+      const double until_depleted = burn > 0.0 ? credits_ / burn : kInfinity;
+      phase_wall = std::min(remaining_work / factor, until_depleted);
+    } else {
+      phase_wall = remaining_work / factor;
+    }
+    advance(phase_wall, utilization);
+    remaining_work -= phase_wall * factor;
+    elapsed += phase_wall;
+    if (phase_wall <= 0.0) break;  // Numerical guard.
+  }
+  return elapsed;
+}
+
+void CpuCreditBucket::reset() noexcept { credits_ = config_.initial_credits; }
+
+void CpuCreditBucket::set_credits(double credits) noexcept {
+  credits_ = std::clamp(credits, 0.0, config_.max_credits);
+}
+
+}  // namespace cloudrepro::cloud

@@ -1,0 +1,77 @@
+#pragma once
+
+#include "stats/rng.h"
+
+namespace cloudrepro::cloud {
+
+/// CPU-credit shaping for burstable instances (t2/t3-style).
+///
+/// The paper closes Section 4.2 with: "Others have shown that cloud
+/// providers use token buckets for other resources such as CPU scheduling
+/// [60]. This affects cloud-based experimentation, as the state of these
+/// token buckets is not directly visible to users, nor are their budgets or
+/// refill policies." This module implements that extension so the engine
+/// can reproduce the same broken-independence phenomenology on the CPU axis
+/// (see `bench_ablation_cpu_credits`).
+///
+/// Semantics follow the burstable-instance model of Wang et al. [60]:
+///  - the instance earns `credits_per_hour` CPU credits per hour,
+///  - one credit buys one vCPU-minute at 100% utilization,
+///  - while credits remain the instance runs at full speed,
+///  - once depleted it is capped at `baseline_fraction` of full speed
+///    (which is exactly what the earning rate sustains).
+struct CpuCreditConfig {
+  double baseline_fraction = 0.40;   ///< t3.xlarge-class baseline.
+  double max_credits = 2304.0;       ///< Credit cap (24h of earning).
+  double initial_credits = 2304.0;   ///< Launch credits.
+  int vcpus = 4;
+
+  /// Credits earned per hour = baseline_fraction * vcpus * 60.
+  double credits_per_hour() const noexcept {
+    return baseline_fraction * static_cast<double>(vcpus) * 60.0;
+  }
+};
+
+/// Fluid CPU-credit bucket: advance with the utilization actually consumed;
+/// query the speed factor the scheduler currently grants.
+class CpuCreditBucket {
+ public:
+  explicit CpuCreditBucket(const CpuCreditConfig& config);
+
+  /// Current multiplicative speed factor for compute: 1.0 while credits
+  /// remain, `baseline_fraction` when depleted.
+  double speed_factor() const noexcept;
+
+  double credits() const noexcept { return credits_; }
+  bool depleted() const noexcept { return credits_ <= 0.0; }
+
+  /// Advances wall-clock time by `dt_s` seconds at `utilization` (0..1,
+  /// fraction of all vCPUs busy). Spends utilization * vcpus credits per
+  /// minute and earns at the configured rate concurrently.
+  void advance(double dt_s, double utilization) noexcept;
+
+  /// Seconds of full-utilization compute until the speed factor changes
+  /// (depletion while burning, or recovery while resting); +infinity when
+  /// stable.
+  double time_until_change(double utilization) const noexcept;
+
+  /// Converts a nominal compute duration into the actual duration given the
+  /// current credit state, advancing the bucket through the computation.
+  /// This is the engine hook: compute that would take `nominal_s` at full
+  /// speed takes longer once the credits run dry mid-way.
+  double run_compute(double nominal_s, double utilization = 1.0) noexcept;
+
+  void reset() noexcept;
+  void set_credits(double credits) noexcept;
+
+  const CpuCreditConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Net credit burn per second at the given utilization.
+  double net_burn_per_s(double utilization) const noexcept;
+
+  CpuCreditConfig config_;
+  double credits_;
+};
+
+}  // namespace cloudrepro::cloud

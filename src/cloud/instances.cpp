@@ -1,0 +1,172 @@
+#include "cloud/instances.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cloudrepro::cloud {
+
+std::string to_string(Provider provider) {
+  switch (provider) {
+    case Provider::kAmazonEc2: return "Amazon EC2";
+    case Provider::kGoogleCloud: return "Google Cloud";
+    case Provider::kHpcCloud: return "HPCCloud";
+  }
+  return "unknown";
+}
+
+std::span<const InstanceType> instance_catalog() {
+  static const std::vector<InstanceType> kCatalog = {
+      // Amazon EC2 (typical big-data offerings [19]; Table 3 costs).
+      {Provider::kAmazonEc2, "c5.large", 2, 10.0, 0.085},
+      {Provider::kAmazonEc2, "c5.xlarge", 4, 10.0, 0.17},
+      {Provider::kAmazonEc2, "c5.2xlarge", 8, 10.0, 0.34},
+      {Provider::kAmazonEc2, "c5.4xlarge", 16, 10.0, 0.68},
+      {Provider::kAmazonEc2, "c5.9xlarge", 36, 10.0, 1.53},
+      {Provider::kAmazonEc2, "m5.xlarge", 4, 10.0, 0.192},
+      {Provider::kAmazonEc2, "m4.16xlarge", 64, 20.0, 3.20},
+      // Google Cloud: ~2 Gbps per core, capped at 16 Gbps.
+      {Provider::kGoogleCloud, "1-core", 1, 2.0, 0.034},
+      {Provider::kGoogleCloud, "2-core", 2, 4.0, 0.067},
+      {Provider::kGoogleCloud, "4-core", 4, 8.0, 0.134},
+      {Provider::kGoogleCloud, "8-core", 8, 16.0, 0.268},
+      // HPCCloud: private research cloud; no QoS enforcement, no cost.
+      {Provider::kHpcCloud, "2-core", 2, 0.0, 0.0},
+      {Provider::kHpcCloud, "4-core", 4, 0.0, 0.0},
+      {Provider::kHpcCloud, "8-core", 8, 0.0, 0.0},
+  };
+  return kCatalog;
+}
+
+const InstanceType& find_instance(Provider provider, const std::string& name) {
+  for (const auto& t : instance_catalog()) {
+    if (t.provider == provider && t.name == name) return t;
+  }
+  throw std::out_of_range{"find_instance: no such instance " + name};
+}
+
+CloudProfile::CloudProfile(InstanceType type, IncarnationOptions options)
+    : type_{std::move(type)}, options_{options} {}
+
+std::optional<simnet::TokenBucketConfig> CloudProfile::nominal_bucket() const {
+  if (type_.provider != Provider::kAmazonEc2) return std::nullopt;
+  simnet::TokenBucketConfig cfg;
+  cfg.high_rate_gbps = type_.advertised_qos_gbps;
+  // Bucket size and capped rate scale with the machine size (Figure 11:
+  // "more expensive machines benefit from larger initial budgets, as well
+  // as higher bandwidths when their budget depletes"). Calibrated so that
+  // c5.xlarge matches the paper's observations: 10 Gbps high rate, ~1 Gbps
+  // low rate, ~1 Gbit/s replenish, and roughly ten minutes of full-speed
+  // transfer to empty the bucket.
+  if (type_.name == "c5.large") {
+    cfg.capacity_gbit = 2700.0;
+    cfg.low_rate_gbps = 0.5;
+  } else if (type_.name == "c5.xlarge" || type_.name == "m5.xlarge") {
+    cfg.capacity_gbit = 5400.0;
+    cfg.low_rate_gbps = 1.0;
+  } else if (type_.name == "c5.2xlarge") {
+    cfg.capacity_gbit = 10800.0;
+    cfg.low_rate_gbps = 2.0;
+  } else if (type_.name == "c5.4xlarge") {
+    cfg.capacity_gbit = 21600.0;
+    cfg.low_rate_gbps = 4.0;
+  } else if (type_.name == "c5.9xlarge") {
+    // Large instances get the full line rate; the bucket is effectively
+    // unlimited at 10 Gbps but variability remains (Table 3 marks it Yes).
+    cfg.capacity_gbit = 80000.0;
+    cfg.low_rate_gbps = 5.0;
+  } else if (type_.name == "m4.16xlarge") {
+    cfg.capacity_gbit = 120000.0;
+    cfg.high_rate_gbps = 20.0;
+    cfg.low_rate_gbps = 5.0;
+  } else {
+    cfg.capacity_gbit = 5400.0;
+    cfg.low_rate_gbps = 1.0;
+  }
+  cfg.replenish_gbps = cfg.low_rate_gbps;  // Capped-rate sending keeps it empty.
+  cfg.initial_gbit = cfg.capacity_gbit;
+  return cfg;
+}
+
+VmNetwork CloudProfile::create_vm(stats::Rng& rng) const {
+  switch (type_.provider) {
+    case Provider::kAmazonEc2: return create_ec2(rng);
+    case Provider::kGoogleCloud: return create_gce(rng);
+    case Provider::kHpcCloud: return create_hpccloud(rng);
+  }
+  throw std::logic_error{"CloudProfile::create_vm: unknown provider"};
+}
+
+VmNetwork CloudProfile::create_ec2(stats::Rng& rng) const {
+  auto cfg = *nominal_bucket();
+
+  // Per-incarnation parameter scatter (Figure 11's boxplots/error bars).
+  cfg.capacity_gbit *= rng.lognormal(0.0, options_.bucket_capacity_sigma);
+  cfg.high_rate_gbps *= rng.lognormal(0.0, options_.high_rate_sigma);
+
+  // Post-August-2019 policy drift: some c5-family NICs arrive capped at
+  // 5 Gbps "though not consistently" (F5.2).
+  if (options_.era == PolicyEra::kPostAugust2019 && type_.name.rfind("c5.", 0) == 0 &&
+      rng.bernoulli(options_.capped_nic_probability)) {
+    cfg.high_rate_gbps = std::min(cfg.high_rate_gbps, 5.0);
+  }
+  cfg.initial_gbit = cfg.capacity_gbit;
+
+  VmNetwork vm;
+  vm.bucket = cfg;
+  vm.egress = std::make_unique<simnet::TokenBucketQos>(cfg);
+  vm.vnic = simnet::ec2_vnic();
+  vm.line_rate_gbps = std::max(10.0, cfg.high_rate_gbps);
+  return vm;
+}
+
+VmNetwork CloudProfile::create_gce(stats::Rng& rng) const {
+  simnet::PerCoreQosConfig cfg;
+  cfg.cores = type_.cores;
+  cfg.per_core_gbps = 2.0;
+  cfg.max_gbps = 16.0;
+
+  VmNetwork vm;
+  vm.egress = std::make_unique<simnet::PerCoreQos>(cfg, rng.split());
+  vm.vnic = simnet::gce_vnic();
+  vm.line_rate_gbps = std::min(static_cast<double>(type_.cores) * cfg.per_core_gbps,
+                               cfg.max_gbps);
+  return vm;
+}
+
+VmNetwork CloudProfile::create_hpccloud(stats::Rng& rng) const {
+  // No QoS enforcement: achieved bandwidth wanders with neighbour traffic.
+  // Small private clouds have *less* statistical multiplexing to smooth out
+  // contention (F3.2), so when a noisy neighbour appears the dip is deep.
+  // Calibrated to Figure 4: full-speed varies between ~7.7 and ~10.4 Gbps.
+  const double line_rate = 10.4;
+  auto sampler = [line_rate](stats::Rng& r) {
+    if (r.bernoulli(0.12)) {
+      // A competing tenant grabs a sizeable share for this interval.
+      return r.uniform(7.7, 9.3);
+    }
+    const double rate = r.normal(0.955 * line_rate, 0.022 * line_rate);
+    return std::clamp(rate, 7.7, line_rate);
+  };
+
+  VmNetwork vm;
+  vm.egress = std::make_unique<simnet::StochasticQos>(sampler, 10.0, rng.split());
+  vm.vnic = simnet::hpccloud_vnic();
+  vm.line_rate_gbps = line_rate;
+  return vm;
+}
+
+CloudProfile ec2_c5_xlarge(IncarnationOptions options) {
+  return CloudProfile{find_instance(Provider::kAmazonEc2, "c5.xlarge"), options};
+}
+
+CloudProfile gce_8core(IncarnationOptions options) {
+  return CloudProfile{find_instance(Provider::kGoogleCloud, "8-core"), options};
+}
+
+CloudProfile hpccloud_8core(IncarnationOptions options) {
+  return CloudProfile{find_instance(Provider::kHpcCloud, "8-core"), options};
+}
+
+}  // namespace cloudrepro::cloud

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "simnet/packet_path.h"
+#include "simnet/qos.h"
+#include "simnet/token_bucket.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::cloud {
+
+enum class Provider { kAmazonEc2, kGoogleCloud, kHpcCloud };
+
+std::string to_string(Provider provider);
+
+/// EC2 policy era (finding F5.2): "prior to August 2019, all c5.xlarge
+/// instances we allocated were given virtual NICs that could transmit at
+/// 10 Gbps. Starting in August, we started getting virtual NICs that were
+/// capped to 5 Gbps, though not consistently."
+enum class PolicyEra { kPreAugust2019, kPostAugust2019 };
+
+/// Catalog entry for a rentable instance type (Table 3).
+struct InstanceType {
+  Provider provider = Provider::kAmazonEc2;
+  std::string name;
+  int cores = 0;
+  double advertised_qos_gbps = 0.0;  ///< 0 when the provider states no QoS (HPCCloud).
+  double hourly_cost_usd = 0.0;      ///< For Table 3's cost column.
+};
+
+/// One *incarnation* of a VM pair's network path: the realized QoS policy,
+/// virtual-NIC behaviour, and (when applicable) the drawn token-bucket
+/// parameters. Figure 11 shows these parameters "are not always consistent
+/// for multiple incarnations of the same instance type" — hence creation
+/// draws them from per-type distributions.
+struct VmNetwork {
+  std::unique_ptr<simnet::QosPolicy> egress;
+  simnet::VnicConfig vnic;
+  double line_rate_gbps = 0.0;  ///< Physical/ingress cap.
+  std::optional<simnet::TokenBucketConfig> bucket;  ///< Realized, if shaped.
+};
+
+/// Options controlling incarnation draws.
+struct IncarnationOptions {
+  PolicyEra era = PolicyEra::kPreAugust2019;
+  /// Post-August-2019 probability that a c5-family NIC comes capped at
+  /// 5 Gbps instead of 10 Gbps.
+  double capped_nic_probability = 0.35;
+  /// Fractional sigma of the per-incarnation bucket-capacity lognormal.
+  double bucket_capacity_sigma = 0.12;
+  /// Fractional sigma of the high-rate draw.
+  double high_rate_sigma = 0.03;
+};
+
+/// A cloud profile builds VM network incarnations for an instance type.
+class CloudProfile {
+ public:
+  CloudProfile(InstanceType type, IncarnationOptions options = {});
+
+  const InstanceType& type() const noexcept { return type_; }
+  const IncarnationOptions& options() const noexcept { return options_; }
+
+  /// Draws a fresh VM incarnation. Different calls yield (slightly)
+  /// different realized policies, as observed in Figure 11.
+  VmNetwork create_vm(stats::Rng& rng) const;
+
+  /// The *nominal* token-bucket parameters for an EC2 type (the central
+  /// values the incarnation draws scatter around); nullopt for unshaped
+  /// providers.
+  std::optional<simnet::TokenBucketConfig> nominal_bucket() const;
+
+ private:
+  VmNetwork create_ec2(stats::Rng& rng) const;
+  VmNetwork create_gce(stats::Rng& rng) const;
+  VmNetwork create_hpccloud(stats::Rng& rng) const;
+
+  InstanceType type_;
+  IncarnationOptions options_;
+};
+
+/// The instance catalog of Table 3 plus the additional c5 sizes of
+/// Figure 11.
+std::span<const InstanceType> instance_catalog();
+
+/// Lookup by provider and name; throws std::out_of_range if absent.
+const InstanceType& find_instance(Provider provider, const std::string& name);
+
+/// Convenience constructors for the three studied configurations
+/// (the starred rows of Table 3).
+CloudProfile ec2_c5_xlarge(IncarnationOptions options = {});
+CloudProfile gce_8core(IncarnationOptions options = {});
+CloudProfile hpccloud_8core(IncarnationOptions options = {});
+
+}  // namespace cloudrepro::cloud

@@ -1,0 +1,143 @@
+#include "cloud/tc_emulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "simnet/fluid_network.h"
+#include "simnet/units.h"
+
+namespace cloudrepro::cloud {
+
+TcEmulator::TcEmulator(const TcEmulatorConfig& config)
+    : config_{config},
+      bucket_{config.bucket},
+      programmed_rate_{bucket_.allowed_rate()} {
+  if (config.update_interval_s <= 0.0) {
+    throw std::invalid_argument{"TcEmulator: update interval must be positive"};
+  }
+}
+
+void TcEmulator::advance(double dt, double rate_gbps) {
+  // Advance tick-by-tick: the userspace controller reprograms the qdisc only
+  // at tick boundaries, with the bucket state *as of that boundary* — not
+  // the state at the end of an arbitrarily long advance.
+  while (dt > 1e-12) {
+    const double to_tick = config_.update_interval_s - time_in_tick_;
+    const double step = std::min(dt, to_tick);
+    bucket_.advance(step, std::min(rate_gbps, programmed_rate_));
+    time_in_tick_ += step;
+    dt -= step;
+    if (time_in_tick_ >= config_.update_interval_s - 1e-12) {
+      time_in_tick_ = 0.0;
+      programmed_rate_ = bucket_.allowed_rate();
+    }
+  }
+}
+
+double TcEmulator::time_until_change(double /*rate_gbps*/) const {
+  return std::max(config_.update_interval_s - time_in_tick_, 1e-6);
+}
+
+void TcEmulator::reset() {
+  bucket_.reset();
+  programmed_rate_ = bucket_.allowed_rate();
+  time_in_tick_ = 0.0;
+}
+
+std::unique_ptr<simnet::QosPolicy> TcEmulator::clone() const {
+  return std::make_unique<TcEmulator>(*this);
+}
+
+std::vector<CurvePoint> onoff_bandwidth_curve(simnet::QosPolicy& policy,
+                                              double burst_s, double idle_s,
+                                              double total_s) {
+  if (burst_s <= 0.0 || idle_s < 0.0 || total_s <= 0.0) {
+    throw std::invalid_argument{"onoff_bandwidth_curve: invalid pattern parameters"};
+  }
+
+  simnet::FluidNetwork net;
+  const auto src = net.add_node(policy.clone());
+  const auto dst = net.add_node(std::make_unique<simnet::FixedRateQos>(100.0));
+
+  std::vector<CurvePoint> curve;
+  double transferred_at_last_sample = 0.0;
+  double next_sample = 1.0;
+  double total_transferred = 0.0;
+
+  // Track cumulative Gbit across all (consecutive) flows.
+  double completed_flows_gbit = 0.0;
+  simnet::FlowId current_flow = 0;
+  bool flow_open = false;
+
+  const auto total_gbit = [&] {
+    return completed_flows_gbit +
+           (flow_open ? net.flow(current_flow).transferred_gbit : 0.0);
+  };
+
+  const auto sample_until = [&](double t_target) {
+    while (net.now() < t_target - 1e-9) {
+      const double t_step = std::min(t_target, next_sample);
+      net.run_until(t_step);
+      total_transferred = total_gbit();
+      if (net.now() >= next_sample - 1e-9) {
+        curve.push_back(CurvePoint{net.now(), total_transferred - transferred_at_last_sample});
+        transferred_at_last_sample = total_transferred;
+        next_sample += 1.0;
+      }
+    }
+  };
+
+  double t = 0.0;
+  while (t < total_s) {
+    const double burst_end = std::min(t + burst_s, total_s);
+    current_flow = net.start_flow(src, dst, simnet::kInfiniteBytes);
+    flow_open = true;
+    sample_until(burst_end);
+    completed_flows_gbit += net.flow(current_flow).transferred_gbit;
+    net.stop_flow(current_flow);
+    flow_open = false;
+    t = burst_end;
+    if (t >= total_s) break;
+    const double idle_end = std::min(t + idle_s, total_s);
+    sample_until(idle_end);
+    t = idle_end;
+  }
+  return curve;
+}
+
+double curve_rmse(const std::vector<CurvePoint>& a, const std::vector<CurvePoint>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i].bandwidth_gbps - b[i].bandwidth_gbps;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(n));
+}
+
+double curve_correlation(const std::vector<CurvePoint>& a,
+                         const std::vector<CurvePoint>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i].bandwidth_gbps;
+    mb += b[i].bandwidth_gbps;
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i].bandwidth_gbps - ma;
+    const double db = b[i].bandwidth_gbps - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace cloudrepro::cloud

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simnet/qos.h"
+#include "simnet/token_bucket.h"
+
+namespace cloudrepro::cloud {
+
+/// Linux-`tc`-style token-bucket **emulator** (Section 4.2, Figure 14).
+///
+/// The paper emulates EC2's shaping on a private cluster with the `tc` [32]
+/// facility driven by a userspace controller; such a controller observes the
+/// transferred byte counters and re-programs the qdisc rate at a fixed
+/// cadence. The emulator therefore behaves like the real shaper except that
+/// rate transitions are quantized to the update tick — which is why the
+/// emulated curves in Figure 14 track the AWS curves closely but not
+/// sample-exactly.
+struct TcEmulatorConfig {
+  simnet::TokenBucketConfig bucket;
+  double update_interval_s = 1.0;  ///< Controller reprogramming cadence.
+};
+
+class TcEmulator final : public simnet::QosPolicy {
+ public:
+  explicit TcEmulator(const TcEmulatorConfig& config);
+
+  double allowed_rate() const override { return programmed_rate_; }
+  void advance(double dt, double rate_gbps) override;
+  double time_until_change(double rate_gbps) const override;
+  void reset() override;
+  std::unique_ptr<simnet::QosPolicy> clone() const override;
+  std::optional<double> budget_gbit() const override { return bucket_.budget(); }
+
+  const simnet::TokenBucket& bucket() const noexcept { return bucket_; }
+  simnet::TokenBucket& bucket() noexcept { return bucket_; }
+
+ private:
+  TcEmulatorConfig config_;
+  simnet::TokenBucket bucket_;
+  double programmed_rate_;
+  double time_in_tick_ = 0.0;
+};
+
+/// One point of a bandwidth-versus-time validation curve.
+struct CurvePoint {
+  double t = 0.0;
+  double bandwidth_gbps = 0.0;
+};
+
+/// Drives a policy with an on/off access pattern (`burst_s` seconds of
+/// transfer, `idle_s` of rest, repeated for `total_s`) and returns the
+/// achieved bandwidth sampled once per second — the curves of Figure 14.
+std::vector<CurvePoint> onoff_bandwidth_curve(simnet::QosPolicy& policy,
+                                              double burst_s, double idle_s,
+                                              double total_s);
+
+/// Root-mean-square error between two curves (compared over the shared
+/// prefix), used to quantify emulation fidelity.
+double curve_rmse(const std::vector<CurvePoint>& a, const std::vector<CurvePoint>& b);
+
+/// Pearson correlation between two curves' bandwidth series.
+double curve_correlation(const std::vector<CurvePoint>& a,
+                         const std::vector<CurvePoint>& b);
+
+}  // namespace cloudrepro::cloud

@@ -1,0 +1,95 @@
+#include "core/campaign.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "core/report.h"
+
+namespace cloudrepro::core {
+
+std::vector<std::size_t> CampaignResult::cells_for(const std::string& config) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].config == config) out.push_back(i);
+  }
+  return out;
+}
+
+stats::TestResult CampaignResult::treatment_effect(const std::string& config) const {
+  const auto indices = cells_for(config);
+  if (indices.size() < 2) {
+    throw std::invalid_argument{
+        "treatment_effect: config '" + config + "' has fewer than 2 treatments"};
+  }
+  std::vector<std::vector<double>> groups;
+  groups.reserve(indices.size());
+  for (const auto i : indices) groups.push_back(cells[i].values);
+  return stats::kruskal_wallis(groups);
+}
+
+void CampaignResult::write_csv(std::ostream& os) const {
+  os << "config,treatment,repetition,value\n";
+  for (const auto& cell : cells) {
+    for (std::size_t r = 0; r < cell.values.size(); ++r) {
+      os << cell.config << ',' << cell.treatment << ',' << r << ','
+         << cell.values[r] << '\n';
+    }
+  }
+}
+
+CampaignResult run_campaign(std::vector<CampaignCell> cells,
+                            const CampaignOptions& options, stats::Rng& rng) {
+  if (cells.empty()) throw std::invalid_argument{"run_campaign: no cells"};
+  if (options.repetitions_per_cell < 1) {
+    throw std::invalid_argument{"run_campaign: need at least one repetition per cell"};
+  }
+  for (const auto& cell : cells) {
+    if (!cell.run_once || !cell.fresh) {
+      throw std::invalid_argument{"run_campaign: cell callables must be set"};
+    }
+  }
+
+  CampaignResult result;
+  result.cells.resize(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    result.cells[i].config = cells[i].config;
+    result.cells[i].treatment = cells[i].treatment;
+  }
+
+  // Randomized execution order over (cell, repetition) pairs would break
+  // per-cell warm-up symmetry; the paper randomizes at the experiment level,
+  // so we shuffle cells and run each cell's repetitions consecutively with
+  // fresh state per repetition.
+  result.execution_order =
+      options.randomize_order
+          ? rng.permutation(cells.size())
+          : [&] {
+              std::vector<std::size_t> order(cells.size());
+              for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+              return order;
+            }();
+
+  for (const auto idx : result.execution_order) {
+    auto& out = result.cells[idx];
+    out.values.reserve(static_cast<std::size_t>(options.repetitions_per_cell));
+    for (int r = 0; r < options.repetitions_per_cell; ++r) {
+      cells[idx].fresh();
+      out.values.push_back(cells[idx].run_once(rng));
+    }
+    out.summary = stats::summarize(out.values);
+    out.median_ci = stats::median_ci(out.values, options.confidence);
+  }
+  return result;
+}
+
+void print_campaign_summary(std::ostream& os, const CampaignResult& result) {
+  TablePrinter t{{"Config", "Treatment", "Median [95% CI]", "Mean", "CoV"}};
+  for (const auto& cell : result.cells) {
+    t.add_row({cell.config, cell.treatment, fmt_ci(cell.median_ci, 1),
+               fmt(cell.summary.mean, 1),
+               fmt_pct(cell.summary.coefficient_of_variation)});
+  }
+  t.print(os);
+}
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "stats/hypothesis.h"
+
+namespace cloudrepro::core {
+
+/// Experiment campaigns: a grid of configurations, each run as a full
+/// experiment, executed in randomized order (F5.4: "randomizing experiment
+/// order is a useful technique for avoiding self-interference") with
+/// resets between cells, and reported with the statistics the paper's
+/// survey found missing.
+///
+/// This is the production version of what the Figure 16/17 benches do
+/// inline: sweep (workload x budget), run N repetitions each, and publish
+/// median + CI + variability per cell plus cross-cell significance.
+
+/// One cell of the grid: a label and a factory that produces a measurement
+/// function after the environment has been configured for this cell.
+struct CampaignCell {
+  std::string config;    ///< E.g. the workload name ("TS", "Q65").
+  std::string treatment; ///< E.g. the budget level ("budget=100").
+
+  /// Prepares the environment for this cell (set budgets, choose workload)
+  /// and returns the per-repetition measurement.
+  std::function<double(stats::Rng&)> run_once;
+
+  /// Resets hidden state before each repetition of this cell.
+  std::function<void()> fresh;
+};
+
+struct CampaignOptions {
+  int repetitions_per_cell = 10;
+  bool randomize_order = true;
+  double confidence = 0.95;
+};
+
+struct CampaignCellResult {
+  std::string config;
+  std::string treatment;
+  std::vector<double> values;
+  stats::Summary summary;
+  stats::ConfidenceInterval median_ci;
+};
+
+struct CampaignResult {
+  std::vector<CampaignCellResult> cells;  ///< In grid (not execution) order.
+  std::vector<std::size_t> execution_order;
+
+  /// Cells grouped by config, for per-config treatment comparisons.
+  std::vector<std::size_t> cells_for(const std::string& config) const;
+
+  /// Kruskal-Wallis across all treatments of one config: does the treatment
+  /// (e.g. token budget) significantly affect this config at all?
+  stats::TestResult treatment_effect(const std::string& config) const;
+
+  /// Writes the long-format results table as CSV
+  /// (config,treatment,repetition,value).
+  void write_csv(std::ostream& os) const;
+};
+
+/// Runs the campaign. Each repetition calls the cell's `fresh()` first, so
+/// every measurement starts from known conditions; cells are visited in
+/// randomized order when requested.
+CampaignResult run_campaign(std::vector<CampaignCell> cells,
+                            const CampaignOptions& options, stats::Rng& rng);
+
+/// Renders the per-cell summary table.
+void print_campaign_summary(std::ostream& os, const CampaignResult& result);
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,88 @@
+#include "core/comparison.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/report.h"
+
+namespace cloudrepro::core {
+
+double cliffs_delta(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument{"cliffs_delta: empty sample"};
+  }
+  long long wins = 0;
+  long long losses = 0;
+  for (const double x : a) {
+    for (const double y : b) {
+      if (x < y) ++wins;
+      if (x > y) ++losses;
+    }
+  }
+  const auto pairs = static_cast<double>(a.size()) * static_cast<double>(b.size());
+  return (static_cast<double>(wins) - static_cast<double>(losses)) / pairs;
+}
+
+EffectSize interpret_cliffs_delta(double delta) noexcept {
+  const double m = std::fabs(delta);
+  if (m < 0.147) return EffectSize::kNegligible;
+  if (m < 0.33) return EffectSize::kSmall;
+  if (m < 0.474) return EffectSize::kMedium;
+  return EffectSize::kLarge;
+}
+
+std::string to_string(EffectSize effect) {
+  switch (effect) {
+    case EffectSize::kNegligible: return "negligible";
+    case EffectSize::kSmall: return "small";
+    case EffectSize::kMedium: return "medium";
+    case EffectSize::kLarge: return "large";
+  }
+  return "unknown";
+}
+
+ComparisonVerdict compare_systems(std::span<const double> a,
+                                  std::span<const double> b, double alpha,
+                                  double confidence) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument{"compare_systems: empty sample"};
+  }
+  ComparisonVerdict v;
+  v.median_a = stats::median_ci(a, confidence);
+  v.median_b = stats::median_ci(b, confidence);
+  if (v.median_a.estimate != 0.0) {
+    v.median_ratio = v.median_b.estimate / v.median_a.estimate;
+  }
+  v.mann_whitney = stats::mann_whitney_u(a, b);
+  v.cliffs_delta = cliffs_delta(a, b);
+  v.a_faster = v.median_a.estimate < v.median_b.estimate;
+  v.cis_overlap = !(v.median_a.valid && v.median_b.valid) ||
+                  (v.median_a.lower <= v.median_b.upper &&
+                   v.median_b.lower <= v.median_a.upper);
+  v.significant =
+      v.median_a.valid && v.median_b.valid && v.mann_whitney.reject(alpha);
+  return v;
+}
+
+std::string ComparisonVerdict::summary() const {
+  std::ostringstream ss;
+  if (!median_a.valid || !median_b.valid) {
+    ss << "INCONCLUSIVE: too few repetitions for valid median CIs ("
+       << "A " << fmt_ci(median_a) << " vs B " << fmt_ci(median_b) << ")";
+    return ss.str();
+  }
+  if (!significant) {
+    ss << "NO SIGNIFICANT DIFFERENCE (p=" << fmt(mann_whitney.p_value, 3)
+       << "): A " << fmt_ci(median_a) << " vs B " << fmt_ci(median_b);
+    return ss.str();
+  }
+  ss << (a_faster ? "A faster" : "B faster") << " by "
+     << fmt(100.0 * std::fabs(median_ratio - 1.0), 1) << "% (p="
+     << fmt(mann_whitney.p_value, 4) << ", effect "
+     << to_string(interpret_cliffs_delta(cliffs_delta)) << ")";
+  if (cis_overlap) ss << " [caution: median CIs overlap]";
+  return ss.str();
+}
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "stats/ci.h"
+#include "stats/hypothesis.h"
+
+namespace cloudrepro::core {
+
+/// Sound comparison of two systems' measurements — the use case the survey
+/// (Section 2) finds done badly: "when researchers evaluate and prototype
+/// distributed systems, or when comparing established systems" on clouds,
+/// few repetitions plus variability routinely yield unsupported verdicts.
+///
+/// The comparison is non-parametric throughout (F5.4): Mann-Whitney U for
+/// significance, Cliff's delta for effect size, and median CIs for the
+/// reported ranges.
+struct ComparisonVerdict {
+  stats::ConfidenceInterval median_a;
+  stats::ConfidenceInterval median_b;
+
+  /// median_b / median_a (systems measured in time: >1 means A is faster).
+  double median_ratio = 1.0;
+
+  stats::TestResult mann_whitney;
+
+  /// Cliff's delta in [-1, 1]: P(a < b) - P(a > b). Positive = A's values
+  /// are smaller (faster, if measuring runtimes).
+  double cliffs_delta = 0.0;
+
+  /// True when the difference is statistically significant at the chosen
+  /// alpha AND both medians have valid CIs.
+  bool significant = false;
+
+  /// True when A's median is smaller (A faster, for runtime metrics).
+  bool a_faster = false;
+
+  /// Overlapping median CIs — an informal-but-useful caution flag even when
+  /// the rank test is significant.
+  bool cis_overlap = true;
+
+  /// One-line human-readable verdict.
+  std::string summary() const;
+};
+
+/// Compares two measurement samples (e.g. runtimes of system A vs B).
+/// Throws if either sample is empty.
+ComparisonVerdict compare_systems(std::span<const double> a,
+                                  std::span<const double> b,
+                                  double alpha = 0.05,
+                                  double confidence = 0.95);
+
+/// Cliff's delta effect size: P(x < y) - P(x > y) over all pairs.
+double cliffs_delta(std::span<const double> a, std::span<const double> b);
+
+/// Magnitude bands for |Cliff's delta| (Romano et al. conventions).
+enum class EffectSize { kNegligible, kSmall, kMedium, kLarge };
+
+EffectSize interpret_cliffs_delta(double delta) noexcept;
+
+std::string to_string(EffectSize effect);
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stats/ci.h"
+
+namespace cloudrepro::core {
+
+/// CONFIRM analysis (Maricq et al. [46], used by the paper in Figures 13
+/// and 19): given a sequence of measurements, track how the non-parametric
+/// confidence interval of a quantile evolves as repetitions accumulate, and
+/// predict how many repetitions are needed before the CI falls within a
+/// desired error bound around the estimate.
+///
+/// Under i.i.d. sampling the CI tightens monotonically (Figure 13; Q82 in
+/// Figure 19). When hidden state couples the runs — a draining token
+/// bucket — the CI can instead *widen* with more repetitions (Q65 in
+/// Figure 19), the tell-tale the paper uses to detect broken independence.
+struct ConfirmPoint {
+  std::size_t repetitions = 0;
+  double estimate = 0.0;      ///< Quantile estimate over the first n runs.
+  double ci_lower = 0.0;
+  double ci_upper = 0.0;
+  bool ci_valid = false;
+  bool within_bound = false;  ///< CI half-width within the error bound.
+};
+
+struct ConfirmOptions {
+  double quantile = 0.5;       ///< Median by default; 0.9 for tail analyses.
+  double confidence = 0.95;
+  double error_bound = 0.01;   ///< 1% in Figure 13, 10% in Figure 19.
+};
+
+struct ConfirmAnalysis {
+  std::vector<ConfirmPoint> points;  ///< One per prefix length n = 1..N.
+
+  /// Smallest n from which the CI half-width stays within the bound for
+  /// every longer prefix in the data; nullopt if never achieved.
+  std::optional<std::size_t> repetitions_needed;
+
+  /// True when the CI width grew from one prefix to a longer one by more
+  /// than numerical noise — the broken-independence signature.
+  bool ci_widened = false;
+
+  /// Final-prefix point (full data).
+  const ConfirmPoint& final_point() const { return points.back(); }
+};
+
+/// Runs the analysis over the measurement sequence in collection order
+/// (order matters: the whole point is detecting sequence effects).
+ConfirmAnalysis confirm_analysis(std::span<const double> measurements,
+                                 const ConfirmOptions& options = {});
+
+/// Convenience: repetitions needed for a median CI within `error_bound`,
+/// or nullopt if the data never converges.
+std::optional<std::size_t> repetitions_for_bound(std::span<const double> measurements,
+                                                 double error_bound,
+                                                 double confidence = 0.95);
+
+/// CONFIRM's forward *prediction*: how many repetitions will be required
+/// for the CI to reach the bound, extrapolating beyond the data in hand.
+///
+/// Under i.i.d. sampling the non-parametric CI half-width shrinks like
+/// c / sqrt(n); the predictor fits c on the observed prefix widths and
+/// solves for the n that meets the bound. This is what lets an
+/// experimenter budget a campaign after a pilot of 15-20 runs instead of
+/// discovering at run 100 that the bound is still out of reach.
+struct ConfirmPrediction {
+  /// Predicted repetitions to reach the bound (>= the pilot size).
+  std::size_t predicted_repetitions = 0;
+  /// The fitted c in half_width(n) ~= c / sqrt(n), relative to the median.
+  double fitted_coefficient = 0.0;
+  /// False when the pilot is unusable (too small, zero median, or the
+  /// sequence is visibly non-i.i.d. so the sqrt-law does not apply).
+  bool reliable = false;
+};
+
+ConfirmPrediction predict_repetitions(std::span<const double> pilot,
+                                      const ConfirmOptions& options = {});
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,69 @@
+#include "core/experiment.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cloudrepro::core {
+
+LambdaEnvironment::LambdaEnvironment(std::string description,
+                                     std::function<void()> fresh,
+                                     std::function<void(double)> rest,
+                                     std::function<double(stats::Rng&)> run_once)
+    : description_{std::move(description)},
+      fresh_{std::move(fresh)},
+      rest_{std::move(rest)},
+      run_once_{std::move(run_once)} {
+  if (!fresh_ || !rest_ || !run_once_) {
+    throw std::invalid_argument{"LambdaEnvironment: all callables must be set"};
+  }
+}
+
+bool ExperimentResult::converged() const noexcept {
+  return median_ci.valid &&
+         median_ci.relative_half_width() <= plan.target_error_bound;
+}
+
+ExperimentResult ExperimentRunner::run(Environment& env, const ExperimentPlan& plan) {
+  if (plan.repetitions < 1) {
+    throw std::invalid_argument{"ExperimentRunner: need at least one repetition"};
+  }
+
+  ExperimentResult result;
+  result.environment = env.description();
+  result.plan = plan;
+  result.values.reserve(static_cast<std::size_t>(plan.repetitions));
+
+  for (int r = 0; r < plan.repetitions; ++r) {
+    if (plan.fresh_environment_each_run) {
+      env.fresh();
+    } else if (r > 0 && plan.rest_between_runs_s > 0.0) {
+      env.rest(plan.rest_between_runs_s);
+    }
+    result.values.push_back(env.run_once(rng_));
+  }
+
+  result.summary = stats::summarize(result.values);
+  result.median_ci = stats::median_ci(result.values, plan.confidence);
+  if (result.values.size() >= 4) {
+    result.normality = stats::shapiro_wilk(result.values);
+    result.independence = stats::runs_test(result.values);
+    result.diagnostics_available = true;
+  }
+  return result;
+}
+
+std::vector<ExperimentResult> ExperimentRunner::run_suite(
+    std::vector<std::reference_wrapper<Environment>> environments,
+    const ExperimentPlan& plan, bool randomize_order) {
+  std::vector<ExperimentResult> results(environments.size());
+  std::vector<std::size_t> order(environments.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (randomize_order) order = rng_.permutation(environments.size());
+
+  for (const std::size_t idx : order) {
+    results[idx] = run(environments[idx].get(), plan);
+  }
+  return results;
+}
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/ci.h"
+#include "stats/descriptive.h"
+#include "stats/hypothesis.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::core {
+
+/// The environment an experiment runs in. Implementations wrap a simulated
+/// cloud (or, in principle, a real one): the runner only needs the three
+/// operations the paper's guidelines talk about — getting *fresh*
+/// infrastructure, letting it *rest*, and running one measurement.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Human-readable name (cloud + instance type + workload), recorded in
+  /// reports per F5.5 ("publish as much detail as possible").
+  virtual std::string description() const = 0;
+
+  /// Provisions fresh infrastructure: new VMs, flushed caches, reset
+  /// shaper state — "the most reliable way" to reach a neutral state (F5.4).
+  virtual void fresh() = 0;
+
+  /// Lets the infrastructure rest (hidden state such as token buckets
+  /// replenishes) for the given number of simulated seconds.
+  virtual void rest(double seconds) = 0;
+
+  /// Executes one repetition and returns the measured value (e.g. job
+  /// runtime in seconds).
+  virtual double run_once(stats::Rng& rng) = 0;
+};
+
+/// Adapter: builds an Environment from three callables.
+class LambdaEnvironment final : public Environment {
+ public:
+  LambdaEnvironment(std::string description, std::function<void()> fresh,
+                    std::function<void(double)> rest,
+                    std::function<double(stats::Rng&)> run_once);
+
+  std::string description() const override { return description_; }
+  void fresh() override { fresh_(); }
+  void rest(double seconds) override { rest_(seconds); }
+  double run_once(stats::Rng& rng) override { return run_once_(rng); }
+
+ private:
+  std::string description_;
+  std::function<void()> fresh_;
+  std::function<void(double)> rest_;
+  std::function<double(stats::Rng&)> run_once_;
+};
+
+/// How an experiment is to be executed — the knobs the paper's findings
+/// F5.3/F5.4 are about.
+struct ExperimentPlan {
+  int repetitions = 10;
+
+  /// Recreate fresh infrastructure before every repetition. Without this,
+  /// hidden provider state (token budgets) couples the runs (Figure 19).
+  bool fresh_environment_each_run = true;
+
+  /// Rest period between repetitions when infrastructure is reused.
+  double rest_between_runs_s = 0.0;
+
+  double confidence = 0.95;
+
+  /// Acceptable CI half-width relative to the median (F5.3 suggests e.g. 5%).
+  double target_error_bound = 0.05;
+};
+
+/// Everything measured and diagnosed about one experiment.
+struct ExperimentResult {
+  std::string environment;
+  ExperimentPlan plan;
+  std::vector<double> values;  ///< In execution order.
+
+  stats::Summary summary;
+  stats::ConfidenceInterval median_ci;
+
+  // Diagnostics mandated by F5.4: "samples collected should be tested for
+  // normality, independence, and stationarity".
+  stats::TestResult normality;       ///< Shapiro-Wilk (needs n >= 3).
+  stats::TestResult independence;    ///< Runs test (needs n >= 4).
+  bool diagnostics_available = false;
+
+  /// True when the median CI is valid and within the plan's error bound.
+  bool converged() const noexcept;
+};
+
+/// Executes experiments according to a plan.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(stats::Rng rng) : rng_{rng} {}
+
+  /// Runs one experiment.
+  ExperimentResult run(Environment& env, const ExperimentPlan& plan);
+
+  /// Runs several experiment configurations, optionally in randomized order
+  /// (F5.4: "randomizing experiment order is a useful technique for
+  /// avoiding self-interference"). Results are returned in the original
+  /// configuration order regardless of execution order.
+  std::vector<ExperimentResult> run_suite(
+      std::vector<std::reference_wrapper<Environment>> environments,
+      const ExperimentPlan& plan, bool randomize_order);
+
+  stats::Rng& rng() noexcept { return rng_; }
+
+ private:
+  stats::Rng rng_;
+};
+
+}  // namespace cloudrepro::core

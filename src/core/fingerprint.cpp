@@ -1,0 +1,199 @@
+#include "core/fingerprint.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "measure/iperf.h"
+#include "measure/patterns.h"
+#include "measure/rtt.h"
+#include "stats/descriptive.h"
+
+namespace cloudrepro::core {
+
+std::string to_string(QosClass qos) {
+  switch (qos) {
+    case QosClass::kNone: return "none (stochastic contention)";
+    case QosClass::kRateCap: return "rate cap (per-core style)";
+    case QosClass::kTokenBucket: return "token bucket";
+  }
+  return "unknown";
+}
+
+NetworkFingerprint fingerprint_network(const cloud::CloudProfile& profile,
+                                       const FingerprintOptions& options,
+                                       stats::Rng& rng) {
+  NetworkFingerprint fp;
+  fp.cloud = cloud::to_string(profile.type().provider);
+  fp.instance_type = profile.type().name;
+
+  // 1) Base latency: a small-write probe on a fresh VM keeps queues shallow.
+  {
+    auto vm = profile.create_vm(rng);
+    measure::RttProbeOptions probe;
+    probe.duration_s = options.latency_probe_s;
+    probe.write_bytes = 4096.0;
+    fp.base_latency_ms = measure::run_rtt_probe(vm, probe, rng).analysis.median_rtt_ms;
+  }
+
+  // 2) Loaded latency + retransmissions: the default big-write iperf stream.
+  {
+    auto vm = profile.create_vm(rng);
+    measure::RttProbeOptions probe;
+    probe.duration_s = options.latency_probe_s;
+    probe.write_bytes = 128.0 * 1024.0;
+    const auto result = measure::run_rtt_probe(vm, probe, rng);
+    fp.loaded_latency_ms = result.analysis.median_rtt_ms;
+    fp.retransmission_rate = result.analysis.retransmission_rate;
+  }
+
+  // 3) Base bandwidth: full-speed probes on fresh VMs, pooled at the
+  // 10-second sample level. Sample-level CoV separates enforced caps
+  // (GCE-steady) from raw contention (HPCCloud-noisy).
+  std::vector<double> samples;
+  for (int i = 0; i < options.bandwidth_probes; ++i) {
+    auto vm = profile.create_vm(rng);
+    measure::BandwidthProbeOptions probe;
+    probe.duration_s = options.bandwidth_probe_s;
+    probe.sample_interval_s = 10.0;
+    const auto trace =
+        measure::run_bandwidth_probe(vm, measure::full_speed(), probe, rng);
+    const auto bw = trace.bandwidths();
+    samples.insert(samples.end(), bw.begin(), bw.end());
+  }
+  fp.base_bandwidth_gbps = stats::median(samples);
+  fp.bandwidth_cov = stats::coefficient_of_variation(samples);
+
+  // 4) Token-bucket identification on one more fresh VM.
+  fp.bucket = measure::identify_token_bucket(profile, options.bucket_probe, rng);
+
+  if (fp.bucket.bucket_detected) {
+    fp.qos = QosClass::kTokenBucket;
+  } else if (fp.bandwidth_cov < options.cap_cov_threshold) {
+    fp.qos = QosClass::kRateCap;
+  } else {
+    fp.qos = QosClass::kNone;
+  }
+  return fp;
+}
+
+namespace {
+
+bool drifted(double baseline, double current, double rel_tolerance) {
+  if (baseline == 0.0) return current != 0.0;
+  return std::fabs(current - baseline) / std::fabs(baseline) > rel_tolerance;
+}
+
+}  // namespace
+
+FingerprintComparison compare_fingerprints(const NetworkFingerprint& baseline,
+                                           const NetworkFingerprint& current,
+                                           const ComparisonTolerances& tol) {
+  FingerprintComparison cmp;
+  cmp.bandwidth_drift =
+      drifted(baseline.base_bandwidth_gbps, current.base_bandwidth_gbps, tol.bandwidth_rel);
+  cmp.latency_drift =
+      drifted(baseline.base_latency_ms, current.base_latency_ms, tol.latency_rel);
+  cmp.qos_class_change = baseline.qos != current.qos;
+  if (baseline.qos == QosClass::kTokenBucket && current.qos == QosClass::kTokenBucket) {
+    cmp.bucket_parameter_drift =
+        drifted(baseline.bucket.high_rate_gbps, current.bucket.high_rate_gbps,
+                tol.bucket_rel) ||
+        drifted(baseline.bucket.low_rate_gbps, current.bucket.low_rate_gbps,
+                tol.bucket_rel) ||
+        drifted(baseline.bucket.inferred_budget_gbit, current.bucket.inferred_budget_gbit,
+                tol.bucket_rel);
+  }
+  return cmp;
+}
+
+
+namespace {
+
+const char* qos_token(QosClass qos) {
+  switch (qos) {
+    case QosClass::kNone: return "none";
+    case QosClass::kRateCap: return "rate_cap";
+    case QosClass::kTokenBucket: return "token_bucket";
+  }
+  return "none";
+}
+
+QosClass parse_qos_token(const std::string& token) {
+  if (token == "token_bucket") return QosClass::kTokenBucket;
+  if (token == "rate_cap") return QosClass::kRateCap;
+  if (token == "none") return QosClass::kNone;
+  throw std::runtime_error{"load_fingerprint: unknown qos class '" + token + "'"};
+}
+
+}  // namespace
+
+void save_fingerprint(const std::filesystem::path& path,
+                      const NetworkFingerprint& fp) {
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error{"save_fingerprint: cannot write " + path.string()};
+  }
+  out.precision(12);
+  out << "format=cloudrepro-fingerprint-v1\n";
+  out << "cloud=" << fp.cloud << "\n";
+  out << "instance_type=" << fp.instance_type << "\n";
+  out << "base_latency_ms=" << fp.base_latency_ms << "\n";
+  out << "loaded_latency_ms=" << fp.loaded_latency_ms << "\n";
+  out << "base_bandwidth_gbps=" << fp.base_bandwidth_gbps << "\n";
+  out << "bandwidth_cov=" << fp.bandwidth_cov << "\n";
+  out << "retransmission_rate=" << fp.retransmission_rate << "\n";
+  out << "qos=" << qos_token(fp.qos) << "\n";
+  out << "bucket_detected=" << (fp.bucket.bucket_detected ? 1 : 0) << "\n";
+  out << "bucket_time_to_empty_s=" << fp.bucket.time_to_empty_s << "\n";
+  out << "bucket_high_rate_gbps=" << fp.bucket.high_rate_gbps << "\n";
+  out << "bucket_low_rate_gbps=" << fp.bucket.low_rate_gbps << "\n";
+  out << "bucket_replenish_gbps=" << fp.bucket.replenish_gbps << "\n";
+  out << "bucket_budget_gbit=" << fp.bucket.inferred_budget_gbit << "\n";
+}
+
+NetworkFingerprint load_fingerprint(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"load_fingerprint: cannot open " + path.string()};
+  }
+  std::map<std::string, std::string> kv;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error{"load_fingerprint: malformed line: " + line};
+    }
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  if (kv["format"] != "cloudrepro-fingerprint-v1") {
+    throw std::runtime_error{"load_fingerprint: unrecognized format"};
+  }
+  const auto number = [&](const char* key) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+      throw std::runtime_error{std::string{"load_fingerprint: missing key "} + key};
+    }
+    return std::stod(it->second);
+  };
+  NetworkFingerprint fp;
+  fp.cloud = kv["cloud"];
+  fp.instance_type = kv["instance_type"];
+  fp.base_latency_ms = number("base_latency_ms");
+  fp.loaded_latency_ms = number("loaded_latency_ms");
+  fp.base_bandwidth_gbps = number("base_bandwidth_gbps");
+  fp.bandwidth_cov = number("bandwidth_cov");
+  fp.retransmission_rate = number("retransmission_rate");
+  fp.qos = parse_qos_token(kv["qos"]);
+  fp.bucket.bucket_detected = number("bucket_detected") != 0.0;
+  fp.bucket.time_to_empty_s = number("bucket_time_to_empty_s");
+  fp.bucket.high_rate_gbps = number("bucket_high_rate_gbps");
+  fp.bucket.low_rate_gbps = number("bucket_low_rate_gbps");
+  fp.bucket.replenish_gbps = number("bucket_replenish_gbps");
+  fp.bucket.inferred_budget_gbit = number("bucket_budget_gbit");
+  return fp;
+}
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "cloud/instances.h"
+#include "measure/bucket_probe.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::core {
+
+/// Black-box classification of the provider's network QoS mechanism.
+enum class QosClass {
+  kNone,         ///< No enforcement; stochastic contention (HPCCloud-like).
+  kRateCap,      ///< Stable cap, e.g. per-core guarantee (GCE-like).
+  kTokenBucket,  ///< Budget-then-throttle shaping (EC2-like).
+};
+
+std::string to_string(QosClass qos);
+
+/// A network performance *fingerprint* — finding F5.2: "experimenters should
+/// check, through micro-benchmarks, whether specific cloud resources are
+/// subject to provider QoS policies ... these microbenchmarks should at a
+/// minimum include base latency, base bandwidth, how latency changes with
+/// foreground traffic, and the parameters to bandwidth token-buckets, if
+/// they are present. When reporting experiments, always include these
+/// performance fingerprints together with the actual data."
+struct NetworkFingerprint {
+  std::string cloud;
+  std::string instance_type;
+
+  double base_latency_ms = 0.0;       ///< Unloaded small-write RTT.
+  double loaded_latency_ms = 0.0;     ///< RTT under full foreground traffic.
+  double base_bandwidth_gbps = 0.0;   ///< Short-probe bandwidth (fresh VM).
+  double bandwidth_cov = 0.0;         ///< CoV of repeated short probes.
+  double retransmission_rate = 0.0;   ///< Under default 128 KB writes.
+
+  QosClass qos = QosClass::kNone;
+  measure::BucketProbeResult bucket;  ///< Populated when qos == kTokenBucket.
+};
+
+struct FingerprintOptions {
+  int bandwidth_probes = 3;          ///< Fresh VMs probed for bandwidth.
+  double bandwidth_probe_s = 300.0;  ///< Per-VM probe length (10-s samples).
+  double latency_probe_s = 3.0;
+  /// Sample-level bandwidth CoV below this indicates an enforced cap
+  /// (GCE-style guarantees are far steadier than raw contention).
+  double cap_cov_threshold = 0.03;
+  measure::BucketProbeOptions bucket_probe;
+};
+
+/// Fingerprints a cloud profile with micro-benchmarks. This is the
+/// experiment-setup step F5.2 asks to run "before beginning new
+/// experiments".
+NetworkFingerprint fingerprint_network(const cloud::CloudProfile& profile,
+                                       const FingerprintOptions& options,
+                                       stats::Rng& rng);
+
+/// Comparison verdict between a stored baseline fingerprint and a fresh one
+/// — F5.5: "only compare results to future experiments when these baselines
+/// match".
+struct FingerprintComparison {
+  bool bandwidth_drift = false;
+  bool latency_drift = false;
+  bool qos_class_change = false;
+  bool bucket_parameter_drift = false;
+
+  bool baselines_match() const noexcept {
+    return !bandwidth_drift && !latency_drift && !qos_class_change &&
+           !bucket_parameter_drift;
+  }
+};
+
+struct ComparisonTolerances {
+  double bandwidth_rel = 0.15;   ///< Fractional bandwidth change tolerated.
+  double latency_rel = 0.50;     ///< Latency is noisier; wider tolerance.
+  double bucket_rel = 0.35;      ///< Bucket budget / rate drift tolerance.
+};
+
+FingerprintComparison compare_fingerprints(const NetworkFingerprint& baseline,
+                                           const NetworkFingerprint& current,
+                                           const ComparisonTolerances& tol = {});
+
+/// Persistence: F5.2/F5.5 ask experimenters to *publish* their baselines
+/// with their results and diff against them months later. Fingerprints
+/// serialize to a plain key=value text format, stable across versions.
+void save_fingerprint(const std::filesystem::path& path,
+                      const NetworkFingerprint& fingerprint);
+
+/// Loads a fingerprint saved by `save_fingerprint`. Throws on missing file
+/// or malformed content.
+NetworkFingerprint load_fingerprint(const std::filesystem::path& path);
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,129 @@
+#include "core/guidelines.h"
+
+#include <sstream>
+
+#include "stats/ci.h"
+
+namespace cloudrepro::core {
+
+std::string to_string(Guideline guideline) {
+  switch (guideline) {
+    case Guideline::kF51_CrossCloudComparison: return "F5.1 cross-cloud comparison";
+    case Guideline::kF52_BaselineFingerprint: return "F5.2 baseline fingerprint";
+    case Guideline::kF53_EnoughRepetitions: return "F5.3 enough repetitions";
+    case Guideline::kF54_StatisticalAssumptions: return "F5.4 statistical assumptions";
+    case Guideline::kF55_ReportPlatformDetail: return "F5.5 platform detail";
+  }
+  return "unknown";
+}
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kAdvice: return "advice";
+    case Severity::kWarning: return "WARNING";
+    case Severity::kViolation: return "VIOLATION";
+  }
+  return "unknown";
+}
+
+std::vector<GuidelineFinding> check_guidelines(const ExperimentResult& result,
+                                               const ExperimentContext& context) {
+  std::vector<GuidelineFinding> findings;
+  const auto add = [&](Guideline g, Severity s, std::string msg) {
+    findings.push_back(GuidelineFinding{g, s, std::move(msg)});
+  };
+
+  // ---- F5.3: repetitions and confidence ------------------------------------
+  const std::size_t min_n =
+      stats::min_samples_for_quantile_ci(0.5, result.plan.confidence);
+  if (result.values.size() < min_n) {
+    add(Guideline::kF53_EnoughRepetitions, Severity::kViolation,
+        "only " + std::to_string(result.values.size()) +
+            " repetitions: no distribution-free median CI exists at this "
+            "confidence (need >= " + std::to_string(min_n) + ")");
+  } else if (!result.converged()) {
+    add(Guideline::kF53_EnoughRepetitions, Severity::kWarning,
+        "median CI half-width exceeds the target error bound; run more "
+        "repetitions or widen the acceptable bound");
+  }
+
+  // ---- F5.4: statistical assumptions ----------------------------------------
+  if (result.diagnostics_available) {
+    if (result.independence.reject()) {
+      add(Guideline::kF54_StatisticalAssumptions, Severity::kViolation,
+          "runs test rejects independence: hidden provider state (e.g. a "
+          "token-bucket budget) couples repetitions; reset infrastructure "
+          "between runs and randomize order");
+    }
+    if (result.normality.reject()) {
+      add(Guideline::kF54_StatisticalAssumptions, Severity::kAdvice,
+          "sample is not normally distributed; report medians and "
+          "non-parametric CIs rather than mean +- stddev");
+    }
+  } else {
+    add(Guideline::kF54_StatisticalAssumptions, Severity::kWarning,
+        "too few repetitions to even test distributional assumptions");
+  }
+
+  if (!result.plan.fresh_environment_each_run) {
+    const bool budget_policy =
+        context.qos.has_value() && *context.qos == QosClass::kTokenBucket;
+    add(Guideline::kF54_StatisticalAssumptions,
+        budget_policy ? Severity::kViolation : Severity::kWarning,
+        budget_policy
+            ? "environment is reused under a token-bucket policy: repetitions "
+              "deplete the budget the next run starts with (the Figure 19 "
+              "failure mode); create fresh VMs per run"
+            : "environment is reused between runs; ensure rests are long "
+              "enough for hidden state to return to neutral");
+  }
+
+  // ---- F5.2: baselines -------------------------------------------------------
+  if (!context.baseline.has_value()) {
+    add(Guideline::kF52_BaselineFingerprint, Severity::kWarning,
+        "no baseline network fingerprint recorded; policy changes (e.g. NIC "
+        "caps appearing mid-study) would be undetectable");
+  } else if (context.current_fingerprint.has_value()) {
+    const auto cmp =
+        compare_fingerprints(*context.baseline, *context.current_fingerprint);
+    if (!cmp.baselines_match()) {
+      std::string what;
+      if (cmp.bandwidth_drift) what += " bandwidth";
+      if (cmp.latency_drift) what += " latency";
+      if (cmp.qos_class_change) what += " qos-class";
+      if (cmp.bucket_parameter_drift) what += " bucket-parameters";
+      add(Guideline::kF52_BaselineFingerprint, Severity::kViolation,
+          "baseline fingerprint no longer matches (" + what +
+              " drifted); results are not comparable to the earlier ones");
+    }
+  }
+
+  // ---- F5.1: cross-cloud comparisons ----------------------------------------
+  if (context.compares_across_clouds) {
+    add(Guideline::kF51_CrossCloudComparison, Severity::kWarning,
+        "comparing network-heavy results across clouds conflates the systems "
+        "under test with platform implementation choices (virtual NIC, QoS "
+        "policy); use the same cloud, or frame the comparison as a "
+        "sensitivity analysis");
+  }
+
+  // ---- F5.5: reporting --------------------------------------------------------
+  if (result.environment.empty()) {
+    add(Guideline::kF55_ReportPlatformDetail, Severity::kViolation,
+        "experiment carries no environment description; publish instance "
+        "type, region, and dates so future readers can detect policy drift");
+  }
+  return findings;
+}
+
+std::string render_findings(const std::vector<GuidelineFinding>& findings) {
+  if (findings.empty()) return "All guideline checks passed.\n";
+  std::ostringstream ss;
+  for (const auto& f : findings) {
+    ss << "[" << to_string(f.severity) << "] " << to_string(f.guideline) << ": "
+       << f.message << '\n';
+  }
+  return ss.str();
+}
+
+}  // namespace cloudrepro::core

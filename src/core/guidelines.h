@@ -1,0 +1,58 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/fingerprint.h"
+
+namespace cloudrepro::core {
+
+/// The paper's five summary findings (Section 5), encoded as checkable
+/// guidelines.
+enum class Guideline {
+  kF51_CrossCloudComparison,  ///< Network-heavy results don't transfer across clouds.
+  kF52_BaselineFingerprint,   ///< Establish and verify baselines.
+  kF53_EnoughRepetitions,     ///< Stochastic noise needs many repetitions.
+  kF54_StatisticalAssumptions,///< Test iid/normality; reset hidden state.
+  kF55_ReportPlatformDetail,  ///< Policies change; publish setup details.
+};
+
+std::string to_string(Guideline guideline);
+
+enum class Severity { kAdvice, kWarning, kViolation };
+
+std::string to_string(Severity severity);
+
+struct GuidelineFinding {
+  Guideline guideline;
+  Severity severity = Severity::kAdvice;
+  std::string message;
+};
+
+/// Context the checker cannot infer from the result alone.
+struct ExperimentContext {
+  /// Results will be compared against numbers from a different cloud.
+  bool compares_across_clouds = false;
+
+  /// A baseline fingerprint was taken before the experiment.
+  std::optional<NetworkFingerprint> baseline;
+
+  /// A fresh fingerprint taken alongside the experiment, to diff against
+  /// the baseline.
+  std::optional<NetworkFingerprint> current_fingerprint;
+
+  /// The environment's QoS class, if known (e.g. from the fingerprint).
+  std::optional<QosClass> qos;
+};
+
+/// Audits an experiment against the paper's guidelines and returns every
+/// finding (empty = fully clean).
+std::vector<GuidelineFinding> check_guidelines(const ExperimentResult& result,
+                                               const ExperimentContext& context = {});
+
+/// Renders findings to a human-readable block.
+std::string render_findings(const std::vector<GuidelineFinding>& findings);
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,108 @@
+#include "core/protocol.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/report.h"
+#include "stats/timeseries.h"
+
+namespace cloudrepro::core {
+
+ConfirmAnalysis windowed_median_confirm(std::span<const double> series,
+                                        std::size_t window,
+                                        const ConfirmOptions& options) {
+  const auto medians = stats::windowed_medians(series, window);
+  if (medians.empty()) {
+    throw std::invalid_argument{
+        "windowed_median_confirm: series shorter than one window"};
+  }
+  return confirm_analysis(medians, options);
+}
+
+double recommend_rest_seconds(const NetworkFingerprint& fingerprint,
+                              double planned_transfer_gbit_per_run,
+                              double safety_factor) {
+  if (fingerprint.qos != QosClass::kTokenBucket) return 0.0;
+  if (planned_transfer_gbit_per_run <= 0.0) return 0.0;
+  const double replenish = fingerprint.bucket.replenish_gbps;
+  if (replenish <= 0.0) return 0.0;
+  return planned_transfer_gbit_per_run / replenish * safety_factor;
+}
+
+ProtocolReport run_protocol(const cloud::CloudProfile& profile, Environment& env,
+                            const ProtocolOptions& options, stats::Rng& rng) {
+  ProtocolReport report;
+
+  // Step 1 (F5.2): baseline fingerprint before the experiment.
+  report.baseline = fingerprint_network(profile, options.fingerprint, rng);
+
+  // Step 2 (F5.4): plan rests so hidden state returns to neutral.
+  report.recommended_rest_s = recommend_rest_seconds(
+      report.baseline, options.planned_transfer_gbit_per_run);
+  ExperimentPlan plan = options.plan;
+  if (!plan.fresh_environment_each_run) {
+    plan.rest_between_runs_s =
+        std::max(plan.rest_between_runs_s, report.recommended_rest_s);
+  }
+
+  // Step 3 (F5.3): run with diagnostics.
+  ExperimentRunner runner{rng.split()};
+  report.result = runner.run(env, plan);
+
+  // Step 4: CONFIRM convergence over the collected sequence.
+  ConfirmOptions confirm_options;
+  confirm_options.confidence = plan.confidence;
+  confirm_options.error_bound = plan.target_error_bound;
+  report.confirm = confirm_analysis(report.result.values, confirm_options);
+
+  // Step 5 (F5.1-F5.5): audit.
+  ExperimentContext context;
+  context.baseline = report.baseline;
+  context.qos = report.baseline.qos;
+  report.findings = check_guidelines(report.result, context);
+
+  bool violations = false;
+  for (const auto& f : report.findings) {
+    violations = violations || f.severity == Severity::kViolation;
+  }
+  report.reproducible = report.result.converged() && !violations &&
+                        !report.confirm.ci_widened;
+  return report;
+}
+
+void print_protocol_report(std::ostream& os, const ProtocolReport& report) {
+  os << "=== Reproducibility protocol report ===\n\n";
+  os << "Platform fingerprint (" << report.baseline.cloud << ", "
+     << report.baseline.instance_type << "):\n";
+  os << "  QoS class:        " << to_string(report.baseline.qos) << '\n';
+  os << "  base bandwidth:   " << fmt(report.baseline.base_bandwidth_gbps)
+     << " Gbps (CoV " << fmt_pct(report.baseline.bandwidth_cov) << ")\n";
+  os << "  base latency:     " << fmt(report.baseline.base_latency_ms, 3) << " ms\n";
+  if (report.baseline.qos == QosClass::kTokenBucket) {
+    os << "  token bucket:     budget ~" << fmt(report.baseline.bucket.inferred_budget_gbit, 0)
+       << " Gbit, " << fmt(report.baseline.bucket.high_rate_gbps, 1) << " -> "
+       << fmt(report.baseline.bucket.low_rate_gbps, 1) << " Gbps, replenish "
+       << fmt(report.baseline.bucket.replenish_gbps, 2) << " Gbit/s\n";
+    os << "  recommended rest: " << fmt(report.recommended_rest_s, 0)
+       << " s between runs on reused VMs\n";
+  }
+  os << '\n';
+  print_experiment_report(os, report.result);
+  os << '\n';
+  if (report.confirm.repetitions_needed.has_value()) {
+    os << "CONFIRM: CI within bound from repetition "
+       << *report.confirm.repetitions_needed << " onward.\n";
+  } else {
+    os << "CONFIRM: CI never settled within the bound — run more repetitions.\n";
+  }
+  if (report.confirm.ci_widened) {
+    os << "CONFIRM: CI WIDENED with repetitions — hidden state couples runs.\n";
+  }
+  os << '\n' << render_findings(report.findings);
+  os << "\nOverall verdict: "
+     << (report.reproducible ? "REPRODUCIBLE — publish with the fingerprint above"
+                             : "NOT REPRODUCIBLE as designed — address the findings")
+     << '\n';
+}
+
+}  // namespace cloudrepro::core

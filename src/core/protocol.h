@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/confirm.h"
+#include "core/experiment.h"
+#include "core/fingerprint.h"
+#include "core/guidelines.h"
+#include "stats/stationarity.h"
+
+namespace cloudrepro::core {
+
+/// The paper's conclusion, as one callable: "we proposed protocols to
+/// achieve reliable cloud-based experimentation". `run_protocol` strings the
+/// guidelines together — fingerprint the platform (F5.2), rest/reset to
+/// neutral state (F5.4), run enough repetitions (F5.3), run the statistical
+/// diagnostics and CONFIRM convergence analysis, and audit the whole design
+/// (F5.1-F5.5).
+
+/// F5.4: "discretize performance evaluation into units of time ... gather
+/// median performance for each interval, and apply techniques such as
+/// CONFIRM over large numbers of gathered medians". Splits the series into
+/// `window`-sample intervals and runs the CONFIRM analysis over the interval
+/// medians.
+ConfirmAnalysis windowed_median_confirm(std::span<const double> series,
+                                        std::size_t window,
+                                        const ConfirmOptions& options = {});
+
+/// F5.4: "Data used while gathering baseline runs can be used to determine
+/// the appropriate length of these rests." For token-bucket platforms the
+/// rest must refill the tokens one repetition spends:
+///   rest = planned_transfer_gbit / replenish_rate * safety.
+/// Unshaped platforms need no rest (returns 0).
+double recommend_rest_seconds(const NetworkFingerprint& fingerprint,
+                              double planned_transfer_gbit_per_run,
+                              double safety_factor = 1.25);
+
+struct ProtocolOptions {
+  ExperimentPlan plan;
+  FingerprintOptions fingerprint;
+  /// Expected network volume one repetition transfers per VM (drives the
+  /// rest-length recommendation when VMs are reused).
+  double planned_transfer_gbit_per_run = 0.0;
+};
+
+struct ProtocolReport {
+  NetworkFingerprint baseline;
+  double recommended_rest_s = 0.0;
+  ExperimentResult result;
+  ConfirmAnalysis confirm;
+  std::vector<GuidelineFinding> findings;
+
+  /// Overall verdict: the experiment converged, its diagnostics hold, and
+  /// no guideline was violated.
+  bool reproducible = false;
+};
+
+/// Runs the full protocol against an environment hosted on the given cloud.
+/// When the plan reuses VMs, the recommended rest (from the fingerprint) is
+/// substituted for the plan's rest if longer.
+ProtocolReport run_protocol(const cloud::CloudProfile& profile, Environment& env,
+                            const ProtocolOptions& options, stats::Rng& rng);
+
+/// Renders the report as a human-readable block (the "publish this along
+/// with your results" artifact of F5.2/F5.5).
+void print_protocol_report(std::ostream& os, const ProtocolReport& report);
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,101 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cloudrepro::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_{std::move(headers)} {
+  if (headers_.empty()) throw std::invalid_argument{"TablePrinter: need at least one column"};
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument{"TablePrinter: row width does not match header"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      } else {
+        os << std::right << std::setw(static_cast<int>(widths[c])) << cells[c];
+      }
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string fmt_ci(const stats::ConfidenceInterval& ci, int precision) {
+  if (!ci.valid) return fmt(ci.estimate, precision) + " [n too small]";
+  return fmt(ci.estimate, precision) + " [" + fmt(ci.lower, precision) + ", " +
+         fmt(ci.upper, precision) + "]";
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(100.0 * fraction, precision) + "%";
+}
+
+std::string normality_verdict(const stats::TestResult& shapiro, double alpha) {
+  return shapiro.reject(alpha)
+             ? "NOT normal (p=" + fmt(shapiro.p_value, 4) + ") -> use non-parametric statistics"
+             : "consistent with normal (p=" + fmt(shapiro.p_value, 4) + ")";
+}
+
+std::string independence_verdict(const stats::TestResult& runs, double alpha) {
+  return runs.reject(alpha)
+             ? "NOT independent (p=" + fmt(runs.p_value, 4) +
+                   ") -> hidden state couples runs; reset infrastructure"
+             : "consistent with independence (p=" + fmt(runs.p_value, 4) + ")";
+}
+
+void print_experiment_report(std::ostream& os, const ExperimentResult& result) {
+  os << "Experiment: " << result.environment << '\n';
+  os << "  repetitions:        " << result.values.size()
+     << (result.plan.fresh_environment_each_run ? " (fresh environment per run)"
+                                                : " (reused environment)")
+     << '\n';
+  os << "  median [95% CI]:    " << fmt_ci(result.median_ci) << '\n';
+  os << "  mean +- stddev:     " << fmt(result.summary.mean) << " +- "
+     << fmt(result.summary.stddev) << '\n';
+  os << "  CoV:                " << fmt_pct(result.summary.coefficient_of_variation)
+     << '\n';
+  os << "  min / max:          " << fmt(result.summary.min) << " / "
+     << fmt(result.summary.max) << '\n';
+  if (result.diagnostics_available) {
+    os << "  normality:          " << normality_verdict(result.normality) << '\n';
+    os << "  independence:       " << independence_verdict(result.independence) << '\n';
+  }
+  os << "  converged:          "
+     << (result.converged() ? "yes" : "NO — run more repetitions (F5.3)") << '\n';
+}
+
+}  // namespace cloudrepro::core

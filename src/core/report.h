@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace cloudrepro::core {
+
+/// Fixed-width text table used by every bench binary to print the paper's
+/// rows and series. Columns are right-aligned for numbers, left-aligned for
+/// the first (label) column.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders header, separator, and rows to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision.
+std::string fmt(double value, int precision = 2);
+
+/// Formats a confidence interval as "est [lo, hi]".
+std::string fmt_ci(const stats::ConfidenceInterval& ci, int precision = 2);
+
+/// Formats a percentage.
+std::string fmt_pct(double fraction, int precision = 1);
+
+/// Renders a full experiment report: summary statistics, the median CI, and
+/// the F5.4 diagnostic verdicts — the level of reporting the paper's survey
+/// found missing from >60% of the literature.
+void print_experiment_report(std::ostream& os, const ExperimentResult& result);
+
+/// One-line verdicts used in reports.
+std::string normality_verdict(const stats::TestResult& shapiro, double alpha = 0.05);
+std::string independence_verdict(const stats::TestResult& runs, double alpha = 0.05);
+
+}  // namespace cloudrepro::core

@@ -1,0 +1,128 @@
+#include "measure/bucket_probe.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "measure/iperf.h"
+#include "measure/patterns.h"
+#include "stats/descriptive.h"
+
+namespace cloudrepro::measure {
+
+namespace {
+
+/// Runs a continuous probe until the bandwidth drops below
+/// `drop_fraction` of the initial level for `stabilize_samples` consecutive
+/// samples, or until `max_probe_s` elapses. Returns the sample series and
+/// the index at which the throttle engaged (or npos).
+struct DrainObservation {
+  std::vector<double> bandwidths;
+  std::size_t throttle_index = static_cast<std::size_t>(-1);
+  double sample_interval_s = 10.0;
+
+  bool throttled() const noexcept {
+    return throttle_index != static_cast<std::size_t>(-1);
+  }
+};
+
+DrainObservation drain_until_throttled(cloud::VmNetwork& vm,
+                                       const BucketProbeOptions& options,
+                                       stats::Rng& rng) {
+  DrainObservation obs;
+  obs.sample_interval_s = options.sample_interval_s;
+
+  BandwidthProbeOptions probe;
+  probe.sample_interval_s = options.sample_interval_s;
+
+  // Probe in one-minute slices so we can stop as soon as the drop is seen.
+  const double slice_s = std::max(6.0 * options.sample_interval_s, 60.0);
+  double elapsed = 0.0;
+  double initial_rate = 0.0;
+  int consecutive_low = 0;
+
+  while (elapsed < options.max_probe_s) {
+    probe.duration_s = std::min(slice_s, options.max_probe_s - elapsed);
+    const Trace t = run_bandwidth_probe(vm, full_speed(), probe, rng);
+    for (const auto& s : t.samples) {
+      obs.bandwidths.push_back(s.bandwidth_gbps);
+      if (obs.bandwidths.size() == 3 && initial_rate == 0.0) {
+        initial_rate = stats::median(obs.bandwidths);
+      }
+      if (initial_rate > 0.0 && s.bandwidth_gbps < options.drop_fraction * initial_rate) {
+        ++consecutive_low;
+        if (consecutive_low >= options.stabilize_samples) {
+          obs.throttle_index = obs.bandwidths.size() -
+                               static_cast<std::size_t>(options.stabilize_samples);
+          return obs;
+        }
+      } else {
+        consecutive_low = 0;
+      }
+    }
+    elapsed += probe.duration_s;
+  }
+  return obs;
+}
+
+}  // namespace
+
+BucketProbeResult identify_token_bucket(const cloud::CloudProfile& profile,
+                                        const BucketProbeOptions& options,
+                                        stats::Rng& rng) {
+  auto vm = profile.create_vm(rng);
+  return identify_token_bucket(vm, options, rng);
+}
+
+BucketProbeResult identify_token_bucket(cloud::VmNetwork& vm,
+                                        const BucketProbeOptions& options,
+                                        stats::Rng& rng) {
+  BucketProbeResult result;
+
+  const auto obs = drain_until_throttled(vm, options, rng);
+  if (obs.bandwidths.empty()) return result;
+
+  if (!obs.throttled()) {
+    // No QoS throttle within the probe horizon: report the steady rate.
+    result.bucket_detected = false;
+    result.high_rate_gbps = stats::median(obs.bandwidths);
+    result.low_rate_gbps = result.high_rate_gbps;
+    return result;
+  }
+
+  result.bucket_detected = true;
+  result.time_to_empty_s =
+      static_cast<double>(obs.throttle_index) * obs.sample_interval_s;
+
+  const std::span<const double> all{obs.bandwidths};
+  result.high_rate_gbps = stats::median(all.subspan(0, obs.throttle_index));
+
+  // Keep draining briefly to observe the stabilized low rate.
+  BandwidthProbeOptions tail_probe;
+  tail_probe.duration_s = 120.0;
+  tail_probe.sample_interval_s = options.sample_interval_s;
+  const Trace tail = run_bandwidth_probe(vm, full_speed(), tail_probe, rng);
+  result.low_rate_gbps = stats::median(tail.bandwidths());
+
+  // Replenish estimation: rest, then drain again. During the rest the
+  // bucket gains replenish * rest_s tokens; the second burst spends them at
+  // (high - replenish), so replenish = high * t2 / (rest + t2).
+  cloud::VmNetwork rest_net{vm.egress->clone(), vm.vnic, vm.line_rate_gbps, vm.bucket};
+  rest_net.egress->advance(options.rest_s, 0.0);
+  BucketProbeOptions second = options;
+  second.max_probe_s = std::min(options.max_probe_s, 4.0 * options.rest_s + 600.0);
+  const auto second_obs = drain_until_throttled(rest_net, second, rng);
+  if (second_obs.throttled()) {
+    const double t2 =
+        static_cast<double>(second_obs.throttle_index) * second_obs.sample_interval_s;
+    result.replenish_gbps =
+        result.high_rate_gbps * t2 / (options.rest_s + t2);
+  } else {
+    result.replenish_gbps = result.low_rate_gbps;  // Fallback heuristic.
+  }
+
+  result.inferred_budget_gbit =
+      result.time_to_empty_s * (result.high_rate_gbps - result.replenish_gbps);
+  return result;
+}
+
+}  // namespace cloudrepro::measure

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "cloud/instances.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::measure {
+
+/// Result of reverse-engineering a provider's token-bucket parameters
+/// (Section 3.3 / Figure 11): "for each VM type, we ran an iperf test
+/// continuously until the achieved bandwidth dropped significantly and
+/// stabilized at a lower value".
+struct BucketProbeResult {
+  bool bucket_detected = false;
+  double time_to_empty_s = 0.0;     ///< Elapsed time until the throttle engaged.
+  double high_rate_gbps = 0.0;      ///< Bandwidth while the budget lasted.
+  double low_rate_gbps = 0.0;       ///< Stabilized bandwidth after depletion.
+  double replenish_gbps = 0.0;      ///< Estimated token refill rate.
+  double inferred_budget_gbit = 0.0;  ///< time_to_empty * (high - replenish).
+};
+
+struct BucketProbeOptions {
+  double max_probe_s = 4.0 * 3600.0;  ///< Give up if no throttle appears.
+  double sample_interval_s = 10.0;
+  /// The throttle is declared once bandwidth stays below this fraction of
+  /// the initial rate for `stabilize_samples` consecutive samples.
+  double drop_fraction = 0.6;
+  int stabilize_samples = 3;
+  /// Rest period before the replenish-estimation probe.
+  double rest_s = 300.0;
+};
+
+/// Identifies token-bucket parameters on a fresh VM of the given profile.
+/// Detection is a pure black-box procedure over achieved bandwidth — it
+/// works identically against real traces and against the simulator.
+BucketProbeResult identify_token_bucket(const cloud::CloudProfile& profile,
+                                        const BucketProbeOptions& options,
+                                        stats::Rng& rng);
+
+/// Variant probing an existing VM (consumes its budget).
+BucketProbeResult identify_token_bucket(cloud::VmNetwork& vm,
+                                        const BucketProbeOptions& options,
+                                        stats::Rng& rng);
+
+}  // namespace cloudrepro::measure

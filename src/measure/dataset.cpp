@@ -1,0 +1,99 @@
+#include "measure/dataset.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace cloudrepro::measure {
+
+namespace {
+
+std::string sanitize(std::string s) {
+  for (auto& c : s) {
+    if (c == ' ' || c == '/' || c == '.') c = '_';
+  }
+  return s;
+}
+
+}  // namespace
+
+DatasetOptions default_campaign() {
+  DatasetOptions options;
+  for (const auto& pattern : canonical_patterns()) {
+    options.cells.push_back({cloud::Provider::kAmazonEc2, "c5.xlarge", pattern});
+    options.cells.push_back({cloud::Provider::kGoogleCloud, "8-core", pattern});
+    options.cells.push_back({cloud::Provider::kHpcCloud, "8-core", pattern});
+  }
+  return options;
+}
+
+std::vector<DatasetFile> generate_dataset(const std::filesystem::path& directory,
+                                          const DatasetOptions& options) {
+  if (options.cells.empty()) {
+    throw std::invalid_argument{"generate_dataset: no cells in the campaign"};
+  }
+  std::filesystem::create_directories(directory);
+
+  stats::Rng rng{options.seed};
+  std::vector<DatasetFile> files;
+
+  for (const auto& cell : options.cells) {
+    cloud::CloudProfile profile{cloud::find_instance(cell.provider, cell.instance_name)};
+    BandwidthProbeOptions probe;
+    probe.duration_s = options.duration_s;
+    probe.sample_interval_s = options.sample_interval_s;
+    const auto trace = run_bandwidth_probe(profile, cell.pattern, probe, rng);
+
+    DatasetFile file;
+    file.cloud = cloud::to_string(cell.provider);
+    file.instance = cell.instance_name;
+    file.pattern = cell.pattern.name;
+    file.samples = trace.samples.size();
+    file.total_gbit = trace.total_gbit();
+    file.median_gbps = trace.bandwidth_summary().median;
+    file.path = directory / (sanitize(file.cloud) + "__" + sanitize(file.instance) +
+                             "__" + sanitize(file.pattern) + ".csv");
+
+    std::ofstream out{file.path};
+    if (!out) throw std::runtime_error{"generate_dataset: cannot write " + file.path.string()};
+    trace.write_csv(out);
+    files.push_back(file);
+  }
+
+  std::ofstream manifest{directory / "MANIFEST.csv"};
+  if (!manifest) throw std::runtime_error{"generate_dataset: cannot write MANIFEST.csv"};
+  manifest << "file,cloud,instance,pattern,samples,total_gbit,median_gbps\n";
+  for (const auto& f : files) {
+    manifest << f.path.filename().string() << ',' << f.cloud << ',' << f.instance
+             << ',' << f.pattern << ',' << f.samples << ',' << f.total_gbit << ','
+             << f.median_gbps << '\n';
+  }
+  return files;
+}
+
+Trace read_trace_csv(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"read_trace_csv: cannot open " + path.string()};
+  Trace trace;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error{"read_trace_csv: empty file"};
+  if (line != "t_s,bandwidth_gbps,transferred_gbit,retransmissions") {
+    throw std::runtime_error{"read_trace_csv: unrecognized header: " + line};
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss{line};
+    BandwidthSample sample;
+    char comma;
+    if (!(ss >> sample.t >> comma >> sample.bandwidth_gbps >> comma >>
+          sample.transferred_gbit >> comma >> sample.retransmissions)) {
+      throw std::runtime_error{"read_trace_csv: malformed row: " + line};
+    }
+    trace.samples.push_back(sample);
+  }
+  return trace;
+}
+
+}  // namespace cloudrepro::measure

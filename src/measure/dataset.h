@@ -1,0 +1,56 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cloud/instances.h"
+#include "measure/iperf.h"
+#include "measure/trace.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::measure {
+
+/// Release-artifact generator: the paper publishes its raw traces in a
+/// public repository [57]; this module produces the equivalent artifact for
+/// the simulated clouds — one CSV per (cloud, instance, pattern) cell plus a
+/// MANIFEST.csv describing each file. The F5.5 guidance is to publish
+/// exactly this alongside results.
+
+struct DatasetCell {
+  cloud::Provider provider;
+  std::string instance_name;
+  AccessPattern pattern;
+};
+
+struct DatasetOptions {
+  std::vector<DatasetCell> cells;
+  double duration_s = 24.0 * 3600.0;
+  double sample_interval_s = 10.0;
+  std::uint64_t seed = 1;
+};
+
+/// A default campaign: the paper's three starred configurations, each under
+/// the three canonical access patterns (9 cells).
+DatasetOptions default_campaign();
+
+struct DatasetFile {
+  std::filesystem::path path;
+  std::string cloud;
+  std::string instance;
+  std::string pattern;
+  std::size_t samples = 0;
+  double total_gbit = 0.0;
+  double median_gbps = 0.0;
+};
+
+/// Runs the campaign and writes one CSV per cell plus MANIFEST.csv into
+/// `directory` (created if absent). Returns the per-file metadata.
+std::vector<DatasetFile> generate_dataset(const std::filesystem::path& directory,
+                                          const DatasetOptions& options);
+
+/// Reads back a trace CSV written by `Trace::write_csv` (round-trip support
+/// so published artifacts can be re-analyzed with the same tooling).
+Trace read_trace_csv(const std::filesystem::path& path);
+
+}  // namespace cloudrepro::measure

@@ -1,0 +1,93 @@
+#include "measure/iperf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "simnet/fluid_network.h"
+#include "simnet/units.h"
+
+namespace cloudrepro::measure {
+
+namespace {
+
+/// Statistical retransmission draw for a window that moved `gbit` of data:
+/// expected losses are segments * loss_probability at this write size, with
+/// Poisson-scale noise (normal approximation; windows carry thousands of
+/// segments).
+double draw_retransmissions(const simnet::VnicConfig& vnic, double write_bytes,
+                            double gbit, stats::Rng& rng) {
+  if (gbit <= 0.0) return 0.0;
+  const double segment = vnic.segment_bytes(write_bytes);
+  const double segments = simnet::gbit_to_bytes(gbit) / segment;
+  const double expected = segments * vnic.loss_probability(segment);
+  if (expected <= 0.0) return 0.0;
+  return std::max(0.0, rng.normal(expected, std::sqrt(expected)));
+}
+
+}  // namespace
+
+Trace run_bandwidth_probe(const cloud::CloudProfile& profile,
+                          const AccessPattern& pattern,
+                          const BandwidthProbeOptions& options, stats::Rng& rng) {
+  auto vm = profile.create_vm(rng);
+  return run_bandwidth_probe(vm, pattern, options, rng,
+                             cloud::to_string(profile.type().provider),
+                             profile.type().name);
+}
+
+Trace run_bandwidth_probe(cloud::VmNetwork& vm, const AccessPattern& pattern,
+                          const BandwidthProbeOptions& options, stats::Rng& rng,
+                          const std::string& cloud_name,
+                          const std::string& instance_name) {
+  if (!vm.egress) throw std::invalid_argument{"run_bandwidth_probe: VM has no egress policy"};
+  if (options.duration_s <= 0.0 || options.sample_interval_s <= 0.0) {
+    throw std::invalid_argument{"run_bandwidth_probe: invalid duration or interval"};
+  }
+
+  simnet::FluidNetwork net;
+  const auto src = net.add_node(vm.egress->clone(), vm.line_rate_gbps);
+  // The receiver is unshaped; its ingress line rate is the physical cap.
+  const auto dst =
+      net.add_node(std::make_unique<simnet::FixedRateQos>(10.0 * vm.line_rate_gbps),
+                   vm.line_rate_gbps);
+
+  Trace trace;
+  trace.cloud = cloud_name;
+  trace.instance_type = instance_name;
+  trace.pattern = pattern.name;
+
+  double t = 0.0;
+  while (t < options.duration_s - 1e-9) {
+    const double window =
+        pattern.continuous() ? options.sample_interval_s : pattern.burst_s;
+    const double burst_end = std::min(t + window, options.duration_s);
+
+    const auto flow = net.start_flow(src, dst, simnet::kInfiniteBytes);
+    net.run_until(burst_end);
+    const double moved = net.flow(flow).transferred_gbit;
+    net.stop_flow(flow);
+
+    BandwidthSample sample;
+    sample.t = burst_end;
+    sample.transferred_gbit = moved;
+    sample.bandwidth_gbps = moved / (burst_end - t);
+    sample.retransmissions =
+        draw_retransmissions(vm.vnic, options.write_bytes, moved, rng);
+    trace.samples.push_back(sample);
+    t = burst_end;
+
+    if (!pattern.continuous() && t < options.duration_s - 1e-9) {
+      const double idle_end = std::min(t + pattern.idle_s, options.duration_s);
+      net.run_until(idle_end);
+      t = idle_end;
+    }
+  }
+
+  // Persist the shaper state back into the caller's VM so subsequent probes
+  // see the drained/replenished bucket (Figure 19's "used VM" scenario).
+  vm.egress = net.node_qos(src).clone();
+  return trace;
+}
+
+}  // namespace cloudrepro::measure

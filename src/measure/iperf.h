@@ -1,0 +1,40 @@
+#pragma once
+
+#include "cloud/instances.h"
+#include "measure/patterns.h"
+#include "measure/trace.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::measure {
+
+/// Configuration of an iperf-like bandwidth probe between a pair of VMs.
+struct BandwidthProbeOptions {
+  double duration_s = 7.0 * 24.0 * 3600.0;  ///< The paper probes for a week.
+  double sample_interval_s = 10.0;          ///< Summaries every 10 seconds.
+  double write_bytes = 128.0 * 1024.0;      ///< iperf's default write() size.
+};
+
+/// Runs an iperf-like probe over the given cloud's network between a fresh
+/// pair of VMs, under the given access pattern, and returns the trace.
+///
+/// Sampling follows the paper's collectors: for `full-speed` a sample is
+/// emitted every `sample_interval_s`; for on/off patterns one sample is
+/// emitted per burst (the mean bandwidth achieved during the transfer
+/// window), since idle time carries no bandwidth observation.
+///
+/// Retransmissions per window are derived from the incarnation's
+/// virtual-NIC loss model at the probe's write() size — the same model the
+/// packet-level path uses, applied statistically so that week-long traces
+/// remain tractable (see DESIGN.md, fluid-vs-packet ablation).
+Trace run_bandwidth_probe(const cloud::CloudProfile& profile,
+                          const AccessPattern& pattern,
+                          const BandwidthProbeOptions& options, stats::Rng& rng);
+
+/// Variant probing an already-created VM network (e.g. to continue on a
+/// "used" VM whose token bucket is partially drained).
+Trace run_bandwidth_probe(cloud::VmNetwork& vm, const AccessPattern& pattern,
+                          const BandwidthProbeOptions& options, stats::Rng& rng,
+                          const std::string& cloud_name = "",
+                          const std::string& instance_name = "");
+
+}  // namespace cloudrepro::measure

@@ -1,0 +1,17 @@
+#include "measure/patterns.h"
+
+#include <vector>
+
+namespace cloudrepro::measure {
+
+AccessPattern full_speed() { return AccessPattern{"full-speed", 10.0, 0.0}; }
+AccessPattern pattern_10_30() { return AccessPattern{"10-30", 10.0, 30.0}; }
+AccessPattern pattern_5_30() { return AccessPattern{"5-30", 5.0, 30.0}; }
+
+std::span<const AccessPattern> canonical_patterns() {
+  static const std::vector<AccessPattern> kPatterns = {
+      full_speed(), pattern_10_30(), pattern_5_30()};
+  return kPatterns;
+}
+
+}  // namespace cloudrepro::measure

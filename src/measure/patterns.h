@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace cloudrepro::measure {
+
+/// Network access pattern of a probe (Section 3.1). The paper tests three
+/// regimes because big-data workloads touch the network differently:
+///  - full-speed: continuous transfer (long-running batch / streaming);
+///  - 10-30: transfer 10 s, rest 30 s (short analytics queries);
+///  - 5-30: transfer 5 s, rest 30 s (even shorter queries).
+struct AccessPattern {
+  std::string name;
+  double burst_s = 0.0;  ///< Transfer window; 0 means continuous.
+  double idle_s = 0.0;   ///< Rest window between bursts.
+
+  bool continuous() const noexcept { return idle_s <= 0.0; }
+
+  /// Fraction of wall-clock time spent transferring.
+  double duty_cycle() const noexcept {
+    if (continuous()) return 1.0;
+    return burst_s / (burst_s + idle_s);
+  }
+};
+
+/// The paper's three canonical patterns.
+AccessPattern full_speed();
+AccessPattern pattern_10_30();
+AccessPattern pattern_5_30();
+
+/// All three, in the order the paper lists them.
+std::span<const AccessPattern> canonical_patterns();
+
+}  // namespace cloudrepro::measure

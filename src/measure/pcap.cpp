@@ -1,0 +1,154 @@
+#include "measure/pcap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "simnet/units.h"
+#include "stats/descriptive.h"
+
+namespace cloudrepro::measure {
+
+PacketCapture capture_stream(simnet::QosPolicy& qos, const simnet::VnicConfig& vnic,
+                             double duration_s, double write_bytes,
+                             stats::Rng& rng) {
+  if (duration_s <= 0.0 || write_bytes <= 0.0) {
+    throw std::invalid_argument{"capture_stream: duration and write size must be positive"};
+  }
+
+  PacketCapture capture;
+  capture.duration_s = duration_s;
+
+  const double segment = vnic.segment_bytes(write_bytes);
+  const auto segment_len = static_cast<std::uint32_t>(segment);
+  const double loss_p = vnic.loss_probability(segment);
+
+  const double device_occupancy =
+      std::min(static_cast<double>(vnic.queue_descriptors),
+               std::max(1.0, vnic.queue_byte_capacity / segment));
+  const double qdisc_occupancy =
+      std::min(static_cast<double>(vnic.qdisc_packets),
+               std::max(1.0, vnic.queue_byte_capacity / segment));
+
+  double t = 0.0;
+  std::uint64_t next_seq = 1;  // Byte 0 is the SYN, per convention.
+
+  while (t < duration_s) {
+    const double rate_gbps = qos.allowed_rate();
+    const double rate_bytes = simnet::gbit_to_bytes(rate_gbps);
+    const double service_s = segment / rate_bytes;
+
+    const bool throttled = rate_gbps < 0.5 * vnic.app_offered_gbps;
+    const double occupancy = throttled ? qdisc_occupancy : device_occupancy;
+    const double fill = throttled ? rng.uniform(0.70, 1.0) : rng.uniform(0.10, 1.0);
+    const double queue_delay_s = occupancy * fill * segment / rate_bytes;
+    const double jitter = std::exp(rng.normal(0.0, vnic.rtt_jitter_sigma));
+    const double path_rtt = vnic.base_rtt_s * jitter + queue_delay_s + service_s;
+
+    const std::uint64_t seq = next_seq;
+    next_seq += segment_len;
+
+    capture.packets.push_back(CapturedPacket{t, false, seq, segment_len, 0});
+
+    double ack_time;
+    double dt;
+    if (rng.bernoulli(loss_p)) {
+      // First transmission lost: tcpdump shows the original, then the
+      // duplicate-sequence retransmission after the RTO, then the ACK.
+      const double rto = rng.exponential(1.0 / vnic.retransmit_penalty_mean_s);
+      const double retransmit_at = t + rto;
+      capture.packets.push_back(
+          CapturedPacket{retransmit_at, false, seq, segment_len, 0});
+      ack_time = retransmit_at + path_rtt;
+      // The sender keeps pipelining new data while the retransmission is
+      // pending; only the wire time of both copies is charged.
+      dt = 2.0 * segment / rate_bytes + vnic.per_segment_overhead_s;
+    } else {
+      ack_time = t + path_rtt;
+      dt = segment / rate_bytes + vnic.per_segment_overhead_s;
+    }
+    capture.packets.push_back(
+        CapturedPacket{ack_time, true, 0, 0, seq + segment_len});
+
+    qos.advance(dt, rate_gbps);
+    t += dt;
+  }
+
+  std::stable_sort(capture.packets.begin(), capture.packets.end(),
+                   [](const CapturedPacket& a, const CapturedPacket& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
+  return capture;
+}
+
+WiresharkAnalysis wireshark_analysis(const PacketCapture& capture,
+                                     double goodput_interval_s) {
+  if (goodput_interval_s <= 0.0) {
+    throw std::invalid_argument{"wireshark_analysis: interval must be positive"};
+  }
+  WiresharkAnalysis a;
+  a.goodput_interval_s = goodput_interval_s;
+
+  struct SegmentState {
+    double first_sent = 0.0;
+    std::uint32_t length = 0;
+    bool retransmitted = false;
+  };
+  std::map<std::uint64_t, SegmentState> outstanding;
+
+  std::uint64_t ack_front = 0;
+  double interval_start = 0.0;
+  std::uint64_t interval_front_start = 0;
+
+  const auto flush_intervals_to = [&](double now) {
+    while (now - interval_start >= goodput_interval_s) {
+      a.goodput_gbps.push_back(
+          simnet::bytes_to_gbit(static_cast<double>(ack_front - interval_front_start)) /
+          goodput_interval_s);
+      interval_front_start = ack_front;
+      interval_start += goodput_interval_s;
+    }
+  };
+
+  for (const auto& pkt : capture.packets) {
+    flush_intervals_to(pkt.timestamp_s);
+    if (!pkt.is_ack) {
+      ++a.data_packets;
+      // Key by the segment's end sequence number, which the matching ACK
+      // will carry.
+      auto [it, inserted] = outstanding.try_emplace(
+          pkt.seq + pkt.length, SegmentState{pkt.timestamp_s, pkt.length, false});
+      if (!inserted) {
+        // Duplicate sequence number: a retransmission.
+        ++a.retransmissions;
+        it->second.retransmitted = true;
+      }
+    } else {
+      ++a.ack_packets;
+      // Per-segment ACK matching (wireshark's tcp.analysis.ack_rtt): the
+      // ACK acknowledging bytes [seq, seq+len) pairs with the data segment
+      // whose end equals the ACK number.
+      const auto it = outstanding.find(pkt.ack);
+      if (it != outstanding.end()) {
+        // Karn's algorithm: no RTT sample from retransmitted segments.
+        if (!it->second.retransmitted) {
+          a.rtts_s.push_back(pkt.timestamp_s - it->second.first_sent);
+        }
+        outstanding.erase(it);
+      }
+      ack_front = std::max(ack_front, pkt.ack);
+    }
+  }
+  flush_intervals_to(capture.duration_s);
+
+  if (!a.rtts_s.empty()) {
+    const auto summary = stats::summarize(a.rtts_s);
+    a.mean_rtt_ms = summary.mean * 1e3;
+    a.median_rtt_ms = summary.median * 1e3;
+    a.p99_rtt_ms = stats::quantile(a.rtts_s, 0.99) * 1e3;
+  }
+  return a;
+}
+
+}  // namespace cloudrepro::measure

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/packet_path.h"
+#include "simnet/qos.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::measure {
+
+/// The paper's latency methodology, reproduced end-to-end: "we run
+/// 10-second streams of iperf tests, capturing all packet headers with
+/// tcpdump. We perform an offline analysis of the packet dumps using
+/// wireshark, which compares the time between when a TCP segment is sent to
+/// the (virtual) device and when it is acknowledged."
+///
+/// `capture_stream` produces the tcpdump-equivalent: a time-ordered list of
+/// wire-level header records (data segments with byte sequence numbers, and
+/// cumulative ACKs). `wireshark_analysis` is the offline pass: it matches
+/// ACKs back to segments, measures send-to-ack times, detects
+/// retransmissions as duplicate sequence numbers, and applies Karn's rule
+/// (retransmitted segments yield no RTT sample).
+
+struct CapturedPacket {
+  double timestamp_s = 0.0;
+  bool is_ack = false;
+  std::uint64_t seq = 0;      ///< Data: first byte's sequence number.
+  std::uint32_t length = 0;   ///< Data: segment payload length.
+  std::uint64_t ack = 0;      ///< ACK: cumulative acknowledgement number.
+};
+
+/// A captured packet trace (one direction pair of a single TCP stream).
+struct PacketCapture {
+  std::vector<CapturedPacket> packets;  ///< Time-ordered.
+  double duration_s = 0.0;
+};
+
+/// Simulates an iperf-style stream through the virtual NIC and captures
+/// every header. Lost first transmissions appear as duplicate-sequence
+/// retransmissions after a retransmission timeout, exactly as tcpdump would
+/// show them.
+PacketCapture capture_stream(simnet::QosPolicy& qos, const simnet::VnicConfig& vnic,
+                             double duration_s, double write_bytes,
+                             stats::Rng& rng);
+
+/// The offline "wireshark" pass over a capture.
+struct WiresharkAnalysis {
+  std::size_t data_packets = 0;
+  std::size_t ack_packets = 0;
+  std::size_t retransmissions = 0;   ///< Duplicate-sequence data packets.
+  std::vector<double> rtts_s;        ///< Send-to-ack times (Karn-filtered).
+  double mean_rtt_ms = 0.0;
+  double median_rtt_ms = 0.0;
+  double p99_rtt_ms = 0.0;
+  /// Goodput per interval, from the cumulative-ACK front (Gbps).
+  std::vector<double> goodput_gbps;
+  double goodput_interval_s = 1.0;
+};
+
+WiresharkAnalysis wireshark_analysis(const PacketCapture& capture,
+                                     double goodput_interval_s = 1.0);
+
+}  // namespace cloudrepro::measure

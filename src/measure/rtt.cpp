@@ -1,0 +1,46 @@
+#include "measure/rtt.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace cloudrepro::measure {
+
+RttAnalysis analyze_capture(const simnet::LatencyTrace& capture) {
+  RttAnalysis a;
+  a.packet_count = capture.segments_sent;
+  a.retransmissions = capture.retransmissions;
+  a.retransmission_rate = capture.retransmission_rate();
+  const auto rtts = capture.rtts();
+  if (!rtts.empty()) {
+    const auto summary = stats::summarize(rtts);
+    a.mean_rtt_ms = summary.mean * 1e3;
+    a.median_rtt_ms = summary.median * 1e3;
+    a.p99_rtt_ms = stats::quantile(rtts, 0.99) * 1e3;
+    a.max_rtt_ms = summary.max * 1e3;
+  }
+  if (!capture.bandwidth_gbps.empty()) {
+    a.mean_bandwidth_gbps = stats::mean(capture.bandwidth_gbps);
+  }
+  return a;
+}
+
+RttProbeResult run_rtt_probe(const cloud::CloudProfile& profile,
+                             const RttProbeOptions& options, stats::Rng& rng) {
+  auto vm = profile.create_vm(rng);
+  return run_rtt_probe(vm, options, rng);
+}
+
+RttProbeResult run_rtt_probe(cloud::VmNetwork& vm, const RttProbeOptions& options,
+                             stats::Rng& rng) {
+  simnet::PacketPathConfig cfg;
+  cfg.duration_s = options.duration_s;
+  cfg.write_bytes = options.write_bytes;
+
+  RttProbeResult result;
+  result.capture = simnet::run_packet_stream(*vm.egress, vm.vnic, cfg, rng);
+  result.analysis = analyze_capture(result.capture);
+  return result;
+}
+
+}  // namespace cloudrepro::measure

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "cloud/instances.h"
+#include "simnet/packet_path.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::measure {
+
+/// Offline summary of a packet capture, mirroring the paper's tcpdump +
+/// wireshark analysis of Section 3.2: "compares the time between when a TCP
+/// segment is sent to the (virtual) device and when it is acknowledged".
+struct RttAnalysis {
+  std::size_t packet_count = 0;
+  std::size_t retransmissions = 0;
+  double retransmission_rate = 0.0;
+  double mean_rtt_ms = 0.0;
+  double median_rtt_ms = 0.0;
+  double p99_rtt_ms = 0.0;
+  double max_rtt_ms = 0.0;
+  double mean_bandwidth_gbps = 0.0;
+};
+
+/// Options for a latency probe: a 10-second iperf stream captured at packet
+/// granularity.
+struct RttProbeOptions {
+  double duration_s = 10.0;
+  double write_bytes = 128.0 * 1024.0;
+};
+
+/// Result of a latency probe: the raw capture plus its offline analysis.
+struct RttProbeResult {
+  simnet::LatencyTrace capture;
+  RttAnalysis analysis;
+};
+
+/// Computes the offline analysis of a capture.
+RttAnalysis analyze_capture(const simnet::LatencyTrace& capture);
+
+/// Runs a 10-second TCP stream between a fresh VM pair on the given cloud
+/// and captures every packet (Figures 7 and 8).
+RttProbeResult run_rtt_probe(const cloud::CloudProfile& profile,
+                             const RttProbeOptions& options, stats::Rng& rng);
+
+/// Variant against an existing VM (e.g. one whose token bucket has already
+/// been drained, to observe the throttled latency regime of Figure 7,
+/// bottom).
+RttProbeResult run_rtt_probe(cloud::VmNetwork& vm, const RttProbeOptions& options,
+                             stats::Rng& rng);
+
+}  // namespace cloudrepro::measure

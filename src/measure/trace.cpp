@@ -1,0 +1,56 @@
+#include "measure/trace.h"
+
+#include <ostream>
+
+#include "simnet/units.h"
+
+namespace cloudrepro::measure {
+
+std::vector<double> Trace::bandwidths() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.bandwidth_gbps);
+  return out;
+}
+
+std::vector<double> Trace::retransmissions() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.retransmissions);
+  return out;
+}
+
+double Trace::total_gbit() const noexcept {
+  double total = 0.0;
+  for (const auto& s : samples) total += s.transferred_gbit;
+  return total;
+}
+
+std::vector<double> Trace::cumulative_terabytes() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  double total = 0.0;
+  for (const auto& s : samples) {
+    total += s.transferred_gbit;
+    out.push_back(simnet::gbit_to_terabytes(total));
+  }
+  return out;
+}
+
+stats::Summary Trace::bandwidth_summary() const {
+  return stats::summarize(bandwidths());
+}
+
+stats::BoxStats Trace::bandwidth_box() const {
+  return stats::box_stats(bandwidths());
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "t_s,bandwidth_gbps,transferred_gbit,retransmissions\n";
+  for (const auto& s : samples) {
+    os << s.t << ',' << s.bandwidth_gbps << ',' << s.transferred_gbit << ','
+       << s.retransmissions << '\n';
+  }
+}
+
+}  // namespace cloudrepro::measure

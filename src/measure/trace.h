@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace cloudrepro::measure {
+
+/// One performability record, summarized over a sampling window — the same
+/// observables the paper's collectors emit every 10 seconds: achieved
+/// bandwidth, retransmissions, and the volume moved.
+struct BandwidthSample {
+  double t = 0.0;                ///< Window end time (s since probe start).
+  double bandwidth_gbps = 0.0;   ///< Mean achieved bandwidth in the window.
+  double transferred_gbit = 0.0; ///< Volume moved in the window.
+  double retransmissions = 0.0;  ///< TCP retransmissions in the window.
+};
+
+/// A measurement trace: the output of one probe run.
+struct Trace {
+  std::string cloud;
+  std::string instance_type;
+  std::string pattern;
+  std::vector<BandwidthSample> samples;
+
+  std::vector<double> bandwidths() const;
+  std::vector<double> retransmissions() const;
+
+  /// Total Gbit moved across the trace (Figure 10's cumulative totals).
+  double total_gbit() const noexcept;
+
+  /// Cumulative transferred volume per sample, in terabytes (Figure 10's
+  /// vertical axis).
+  std::vector<double> cumulative_terabytes() const;
+
+  stats::Summary bandwidth_summary() const;
+  stats::BoxStats bandwidth_box() const;
+
+  /// Writes the trace as CSV (`t,bandwidth_gbps,transferred_gbit,retrans`)
+  /// with a header — the repository release format [57].
+  void write_csv(std::ostream& os) const;
+};
+
+}  // namespace cloudrepro::measure

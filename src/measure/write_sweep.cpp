@@ -1,0 +1,34 @@
+#include "measure/write_sweep.h"
+
+namespace cloudrepro::measure {
+
+std::vector<WriteSweepPoint> run_write_sweep(const cloud::CloudProfile& profile,
+                                             const WriteSweepOptions& options,
+                                             stats::Rng& rng) {
+  std::vector<WriteSweepPoint> points;
+  points.reserve(options.write_sizes.size());
+
+  for (const double write : options.write_sizes) {
+    // A fresh VM per point: the sweep measures the NIC path, not the
+    // token-bucket drain (F5.2's "reset to known conditions").
+    auto vm = profile.create_vm(rng);
+
+    RttProbeOptions probe;
+    probe.duration_s = options.stream_duration_s;
+    probe.write_bytes = write;
+    const auto result = run_rtt_probe(vm, probe, rng);
+
+    WriteSweepPoint p;
+    p.write_bytes = write;
+    p.segment_bytes = vm.vnic.segment_bytes(write);
+    p.mean_rtt_ms = result.analysis.mean_rtt_ms;
+    p.p99_rtt_ms = result.analysis.p99_rtt_ms;
+    p.bandwidth_gbps = result.analysis.mean_bandwidth_gbps;
+    p.retransmissions = static_cast<double>(result.analysis.retransmissions);
+    p.retransmission_rate = result.analysis.retransmission_rate;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace cloudrepro::measure

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cloud/instances.h"
+#include "measure/rtt.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::measure {
+
+/// One row of the write()-size sweep of Figure 12: how the size of the
+/// application's socket writes changes observed latency, bandwidth, and
+/// retransmissions on each cloud — the effect that makes observed behaviour
+/// (and thus repeatability) "highly application dependent" (F5.1).
+struct WriteSweepPoint {
+  double write_bytes = 0.0;
+  double segment_bytes = 0.0;  ///< Resulting "packet" size at the virtual NIC.
+  double mean_rtt_ms = 0.0;
+  double p99_rtt_ms = 0.0;
+  double bandwidth_gbps = 0.0;
+  double retransmissions = 0.0;       ///< Per probe stream.
+  double retransmission_rate = 0.0;
+};
+
+struct WriteSweepOptions {
+  double stream_duration_s = 3.0;
+  /// Default write() sizes: 1K .. 256K, including the 9K jumbo-MTU point
+  /// and iperf's 128K default that the paper singles out.
+  std::vector<double> write_sizes = {1024.0,  2048.0,   4096.0,   9000.0,
+                                     16384.0, 32768.0,  65536.0,  131072.0,
+                                     262144.0};
+};
+
+/// Sweeps write() sizes on a fresh VM of the profile.
+std::vector<WriteSweepPoint> run_write_sweep(const cloud::CloudProfile& profile,
+                                             const WriteSweepOptions& options,
+                                             stats::Rng& rng);
+
+}  // namespace cloudrepro::measure

@@ -1,0 +1,214 @@
+#include "simnet/fluid_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudrepro::simnet {
+
+namespace {
+constexpr double kTimeEpsilon = 1e-9;
+constexpr double kBytesEpsilon = 1e-12;
+}  // namespace
+
+NodeId FluidNetwork::add_node(std::unique_ptr<QosPolicy> egress, double ingress_cap_gbps) {
+  if (!egress) throw std::invalid_argument{"FluidNetwork::add_node: null egress policy"};
+  if (ingress_cap_gbps <= 0.0) {
+    throw std::invalid_argument{"FluidNetwork::add_node: ingress cap must be positive"};
+  }
+  nodes_.push_back(Node{std::move(egress), ingress_cap_gbps});
+  return nodes_.size() - 1;
+}
+
+FlowId FluidNetwork::start_flow(NodeId src, NodeId dst, double gbit) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    throw std::out_of_range{"FluidNetwork::start_flow: unknown node"};
+  }
+  if (src == dst) {
+    throw std::invalid_argument{"FluidNetwork::start_flow: src == dst (local I/O is not shaped)"};
+  }
+  if (gbit <= 0.0) throw std::invalid_argument{"FluidNetwork::start_flow: size must be positive"};
+  Flow f;
+  f.src = src;
+  f.dst = dst;
+  f.remaining_gbit = gbit;
+  f.active = true;
+  f.start_time = now_;
+  flows_.push_back(f);
+  active_ids_.push_back(flows_.size() - 1);
+  return flows_.size() - 1;
+}
+
+void FluidNetwork::stop_flow(FlowId id) {
+  Flow& f = flows_.at(id);
+  if (!f.active) return;
+  f.active = false;
+  f.end_time = now_;
+  f.rate_gbps = 0.0;
+  deactivate(id);
+}
+
+void FluidNetwork::deactivate(FlowId id) {
+  for (auto& slot : active_ids_) {
+    if (slot == id) {
+      slot = active_ids_.back();
+      active_ids_.pop_back();
+      return;
+    }
+  }
+}
+
+std::size_t FluidNetwork::active_flow_count() const noexcept {
+  return active_ids_.size();
+}
+
+double FluidNetwork::node_egress_rate(NodeId id) const {
+  double rate = 0.0;
+  for (const FlowId fid : active_ids_) {
+    const Flow& f = flows_[fid];
+    if (f.src == id) rate += f.rate_gbps;
+  }
+  return rate;
+}
+
+double FluidNetwork::node_ingress_rate(NodeId id) const {
+  double rate = 0.0;
+  for (const FlowId fid : active_ids_) {
+    const Flow& f = flows_[fid];
+    if (f.dst == id) rate += f.rate_gbps;
+  }
+  return rate;
+}
+
+void FluidNetwork::allocate_rates() {
+  // Progressive filling: raise all unfrozen flow rates in lockstep; freeze
+  // the flows crossing each constraint as it saturates.
+  const std::size_t n_nodes = nodes_.size();
+  std::vector<double> egress_left(n_nodes);
+  std::vector<double> ingress_left(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    egress_left[i] = nodes_[i].egress->allowed_rate();
+    ingress_left[i] = nodes_[i].ingress_cap_gbps;
+  }
+
+  std::vector<FlowId> unfrozen;
+  unfrozen.reserve(active_ids_.size());
+  for (const FlowId id : active_ids_) {
+    flows_[id].rate_gbps = 0.0;
+    unfrozen.push_back(id);
+  }
+
+  while (!unfrozen.empty()) {
+    std::vector<std::size_t> egress_users(n_nodes, 0);
+    std::vector<std::size_t> ingress_users(n_nodes, 0);
+    for (const FlowId id : unfrozen) {
+      ++egress_users[flows_[id].src];
+      ++ingress_users[flows_[id].dst];
+    }
+
+    double delta = kInfiniteBytes;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      if (egress_users[i] > 0 && std::isfinite(egress_left[i])) {
+        delta = std::min(delta, egress_left[i] / static_cast<double>(egress_users[i]));
+      }
+      if (ingress_users[i] > 0 && std::isfinite(ingress_left[i])) {
+        delta = std::min(delta, ingress_left[i] / static_cast<double>(ingress_users[i]));
+      }
+    }
+    if (!std::isfinite(delta)) {
+      // No finite constraint applies — should not happen because every node
+      // has an egress policy; guard against a runaway loop regardless.
+      throw std::runtime_error{"FluidNetwork::allocate_rates: unconstrained flow set"};
+    }
+
+    for (const FlowId id : unfrozen) {
+      flows_[id].rate_gbps += delta;
+    }
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      egress_left[i] -= delta * static_cast<double>(egress_users[i]);
+      ingress_left[i] -= delta * static_cast<double>(ingress_users[i]);
+    }
+
+    std::vector<FlowId> still_unfrozen;
+    still_unfrozen.reserve(unfrozen.size());
+    for (const FlowId id : unfrozen) {
+      const bool saturated = egress_left[flows_[id].src] <= kBytesEpsilon ||
+                             ingress_left[flows_[id].dst] <= kBytesEpsilon;
+      if (!saturated) still_unfrozen.push_back(id);
+    }
+    if (still_unfrozen.size() == unfrozen.size()) {
+      // Numerical stall: freeze everything crossing the tightest constraint.
+      break;
+    }
+    unfrozen.swap(still_unfrozen);
+  }
+}
+
+void FluidNetwork::step_once(double t_bound) {
+  allocate_rates();
+
+  double dt = t_bound - now_;
+  for (const FlowId fid : active_ids_) {
+    const Flow& f = flows_[fid];
+    if (std::isfinite(f.remaining_gbit) && f.rate_gbps > 0.0) {
+      dt = std::min(dt, f.remaining_gbit / f.rate_gbps);
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    dt = std::min(dt, nodes_[i].egress->time_until_change(node_egress_rate(i)));
+  }
+  dt = std::max(dt, kTimeEpsilon);
+
+  // Advance QoS state with the realized per-node rates, then move the data.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].egress->advance(dt, node_egress_rate(i));
+  }
+  for (const FlowId fid : active_ids_) {
+    Flow& f = flows_[fid];
+    const double moved = f.rate_gbps * dt;
+    f.transferred_gbit += moved;
+    if (std::isfinite(f.remaining_gbit)) {
+      f.remaining_gbit -= moved;
+    }
+  }
+  now_ += dt;
+
+  if (observer_) observer_(*this, now_, dt);
+
+  for (std::size_t i = active_ids_.size(); i-- > 0;) {
+    const FlowId fid = active_ids_[i];
+    Flow& f = flows_[fid];
+    if (std::isfinite(f.remaining_gbit) && f.remaining_gbit <= kBytesEpsilon) {
+      f.remaining_gbit = 0.0;
+      f.active = false;
+      f.end_time = now_;
+      f.rate_gbps = 0.0;
+      active_ids_[i] = active_ids_.back();
+      active_ids_.pop_back();
+    }
+  }
+}
+
+void FluidNetwork::run_until(double t_end) {
+  while (now_ < t_end - kTimeEpsilon) {
+    step_once(t_end);
+  }
+  now_ = t_end;
+}
+
+bool FluidNetwork::run_until_flows_complete(double deadline) {
+  const auto finite_flows_pending = [this] {
+    for (const FlowId fid : active_ids_) {
+      if (std::isfinite(flows_[fid].remaining_gbit)) return true;
+    }
+    return false;
+  };
+  // Event-exact stepping: time stops advancing the moment the last finite
+  // flow completes (a stage barrier must not inherit dead time).
+  while (finite_flows_pending() && now_ < deadline - kTimeEpsilon) {
+    step_once(deadline);
+  }
+  return !finite_flows_pending();
+}
+
+}  // namespace cloudrepro::simnet

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simnet/qos.h"
+#include "simnet/units.h"
+
+namespace cloudrepro::simnet {
+
+using NodeId = std::size_t;
+using FlowId = std::size_t;
+
+/// A (possibly unbounded) data transfer between two nodes.
+struct Flow {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double remaining_gbit = kInfiniteBytes;  ///< Gbit left; +inf for open-ended.
+  double transferred_gbit = 0.0;
+  double rate_gbps = 0.0;  ///< Current max-min fair allocation.
+  bool active = false;
+  double start_time = 0.0;
+  double end_time = -1.0;  ///< Set when the flow completes or is stopped.
+};
+
+/// Fluid-flow discrete-event network simulator.
+///
+/// Bandwidth between VMs is modelled as a fluid: at any instant every active
+/// flow receives its max-min fair share subject to (a) the *egress QoS
+/// policy* of its source node — the mechanism the paper shows dominates
+/// cloud network behaviour — and (b) the ingress line rate of its
+/// destination. Time advances event-to-event: the next flow completion, the
+/// next QoS state change (token-bucket depletion/recovery, jitter resample),
+/// or the caller's horizon, whichever is first.
+///
+/// The fluid abstraction is exact for the bandwidth-oriented figures
+/// (4, 5, 6, 10, 11, 14-19); packet-level effects (RTT, retransmissions —
+/// Figures 7, 8, 9, 12) are handled by `PacketPath` and validated against
+/// this model in `bench_ablation_fluid_vs_packet`.
+class FluidNetwork {
+ public:
+  /// Observer invoked after every internal step with the post-step network
+  /// and the step length. Probes use it to integrate rates into samples.
+  using StepObserver = std::function<void(const FluidNetwork&, double t, double dt)>;
+
+  FluidNetwork() = default;
+
+  /// Adds a node with the given egress shaping policy and an optional
+  /// ingress line-rate cap (defaults to unlimited).
+  NodeId add_node(std::unique_ptr<QosPolicy> egress,
+                  double ingress_cap_gbps = kInfiniteBytes);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Starts a transfer of `gbit` (default: open-ended) from src to dst.
+  FlowId start_flow(NodeId src, NodeId dst, double gbit = kInfiniteBytes);
+
+  /// Stops an open-ended flow (no-op if already complete).
+  void stop_flow(FlowId id);
+
+  /// Advances simulated time to `t_end`.
+  void run_until(double t_end);
+
+  /// Advances simulated time by `dt` seconds.
+  void run_for(double dt) { run_until(now_ + dt); }
+
+  /// Runs until every finite flow completes or `deadline` is reached.
+  /// Returns true when all finite flows completed.
+  bool run_until_flows_complete(double deadline);
+
+  double now() const noexcept { return now_; }
+
+  const Flow& flow(FlowId id) const { return flows_.at(id); }
+  std::size_t flow_count() const noexcept { return flows_.size(); }
+  std::size_t active_flow_count() const noexcept;
+
+  QosPolicy& node_qos(NodeId id) { return *nodes_.at(id).egress; }
+  const QosPolicy& node_qos(NodeId id) const { return *nodes_.at(id).egress; }
+
+  /// Aggregate egress rate of a node under the current allocation.
+  double node_egress_rate(NodeId id) const;
+
+  /// Aggregate ingress rate of a node under the current allocation.
+  double node_ingress_rate(NodeId id) const;
+
+  void set_step_observer(StepObserver observer) { observer_ = std::move(observer); }
+
+ private:
+  struct Node {
+    std::unique_ptr<QosPolicy> egress;
+    double ingress_cap_gbps = kInfiniteBytes;
+  };
+
+  /// Computes the max-min fair allocation for all active flows
+  /// (progressive filling).
+  void allocate_rates();
+
+  /// Advances one event step, never past `t_bound`.
+  void step_once(double t_bound);
+
+  /// Removes an id from the active index (swap-erase).
+  void deactivate(FlowId id);
+
+  std::vector<Node> nodes_;
+  std::vector<Flow> flows_;
+  /// Ids of currently active flows. Long probes accumulate tens of
+  /// thousands of completed flow records; every per-step scan must touch
+  /// only the live ones or week-long simulations go quadratic.
+  std::vector<FlowId> active_ids_;
+  double now_ = 0.0;
+  StepObserver observer_;
+};
+
+}  // namespace cloudrepro::simnet

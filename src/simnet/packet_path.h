@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simnet/qos.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::simnet {
+
+/// Virtual-NIC model (Section 3.3, "Virtual NIC Implementations").
+///
+/// EC2 and GCE implement the same function — fewer, larger packets on the
+/// virtual NIC — via different mechanisms with observably different
+/// behaviour:
+///  - EC2 advertises a 9000-byte jumbo MTU; a "packet" tops out at 9 KB.
+///  - GCE advertises a 1500-byte MTU but enables TSO, so a single "packet"
+///    handed to the virtual NIC can be as large as 64 KB.
+/// In Linux, the size of the "packets" passed to the virtual NIC tends to
+/// equal the application's write() size up to that cap, which makes latency
+/// and retransmission behaviour *application dependent* (Figure 12).
+struct VnicConfig {
+  double mtu_bytes = 9000.0;      ///< Largest on-wire "packet" without TSO.
+  double tso_max_bytes = 0.0;     ///< TSO cap; 0 disables TSO (segment at MTU).
+  std::size_t queue_descriptors = 64;   ///< Device-queue depth in packets.
+  double queue_byte_capacity = 4.0e6;   ///< Bottom-half buffer space in bytes.
+  double base_rtt_s = 5.0e-5;     ///< Unloaded round-trip latency.
+  double rtt_jitter_sigma = 0.35; ///< Lognormal sigma of multiplicative jitter.
+  double loss_pressure_coefficient = 0.007;  ///< Scales byte-pressure loss.
+  double retransmit_penalty_mean_s = 0.25;   ///< Mean added delay per loss (RTO).
+  /// Fixed per-segment processing cost (virtualization exit + interrupt).
+  /// This is what makes small write() sizes unable to fill the link —
+  /// the whole point of jumbo frames and TSO ("reducing overhead by sending
+  /// fewer, larger packets").
+  double per_segment_overhead_s = 1.5e-6;
+
+  /// Rate the sending application can generate at (Gbps). When the shaper
+  /// grants far less than this, the software queue above the device backs
+  /// up — the paper's "large queues in the virtual device driver" that push
+  /// EC2's RTT up by two orders of magnitude once the token bucket empties
+  /// (Figure 7, bottom).
+  double app_offered_gbps = 10.0;
+
+  /// Depth of that software (qdisc) queue in packets.
+  std::size_t qdisc_packets = 256;
+
+  /// Size of a single "packet" handed to the virtual NIC for an
+  /// application-level write of `write_bytes`.
+  double segment_bytes(double write_bytes) const noexcept;
+
+  /// Probability that a segment of this size is dropped in the bottom half
+  /// of the virtual NIC (limited buffer space / tighter bursts; Section 3.3).
+  double loss_probability(double segment_bytes) const noexcept;
+};
+
+/// One observed TCP segment: when it was sent and the application-observed
+/// round-trip (send-to-ack) time — what the paper extracts from tcpdump
+/// captures with wireshark.
+struct PacketSample {
+  double send_time_s = 0.0;
+  double rtt_s = 0.0;
+  bool retransmitted = false;
+};
+
+/// Result of a packet-level probe stream.
+struct LatencyTrace {
+  std::vector<PacketSample> packets;
+  std::size_t retransmissions = 0;
+  std::size_t segments_sent = 0;
+  /// Mean achieved goodput per `bandwidth_sample_interval_s` (Gbps).
+  std::vector<double> bandwidth_gbps;
+  double bandwidth_sample_interval_s = 1.0;
+
+  std::vector<double> rtts() const;
+  double retransmission_rate() const noexcept;
+};
+
+struct PacketPathConfig {
+  double write_bytes = 128.0 * 1024.0;   ///< iperf default write() size.
+  double duration_s = 10.0;              ///< Paper probes with 10-s streams.
+  double bandwidth_sample_interval_s = 1.0;
+  /// Record at most this many RTT samples (uniformly thinned); 0 = all.
+  std::size_t max_recorded_packets = 500000;
+};
+
+/// Simulates a greedy TCP stream through a virtual NIC whose drain rate is
+/// set by the node's QoS policy. The policy is advanced with the realized
+/// rate, so EC2-style token buckets throttle mid-stream exactly as in
+/// Figure 7 (bottom).
+LatencyTrace run_packet_stream(QosPolicy& qos, const VnicConfig& vnic,
+                               const PacketPathConfig& config, stats::Rng& rng);
+
+/// Canonical virtual-NIC configurations for the measured clouds.
+VnicConfig ec2_vnic();
+VnicConfig gce_vnic();
+VnicConfig hpccloud_vnic();
+
+}  // namespace cloudrepro::simnet

@@ -1,0 +1,155 @@
+#include "simnet/qos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "simnet/units.h"
+
+namespace cloudrepro::simnet {
+
+// ---- FixedRateQos -----------------------------------------------------------
+
+FixedRateQos::FixedRateQos(double rate_gbps) : rate_gbps_{rate_gbps} {
+  if (rate_gbps <= 0.0) throw std::invalid_argument{"FixedRateQos: rate must be positive"};
+}
+
+double FixedRateQos::time_until_change(double) const { return kInfiniteTime; }
+
+std::unique_ptr<QosPolicy> FixedRateQos::clone() const {
+  return std::make_unique<FixedRateQos>(*this);
+}
+
+// ---- TokenBucketQos ---------------------------------------------------------
+
+TokenBucketQos::TokenBucketQos(const TokenBucketConfig& config) : bucket_{config} {}
+
+std::unique_ptr<QosPolicy> TokenBucketQos::clone() const {
+  return std::make_unique<TokenBucketQos>(*this);
+}
+
+// ---- StochasticQos ----------------------------------------------------------
+
+StochasticQos::StochasticQos(Sampler sampler, double resample_interval_s, stats::Rng rng)
+    : sampler_{std::move(sampler)},
+      resample_interval_s_{resample_interval_s},
+      rng_{rng},
+      initial_rng_{rng},
+      current_rate_{0.0} {
+  if (!sampler_) throw std::invalid_argument{"StochasticQos: sampler must be callable"};
+  if (resample_interval_s <= 0.0) {
+    throw std::invalid_argument{"StochasticQos: resample interval must be positive"};
+  }
+  resample();
+}
+
+void StochasticQos::resample() {
+  current_rate_ = std::max(1e-3, sampler_(rng_));
+}
+
+void StochasticQos::advance(double dt, double /*rate_gbps*/) {
+  time_in_interval_ += dt;
+  // Cross as many resample boundaries as dt covers; only the final sample
+  // matters for the post-advance state.
+  while (time_in_interval_ >= resample_interval_s_) {
+    time_in_interval_ -= resample_interval_s_;
+    resample();
+  }
+}
+
+double StochasticQos::time_until_change(double /*rate_gbps*/) const {
+  return resample_interval_s_ - time_in_interval_;
+}
+
+void StochasticQos::reset() {
+  rng_ = initial_rng_;
+  time_in_interval_ = 0.0;
+  resample();
+}
+
+std::unique_ptr<QosPolicy> StochasticQos::clone() const {
+  return std::make_unique<StochasticQos>(*this);
+}
+
+// ---- PerCoreQos -------------------------------------------------------------
+
+PerCoreQos::PerCoreQos(const PerCoreQosConfig& config, stats::Rng rng)
+    : config_{config}, rng_{rng}, initial_rng_{rng} {
+  if (config.cores <= 0) throw std::invalid_argument{"PerCoreQos: cores must be positive"};
+  if (config.per_core_gbps <= 0.0 || config.max_gbps <= 0.0) {
+    throw std::invalid_argument{"PerCoreQos: rates must be positive"};
+  }
+  resample_jitter();
+}
+
+double PerCoreQos::nominal_rate() const noexcept {
+  return std::min(static_cast<double>(config_.cores) * config_.per_core_gbps,
+                  config_.max_gbps);
+}
+
+double PerCoreQos::allowed_rate() const {
+  double rate = nominal_rate() * jitter_factor_;
+  if (warmup_remaining_ > 0.0) {
+    // Fraction of the warm-up still ahead scales the cold-path penalty, so
+    // the rate climbs back smoothly as the flow is promoted.
+    const double cold_fraction = warmup_remaining_ / config_.warmup_s;
+    rate *= 1.0 - cold_penalty_ * cold_fraction;
+  }
+  return std::max(rate, 1e-3);
+}
+
+void PerCoreQos::advance(double dt, double rate_gbps) {
+  const bool transmitting = rate_gbps > 1e-9;
+  if (transmitting) {
+    if (idle_time_ > config_.idle_threshold_s) {
+      // Resuming after a long idle period: flow starts on the cold path.
+      draw_cold_penalty();
+      warmup_remaining_ = config_.warmup_s;
+    }
+    idle_time_ = 0.0;
+    warmup_remaining_ = std::max(0.0, warmup_remaining_ - dt);
+  } else {
+    idle_time_ += dt;
+  }
+  time_in_interval_ += dt;
+  while (time_in_interval_ >= config_.resample_interval_s) {
+    time_in_interval_ -= config_.resample_interval_s;
+    resample_jitter();
+  }
+}
+
+double PerCoreQos::time_until_change(double rate_gbps) const {
+  double bound = config_.resample_interval_s - time_in_interval_;
+  if (rate_gbps > 1e-9 && warmup_remaining_ > 0.0) {
+    bound = std::min(bound, warmup_remaining_);
+  }
+  return std::max(bound, 1e-6);
+}
+
+void PerCoreQos::reset() {
+  rng_ = initial_rng_;
+  jitter_factor_ = 1.0;
+  idle_time_ = 0.0;
+  warmup_remaining_ = 0.0;
+  cold_penalty_ = 0.0;
+  time_in_interval_ = 0.0;
+  resample_jitter();
+}
+
+void PerCoreQos::resample_jitter() {
+  jitter_factor_ = std::clamp(rng_.normal(1.0, config_.jitter_fraction), 0.8, 1.02);
+}
+
+void PerCoreQos::draw_cold_penalty() {
+  // Pareto-tailed fractional penalty, so most resumes cost ~cold_penalty_mean
+  // but a few cost much more — the long tail of Figure 5's 5-30 box.
+  const double shape = config_.cold_penalty_pareto_shape;
+  const double scale = config_.cold_penalty_mean * (shape - 1.0) / shape;
+  cold_penalty_ = std::clamp(rng_.pareto(scale, shape), 0.0, 0.9);
+}
+
+std::unique_ptr<QosPolicy> PerCoreQos::clone() const {
+  return std::make_unique<PerCoreQos>(*this);
+}
+
+}  // namespace cloudrepro::simnet

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "simnet/token_bucket.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::simnet {
+
+/// Egress bandwidth policy of a (virtual) node. Section 3 of the paper finds
+/// that commercial clouds implement *different* such policies — a token
+/// bucket on Amazon EC2, a per-core guarantee on Google Cloud, and none at
+/// all (pure contention noise) on the private HPCCloud — and that these
+/// policies dominate observed variability.
+///
+/// The fluid network advances policies with the realized send rate so that
+/// stateful policies (token buckets, idle-resume penalties) evolve with the
+/// traffic they shape.
+class QosPolicy {
+ public:
+  virtual ~QosPolicy() = default;
+
+  /// Maximum egress rate currently granted (Gbps).
+  virtual double allowed_rate() const = 0;
+
+  /// Advances internal state by `dt` seconds during which the node
+  /// transmitted at `rate_gbps` (0 while idle).
+  virtual void advance(double dt, double rate_gbps) = 0;
+
+  /// Upper bound on how long allowed_rate() stays constant if the node keeps
+  /// transmitting at `rate_gbps`; +infinity when the state is stable.
+  virtual double time_until_change(double rate_gbps) const = 0;
+
+  /// Restores the policy to its initial state (a "fresh VM").
+  virtual void reset() = 0;
+
+  virtual std::unique_ptr<QosPolicy> clone() const = 0;
+
+  /// Remaining token budget in Gbit, for budget-tracked policies
+  /// (token buckets); nullopt otherwise. Exposed for instrumentation only —
+  /// the paper stresses that real providers do *not* expose this state
+  /// (F4.4), which is precisely what breaks run independence.
+  virtual std::optional<double> budget_gbit() const { return std::nullopt; }
+};
+
+/// A constant-rate cap (an unshaped dedicated link).
+class FixedRateQos final : public QosPolicy {
+ public:
+  explicit FixedRateQos(double rate_gbps);
+
+  double allowed_rate() const override { return rate_gbps_; }
+  void advance(double, double) override {}
+  double time_until_change(double) const override;
+  void reset() override {}
+  std::unique_ptr<QosPolicy> clone() const override;
+
+ private:
+  double rate_gbps_;
+};
+
+/// Amazon-EC2-style token-bucket shaping (Section 3.3).
+class TokenBucketQos final : public QosPolicy {
+ public:
+  explicit TokenBucketQos(const TokenBucketConfig& config);
+
+  double allowed_rate() const override { return bucket_.allowed_rate(); }
+  void advance(double dt, double rate_gbps) override { bucket_.advance(dt, rate_gbps); }
+  double time_until_change(double rate_gbps) const override {
+    return bucket_.time_until_change(rate_gbps);
+  }
+  void reset() override { bucket_.reset(); }
+  std::unique_ptr<QosPolicy> clone() const override;
+  std::optional<double> budget_gbit() const override { return bucket_.budget(); }
+
+  TokenBucket& bucket() noexcept { return bucket_; }
+  const TokenBucket& bucket() const noexcept { return bucket_; }
+
+ private:
+  TokenBucket bucket_;
+};
+
+/// HPCCloud-style stochastic contention: no QoS enforcement, so the achieved
+/// rate wanders with neighbour traffic. The rate is re-sampled from a
+/// caller-provided distribution every `resample_interval_s` seconds
+/// (the paper observes sample-to-sample changes up to 33% at 10 s
+/// granularity on HPCCloud).
+class StochasticQos final : public QosPolicy {
+ public:
+  using Sampler = std::function<double(stats::Rng&)>;
+
+  StochasticQos(Sampler sampler, double resample_interval_s, stats::Rng rng);
+
+  double allowed_rate() const override { return current_rate_; }
+  void advance(double dt, double rate_gbps) override;
+  double time_until_change(double rate_gbps) const override;
+  void reset() override;
+  std::unique_ptr<QosPolicy> clone() const override;
+
+ private:
+  void resample();
+
+  Sampler sampler_;
+  double resample_interval_s_;
+  stats::Rng rng_;
+  stats::Rng initial_rng_;
+  double current_rate_;
+  double time_in_interval_ = 0.0;
+};
+
+/// Google-Cloud-style per-core bandwidth QoS (Section 3.1). GCE grants
+/// roughly 2 Gbps per core (capped at 16 Gbps). Long-lived streams are
+/// stable; *resuming after idle* costs a heavy-tailed warm-up penalty,
+/// which the paper attributes to idle flows being routed through dedicated
+/// gateways in Andromeda [18] until promoted to a fast path. This yields
+/// exactly Figure 5: full-speed stable at ~15.8 Gbps, 10-30 mildly degraded,
+/// 5-30 with a long tail down to ~13 Gbps.
+struct PerCoreQosConfig {
+  int cores = 8;
+  double per_core_gbps = 2.0;
+  double max_gbps = 16.0;
+  double jitter_fraction = 0.004;      ///< Small always-on multiplicative noise.
+  double idle_threshold_s = 5.0;       ///< Idle longer than this -> cold path.
+  double warmup_s = 4.0;               ///< Time to re-promote to the fast path.
+  double cold_penalty_mean = 0.12;     ///< Mean fractional rate loss while cold.
+  double cold_penalty_pareto_shape = 2.5;  ///< Tail heaviness of the penalty.
+  double resample_interval_s = 1.0;    ///< Jitter resample cadence.
+};
+
+class PerCoreQos final : public QosPolicy {
+ public:
+  PerCoreQos(const PerCoreQosConfig& config, stats::Rng rng);
+
+  double allowed_rate() const override;
+  void advance(double dt, double rate_gbps) override;
+  double time_until_change(double rate_gbps) const override;
+  void reset() override;
+  std::unique_ptr<QosPolicy> clone() const override;
+
+  double nominal_rate() const noexcept;
+
+ private:
+  void resample_jitter();
+  void draw_cold_penalty();
+
+  PerCoreQosConfig config_;
+  stats::Rng rng_;
+  stats::Rng initial_rng_;
+  double jitter_factor_ = 1.0;
+  double idle_time_ = 0.0;
+  double warmup_remaining_ = 0.0;
+  double cold_penalty_ = 0.0;
+  double time_in_interval_ = 0.0;
+};
+
+}  // namespace cloudrepro::simnet

@@ -1,0 +1,72 @@
+#pragma once
+
+namespace cloudrepro::simnet {
+
+/// Parameters of a token-bucket traffic shaper as the paper reverse-engineers
+/// them for Amazon EC2 (Section 3.3, Figure 11):
+///  - a budget of tokens (Gbit) spendable at a high rate,
+///  - a low, capped rate once the budget is depleted,
+///  - a replenish rate (~1 Gbit of tokens per second on c5.xlarge) such that
+///    "once the token bucket empties, transmission at the capped rate is
+///    sufficient to keep it from filling back up".
+struct TokenBucketConfig {
+  double capacity_gbit = 5400.0;   ///< Full bucket size.
+  double initial_gbit = 5400.0;    ///< Budget when the VM is handed to the user.
+  double high_rate_gbps = 10.0;    ///< QoS while the budget lasts.
+  double low_rate_gbps = 1.0;      ///< QoS once the budget is depleted.
+  double replenish_gbps = 1.0;     ///< Token refill rate.
+
+  /// Hysteresis: once depleted, the shaper returns to the high rate only
+  /// after the budget refills to this many Gbit. This models the short
+  /// high/low oscillation the paper observes on the straggler node of
+  /// Figure 18 ("this node oscillates between high and low bandwidths in
+  /// short periods of time").
+  double recover_threshold_gbit = 5.0;
+};
+
+/// Fluid-model token bucket with high/low mode hysteresis. The shaper
+/// grants `high_rate` while tokens remain and `low_rate` afterwards;
+/// transmitting at rate r drains the budget at (r - replenish) Gbit/s,
+/// resting refills it at `replenish`.
+class TokenBucket {
+ public:
+  explicit TokenBucket(const TokenBucketConfig& config);
+
+  /// Rate the shaper currently allows (Gbps).
+  double allowed_rate() const noexcept;
+
+  /// Remaining budget in Gbit.
+  double budget() const noexcept { return budget_; }
+
+  /// True while the shaper is in the capped (low-rate) mode.
+  bool in_low_mode() const noexcept { return low_mode_; }
+
+  /// Advances the bucket by `dt` seconds during which the node transmitted
+  /// at `rate_gbps`. The send rate is clamped to the allowed rate: a shaped
+  /// node cannot physically exceed it.
+  void advance(double dt, double rate_gbps) noexcept;
+
+  /// Time until allowed_rate() changes if the node keeps transmitting at
+  /// `rate_gbps` — i.e. time until depletion (while draining) or until the
+  /// budget refills past the recovery threshold. +infinity if stable.
+  double time_until_change(double rate_gbps) const noexcept;
+
+  /// Time to fully refill the bucket from the current budget while resting.
+  double time_to_full_refill() const noexcept;
+
+  /// Resets the budget to the configured initial value (a "fresh VM").
+  void reset() noexcept;
+
+  /// Overrides the current budget — used to model "the system left in an
+  /// unknown state by previous experiments" (Figure 19).
+  void set_budget(double gbit) noexcept;
+
+  const TokenBucketConfig& config() const noexcept { return config_; }
+
+ private:
+  TokenBucketConfig config_;
+  double budget_;
+  bool low_mode_;
+};
+
+}  // namespace cloudrepro::simnet

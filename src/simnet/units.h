@@ -1,0 +1,24 @@
+#pragma once
+
+#include <limits>
+
+namespace cloudrepro::simnet {
+
+/// Unit conventions used throughout the simulator:
+///  - time is in seconds (double),
+///  - data volumes are in Gbit (double),
+///  - rates are in Gbit/s (Gbps, double).
+/// These match the units the paper reports (token budgets in Gbit,
+/// bandwidths in Gbps/Mbps).
+
+inline constexpr double kInfiniteTime = std::numeric_limits<double>::infinity();
+inline constexpr double kInfiniteBytes = std::numeric_limits<double>::infinity();
+
+/// Converts between unit scales.
+constexpr double mbps_to_gbps(double mbps) noexcept { return mbps / 1000.0; }
+constexpr double gbps_to_mbps(double gbps) noexcept { return gbps * 1000.0; }
+constexpr double bytes_to_gbit(double bytes) noexcept { return bytes * 8.0 / 1e9; }
+constexpr double gbit_to_bytes(double gbit) noexcept { return gbit * 1e9 / 8.0; }
+constexpr double gbit_to_terabytes(double gbit) noexcept { return gbit / 8.0 / 1000.0; }
+
+}  // namespace cloudrepro::simnet

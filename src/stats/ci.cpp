@@ -1,0 +1,87 @@
+#include "stats/ci.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/special.h"
+
+namespace cloudrepro::stats {
+
+double ConfidenceInterval::relative_half_width() const noexcept {
+  if (estimate == 0.0) return 0.0;
+  return 0.5 * (upper - lower) / std::fabs(estimate);
+}
+
+ConfidenceInterval quantile_ci(std::span<const double> xs, double q, double confidence) {
+  if (xs.empty()) throw std::invalid_argument{"quantile_ci: empty sample"};
+  if (q <= 0.0 || q >= 1.0) throw std::invalid_argument{"quantile_ci: q must be in (0, 1)"};
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument{"quantile_ci: confidence must be in (0, 1)"};
+  }
+
+  const auto s = sorted(xs);
+  const auto n = static_cast<long long>(s.size());
+
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  ci.estimate = quantile_sorted(s, q);
+
+  const double alpha = 1.0 - confidence;
+
+  // Order-statistic indices (1-based). The number of samples <= Q_q is
+  // Binomial(n, q). We need the largest j with P(X < j) <= alpha/2, i.e.
+  // BinomCdf(j - 1) <= alpha/2, and the smallest k with
+  // P(X >= k) <= alpha/2, i.e. BinomCdf(k - 1) >= 1 - alpha/2.
+  long long j = 0;  // 0 means "no valid lower order statistic".
+  for (long long i = 1; i <= n; ++i) {
+    if (binomial_cdf(i - 1, n, q) <= alpha / 2.0) {
+      j = i;
+    } else {
+      break;
+    }
+  }
+  long long k = 0;
+  for (long long i = 1; i <= n; ++i) {
+    if (binomial_cdf(i - 1, n, q) >= 1.0 - alpha / 2.0) {
+      k = i;
+      break;
+    }
+  }
+
+  if (j == 0 || k == 0 || j > k) {
+    // Sample too small for a two-sided distribution-free interval
+    // (e.g. n = 3 for the median at 95%).
+    ci.valid = false;
+    ci.lower = s.front();
+    ci.upper = s.back();
+    return ci;
+  }
+
+  ci.lower = s[static_cast<std::size_t>(j - 1)];
+  ci.upper = s[static_cast<std::size_t>(k - 1)];
+  // Achieved coverage: P(j <= X < k) over the binomial counts.
+  ci.confidence = binomial_cdf(k - 1, n, q) - binomial_cdf(j - 1, n, q);
+  ci.valid = true;
+  return ci;
+}
+
+ConfidenceInterval median_ci(std::span<const double> xs, double confidence) {
+  return quantile_ci(xs, 0.5, confidence);
+}
+
+std::size_t min_samples_for_quantile_ci(double q, double confidence) {
+  const double alpha = 1.0 - confidence;
+  for (std::size_t n = 2; n < 100000; ++n) {
+    // quantile_ci uses symmetric tails: the widest feasible interval is
+    // [x_(1), x_(n)], which requires BinomCdf(0) = (1-q)^n <= alpha/2 for the
+    // lower index and 1 - BinomCdf(n-1) = q^n <= alpha/2 for the upper one.
+    const auto nd = static_cast<double>(n);
+    const bool lower_ok = std::pow(1.0 - q, nd) <= alpha / 2.0;
+    const bool upper_ok = std::pow(q, nd) <= alpha / 2.0;
+    if (lower_ok && upper_ok) return n;
+  }
+  throw std::runtime_error{"min_samples_for_quantile_ci: no feasible n below 100000"};
+}
+
+}  // namespace cloudrepro::stats

@@ -1,0 +1,86 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudrepro::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) {
+    const double d = x - m;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double coefficient_of_variation(std::span<const double> xs) noexcept {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+std::vector<double> sorted(std::span<const double> xs) {
+  std::vector<double> copy{xs.begin(), xs.end()};
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+double quantile_sorted(std::span<const double> s, double q) {
+  if (s.empty()) throw std::invalid_argument{"quantile: empty sample"};
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"quantile: q must be in [0, 1]"};
+  if (s.size() == 1) return s[0];
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] + frac * (s[hi] - s[lo]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  const auto s = sorted(xs);
+  return quantile_sorted(s, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+Summary summarize(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument{"summarize: empty sample"};
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  const auto srt = sorted(xs);
+  s.median = quantile_sorted(srt, 0.5);
+  s.variance = variance(xs);
+  s.stddev = std::sqrt(s.variance);
+  s.coefficient_of_variation = s.mean == 0.0 ? 0.0 : s.stddev / s.mean;
+  s.min = srt.front();
+  s.max = srt.back();
+  return s;
+}
+
+BoxStats box_stats(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument{"box_stats: empty sample"};
+  const auto s = sorted(xs);
+  BoxStats b;
+  b.p1 = quantile_sorted(s, 0.01);
+  b.p25 = quantile_sorted(s, 0.25);
+  b.p50 = quantile_sorted(s, 0.50);
+  b.p75 = quantile_sorted(s, 0.75);
+  b.p99 = quantile_sorted(s, 0.99);
+  return b;
+}
+
+}  // namespace cloudrepro::stats

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cloudrepro::stats {
+
+/// Summary of a sample: the minimal statistical reporting the paper's survey
+/// (Section 2) finds missing from most published cloud experiments.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double variance = 0.0;            ///< Unbiased (n-1) sample variance.
+  double stddev = 0.0;
+  double coefficient_of_variation = 0.0;  ///< stddev / mean (0 when mean == 0).
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Box-and-whiskers statistics exactly as the paper plots them: whiskers at
+/// the 1st and 99th percentiles, box at the quartiles (Figures 2, 4, 5, 9,
+/// 16, 17).
+struct BoxStats {
+  double p1 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p99 = 0.0;
+
+  double iqr() const noexcept { return p75 - p25; }
+};
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance; 0 for samples of size < 2.
+double variance(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Coefficient of variation (stddev / mean); the paper reports it as a
+/// percentage in Figure 6. Returns 0 when the mean is 0.
+double coefficient_of_variation(std::span<const double> xs) noexcept;
+
+/// Quantile with linear interpolation between order statistics
+/// (type-7 / default in R and NumPy). `q` in [0, 1]. Throws on empty input.
+double quantile(std::span<const double> xs, double q);
+
+/// Quantile of data that is already sorted ascending.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Full summary of a sample. Throws on empty input.
+Summary summarize(std::span<const double> xs);
+
+/// Box statistics (1/25/50/75/99 percentiles). Throws on empty input.
+BoxStats box_stats(std::span<const double> xs);
+
+/// Returns a sorted copy of the sample.
+std::vector<double> sorted(std::span<const double> xs);
+
+}  // namespace cloudrepro::stats

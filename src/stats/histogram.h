@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cloudrepro::stats {
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const noexcept { return total_; }
+
+  /// Center of the given bin.
+  double bin_center(std::size_t bin) const;
+
+  /// Fraction of mass in the given bin (0 if the histogram is empty).
+  double density(std::size_t bin) const;
+
+  /// Normalized counts for all bins.
+  std::vector<double> densities() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Empirical cumulative distribution function — the paper plots EC2
+/// bandwidth as a CDF in Figure 6.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> xs);
+
+  /// P(X <= x).
+  double operator()(double x) const noexcept;
+
+  /// Inverse: the smallest sample value v with ECDF(v) >= p.
+  double inverse(double p) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  std::span<const double> sorted_values() const noexcept { return sorted_; }
+
+  /// Evaluates the CDF at `points` evenly spaced values across the sample
+  /// range; convenient for emitting plot series.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 100) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace cloudrepro::stats

@@ -1,0 +1,49 @@
+#include "stats/kappa.h"
+
+#include <stdexcept>
+
+namespace cloudrepro::stats {
+
+double cohens_kappa(std::span<const bool> rater_a, std::span<const bool> rater_b) {
+  if (rater_a.size() != rater_b.size()) {
+    throw std::invalid_argument{"cohens_kappa: raters labelled different numbers of items"};
+  }
+  if (rater_a.empty()) throw std::invalid_argument{"cohens_kappa: empty label set"};
+
+  const auto n = static_cast<double>(rater_a.size());
+  double both_yes = 0.0, both_no = 0.0, a_yes = 0.0, b_yes = 0.0;
+  for (std::size_t i = 0; i < rater_a.size(); ++i) {
+    if (rater_a[i] && rater_b[i]) ++both_yes;
+    if (!rater_a[i] && !rater_b[i]) ++both_no;
+    if (rater_a[i]) ++a_yes;
+    if (rater_b[i]) ++b_yes;
+  }
+  const double observed = (both_yes + both_no) / n;
+  const double expected =
+      (a_yes / n) * (b_yes / n) + ((n - a_yes) / n) * ((n - b_yes) / n);
+  if (expected == 1.0) return 1.0;  // Raters are constant and identical.
+  return (observed - expected) / (1.0 - expected);
+}
+
+AgreementLevel interpret_kappa(double kappa) noexcept {
+  if (kappa < 0.0) return AgreementLevel::kLessThanChance;
+  if (kappa <= 0.20) return AgreementLevel::kSlight;
+  if (kappa <= 0.40) return AgreementLevel::kFair;
+  if (kappa <= 0.60) return AgreementLevel::kModerate;
+  if (kappa <= 0.80) return AgreementLevel::kSubstantial;
+  return AgreementLevel::kAlmostPerfect;
+}
+
+std::string to_string(AgreementLevel level) {
+  switch (level) {
+    case AgreementLevel::kLessThanChance: return "less than chance";
+    case AgreementLevel::kSlight: return "slight";
+    case AgreementLevel::kFair: return "fair";
+    case AgreementLevel::kModerate: return "moderate";
+    case AgreementLevel::kSubstantial: return "substantial";
+    case AgreementLevel::kAlmostPerfect: return "almost perfect";
+  }
+  return "unknown";
+}
+
+}  // namespace cloudrepro::stats

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace cloudrepro::stats {
+
+/// Cohen's Kappa coefficient [16] for inter-rater agreement on binary labels.
+/// The paper uses it to validate the dual-review of surveyed articles
+/// (Section 2): values above 0.8 indicate "almost perfect agreement" [59].
+///
+/// Throws if the spans differ in length or are empty.
+double cohens_kappa(std::span<const bool> rater_a, std::span<const bool> rater_b);
+
+/// Interpretation bands from Viera & Garrett [59].
+enum class AgreementLevel {
+  kLessThanChance,   ///< kappa < 0
+  kSlight,           ///< 0    - 0.20
+  kFair,             ///< 0.21 - 0.40
+  kModerate,         ///< 0.41 - 0.60
+  kSubstantial,      ///< 0.61 - 0.80
+  kAlmostPerfect,    ///< 0.81 - 1.00
+};
+
+AgreementLevel interpret_kappa(double kappa) noexcept;
+
+std::string to_string(AgreementLevel level);
+
+}  // namespace cloudrepro::stats

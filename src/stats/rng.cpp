@@ -1,0 +1,120 @@
+#include "stats/rng.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cloudrepro::stats {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo is fine here: span is tiny relative to 2^64 in all
+  // simulation uses, so the bias is far below statistical noise.
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) noexcept {
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::pareto(double scale, double shape) noexcept {
+  return scale / std::pow(1.0 - uniform(), 1.0 / shape);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument{"zipf: n must be positive"};
+  // Inverse-CDF over the finite support; n is small (cluster/partition
+  // counts), so the linear scan is negligible.
+  double norm = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(k, s);
+  double u = uniform() * norm;
+  for (std::size_t k = 1; k <= n; ++k) {
+    u -= 1.0 / std::pow(k, s);
+    if (u <= 0.0) return k - 1;
+  }
+  return n - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+Rng Rng::split() noexcept { return Rng{next_u64()}; }
+
+}  // namespace cloudrepro::stats

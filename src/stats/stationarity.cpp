@@ -1,0 +1,54 @@
+#include "stats/stationarity.h"
+
+#include <stdexcept>
+
+namespace cloudrepro::stats {
+
+std::vector<WindowVerdict> stationarity_scan(std::span<const double> xs,
+                                             const StationarityScanOptions& options) {
+  if (options.window < 20) {
+    throw std::invalid_argument{"stationarity_scan: window must be >= 20 samples"};
+  }
+  if (options.stride == 0) {
+    throw std::invalid_argument{"stationarity_scan: stride must be positive"};
+  }
+  std::vector<WindowVerdict> verdicts;
+  if (xs.size() < options.window) return verdicts;
+
+  for (std::size_t begin = 0; begin + options.window <= xs.size();
+       begin += options.stride) {
+    WindowVerdict v;
+    v.range = WindowRange{begin, begin + options.window};
+    v.adf = adf_test(xs.subspan(begin, options.window), options.adf_lags);
+    // ADF's null is a unit root (non-stationary); rejection = stationary.
+    v.stationary = v.adf.reject(options.alpha);
+    verdicts.push_back(v);
+  }
+  return verdicts;
+}
+
+std::vector<WindowRange> stationary_ranges(std::span<const double> xs,
+                                           const StationarityScanOptions& options) {
+  const auto verdicts = stationarity_scan(xs, options);
+  std::vector<WindowRange> ranges;
+  for (const auto& v : verdicts) {
+    if (!v.stationary) continue;
+    if (!ranges.empty() && v.range.begin <= ranges.back().end) {
+      ranges.back().end = v.range.end;  // Merge overlapping/adjacent.
+    } else {
+      ranges.push_back(v.range);
+    }
+  }
+  return ranges;
+}
+
+double stationary_fraction(std::span<const double> xs,
+                           const StationarityScanOptions& options) {
+  const auto verdicts = stationarity_scan(xs, options);
+  if (verdicts.empty()) return 0.0;
+  std::size_t stationary = 0;
+  for (const auto& v : verdicts) stationary += v.stationary ? 1 : 0;
+  return static_cast<double>(stationary) / static_cast<double>(verdicts.size());
+}
+
+}  // namespace cloudrepro::stats

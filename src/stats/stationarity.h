@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/hypothesis.h"
+
+namespace cloudrepro::stats {
+
+/// F5.4 tooling: "When performance is not stationary, results can be
+/// limited to time periods when stationarity holds". This module finds
+/// those periods with a rolling (augmented) Dickey-Fuller scan.
+
+/// A half-open index range [begin, end) of a series.
+struct WindowRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+struct StationarityScanOptions {
+  std::size_t window = 60;    ///< Samples per ADF window.
+  std::size_t stride = 20;    ///< Scan stride.
+  double alpha = 0.05;        ///< ADF rejection level (reject = stationary).
+  int adf_lags = 1;
+};
+
+/// Scans the series window-by-window and returns the per-window verdicts.
+struct WindowVerdict {
+  WindowRange range;
+  TestResult adf;
+  bool stationary = false;
+};
+
+std::vector<WindowVerdict> stationarity_scan(std::span<const double> xs,
+                                             const StationarityScanOptions& options = {});
+
+/// Merges consecutive stationary windows into maximal stationary ranges —
+/// the "time periods when stationarity holds" usable for analysis.
+std::vector<WindowRange> stationary_ranges(std::span<const double> xs,
+                                           const StationarityScanOptions& options = {});
+
+/// Fraction of scanned samples lying in stationary windows. 1.0 for
+/// well-behaved noise, low for regime-switching (token-bucket) series.
+double stationary_fraction(std::span<const double> xs,
+                           const StationarityScanOptions& options = {});
+
+}  // namespace cloudrepro::stats

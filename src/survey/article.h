@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+namespace cloudrepro::survey {
+
+/// Venues covered by the systematic survey (Table 1).
+enum class Venue { kNsdi, kOsdi, kSosp, kSc };
+
+std::string to_string(Venue venue);
+
+/// Ground-truth record of one surveyed article's experiment reporting.
+///
+/// The real corpus is the 2008-2018 proceedings of NSDI/OSDI/SOSP/SC; we
+/// cannot ship those texts, so `generate_corpus` synthesizes a corpus whose
+/// *marginals* are calibrated to the paper's published funnel (Table 2) and
+/// reporting percentages (Figure 1) — see DESIGN.md's substitution table.
+struct Article {
+  Venue venue = Venue::kNsdi;
+  int year = 2008;
+  int citations = 0;
+
+  /// Matches the keyword query of Table 1 (big data, streaming, Hadoop,
+  /// MapReduce, Spark, data storage, graph processing, data analytics) in
+  /// keywords/title/abstract.
+  bool keyword_match = false;
+
+  /// Empirical evaluation performed on a public cloud (the manual filter).
+  bool cloud_experiments = false;
+
+  // -- Reporting attributes the reviewers judge (Figure 1a criteria) --
+
+  /// (i) Reports average or median metrics over a number of experiments.
+  bool reports_central_tendency = false;
+
+  /// (ii) Reports variability (stddev, percentiles) or confidence (CIs).
+  bool reports_variability = false;
+
+  /// (iii) Number of experiment repetitions reported; 0 = not reported.
+  int repetitions = 0;
+
+  /// Severely under-specified: "the authors do not mention how many times
+  /// they repeated the experiments or even what numbers they are reporting"
+  /// — i.e. the repetition count is missing, or the reported measure is
+  /// never stated. Note this overlaps with reports_central_tendency:
+  /// Figure 1a's bars "are not mutually exclusive".
+  bool underspecified() const noexcept {
+    return repetitions == 0 || !reports_central_tendency;
+  }
+
+  /// "Properly specified": the repetition count is reported.
+  bool properly_specified() const noexcept { return repetitions > 0; }
+};
+
+}  // namespace cloudrepro::survey

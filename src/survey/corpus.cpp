@@ -1,0 +1,160 @@
+#include "survey/corpus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudrepro::survey {
+
+std::string to_string(Venue venue) {
+  switch (venue) {
+    case Venue::kNsdi: return "NSDI";
+    case Venue::kOsdi: return "OSDI";
+    case Venue::kSosp: return "SOSP";
+    case Venue::kSc: return "SC";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Repetition counts observed in the properly-specified literature
+/// (Figure 1b's x axis) with weights matching its bar heights: 3, 5 and 10
+/// dominate, with occasional 9/15/20 and a rare 100.
+int draw_repetitions(stats::Rng& rng) {
+  // Weighted so that ~76% of properly specified articles use <= 15
+  // repetitions, as the paper reports.
+  const double u = rng.uniform();
+  if (u < 0.24) return 3;
+  if (u < 0.52) return 5;
+  if (u < 0.57) return 9;
+  if (u < 0.73) return 10;
+  if (u < 0.76) return 15;
+  if (u < 0.89) return 20;
+  return 100;
+}
+
+void assign_reporting(Article& article, const CorpusOptions& options, stats::Rng& rng) {
+  const bool careful = rng.bernoulli(options.careful_fraction);
+  if (careful) {
+    article.reports_central_tendency = true;
+    if (rng.bernoulli(options.careful_reports_reps)) {
+      article.repetitions = draw_repetitions(rng);
+    }
+    article.reports_variability = rng.bernoulli(options.careful_reports_variability);
+  } else {
+    article.reports_central_tendency = rng.bernoulli(options.careless_reports_measure);
+    if (rng.bernoulli(options.careless_reports_reps)) {
+      article.repetitions = draw_repetitions(rng);
+    }
+    article.reports_variability =
+        article.reports_central_tendency &&
+        rng.bernoulli(options.careless_reports_variability);
+  }
+}
+
+/// Citation counts for the 44 selected articles: heavy-tailed (a few
+/// landmark systems dominate), rescaled to hit the published total exactly.
+std::vector<int> draw_citations(int count, int total, stats::Rng& rng) {
+  std::vector<double> raw(static_cast<std::size_t>(count));
+  double sum = 0.0;
+  for (auto& c : raw) {
+    c = rng.pareto(30.0, 1.2);
+    sum += c;
+  }
+  std::vector<int> cites(raw.size());
+  int assigned = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    cites[i] = std::max(1, static_cast<int>(raw[i] / sum * static_cast<double>(total)));
+    assigned += cites[i];
+  }
+  cites[0] += total - assigned;  // Absorb rounding in the largest slot.
+  return cites;
+}
+
+}  // namespace
+
+std::vector<Article> generate_corpus(const CorpusOptions& options, stats::Rng& rng) {
+  if (options.cloud_articles > options.keyword_matches ||
+      options.keyword_matches > options.total_articles) {
+    throw std::invalid_argument{"generate_corpus: funnel counts must be decreasing"};
+  }
+  const int venue_cloud_total = options.nsdi_cloud + options.osdi_cloud +
+                                options.sosp_cloud + options.sc_cloud;
+  if (venue_cloud_total != options.cloud_articles) {
+    throw std::invalid_argument{"generate_corpus: venue split must sum to cloud_articles"};
+  }
+
+  std::vector<Article> corpus;
+  corpus.reserve(static_cast<std::size_t>(options.total_articles));
+
+  const Venue venues[] = {Venue::kNsdi, Venue::kOsdi, Venue::kSosp, Venue::kSc};
+  const int per_venue_cloud[] = {options.nsdi_cloud, options.osdi_cloud,
+                                 options.sosp_cloud, options.sc_cloud};
+  const auto citations =
+      draw_citations(options.cloud_articles, options.total_citations_of_selected, rng);
+
+  // 1) The 44 selected articles: keyword-matching, cloud-evaluated.
+  std::size_t cite_index = 0;
+  for (int v = 0; v < 4; ++v) {
+    for (int i = 0; i < per_venue_cloud[v]; ++i) {
+      Article a;
+      a.venue = venues[v];
+      a.year = static_cast<int>(rng.uniform_int(2008, 2018));
+      a.keyword_match = true;
+      a.cloud_experiments = true;
+      a.citations = citations[cite_index++];
+      assign_reporting(a, options, rng);
+      corpus.push_back(a);
+    }
+  }
+
+  // 2) Keyword matches without cloud experiments.
+  const int keyword_only = options.keyword_matches - options.cloud_articles;
+  for (int i = 0; i < keyword_only; ++i) {
+    Article a;
+    a.venue = venues[rng.uniform_int(0, 3)];
+    a.year = static_cast<int>(rng.uniform_int(2008, 2018));
+    a.keyword_match = true;
+    a.cloud_experiments = false;
+    a.citations = static_cast<int>(rng.pareto(10.0, 1.3));
+    assign_reporting(a, options, rng);
+    corpus.push_back(a);
+  }
+
+  // 3) The remainder of the proceedings.
+  const int rest = options.total_articles - options.keyword_matches;
+  for (int i = 0; i < rest; ++i) {
+    Article a;
+    a.venue = venues[rng.uniform_int(0, 3)];
+    a.year = static_cast<int>(rng.uniform_int(2008, 2018));
+    a.keyword_match = false;
+    a.cloud_experiments = false;
+    a.citations = static_cast<int>(rng.pareto(5.0, 1.3));
+    assign_reporting(a, options, rng);
+    corpus.push_back(a);
+  }
+
+  // Shuffle so selection order carries no information.
+  const auto perm = rng.permutation(corpus.size());
+  std::vector<Article> shuffled(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) shuffled[perm[i]] = corpus[i];
+  return shuffled;
+}
+
+std::vector<Article> filter_by_keywords(const std::vector<Article>& corpus) {
+  std::vector<Article> out;
+  for (const auto& a : corpus) {
+    if (a.keyword_match) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Article> filter_cloud_experiments(const std::vector<Article>& keyword_matches) {
+  std::vector<Article> out;
+  for (const auto& a : keyword_matches) {
+    if (a.cloud_experiments) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace cloudrepro::survey

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+#include "survey/article.h"
+
+namespace cloudrepro::survey {
+
+/// Calibration knobs for the synthetic corpus. Defaults reproduce the
+/// paper's funnel (Table 2: 1,867 total -> 138 keyword matches -> 44 with
+/// cloud experiments; 15 NSDI, 7 OSDI, 7 SOSP, 15 SC; 11,203 citations) and
+/// Figure 1's reporting marginals (>60% under-specified; of the articles
+/// reporting averages/medians only ~37% report variability; most reported
+/// repetition counts in {3, 5, 10}).
+struct CorpusOptions {
+  int total_articles = 1867;
+  int keyword_matches = 138;
+  int cloud_articles = 44;
+  int nsdi_cloud = 15;
+  int osdi_cloud = 7;
+  int sosp_cloud = 7;
+  int sc_cloud = 15;
+  int total_citations_of_selected = 11203;
+
+  /// Fraction of cloud articles written "carefully" (they state measures,
+  /// repetitions, sometimes variability); the rest are careless reporters.
+  double careful_fraction = 0.40;
+  double careful_reports_reps = 0.95;
+  double careful_reports_variability = 0.45;
+  double careless_reports_measure = 0.18;
+  double careless_reports_reps = 0.05;
+  double careless_reports_variability = 0.05;
+};
+
+/// Generates the full synthetic corpus (all venues/years, pre-filtering).
+std::vector<Article> generate_corpus(const CorpusOptions& options, stats::Rng& rng);
+
+/// Stage 1 of Table 2: automatic keyword filter.
+std::vector<Article> filter_by_keywords(const std::vector<Article>& corpus);
+
+/// Stage 2 of Table 2: manual filter for cloud-based experiments.
+std::vector<Article> filter_cloud_experiments(const std::vector<Article>& keyword_matches);
+
+}  // namespace cloudrepro::survey

@@ -1,0 +1,121 @@
+#include "survey/review.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "stats/kappa.h"
+
+namespace cloudrepro::survey {
+
+namespace {
+
+bool flip(bool truth, double error_rate, stats::Rng& rng) {
+  return rng.bernoulli(error_rate) ? !truth : truth;
+}
+
+}  // namespace
+
+ReviewerLabels review_articles(const std::vector<Article>& articles,
+                               double error_rate, stats::Rng& rng) {
+  if (error_rate < 0.0 || error_rate > 0.5) {
+    throw std::invalid_argument{"review_articles: error_rate must be in [0, 0.5]"};
+  }
+  ReviewerLabels labels;
+  labels.reports_central_tendency.reserve(articles.size());
+  labels.reports_variability.reserve(articles.size());
+  labels.underspecified.reserve(articles.size());
+  for (const auto& a : articles) {
+    labels.reports_central_tendency.push_back(
+        flip(a.reports_central_tendency, error_rate, rng));
+    labels.reports_variability.push_back(flip(a.reports_variability, error_rate, rng));
+    labels.underspecified.push_back(flip(a.underspecified(), error_rate, rng));
+  }
+  return labels;
+}
+
+AgreementReport agreement(const ReviewerLabels& a, const ReviewerLabels& b) {
+  // std::vector<bool> is a bitset without contiguous bool storage;
+  // materialize plain arrays for the span-based kappa API.
+  const auto kappa = [](const std::vector<bool>& x, const std::vector<bool>& y) {
+    const std::size_t n = x.size();
+    std::unique_ptr<bool[]> xa{new bool[n]};
+    std::unique_ptr<bool[]> ya{new bool[n]};
+    for (std::size_t i = 0; i < n; ++i) {
+      xa[i] = x[i];
+      ya[i] = y[i];
+    }
+    return stats::cohens_kappa({xa.get(), n}, {ya.get(), n});
+  };
+  AgreementReport report;
+  report.kappa_central_tendency = kappa(a.reports_central_tendency, b.reports_central_tendency);
+  report.kappa_variability = kappa(a.reports_variability, b.reports_variability);
+  report.kappa_underspecified = kappa(a.underspecified, b.underspecified);
+  return report;
+}
+
+ReviewerLabels favorable_consensus(const ReviewerLabels& a, const ReviewerLabels& b) {
+  ReviewerLabels c;
+  const std::size_t n = a.reports_central_tendency.size();
+  if (b.reports_central_tendency.size() != n) {
+    throw std::invalid_argument{"favorable_consensus: label sets differ in size"};
+  }
+  c.reports_central_tendency.reserve(n);
+  c.reports_variability.reserve(n);
+  c.underspecified.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.reports_central_tendency.push_back(a.reports_central_tendency[i] ||
+                                         b.reports_central_tendency[i]);
+    c.reports_variability.push_back(a.reports_variability[i] || b.reports_variability[i]);
+    c.underspecified.push_back(a.underspecified[i] && b.underspecified[i]);
+  }
+  return c;
+}
+
+SurveyFindings summarize_survey(const std::vector<Article>& articles,
+                                const ReviewerLabels& consensus) {
+  if (articles.size() != consensus.reports_central_tendency.size()) {
+    throw std::invalid_argument{"summarize_survey: articles/labels size mismatch"};
+  }
+  SurveyFindings f;
+  f.selected_articles = articles.size();
+  if (articles.empty()) return f;
+
+  std::size_t central = 0, variability = 0, underspec = 0;
+  std::size_t variability_and_central = 0;
+  std::size_t properly = 0, properly_le15 = 0;
+  std::map<int, std::size_t> rep_counts;
+
+  for (std::size_t i = 0; i < articles.size(); ++i) {
+    f.total_citations += articles[i].citations;
+    if (consensus.reports_central_tendency[i]) ++central;
+    if (consensus.reports_variability[i]) ++variability;
+    if (consensus.underspecified[i]) ++underspec;
+    if (consensus.reports_central_tendency[i] && consensus.reports_variability[i]) {
+      ++variability_and_central;
+    }
+    if (articles[i].properly_specified()) {
+      ++properly;
+      ++rep_counts[articles[i].repetitions];
+      if (articles[i].repetitions <= 15) ++properly_le15;
+    }
+  }
+
+  const double n = static_cast<double>(articles.size());
+  f.pct_reporting_central_tendency = 100.0 * static_cast<double>(central) / n;
+  f.pct_reporting_variability = 100.0 * static_cast<double>(variability) / n;
+  f.pct_underspecified = 100.0 * static_cast<double>(underspec) / n;
+  f.pct_variability_given_central =
+      central == 0 ? 0.0
+                   : 100.0 * static_cast<double>(variability_and_central) /
+                         static_cast<double>(central);
+  for (const auto& [reps, count] : rep_counts) {
+    f.repetition_pct[reps] = 100.0 * static_cast<double>(count) / n;
+  }
+  f.pct_properly_specified_le15_reps =
+      properly == 0 ? 0.0
+                    : 100.0 * static_cast<double>(properly_le15) /
+                          static_cast<double>(properly);
+  return f;
+}
+
+}  // namespace cloudrepro::survey

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "stats/rng.h"
+#include "survey/article.h"
+
+namespace cloudrepro::survey {
+
+/// One reviewer's binary judgements over the selected articles, for the
+/// three Figure 1a categories.
+struct ReviewerLabels {
+  std::vector<bool> reports_central_tendency;
+  std::vector<bool> reports_variability;
+  std::vector<bool> underspecified;
+};
+
+/// Simulates one human reviewer reading the articles: each ground-truth
+/// judgement is flipped with probability `error_rate` (reviewers disagree
+/// occasionally; the paper validates agreement with Cohen's Kappa and
+/// reaches 0.95 / 0.81 / 0.85 for the three categories).
+ReviewerLabels review_articles(const std::vector<Article>& articles,
+                               double error_rate, stats::Rng& rng);
+
+/// Inter-reviewer agreement per category.
+struct AgreementReport {
+  double kappa_central_tendency = 0.0;
+  double kappa_variability = 0.0;
+  double kappa_underspecified = 0.0;
+};
+
+AgreementReport agreement(const ReviewerLabels& a, const ReviewerLabels& b);
+
+/// The consensus rule the paper uses for Figure 1: "out of the two
+/// reviewers' scores, we plot the lower scores, i.e., ones that are more
+/// favorable to the articles". For the negative category (under-specified)
+/// the favorable choice is the logical AND; for the positive categories it
+/// is the OR.
+ReviewerLabels favorable_consensus(const ReviewerLabels& a, const ReviewerLabels& b);
+
+/// Aggregated survey results (Figure 1 + Table 2's bottom line).
+struct SurveyFindings {
+  std::size_t selected_articles = 0;
+  long long total_citations = 0;
+
+  double pct_reporting_central_tendency = 0.0;  ///< Of all selected articles.
+  double pct_reporting_variability = 0.0;       ///< Of all selected articles.
+  double pct_underspecified = 0.0;              ///< Of all selected articles.
+
+  /// Of the articles reporting averages/medians, the share also reporting
+  /// variability or confidence (the paper finds only 37%).
+  double pct_variability_given_central = 0.0;
+
+  /// Repetition-count histogram over properly specified articles
+  /// (Figure 1b), as percentage of all selected articles.
+  std::map<int, double> repetition_pct;
+
+  /// Share of properly specified studies using <= 15 repetitions
+  /// (the paper: 76%).
+  double pct_properly_specified_le15_reps = 0.0;
+};
+
+/// Computes the findings from consensus labels plus the articles'
+/// repetition counts.
+SurveyFindings summarize_survey(const std::vector<Article>& articles,
+                                const ReviewerLabels& consensus);
+
+}  // namespace cloudrepro::survey

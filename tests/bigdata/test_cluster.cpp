@@ -1,0 +1,98 @@
+#include "bigdata/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/tc_emulator.h"
+#include "simnet/qos.h"
+
+namespace cloudrepro::bigdata {
+namespace {
+
+simnet::TokenBucketConfig small_bucket() {
+  simnet::TokenBucketConfig cfg;
+  cfg.capacity_gbit = 100.0;
+  cfg.initial_gbit = 100.0;
+  cfg.high_rate_gbps = 10.0;
+  cfg.low_rate_gbps = 1.0;
+  cfg.replenish_gbps = 1.0;
+  return cfg;
+}
+
+TEST(ClusterTest, UniformClusterClonesPrototype) {
+  simnet::TokenBucketQos proto{small_bucket()};
+  auto cluster = Cluster::uniform(4, 16, proto, 10.0);
+  EXPECT_EQ(cluster.node_count(), 4u);
+  EXPECT_EQ(cluster.cores_per_node(), 16);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(*cluster.token_budget(i), 100.0);
+    EXPECT_DOUBLE_EQ(cluster.node(i).line_rate_gbps, 10.0);
+  }
+}
+
+TEST(ClusterTest, FromCloudDrawsDistinctIncarnations) {
+  stats::Rng rng{1};
+  auto cluster = Cluster::from_cloud(6, 16, cloud::ec2_c5_xlarge(), rng);
+  EXPECT_EQ(cluster.node_count(), 6u);
+  // Incarnation scatter: not all budgets identical.
+  bool any_different = false;
+  for (std::size_t i = 1; i < 6; ++i) {
+    if (*cluster.token_budget(i) != *cluster.token_budget(0)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ClusterTest, SetTokenBudgetsAppliesToAllNodes) {
+  simnet::TokenBucketQos proto{small_bucket()};
+  auto cluster = Cluster::uniform(3, 8, proto, 10.0);
+  cluster.set_token_budgets(25.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(*cluster.token_budget(i), 25.0);
+  }
+}
+
+TEST(ClusterTest, SetTokenBudgetsWorksOnTcEmulator) {
+  cloud::TcEmulatorConfig cfg;
+  cfg.bucket = small_bucket();
+  cloud::TcEmulator proto{cfg};
+  auto cluster = Cluster::uniform(2, 8, proto, 10.0);
+  cluster.set_token_budgets(7.0);
+  EXPECT_DOUBLE_EQ(*cluster.token_budget(0), 7.0);
+}
+
+TEST(ClusterTest, SetTokenBudgetsNoopOnUnshapedNodes) {
+  simnet::FixedRateQos proto{10.0};
+  auto cluster = Cluster::uniform(2, 8, proto, 10.0);
+  cluster.set_token_budgets(7.0);
+  EXPECT_FALSE(cluster.token_budget(0).has_value());
+}
+
+TEST(ClusterTest, ResetRestoresFreshState) {
+  simnet::TokenBucketQos proto{small_bucket()};
+  auto cluster = Cluster::uniform(2, 8, proto, 10.0);
+  cluster.node(0).egress->advance(20.0, 10.0);
+  ASSERT_LT(*cluster.token_budget(0), 100.0);
+  cluster.reset_network();
+  EXPECT_DOUBLE_EQ(*cluster.token_budget(0), 100.0);
+}
+
+TEST(ClusterTest, RestReplenishesBuckets) {
+  simnet::TokenBucketQos proto{small_bucket()};
+  auto cluster = Cluster::uniform(2, 8, proto, 10.0);
+  cluster.set_token_budgets(0.0);
+  cluster.rest(30.0);
+  EXPECT_NEAR(*cluster.token_budget(0), 30.0, 1e-9);
+  cluster.rest(0.0);  // No-op.
+  EXPECT_NEAR(*cluster.token_budget(0), 30.0, 1e-9);
+}
+
+TEST(ClusterTest, Validation) {
+  simnet::FixedRateQos proto{10.0};
+  EXPECT_THROW(Cluster::uniform(1, 8, proto, 10.0), std::invalid_argument);
+  EXPECT_THROW(Cluster::uniform(2, 0, proto, 10.0), std::invalid_argument);
+  stats::Rng rng{2};
+  EXPECT_THROW(Cluster::from_cloud(1, 8, cloud::gce_8core(), rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudrepro::bigdata

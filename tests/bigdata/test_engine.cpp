@@ -1,0 +1,255 @@
+#include "bigdata/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/instances.h"
+#include "simnet/qos.h"
+#include "stats/descriptive.h"
+
+namespace cloudrepro::bigdata {
+namespace {
+
+simnet::TokenBucketConfig c5_bucket() {
+  return *cloud::ec2_c5_xlarge().nominal_bucket();
+}
+
+Cluster twelve_nodes(double budget = -1.0) {
+  simnet::TokenBucketQos proto{c5_bucket()};
+  auto cluster = Cluster::uniform(12, 16, proto, 10.0);
+  if (budget >= 0.0) cluster.set_token_budgets(budget);
+  return cluster;
+}
+
+TEST(EngineTest, RuntimeIsPositiveAndBoundedByComputePlusTransfer) {
+  stats::Rng rng{1};
+  auto cluster = twelve_nodes();
+  SparkEngine engine;
+  const auto& q = tpcds_query(82);
+  const auto r = engine.run(q, cluster, rng);
+  const double compute = q.nominal_compute_s(16);
+  EXPECT_GT(r.runtime_s, compute * 0.9);
+  EXPECT_LT(r.runtime_s, compute * 2.0);  // Q82 is compute-bound.
+  EXPECT_EQ(r.workload, "Q82");
+}
+
+TEST(EngineTest, PerNodeSentMatchesProfile) {
+  stats::Rng rng{2};
+  auto cluster = twelve_nodes();
+  SparkEngine engine;
+  const auto& q = tpcds_query(65);
+  const auto r = engine.run(q, cluster, rng);
+  const double expected = q.total_shuffle_gbit_per_node();
+  ASSERT_EQ(r.per_node_sent_gbit.size(), 12u);
+  for (const double sent : r.per_node_sent_gbit) {
+    EXPECT_NEAR(sent, expected, 1e-9);  // No skew by default.
+  }
+}
+
+TEST(EngineTest, EmptyBudgetSlowsNetworkHeavyQuery) {
+  stats::Rng rng{3};
+  SparkEngine engine;
+
+  auto fresh = twelve_nodes(5000.0);
+  const double fast = engine.run(tpcds_query(65), fresh, rng).runtime_s;
+
+  auto drained = twelve_nodes(10.0);
+  const double slow = engine.run(tpcds_query(65), drained, rng).runtime_s;
+
+  // Without partition skew Q65 roughly doubles; the Figure 17 bench adds
+  // the paper's scheduling imbalance and reaches 3-5x.
+  EXPECT_GT(slow, 1.8 * fast);
+}
+
+TEST(EngineTest, EmptyBudgetLeavesComputeBoundQueryAlone) {
+  stats::Rng rng{4};
+  SparkEngine engine;
+  auto fresh = twelve_nodes(5000.0);
+  const double fast = engine.run(tpcds_query(82), fresh, rng).runtime_s;
+  auto drained = twelve_nodes(10.0);
+  const double slow = engine.run(tpcds_query(82), drained, rng).runtime_s;
+  EXPECT_LT(slow, 1.15 * fast);  // Q82 is budget-agnostic (Figure 19).
+}
+
+TEST(EngineTest, HiBenchNetworkHeavyAppsLose25To50Percent) {
+  // F4.2 / Figure 16: "the initial state of the budget can have a 25%-50%
+  // impact on performance" for TS and WC.
+  stats::Rng rng{5};
+  SparkEngine engine;
+  for (const char* name : {"TS", "WC"}) {
+    const auto& w = *[&] {
+      for (const auto& p : hibench_suite()) {
+        if (p.name == name) return &p;
+      }
+      return static_cast<const WorkloadProfile*>(nullptr);
+    }();
+    auto fresh = twelve_nodes(5000.0);
+    const double fast = engine.run(w, fresh, rng).runtime_s;
+    auto drained = twelve_nodes(10.0);
+    const double slow = engine.run(w, drained, rng).runtime_s;
+    const double impact = slow / fast - 1.0;
+    EXPECT_GT(impact, 0.15) << name;
+    EXPECT_LT(impact, 0.70) << name;
+  }
+}
+
+TEST(EngineTest, StateCarriesAcrossConsecutiveRuns) {
+  // F4.2: "an application influences not only its own runtime, but also
+  // future applications' runtimes".
+  stats::Rng rng{6};
+  SparkEngine engine;
+  auto cluster = twelve_nodes(250.0);
+  const double first = engine.run(tpcds_query(65), cluster, rng).runtime_s;
+  // Q65 drains ~50 Gbit/node/run net of refills: the 250-Gbit budget is
+  // gone after about five runs.
+  for (int i = 0; i < 4; ++i) engine.run(tpcds_query(65), cluster, rng);
+  const double sixth = engine.run(tpcds_query(65), cluster, rng).runtime_s;
+  EXPECT_GT(sixth, 1.5 * first);
+  EXPECT_LT(*cluster.token_budget(0), 250.0);
+}
+
+TEST(EngineTest, FreshClustersGiveIidRuns) {
+  stats::Rng rng{7};
+  SparkEngine engine;
+  std::vector<double> runtimes;
+  for (int i = 0; i < 8; ++i) {
+    auto cluster = twelve_nodes(5000.0);
+    runtimes.push_back(engine.run(tpcds_query(65), cluster, rng).runtime_s);
+  }
+  // Modest dispersion from task jitter only.
+  EXPECT_LT(stats::coefficient_of_variation(runtimes), 0.10);
+}
+
+TEST(EngineTest, SkewCreatesStragglerUnderMidBudget) {
+  // F4.3 / Figure 18: skew + a mid-sized budget -> one node depletes and
+  // straggles while the others stay fast.
+  stats::Rng rng{8};
+  EngineOptions opt;
+  opt.partition_skew = 0.6;
+  SparkEngine engine{opt};
+
+  // Figure 18's configuration: 2500-Gbit budgets. The most-loaded node
+  // drains first; the rest retain budget, so for a window of runs exactly
+  // one node straggles.
+  auto cluster = twelve_nodes(2500.0);
+  double max_ratio = 0.0;
+  bool straggled = false;
+  for (int i = 0; i < 22; ++i) {
+    const auto r = engine.run(tpcds_query(65), cluster, rng);
+    max_ratio = std::max(max_ratio, r.straggler_ratio);
+    straggled = straggled || r.has_straggler();
+  }
+  EXPECT_GT(max_ratio, 1.5);
+  EXPECT_TRUE(straggled);
+}
+
+TEST(EngineTest, NoSkewNoStragglerAtHighBudget) {
+  stats::Rng rng{9};
+  SparkEngine engine;
+  auto cluster = twelve_nodes(5000.0);
+  const auto r = engine.run(tpcds_query(65), cluster, rng);
+  EXPECT_LT(r.straggler_ratio, 1.2);
+  EXPECT_FALSE(r.has_straggler());
+}
+
+TEST(EngineTest, TimelineRecordsRatesAndBudgets) {
+  stats::Rng rng{10};
+  EngineOptions opt;
+  opt.timeline_interval_s = 1.0;
+  SparkEngine engine{opt};
+  auto cluster = twelve_nodes(5000.0);
+  const auto r = engine.run(hibench_terasort(), cluster, rng);
+  ASSERT_EQ(r.timelines.size(), 12u);
+  ASSERT_FALSE(r.timelines[0].empty());
+  double max_rate = 0.0;
+  for (const auto& p : r.timelines[0]) {
+    EXPECT_GE(p.egress_gbps, 0.0);
+    EXPECT_LE(p.egress_gbps, 10.5);
+    EXPECT_GE(p.budget_gbit, 0.0);  // Token policy exposes its budget.
+    max_rate = std::max(max_rate, p.egress_gbps);
+  }
+  EXPECT_GT(max_rate, 5.0);  // The shuffle reached the high QoS.
+  // Budgets only decrease while the network is busy draining faster than
+  // replenish; final budget below initial.
+  EXPECT_LT(r.timelines[0].back().budget_gbit, 5000.0);
+}
+
+TEST(EngineTest, TimelineDisabledByDefault) {
+  stats::Rng rng{11};
+  SparkEngine engine;
+  auto cluster = twelve_nodes();
+  const auto r = engine.run(tpcds_query(3), cluster, rng);
+  EXPECT_TRUE(r.timelines.empty());
+}
+
+TEST(EngineTest, GceClusterRunsWithoutBudgets) {
+  stats::Rng rng{12};
+  auto cluster = Cluster::from_cloud(8, 16, cloud::gce_8core(), rng);
+  SparkEngine engine;
+  const auto r = engine.run(tpcds_query(7), cluster, rng);
+  EXPECT_GT(r.runtime_s, 0.0);
+  EXPECT_FALSE(cluster.token_budget(0).has_value());
+}
+
+TEST(EngineTest, RejectsNegativeSkew) {
+  EngineOptions opt;
+  opt.partition_skew = -0.1;
+  EXPECT_THROW(SparkEngine{opt}, std::invalid_argument);
+}
+
+
+TEST(EngineTest, MixedNicFleetCreatesStragglersWithoutSkew) {
+  // F5.2 meets F4.3: a post-August-2019 allocation where some c5 NICs come
+  // capped at 5 Gbps. Even with perfectly balanced partitioning, the capped
+  // nodes' effective egress rate is half the fleet's — a hardware-lottery
+  // straggler that no amount of repetition fixes.
+  cloud::IncarnationOptions options;
+  options.era = cloud::PolicyEra::kPostAugust2019;
+  options.capped_nic_probability = 0.2;
+  stats::Rng rng{20};
+  // Draw until the fleet is mixed (some capped, some not).
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    auto cluster = Cluster::from_cloud(12, 16, cloud::ec2_c5_xlarge(options), rng);
+    int capped = 0;
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      // A capped NIC's bucket grants at most 5 Gbps at full budget.
+      if (cluster.node(i).egress->allowed_rate() < 6.0) ++capped;
+    }
+    if (capped == 0 || capped == 12) continue;
+
+    SparkEngine engine;
+    const auto r = engine.run(tpcds_query(65), cluster, rng);
+    EXPECT_GT(r.straggler_ratio, 1.5);
+    EXPECT_LT(cluster.node(r.slowest_node).egress->allowed_rate(), 6.0);
+    return;
+  }
+  FAIL() << "no mixed fleet drawn in 20 attempts";
+}
+
+// ---- Budget monotonicity sweep (the Figure 16/17 property): runtime is
+// non-increasing in the initial budget for every workload.
+class BudgetMonotonicityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BudgetMonotonicityTest, RuntimeNonIncreasingInBudget) {
+  const std::string name = GetParam();
+  const WorkloadProfile* workload = nullptr;
+  for (const auto& w : hibench_suite()) {
+    if (w.name == name) workload = &w;
+  }
+  ASSERT_NE(workload, nullptr);
+
+  SparkEngine engine;
+  double prev = 1e18;
+  for (const double budget : {10.0, 100.0, 1000.0, 5000.0}) {
+    stats::Rng rng{13};  // Same task jitter for all budgets.
+    auto cluster = twelve_nodes(budget);
+    const double rt = engine.run(*workload, cluster, rng).runtime_s;
+    EXPECT_LE(rt, prev * 1.02) << name << " at budget " << budget;
+    prev = rt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HiBench, BudgetMonotonicityTest,
+                         ::testing::Values("TS", "WC", "S", "BS", "KM"));
+
+}  // namespace
+}  // namespace cloudrepro::bigdata

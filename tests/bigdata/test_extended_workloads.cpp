@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+
+namespace cloudrepro::bigdata {
+namespace {
+
+TEST(ExtendedWorkloadsTest, HiBenchExtendedSuite) {
+  const auto suite = hibench_extended_suite();
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].name, "PR");
+  EXPECT_EQ(suite[1].name, "JN");
+  EXPECT_EQ(suite[2].name, "AG");
+  for (const auto& w : suite) {
+    EXPECT_EQ(w.suite, "HiBench");
+    EXPECT_FALSE(w.stages.empty());
+  }
+}
+
+TEST(ExtendedWorkloadsTest, TpchSuiteHasEightQueries) {
+  const auto suite = tpch_suite();
+  ASSERT_EQ(suite.size(), 8u);
+  for (const int q : {1, 3, 5, 6, 9, 13, 18, 21}) {
+    EXPECT_NO_THROW(tpch_query(q)) << "Q" << q;
+    EXPECT_EQ(tpch_query(q).suite, "TPC-H");
+  }
+  EXPECT_THROW(tpch_query(2), std::out_of_range);
+}
+
+TEST(ExtendedWorkloadsTest, TpchScanQueriesAreNetworkLight) {
+  // Q1/Q6 are scans; Q9/Q21 are join-heavy.
+  EXPECT_LT(tpch_query(1).network_intensity(), 0.2);
+  EXPECT_LT(tpch_query(6).network_intensity(), 0.2);
+  EXPECT_GT(tpch_query(9).network_intensity(), 1.0);
+  EXPECT_GT(tpch_query(21).network_intensity(), 0.8);
+}
+
+TEST(ExtendedWorkloadsTest, TpchQueriesAreShortLived) {
+  // The access-pattern rationale: TPC-H queries finish in tens of seconds
+  // on a healthy network (5-30 / 10-30 territory).
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  SparkEngine engine;
+  stats::Rng rng{1};
+  for (const auto& q : tpch_suite()) {
+    auto cluster = Cluster::uniform(12, 16, proto, 10.0);
+    const auto r = engine.run(q, cluster, rng);
+    EXPECT_GT(r.runtime_s, 5.0) << q.name;
+    EXPECT_LT(r.runtime_s, 120.0) << q.name;
+  }
+}
+
+TEST(ExtendedWorkloadsTest, JoinHeavyTpchSlowsOnEmptyBudget) {
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  SparkEngine engine;
+  stats::Rng rng{2};
+
+  auto fresh = Cluster::uniform(12, 16, proto, 10.0);
+  const double fast = engine.run(tpch_query(9), fresh, rng).runtime_s;
+  auto drained = Cluster::uniform(12, 16, proto, 10.0);
+  drained.set_token_budgets(10.0);
+  const double slow = engine.run(tpch_query(9), drained, rng).runtime_s;
+  EXPECT_GT(slow, 1.5 * fast);
+
+  // The scan query barely notices.
+  auto fresh2 = Cluster::uniform(12, 16, proto, 10.0);
+  const double fast_q6 = engine.run(tpch_query(6), fresh2, rng).runtime_s;
+  auto drained2 = Cluster::uniform(12, 16, proto, 10.0);
+  drained2.set_token_budgets(10.0);
+  const double slow_q6 = engine.run(tpch_query(6), drained2, rng).runtime_s;
+  EXPECT_LT(slow_q6, 1.15 * fast_q6);
+}
+
+TEST(ExtendedWorkloadsTest, PageRankIterationsAccumulateShuffle) {
+  const auto& pr = *hibench_extended_suite().begin();
+  EXPECT_EQ(pr.stages.size(), 5u);  // Load + 4 iterations.
+  EXPECT_GT(pr.total_shuffle_gbit_per_node(), 100.0);
+}
+
+// ---- CPU-credit integration (the paper's closing extension) ------------------
+
+TEST(CpuCreditIntegrationTest, DepletedCreditsStretchComputeBoundQueries) {
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  SparkEngine engine;
+  stats::Rng rng{3};
+
+  cloud::CpuCreditConfig cpu;
+  cpu.baseline_fraction = 0.4;
+
+  auto bursting = Cluster::uniform(12, 16, proto, 10.0);
+  bursting.attach_cpu_credits(cpu);
+  const double fast = engine.run(tpcds_query(82), bursting, rng).runtime_s;
+
+  auto depleted = Cluster::uniform(12, 16, proto, 10.0);
+  depleted.attach_cpu_credits(cpu);
+  depleted.set_cpu_credits(0.0);
+  const double slow = engine.run(tpcds_query(82), depleted, rng).runtime_s;
+
+  // Q82 is compute-bound: empty CPU credits stretch it toward 1/0.4 = 2.5x.
+  EXPECT_GT(slow, 2.0 * fast);
+  EXPECT_LT(slow, 2.8 * fast);
+}
+
+TEST(CpuCreditIntegrationTest, CreditStateCarriesAcrossRuns) {
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  SparkEngine engine;
+  stats::Rng rng{4};
+
+  cloud::CpuCreditConfig cpu;
+  cpu.initial_credits = 200.0;
+  cpu.max_credits = 2304.0;
+
+  auto cluster = Cluster::uniform(12, 16, proto, 10.0);
+  cluster.attach_cpu_credits(cpu);
+  const double initial = *cluster.cpu_credits(0);
+  engine.run(tpcds_query(82), cluster, rng);
+  EXPECT_LT(*cluster.cpu_credits(0), initial);  // Compute burned credits.
+}
+
+TEST(CpuCreditIntegrationTest, ResetRestoresCredits) {
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  auto cluster = Cluster::uniform(2, 16, proto, 10.0);
+  cloud::CpuCreditConfig cpu;
+  cluster.attach_cpu_credits(cpu);
+  cluster.set_cpu_credits(5.0);
+  cluster.reset_network();
+  EXPECT_DOUBLE_EQ(*cluster.cpu_credits(0), cpu.initial_credits);
+}
+
+TEST(CpuCreditIntegrationTest, RestEarnsCredits) {
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  auto cluster = Cluster::uniform(2, 16, proto, 10.0);
+  cloud::CpuCreditConfig cpu;
+  cluster.attach_cpu_credits(cpu);
+  cluster.set_cpu_credits(0.0);
+  cluster.rest(3600.0);
+  EXPECT_NEAR(*cluster.cpu_credits(0), cpu.credits_per_hour(), 1e-6);
+}
+
+TEST(CpuCreditIntegrationTest, UnattachedClusterReportsNullopt) {
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  auto cluster = Cluster::uniform(2, 16, proto, 10.0);
+  EXPECT_FALSE(cluster.cpu_credits(0).has_value());
+  cluster.set_cpu_credits(10.0);  // No-op, no throw.
+}
+
+}  // namespace
+}  // namespace cloudrepro::bigdata

@@ -1,0 +1,96 @@
+#include "bigdata/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cloudrepro::bigdata {
+namespace {
+
+TEST(WorkloadTest, HiBenchSuiteHasFiveApps) {
+  const auto suite = hibench_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& w : suite) names.insert(w.name);
+  EXPECT_EQ(names, (std::set<std::string>{"TS", "WC", "S", "BS", "KM"}));
+}
+
+TEST(WorkloadTest, TpcdsSuiteHasFigure17Queries) {
+  const auto suite = tpcds_suite();
+  ASSERT_EQ(suite.size(), 21u);
+  const int expected[] = {3,  7,  19, 27, 34, 42, 43, 46, 52, 53, 55,
+                          59, 63, 65, 68, 70, 73, 79, 82, 89, 98};
+  for (const int q : expected) {
+    EXPECT_NO_THROW(tpcds_query(q)) << "Q" << q;
+  }
+}
+
+TEST(WorkloadTest, UnknownQueryThrows) {
+  EXPECT_THROW(tpcds_query(1), std::out_of_range);
+  EXPECT_THROW(tpcds_query(99), std::out_of_range);
+}
+
+TEST(WorkloadTest, TotalShuffleSumsStages) {
+  WorkloadProfile w;
+  w.stages = {{"a", 16, 1.0, 0.1, 10.0}, {"b", 16, 1.0, 0.1, 5.0}};
+  EXPECT_DOUBLE_EQ(w.total_shuffle_gbit_per_node(), 15.0);
+}
+
+TEST(WorkloadTest, NominalComputeUsesWaves) {
+  WorkloadProfile w;
+  w.stages = {{"a", 32, 10.0, 0.1, 0.0}};  // 32 tasks on 16 cores = 2 waves.
+  EXPECT_DOUBLE_EQ(w.nominal_compute_s(16), 20.0);
+  EXPECT_DOUBLE_EQ(w.nominal_compute_s(32), 10.0);
+  // Partial wave rounds up.
+  w.stages = {{"a", 17, 10.0, 0.1, 0.0}};
+  EXPECT_DOUBLE_EQ(w.nominal_compute_s(16), 20.0);
+}
+
+TEST(WorkloadTest, NetworkIntensityOrderingHiBench) {
+  // The paper's F4.2/Figure 16: TS and WC are the most network-dependent;
+  // KM the least.
+  const double ts = hibench_terasort().network_intensity();
+  const double wc = hibench_wordcount().network_intensity();
+  const double km = hibench_kmeans().network_intensity();
+  const double bs = hibench_bayes().network_intensity();
+  EXPECT_GT(ts, km);
+  EXPECT_GT(wc, km);
+  EXPECT_GT(ts, bs);
+}
+
+TEST(WorkloadTest, NetworkIntensityOrderingTpcds) {
+  // Q65/Q68 are the network-heavy extremes; Q82 the compute-bound one
+  // (Figure 19 uses exactly this contrast).
+  const double q65 = tpcds_query(65).network_intensity();
+  const double q68 = tpcds_query(68).network_intensity();
+  const double q82 = tpcds_query(82).network_intensity();
+  const double q55 = tpcds_query(55).network_intensity();
+  EXPECT_GT(q65, 10.0 * q82);
+  EXPECT_GT(q68, 10.0 * q82);
+  EXPECT_LT(q55, 0.2);
+  EXPECT_LT(q82, 0.1);
+}
+
+TEST(WorkloadTest, AllProfilesWellFormed) {
+  const auto check = [](const WorkloadProfile& w) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_FALSE(w.stages.empty()) << w.name;
+    for (const auto& s : w.stages) {
+      EXPECT_GT(s.tasks_per_node, 0) << w.name;
+      EXPECT_GT(s.compute_s_mean, 0.0) << w.name;
+      EXPECT_GE(s.compute_s_cv, 0.0) << w.name;
+      EXPECT_GE(s.shuffle_gbit_per_node, 0.0) << w.name;
+    }
+  };
+  for (const auto& w : hibench_suite()) check(w);
+  for (const auto& w : tpcds_suite()) check(w);
+}
+
+TEST(WorkloadTest, SuitesAreStableAcrossCalls) {
+  // The catalogs are static: repeated calls return identical profiles.
+  EXPECT_EQ(tpcds_suite().data(), tpcds_suite().data());
+  EXPECT_EQ(hibench_suite().data(), hibench_suite().data());
+}
+
+}  // namespace
+}  // namespace cloudrepro::bigdata

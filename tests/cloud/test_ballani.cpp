@@ -1,0 +1,93 @@
+#include "cloud/ballani.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace cloudrepro::cloud {
+namespace {
+
+TEST(BallaniTest, EightDistributionsLabelledAThroughH) {
+  const auto dists = ballani_distributions();
+  ASSERT_EQ(dists.size(), 8u);
+  const char* expected[] = {"A", "B", "C", "D", "E", "F", "G", "H"};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(dists[i].label, expected[i]);
+}
+
+TEST(BallaniTest, PercentilesAreMonotone) {
+  for (const auto& d : ballani_distributions()) {
+    EXPECT_LT(d.p1, d.p25) << d.label;
+    EXPECT_LT(d.p25, d.p50) << d.label;
+    EXPECT_LT(d.p50, d.p75) << d.label;
+    EXPECT_LT(d.p75, d.p99) << d.label;
+  }
+}
+
+TEST(BallaniTest, ValuesAreSubGigabit) {
+  // Figure 2's axis runs 0..1000 Mb/s — these are 2011-era cloud networks.
+  for (const auto& d : ballani_distributions()) {
+    EXPECT_GT(d.p1, 0.0);
+    EXPECT_LE(d.p99, 1000.0);
+  }
+}
+
+TEST(BallaniTest, QuantileInterpolation) {
+  const auto& d = ballani_distribution("A");
+  EXPECT_DOUBLE_EQ(d.quantile_mbps(0.01), d.p1);
+  EXPECT_DOUBLE_EQ(d.quantile_mbps(0.50), d.p50);
+  EXPECT_DOUBLE_EQ(d.quantile_mbps(0.99), d.p99);
+  // Midway between p25 and p50 quantiles.
+  const double mid = d.quantile_mbps(0.375);
+  EXPECT_GT(mid, d.p25);
+  EXPECT_LT(mid, d.p50);
+}
+
+TEST(BallaniTest, QuantileClampsOutsideKnownRange) {
+  const auto& d = ballani_distribution("B");
+  EXPECT_DOUBLE_EQ(d.quantile_mbps(0.0), d.p1);
+  EXPECT_DOUBLE_EQ(d.quantile_mbps(1.0), d.p99);
+}
+
+TEST(BallaniTest, LookupThrowsOnUnknownLabel) {
+  EXPECT_THROW(ballani_distribution("Z"), std::out_of_range);
+}
+
+TEST(BallaniTest, SamplesReproduceQuartiles) {
+  // Sampling should reproduce the published quartiles (the whole premise of
+  // the paper's Figure 3 emulation).
+  stats::Rng rng{42};
+  const auto& d = ballani_distribution("C");
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = d.sample_mbps(rng);
+  EXPECT_NEAR(stats::quantile(xs, 0.25), d.p25, 0.05 * d.p25);
+  EXPECT_NEAR(stats::quantile(xs, 0.50), d.p50, 0.05 * d.p50);
+  EXPECT_NEAR(stats::quantile(xs, 0.75), d.p75, 0.05 * d.p75);
+}
+
+TEST(BallaniTest, SamplesBoundedByExtremePercentiles) {
+  stats::Rng rng{43};
+  for (const auto& d : ballani_distributions()) {
+    for (int i = 0; i < 1000; ++i) {
+      const double v = d.sample_mbps(rng);
+      EXPECT_GE(v, d.p1) << d.label;
+      EXPECT_LE(v, d.p99) << d.label;
+    }
+  }
+}
+
+TEST(BallaniTest, DistributionsDifferAcrossClouds) {
+  // The clouds must be distinguishable — otherwise Figure 3's per-cloud
+  // medians would coincide.
+  const auto dists = ballani_distributions();
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    for (std::size_t j = i + 1; j < dists.size(); ++j) {
+      EXPECT_NE(dists[i].p50, dists[j].p50)
+          << dists[i].label << " vs " << dists[j].label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudrepro::cloud

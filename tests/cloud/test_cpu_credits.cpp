@@ -1,0 +1,153 @@
+#include "cloud/cpu_credits.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cloudrepro::cloud {
+namespace {
+
+CpuCreditConfig t3_like() {
+  CpuCreditConfig cfg;
+  cfg.baseline_fraction = 0.40;
+  cfg.vcpus = 4;
+  cfg.max_credits = 2304.0;
+  cfg.initial_credits = 2304.0;
+  return cfg;
+}
+
+TEST(CpuCreditTest, FullSpeedWhileCreditsLast) {
+  CpuCreditBucket b{t3_like()};
+  EXPECT_DOUBLE_EQ(b.speed_factor(), 1.0);
+  EXPECT_FALSE(b.depleted());
+}
+
+TEST(CpuCreditTest, EarningRateMatchesBaseline) {
+  const auto cfg = t3_like();
+  // baseline * vcpus * 60 = 0.4 * 4 * 60 = 96 credits/hour.
+  EXPECT_DOUBLE_EQ(cfg.credits_per_hour(), 96.0);
+}
+
+TEST(CpuCreditTest, BurnRateAtFullUtilization) {
+  CpuCreditBucket b{t3_like()};
+  // Spend 4/60 per second, earn 96/3600 per second -> net 0.04 credits/s.
+  b.advance(100.0, 1.0);
+  EXPECT_NEAR(b.credits(), 2304.0 - 4.0, 1e-9);
+}
+
+TEST(CpuCreditTest, DepletionDropsToBaseline) {
+  auto cfg = t3_like();
+  cfg.initial_credits = 1.0;
+  CpuCreditBucket b{cfg};
+  b.advance(30.0, 1.0);  // Burns 30 * 0.04 = 1.2 > 1 credit.
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.speed_factor(), 0.40);
+}
+
+TEST(CpuCreditTest, DepletedAtBaselineUtilizationIsPinned) {
+  // The CPU analogue of "capped-rate transmission keeps the bucket empty".
+  auto cfg = t3_like();
+  cfg.initial_credits = 0.0;
+  CpuCreditBucket b{cfg};
+  b.advance(3600.0, 1.0);  // Scheduler caps effective utilization at 0.4.
+  EXPECT_DOUBLE_EQ(b.credits(), 0.0);
+}
+
+TEST(CpuCreditTest, RestingEarnsCredits) {
+  auto cfg = t3_like();
+  cfg.initial_credits = 0.0;
+  CpuCreditBucket b{cfg};
+  b.advance(3600.0, 0.0);
+  EXPECT_NEAR(b.credits(), 96.0, 1e-9);
+  EXPECT_DOUBLE_EQ(b.speed_factor(), 1.0);
+}
+
+TEST(CpuCreditTest, CreditsCappedAtMax) {
+  CpuCreditBucket b{t3_like()};
+  b.advance(1e6, 0.0);
+  EXPECT_DOUBLE_EQ(b.credits(), 2304.0);
+}
+
+TEST(CpuCreditTest, TimeUntilDepletion) {
+  auto cfg = t3_like();
+  cfg.initial_credits = 4.0;
+  CpuCreditBucket b{cfg};
+  // Net burn at u=1 is 0.04/s -> 100 s.
+  EXPECT_NEAR(b.time_until_change(1.0), 100.0, 1e-9);
+  EXPECT_TRUE(std::isinf(b.time_until_change(0.2)));  // Below baseline.
+}
+
+TEST(CpuCreditTest, RunComputeFullSpeed) {
+  CpuCreditBucket b{t3_like()};
+  EXPECT_NEAR(b.run_compute(60.0), 60.0, 1e-9);
+}
+
+TEST(CpuCreditTest, RunComputeDepletedRunsAtBaseline) {
+  auto cfg = t3_like();
+  cfg.initial_credits = 0.0;
+  CpuCreditBucket b{cfg};
+  // 40 full-speed seconds at 0.4 speed take 100 wall seconds.
+  EXPECT_NEAR(b.run_compute(40.0), 100.0, 1e-9);
+}
+
+TEST(CpuCreditTest, RunComputeStretchesAcrossDepletion) {
+  auto cfg = t3_like();
+  cfg.initial_credits = 0.4;  // 10 s of full-speed burn (0.04/s).
+  CpuCreditBucket b{cfg};
+  // 20 nominal seconds: 10 at speed 1, remaining 10 at 0.4 -> 25 s.
+  EXPECT_NEAR(b.run_compute(20.0), 10.0 + 25.0, 1e-6);
+}
+
+TEST(CpuCreditTest, RunComputeZeroOrNegative) {
+  CpuCreditBucket b{t3_like()};
+  EXPECT_DOUBLE_EQ(b.run_compute(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.run_compute(-5.0), 0.0);
+}
+
+TEST(CpuCreditTest, ResetAndSetCredits) {
+  CpuCreditBucket b{t3_like()};
+  b.advance(1000.0, 1.0);
+  b.reset();
+  EXPECT_DOUBLE_EQ(b.credits(), 2304.0);
+  b.set_credits(10.0);
+  EXPECT_DOUBLE_EQ(b.credits(), 10.0);
+  b.set_credits(1e9);
+  EXPECT_DOUBLE_EQ(b.credits(), 2304.0);
+  b.set_credits(-5.0);
+  EXPECT_DOUBLE_EQ(b.credits(), 0.0);
+}
+
+TEST(CpuCreditTest, ConfigValidation) {
+  auto cfg = t3_like();
+  cfg.baseline_fraction = 0.0;
+  EXPECT_THROW(CpuCreditBucket{cfg}, std::invalid_argument);
+  cfg = t3_like();
+  cfg.baseline_fraction = 1.5;
+  EXPECT_THROW(CpuCreditBucket{cfg}, std::invalid_argument);
+  cfg = t3_like();
+  cfg.initial_credits = cfg.max_credits + 1.0;
+  EXPECT_THROW(CpuCreditBucket{cfg}, std::invalid_argument);
+  cfg = t3_like();
+  cfg.vcpus = 0;
+  EXPECT_THROW(CpuCreditBucket{cfg}, std::invalid_argument);
+}
+
+// Work conservation sweep: run_compute always completes the nominal work,
+// and wall time is bounded by nominal/baseline.
+class CpuCreditWorkTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CpuCreditWorkTest, WallTimeBetweenFullSpeedAndBaseline) {
+  auto cfg = t3_like();
+  cfg.initial_credits = GetParam();
+  CpuCreditBucket b{cfg};
+  const double nominal = 500.0;
+  const double wall = b.run_compute(nominal);
+  EXPECT_GE(wall, nominal - 1e-9);
+  EXPECT_LE(wall, nominal / cfg.baseline_fraction + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(InitialCredits, CpuCreditWorkTest,
+                         ::testing::Values(0.0, 1.0, 10.0, 100.0, 2304.0));
+
+}  // namespace
+}  // namespace cloudrepro::cloud

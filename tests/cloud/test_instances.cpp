@@ -1,0 +1,159 @@
+#include "cloud/instances.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simnet/qos.h"
+
+namespace cloudrepro::cloud {
+namespace {
+
+TEST(InstanceCatalogTest, ContainsTable3Starred) {
+  EXPECT_NO_THROW(find_instance(Provider::kAmazonEc2, "c5.xlarge"));
+  EXPECT_NO_THROW(find_instance(Provider::kGoogleCloud, "8-core"));
+  EXPECT_NO_THROW(find_instance(Provider::kHpcCloud, "8-core"));
+}
+
+TEST(InstanceCatalogTest, ContainsFigure11Family) {
+  for (const char* name : {"c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge"}) {
+    EXPECT_NO_THROW(find_instance(Provider::kAmazonEc2, name)) << name;
+  }
+}
+
+TEST(InstanceCatalogTest, GceQosIsTwoGbpsPerCore) {
+  for (const char* name : {"1-core", "2-core", "4-core", "8-core"}) {
+    const auto& t = find_instance(Provider::kGoogleCloud, name);
+    EXPECT_DOUBLE_EQ(t.advertised_qos_gbps, 2.0 * t.cores) << name;
+  }
+}
+
+TEST(InstanceCatalogTest, HpcCloudHasNoAdvertisedQos) {
+  const auto& t = find_instance(Provider::kHpcCloud, "8-core");
+  EXPECT_DOUBLE_EQ(t.advertised_qos_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(t.hourly_cost_usd, 0.0);
+}
+
+TEST(InstanceCatalogTest, UnknownInstanceThrows) {
+  EXPECT_THROW(find_instance(Provider::kAmazonEc2, "x1e.32xlarge"), std::out_of_range);
+}
+
+TEST(InstanceCatalogTest, ProviderNames) {
+  EXPECT_EQ(to_string(Provider::kAmazonEc2), "Amazon EC2");
+  EXPECT_EQ(to_string(Provider::kGoogleCloud), "Google Cloud");
+  EXPECT_EQ(to_string(Provider::kHpcCloud), "HPCCloud");
+}
+
+TEST(CloudProfileTest, Ec2NominalBucketMatchesPaper) {
+  const auto bucket = ec2_c5_xlarge().nominal_bucket();
+  ASSERT_TRUE(bucket.has_value());
+  EXPECT_DOUBLE_EQ(bucket->high_rate_gbps, 10.0);
+  EXPECT_DOUBLE_EQ(bucket->low_rate_gbps, 1.0);
+  EXPECT_DOUBLE_EQ(bucket->replenish_gbps, 1.0);
+  // ~10 minutes of continuous transfer to empty (Section 3.3).
+  const double tte = bucket->capacity_gbit /
+                     (bucket->high_rate_gbps - bucket->replenish_gbps);
+  EXPECT_NEAR(tte, 600.0, 60.0);
+}
+
+TEST(CloudProfileTest, BucketScalesWithInstanceSize) {
+  // Figure 11: bigger c5 machines get bigger buckets and higher low rates.
+  const char* names[] = {"c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge"};
+  double prev_capacity = 0.0;
+  double prev_low = 0.0;
+  for (const char* name : names) {
+    CloudProfile profile{find_instance(Provider::kAmazonEc2, name)};
+    const auto b = profile.nominal_bucket();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_GT(b->capacity_gbit, prev_capacity) << name;
+    EXPECT_GT(b->low_rate_gbps, prev_low) << name;
+    prev_capacity = b->capacity_gbit;
+    prev_low = b->low_rate_gbps;
+  }
+}
+
+TEST(CloudProfileTest, NonEc2HasNoBucket) {
+  EXPECT_FALSE(gce_8core().nominal_bucket().has_value());
+  EXPECT_FALSE(hpccloud_8core().nominal_bucket().has_value());
+}
+
+TEST(CloudProfileTest, Ec2IncarnationsVary) {
+  // Figure 11: "these parameters are not always consistent for multiple
+  // incarnations of the same instance type".
+  stats::Rng rng{1};
+  const auto profile = ec2_c5_xlarge();
+  std::set<long long> capacities;
+  for (int i = 0; i < 10; ++i) {
+    const auto vm = profile.create_vm(rng);
+    ASSERT_TRUE(vm.bucket.has_value());
+    capacities.insert(static_cast<long long>(vm.bucket->capacity_gbit));
+  }
+  EXPECT_GT(capacities.size(), 5u);
+}
+
+TEST(CloudProfileTest, Ec2IncarnationHasTokenBucketPolicy) {
+  stats::Rng rng{2};
+  const auto vm = ec2_c5_xlarge().create_vm(rng);
+  ASSERT_NE(vm.egress, nullptr);
+  EXPECT_NE(dynamic_cast<simnet::TokenBucketQos*>(vm.egress.get()), nullptr);
+  EXPECT_TRUE(vm.egress->budget_gbit().has_value());
+  EXPECT_DOUBLE_EQ(vm.vnic.mtu_bytes, 9000.0);   // Jumbo frames.
+  EXPECT_DOUBLE_EQ(vm.vnic.tso_max_bytes, 0.0);  // No TSO.
+}
+
+TEST(CloudProfileTest, GceIncarnationUsesPerCoreQosAndTso) {
+  stats::Rng rng{3};
+  const auto vm = gce_8core().create_vm(rng);
+  EXPECT_NE(dynamic_cast<simnet::PerCoreQos*>(vm.egress.get()), nullptr);
+  EXPECT_DOUBLE_EQ(vm.vnic.mtu_bytes, 1500.0);       // Standard Ethernet MTU.
+  EXPECT_DOUBLE_EQ(vm.vnic.tso_max_bytes, 65536.0);  // TSO to 64K.
+  EXPECT_DOUBLE_EQ(vm.line_rate_gbps, 16.0);
+}
+
+TEST(CloudProfileTest, HpcCloudIncarnationIsStochastic) {
+  stats::Rng rng{4};
+  const auto vm = hpccloud_8core().create_vm(rng);
+  EXPECT_NE(dynamic_cast<simnet::StochasticQos*>(vm.egress.get()), nullptr);
+  EXPECT_FALSE(vm.egress->budget_gbit().has_value());
+}
+
+TEST(CloudProfileTest, HpcCloudRatesWithinMeasuredRange) {
+  // Figure 4: bandwidth ranges from 7.7 to 10.4 Gbps.
+  stats::Rng rng{5};
+  auto vm = hpccloud_8core().create_vm(rng);
+  for (int i = 0; i < 500; ++i) {
+    const double r = vm.egress->allowed_rate();
+    EXPECT_GE(r, 7.7);
+    EXPECT_LE(r, 10.4);
+    vm.egress->advance(10.0, r);
+  }
+}
+
+TEST(CloudProfileTest, PostAugust2019SomeNicsCappedAt5) {
+  // F5.2's policy-drift example.
+  IncarnationOptions options;
+  options.era = PolicyEra::kPostAugust2019;
+  options.capped_nic_probability = 0.5;
+  const auto profile = ec2_c5_xlarge(options);
+  stats::Rng rng{6};
+  int capped = 0;
+  constexpr int kVms = 200;
+  for (int i = 0; i < kVms; ++i) {
+    const auto vm = profile.create_vm(rng);
+    if (vm.bucket->high_rate_gbps <= 5.0) ++capped;
+  }
+  EXPECT_GT(capped, kVms / 4);
+  EXPECT_LT(capped, 3 * kVms / 4);  // "though not consistently".
+}
+
+TEST(CloudProfileTest, PreAugust2019NeverCapped) {
+  const auto profile = ec2_c5_xlarge();
+  stats::Rng rng{7};
+  for (int i = 0; i < 50; ++i) {
+    const auto vm = profile.create_vm(rng);
+    EXPECT_GT(vm.bucket->high_rate_gbps, 8.0);
+  }
+}
+
+}  // namespace
+}  // namespace cloudrepro::cloud

@@ -1,0 +1,133 @@
+#include "cloud/tc_emulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/qos.h"
+
+namespace cloudrepro::cloud {
+namespace {
+
+TcEmulatorConfig small_bucket() {
+  TcEmulatorConfig cfg;
+  cfg.bucket.capacity_gbit = 30.0;
+  cfg.bucket.initial_gbit = 30.0;
+  cfg.bucket.high_rate_gbps = 10.0;
+  cfg.bucket.low_rate_gbps = 1.0;
+  cfg.bucket.replenish_gbps = 1.0;
+  cfg.update_interval_s = 1.0;
+  return cfg;
+}
+
+TEST(TcEmulatorTest, StartsAtHighRate) {
+  TcEmulator emu{small_bucket()};
+  EXPECT_DOUBLE_EQ(emu.allowed_rate(), 10.0);
+}
+
+TEST(TcEmulatorTest, RateChangesOnlyAtUpdateTicks) {
+  TcEmulator emu{small_bucket()};
+  // Drain the bucket in 3.4 s at net 9 Gbit/s; the throttle should only be
+  // visible at the next whole-second reprogramming.
+  emu.advance(3.4, 10.0);
+  EXPECT_TRUE(emu.bucket().in_low_mode());
+  EXPECT_DOUBLE_EQ(emu.allowed_rate(), 10.0);  // Controller hasn't run yet.
+  emu.advance(0.6, 10.0);                      // Crosses the 4.0 s tick.
+  EXPECT_DOUBLE_EQ(emu.allowed_rate(), 1.0);
+}
+
+TEST(TcEmulatorTest, ResetRestores) {
+  TcEmulator emu{small_bucket()};
+  emu.advance(10.0, 10.0);
+  emu.reset();
+  EXPECT_DOUBLE_EQ(emu.allowed_rate(), 10.0);
+  EXPECT_DOUBLE_EQ(emu.bucket().budget(), 30.0);
+}
+
+TEST(TcEmulatorTest, BudgetExposed) {
+  TcEmulator emu{small_bucket()};
+  ASSERT_TRUE(emu.budget_gbit().has_value());
+  EXPECT_DOUBLE_EQ(*emu.budget_gbit(), 30.0);
+}
+
+TEST(TcEmulatorTest, RejectsBadUpdateInterval) {
+  auto cfg = small_bucket();
+  cfg.update_interval_s = 0.0;
+  EXPECT_THROW(TcEmulator{cfg}, std::invalid_argument);
+}
+
+TEST(TcEmulatorTest, TimeUntilChangeBoundedByTick) {
+  TcEmulator emu{small_bucket()};
+  EXPECT_LE(emu.time_until_change(10.0), 1.0);
+  EXPECT_GT(emu.time_until_change(10.0), 0.0);
+}
+
+TEST(OnoffCurveTest, ReproducesFigure14Shape) {
+  // Figure 14 (10-30 regime, near-empty bucket): each burst starts at
+  // ~10 Gbps and collapses to ~1 Gbps once the rest-period refill is spent.
+  auto cfg = small_bucket();
+  cfg.bucket.initial_gbit = 0.0;
+  TcEmulator emu{cfg};
+  const auto curve = onoff_bandwidth_curve(emu, 10.0, 30.0, 90.0);
+  ASSERT_GE(curve.size(), 80u);
+
+  // Seconds 0-9 are the first burst: the bucket starts empty, so it is
+  // capped almost immediately; seconds 40-49 are the second burst, which
+  // starts fast on the 30-Gbit refill and collapses mid-burst.
+  const auto& second_burst_start = curve[40];
+  const auto& second_burst_end = curve[48];
+  EXPECT_GT(second_burst_start.bandwidth_gbps, 7.0);
+  EXPECT_LT(second_burst_end.bandwidth_gbps, 2.0);
+
+  // Idle seconds carry no bandwidth.
+  EXPECT_NEAR(curve[20].bandwidth_gbps, 0.0, 1e-9);
+}
+
+TEST(OnoffCurveTest, EmulatorTracksRealShaper) {
+  // The validation the paper runs in Figure 14: the emulated curve must
+  // track the "real" (continuous) token-bucket closely.
+  auto cfg = small_bucket();
+  cfg.bucket.initial_gbit = 0.0;
+
+  TcEmulator emulator{cfg};
+  simnet::TokenBucketQos real{cfg.bucket};
+
+  const auto emulated = onoff_bandwidth_curve(emulator, 10.0, 30.0, 200.0);
+  const auto reference = onoff_bandwidth_curve(real, 10.0, 30.0, 200.0);
+
+  EXPECT_GT(curve_correlation(emulated, reference), 0.95);
+  EXPECT_LT(curve_rmse(emulated, reference), 1.5);
+}
+
+TEST(OnoffCurveTest, FiveThirtyPatternAlsoMatches) {
+  auto cfg = small_bucket();
+  cfg.bucket.initial_gbit = 0.0;
+  TcEmulator emulator{cfg};
+  simnet::TokenBucketQos real{cfg.bucket};
+  const auto emulated = onoff_bandwidth_curve(emulator, 5.0, 30.0, 200.0);
+  const auto reference = onoff_bandwidth_curve(real, 5.0, 30.0, 200.0);
+  EXPECT_GT(curve_correlation(emulated, reference), 0.93);
+}
+
+TEST(OnoffCurveTest, Validation) {
+  TcEmulator emu{small_bucket()};
+  EXPECT_THROW(onoff_bandwidth_curve(emu, 0.0, 30.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(onoff_bandwidth_curve(emu, 10.0, -1.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(onoff_bandwidth_curve(emu, 10.0, 30.0, 0.0), std::invalid_argument);
+}
+
+TEST(CurveMetricsTest, IdenticalCurvesPerfectScore) {
+  const std::vector<CurvePoint> a{{1.0, 5.0}, {2.0, 7.0}, {3.0, 2.0}};
+  EXPECT_DOUBLE_EQ(curve_rmse(a, a), 0.0);
+  EXPECT_NEAR(curve_correlation(a, a), 1.0, 1e-12);
+}
+
+TEST(CurveMetricsTest, EmptyAndDegenerateCurves) {
+  const std::vector<CurvePoint> empty;
+  const std::vector<CurvePoint> flat{{1.0, 5.0}, {2.0, 5.0}};
+  EXPECT_DOUBLE_EQ(curve_rmse(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(curve_correlation(flat, flat), 0.0);  // Zero variance.
+}
+
+}  // namespace
+}  // namespace cloudrepro::cloud

@@ -1,0 +1,159 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+
+namespace cloudrepro::core {
+namespace {
+
+/// A synthetic campaign: two configs x two treatments, with known effects.
+std::vector<CampaignCell> synthetic_cells(stats::Rng& noise_rng) {
+  std::vector<CampaignCell> cells;
+  struct Spec {
+    const char* config;
+    const char* treatment;
+    double mean;
+  };
+  // Config "net-heavy" responds to the treatment; "cpu-bound" does not.
+  const Spec specs[] = {{"net-heavy", "budget=high", 100.0},
+                        {"net-heavy", "budget=low", 150.0},
+                        {"cpu-bound", "budget=high", 80.0},
+                        {"cpu-bound", "budget=low", 80.0}};
+  for (const auto& spec : specs) {
+    cells.push_back(CampaignCell{
+        spec.config, spec.treatment,
+        [mean = spec.mean, &noise_rng](stats::Rng&) {
+          return noise_rng.normal(mean, 2.0);
+        },
+        [] {}});
+  }
+  return cells;
+}
+
+TEST(CampaignTest, RunsEveryCellWithRequestedRepetitions) {
+  stats::Rng rng{1};
+  stats::Rng noise{2};
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 12;
+  const auto result = run_campaign(synthetic_cells(noise), opt, rng);
+  ASSERT_EQ(result.cells.size(), 4u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.values.size(), 12u);
+    EXPECT_TRUE(cell.median_ci.valid);
+  }
+}
+
+TEST(CampaignTest, ResultsInGridOrderRegardlessOfExecution) {
+  stats::Rng rng{3};
+  stats::Rng noise{4};
+  CampaignOptions opt;
+  opt.randomize_order = true;
+  const auto result = run_campaign(synthetic_cells(noise), opt, rng);
+  EXPECT_EQ(result.cells[0].config, "net-heavy");
+  EXPECT_EQ(result.cells[0].treatment, "budget=high");
+  EXPECT_EQ(result.cells[3].config, "cpu-bound");
+  // Execution order is a permutation of all cells.
+  std::vector<std::size_t> sorted_order = result.execution_order;
+  std::sort(sorted_order.begin(), sorted_order.end());
+  EXPECT_EQ(sorted_order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(CampaignTest, TreatmentEffectDetectedOnlyWhereReal) {
+  stats::Rng rng{5};
+  stats::Rng noise{6};
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 15;
+  const auto result = run_campaign(synthetic_cells(noise), opt, rng);
+  EXPECT_TRUE(result.treatment_effect("net-heavy").reject());
+  EXPECT_FALSE(result.treatment_effect("cpu-bound").reject(0.01));
+  EXPECT_THROW(result.treatment_effect("no-such-config"), std::invalid_argument);
+}
+
+TEST(CampaignTest, FreshCalledBeforeEveryRepetition) {
+  stats::Rng rng{7};
+  int fresh_calls = 0;
+  std::vector<CampaignCell> cells{
+      {"c", "t", [](stats::Rng& r) { return r.uniform(); },
+       [&fresh_calls] { ++fresh_calls; }}};
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 7;
+  run_campaign(cells, opt, rng);
+  EXPECT_EQ(fresh_calls, 7);
+}
+
+TEST(CampaignTest, CsvLongFormat) {
+  stats::Rng rng{8};
+  std::vector<CampaignCell> cells{
+      {"c1", "t1", [](stats::Rng&) { return 1.5; }, [] {}}};
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 2;
+  const auto result = run_campaign(cells, opt, rng);
+  std::ostringstream ss;
+  result.write_csv(ss);
+  EXPECT_EQ(ss.str(), "config,treatment,repetition,value\nc1,t1,0,1.5\nc1,t1,1,1.5\n");
+}
+
+TEST(CampaignTest, SummaryRendering) {
+  stats::Rng rng{9};
+  stats::Rng noise{10};
+  const auto result = run_campaign(synthetic_cells(noise), {}, rng);
+  std::ostringstream ss;
+  print_campaign_summary(ss, result);
+  EXPECT_NE(ss.str().find("net-heavy"), std::string::npos);
+  EXPECT_NE(ss.str().find("budget=low"), std::string::npos);
+}
+
+TEST(CampaignTest, Validation) {
+  stats::Rng rng{11};
+  EXPECT_THROW(run_campaign({}, {}, rng), std::invalid_argument);
+  std::vector<CampaignCell> missing{{"c", "t", nullptr, [] {}}};
+  EXPECT_THROW(run_campaign(missing, {}, rng), std::invalid_argument);
+  std::vector<CampaignCell> ok{{"c", "t", [](stats::Rng&) { return 0.0; }, [] {}}};
+  CampaignOptions zero;
+  zero.repetitions_per_cell = 0;
+  EXPECT_THROW(run_campaign(ok, zero, rng), std::invalid_argument);
+}
+
+TEST(CampaignTest, EndToEndWithSparkEngine) {
+  // The Figure 16-style sweep as a campaign: TS responds to budget, KM
+  // does not.
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  const simnet::TokenBucketQos proto{bucket};
+  auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  bigdata::SparkEngine engine;
+
+  std::vector<CampaignCell> cells;
+  for (const char* app : {"TS", "KM"}) {
+    for (const double budget : {5000.0, 10.0}) {
+      const bigdata::WorkloadProfile* workload = nullptr;
+      for (const auto& w : bigdata::hibench_suite()) {
+        if (w.name == app) workload = &w;
+      }
+      cells.push_back(CampaignCell{
+          app, "budget=" + std::to_string(static_cast<int>(budget)),
+          [&engine, &cluster, workload](stats::Rng& r) {
+            return engine.run(*workload, cluster, r).runtime_s;
+          },
+          [&cluster, budget] {
+            cluster.reset_network();
+            cluster.set_token_budgets(budget);
+          }});
+    }
+  }
+
+  stats::Rng rng{12};
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 8;
+  const auto result = run_campaign(cells, opt, rng);
+  EXPECT_TRUE(result.treatment_effect("TS").reject());
+  EXPECT_FALSE(result.treatment_effect("KM").reject(0.01));
+}
+
+}  // namespace
+}  // namespace cloudrepro::core

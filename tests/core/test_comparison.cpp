@@ -1,0 +1,115 @@
+#include "core/comparison.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace cloudrepro::core {
+namespace {
+
+std::vector<double> sample(std::size_t n, double mean, double sd, std::uint64_t seed) {
+  stats::Rng rng{seed};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+TEST(CliffsDeltaTest, DisjointSamplesAreExtreme) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 11.0};
+  EXPECT_DOUBLE_EQ(cliffs_delta(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(cliffs_delta(b, a), -1.0);
+}
+
+TEST(CliffsDeltaTest, IdenticalSamplesAreZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(cliffs_delta(a, a), 0.0);
+}
+
+TEST(CliffsDeltaTest, ThrowsOnEmpty) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(cliffs_delta(a, {}), std::invalid_argument);
+}
+
+TEST(CliffsDeltaTest, InterpretationBands) {
+  EXPECT_EQ(interpret_cliffs_delta(0.05), EffectSize::kNegligible);
+  EXPECT_EQ(interpret_cliffs_delta(-0.2), EffectSize::kSmall);
+  EXPECT_EQ(interpret_cliffs_delta(0.4), EffectSize::kMedium);
+  EXPECT_EQ(interpret_cliffs_delta(-0.9), EffectSize::kLarge);
+  EXPECT_EQ(to_string(EffectSize::kLarge), "large");
+}
+
+TEST(CompareSystemsTest, ClearDifferenceDetected) {
+  const auto a = sample(30, 100.0, 3.0, 1);
+  const auto b = sample(30, 120.0, 3.0, 2);
+  const auto v = compare_systems(a, b);
+  EXPECT_TRUE(v.significant);
+  EXPECT_TRUE(v.a_faster);
+  EXPECT_FALSE(v.cis_overlap);
+  EXPECT_GT(v.cliffs_delta, 0.9);
+  EXPECT_NEAR(v.median_ratio, 1.2, 0.05);
+  EXPECT_NE(v.summary().find("A faster"), std::string::npos);
+}
+
+TEST(CompareSystemsTest, IdenticalSystemsNotSignificant) {
+  const auto a = sample(30, 100.0, 3.0, 3);
+  const auto b = sample(30, 100.0, 3.0, 4);
+  const auto v = compare_systems(a, b);
+  EXPECT_FALSE(v.significant);
+  EXPECT_NE(v.summary().find("NO SIGNIFICANT DIFFERENCE"), std::string::npos);
+}
+
+TEST(CompareSystemsTest, ThreeRunsAreInconclusive) {
+  // The literature's modal design cannot support a comparison verdict.
+  const auto a = sample(3, 100.0, 3.0, 5);
+  const auto b = sample(3, 110.0, 3.0, 6);
+  const auto v = compare_systems(a, b);
+  EXPECT_FALSE(v.significant);
+  EXPECT_NE(v.summary().find("INCONCLUSIVE"), std::string::npos);
+}
+
+TEST(CompareSystemsTest, SmallTrueDifferenceNeedsManyRuns) {
+  // 4% true difference, 5% noise: 5-run comparisons flip-flop; 60-run
+  // comparisons settle — the Section 2 phenomenon quantified.
+  stats::Rng seeds{7};
+  int significant_small = 0, significant_large = 0;
+  int wrong_direction_small = 0;
+  constexpr int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto a5 = sample(5, 100.0, 5.0, seeds.next_u64());
+    const auto b5 = sample(5, 104.0, 5.0, seeds.next_u64());
+    const auto v5 = compare_systems(a5, b5);
+    if (v5.significant) ++significant_small;
+    if (!v5.a_faster) ++wrong_direction_small;
+
+    const auto a60 = sample(60, 100.0, 5.0, seeds.next_u64());
+    const auto b60 = sample(60, 104.0, 5.0, seeds.next_u64());
+    if (compare_systems(a60, b60).significant) ++significant_large;
+  }
+  EXPECT_LT(significant_small, kTrials / 2);   // Mostly inconclusive at n=5.
+  EXPECT_GT(significant_large, 2 * kTrials / 3);  // Mostly detected at n=60.
+  EXPECT_GT(wrong_direction_small, 0);  // n=5 sometimes points the wrong way.
+}
+
+TEST(CompareSystemsTest, ThrowsOnEmpty) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(compare_systems(a, {}), std::invalid_argument);
+  EXPECT_THROW(compare_systems({}, a), std::invalid_argument);
+}
+
+TEST(CompareSystemsTest, OverlapCautionFlag) {
+  // Significant rank difference but overlapping CIs: flagged for caution.
+  stats::Rng rng{8};
+  std::vector<double> a(40), b(40);
+  for (auto& x : a) x = rng.normal(100.0, 10.0);
+  for (auto& x : b) x = rng.normal(106.0, 10.0);
+  const auto v = compare_systems(a, b);
+  if (v.significant && v.cis_overlap) {
+    EXPECT_NE(v.summary().find("caution"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cloudrepro::core

@@ -1,0 +1,182 @@
+#include "core/confirm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace cloudrepro::core {
+namespace {
+
+std::vector<double> iid_sample(std::size_t n, double mean, double sd,
+                               std::uint64_t seed) {
+  stats::Rng rng{seed};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+TEST(ConfirmTest, PointsCoverEveryPrefix) {
+  const auto xs = iid_sample(40, 100.0, 5.0, 1);
+  const auto a = confirm_analysis(xs);
+  ASSERT_EQ(a.points.size(), 40u);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].repetitions, i + 1);
+  }
+}
+
+TEST(ConfirmTest, IidDataConverges) {
+  // Figure 13's normal regime: CIs tighten as repetitions accumulate.
+  const auto xs = iid_sample(200, 100.0, 1.0, 2);
+  ConfirmOptions opt;
+  opt.error_bound = 0.01;
+  const auto a = confirm_analysis(xs, opt);
+  ASSERT_TRUE(a.repetitions_needed.has_value());
+  EXPECT_LE(*a.repetitions_needed, 200u);
+  EXPECT_TRUE(a.final_point().within_bound);
+}
+
+TEST(ConfirmTest, TightBoundsNeedManyRepetitions) {
+  // Figure 13's message: 1% error bounds can require ~70+ repetitions.
+  const auto xs = iid_sample(200, 100.0, 8.0, 3);
+  ConfirmOptions tight;
+  tight.error_bound = 0.01;
+  ConfirmOptions loose;
+  loose.error_bound = 0.10;
+  const auto a_tight = confirm_analysis(xs, tight);
+  const auto a_loose = confirm_analysis(xs, loose);
+  ASSERT_TRUE(a_loose.repetitions_needed.has_value());
+  if (a_tight.repetitions_needed.has_value()) {
+    EXPECT_GT(*a_tight.repetitions_needed, *a_loose.repetitions_needed);
+  }
+}
+
+TEST(ConfirmTest, HighVarianceNeverConvergesInFewRuns) {
+  const auto xs = iid_sample(10, 100.0, 40.0, 4);
+  ConfirmOptions opt;
+  opt.error_bound = 0.01;
+  const auto a = confirm_analysis(xs, opt);
+  EXPECT_FALSE(a.repetitions_needed.has_value());
+}
+
+TEST(ConfirmTest, BudgetDepletionWidensCi) {
+  // The Figure 19 Q65 signature: a drifting (non-i.i.d.) sequence makes the
+  // CI *widen* with more repetitions.
+  std::vector<double> xs;
+  stats::Rng rng{5};
+  for (int i = 0; i < 20; ++i) xs.push_back(rng.normal(40.0, 0.5));
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(rng.normal(40.0 + 4.0 * i, 0.5));  // Budget running out.
+  }
+  const auto a = confirm_analysis(xs);
+  EXPECT_TRUE(a.ci_widened);
+}
+
+TEST(ConfirmTest, StationaryDataDoesNotFlagWidening) {
+  const auto xs = iid_sample(100, 50.0, 2.0, 6);
+  const auto a = confirm_analysis(xs);
+  // Small fluctuations are tolerated; sustained widening is not expected.
+  EXPECT_FALSE(a.ci_widened && !a.repetitions_needed.has_value());
+}
+
+TEST(ConfirmTest, TailQuantileAnalysis) {
+  // Figure 3b companion: the 90th percentile needs far more data.
+  const auto xs = iid_sample(300, 100.0, 5.0, 7);
+  ConfirmOptions opt;
+  opt.quantile = 0.9;
+  opt.error_bound = 0.05;
+  const auto a = confirm_analysis(xs, opt);
+  ASSERT_EQ(a.points.size(), 300u);
+  // Early prefixes cannot even form a valid 90th-percentile CI.
+  EXPECT_FALSE(a.points[10].ci_valid);
+  EXPECT_TRUE(a.points.back().ci_valid);
+}
+
+TEST(ConfirmTest, RepetitionsNeededIsSuffixStable) {
+  // repetitions_needed marks the start of an all-within-bound suffix.
+  const auto xs = iid_sample(120, 100.0, 3.0, 8);
+  ConfirmOptions opt;
+  opt.error_bound = 0.03;
+  const auto a = confirm_analysis(xs, opt);
+  if (a.repetitions_needed.has_value()) {
+    for (std::size_t i = *a.repetitions_needed - 1; i < a.points.size(); ++i) {
+      EXPECT_TRUE(a.points[i].within_bound) << "prefix " << i + 1;
+    }
+  }
+}
+
+TEST(ConfirmTest, ConvenienceWrapperMatches) {
+  const auto xs = iid_sample(100, 100.0, 2.0, 9);
+  ConfirmOptions opt;
+  opt.error_bound = 0.05;
+  EXPECT_EQ(repetitions_for_bound(xs, 0.05), confirm_analysis(xs, opt).repetitions_needed);
+}
+
+TEST(ConfirmTest, Validation) {
+  EXPECT_THROW(confirm_analysis({}), std::invalid_argument);
+  const std::vector<double> xs{1.0, 2.0};
+  ConfirmOptions opt;
+  opt.error_bound = 0.0;
+  EXPECT_THROW(confirm_analysis(xs, opt), std::invalid_argument);
+}
+
+
+TEST(ConfirmPredictionTest, PredictsWithinFactorOfTruth) {
+  // Pilot of 20 runs; the prediction should land within ~2x of the
+  // empirically-determined requirement from a long run.
+  const auto xs = iid_sample(400, 100.0, 6.0, 21);
+  ConfirmOptions opt;
+  opt.error_bound = 0.01;
+
+  const auto truth = confirm_analysis(xs, opt).repetitions_needed;
+  ASSERT_TRUE(truth.has_value());
+
+  const auto prediction =
+      predict_repetitions(std::span<const double>{xs}.subspan(0, 20), opt);
+  ASSERT_TRUE(prediction.reliable);
+  EXPECT_GT(prediction.predicted_repetitions, *truth / 4);
+  EXPECT_LT(prediction.predicted_repetitions, *truth * 4);
+}
+
+TEST(ConfirmPredictionTest, TighterBoundsNeedMorePredictedReps) {
+  const auto xs = iid_sample(25, 100.0, 5.0, 22);
+  ConfirmOptions tight;
+  tight.error_bound = 0.005;
+  ConfirmOptions loose;
+  loose.error_bound = 0.05;
+  const auto p_tight = predict_repetitions(xs, tight);
+  const auto p_loose = predict_repetitions(xs, loose);
+  ASSERT_TRUE(p_tight.reliable);
+  ASSERT_TRUE(p_loose.reliable);
+  EXPECT_GT(p_tight.predicted_repetitions, 4 * p_loose.predicted_repetitions);
+}
+
+TEST(ConfirmPredictionTest, UnreliableOnNonIidPilot) {
+  // A drifting pilot (depleting budget) voids the sqrt-law.
+  stats::Rng rng{23};
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(rng.normal(40.0, 0.5));
+  for (int i = 0; i < 20; ++i) xs.push_back(rng.normal(40.0 + 5.0 * i, 0.5));
+  const auto p = predict_repetitions(xs);
+  EXPECT_FALSE(p.reliable);
+}
+
+TEST(ConfirmPredictionTest, TinyPilotIsUnreliable) {
+  const auto xs = iid_sample(6, 100.0, 5.0, 24);
+  const auto p = predict_repetitions(xs);
+  EXPECT_FALSE(p.reliable);
+  EXPECT_EQ(p.predicted_repetitions, 0u);
+}
+
+TEST(ConfirmPredictionTest, PredictionNeverBelowPilotSizeWhenBoundMet) {
+  const auto xs = iid_sample(60, 100.0, 0.5, 25);
+  ConfirmOptions opt;
+  opt.error_bound = 0.10;  // Trivially met.
+  const auto p = predict_repetitions(xs, opt);
+  ASSERT_TRUE(p.reliable);
+  EXPECT_GE(p.predicted_repetitions, 60u);
+}
+
+}  // namespace
+}  // namespace cloudrepro::core

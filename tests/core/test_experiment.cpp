@@ -1,0 +1,168 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cloudrepro::core {
+namespace {
+
+/// Environment with a hidden "token budget": runs without resets get slower
+/// once the budget is gone, fresh() restores it, rest() refills it.
+/// With the default 100-Gbit budget and 10 Gbit drained per run, a 20-run
+/// reused sequence splits 10 fast / 10 slow — the balanced regime switch the
+/// runs test is built to catch.
+class BudgetedEnvironment final : public Environment {
+ public:
+  std::string description() const override { return "budgeted test environment"; }
+  void fresh() override {
+    budget_ = 100.0;
+    ++fresh_calls;
+  }
+  void rest(double seconds) override {
+    budget_ = std::min(100.0, budget_ + seconds);
+    ++rest_calls;
+  }
+  double run_once(stats::Rng& rng) override {
+    const double runtime =
+        budget_ > 0.0 ? rng.normal(50.0, 1.0) : rng.normal(150.0, 1.0);
+    budget_ = std::max(0.0, budget_ - 10.0);
+    ++runs;
+    return runtime;
+  }
+
+  int fresh_calls = 0;
+  int rest_calls = 0;
+  int runs = 0;
+
+ private:
+  double budget_ = 100.0;
+};
+
+TEST(ExperimentRunnerTest, RunsRequestedRepetitions) {
+  BudgetedEnvironment env;
+  ExperimentRunner runner{stats::Rng{1}};
+  ExperimentPlan plan;
+  plan.repetitions = 12;
+  const auto r = runner.run(env, plan);
+  EXPECT_EQ(r.values.size(), 12u);
+  EXPECT_EQ(env.runs, 12);
+  EXPECT_EQ(r.environment, "budgeted test environment");
+}
+
+TEST(ExperimentRunnerTest, FreshPerRunKeepsRunsIid) {
+  BudgetedEnvironment env;
+  ExperimentRunner runner{stats::Rng{2}};
+  ExperimentPlan plan;
+  plan.repetitions = 20;
+  plan.fresh_environment_each_run = true;
+  const auto r = runner.run(env, plan);
+  EXPECT_EQ(env.fresh_calls, 20);
+  // All runs on a fresh budget: fast and tightly clustered.
+  EXPECT_LT(r.summary.max, 60.0);
+  ASSERT_TRUE(r.diagnostics_available);
+  EXPECT_FALSE(r.independence.reject());
+}
+
+TEST(ExperimentRunnerTest, ReusedEnvironmentBreaksIndependence) {
+  // The Figure 19 failure mode reproduced in miniature.
+  BudgetedEnvironment env;
+  ExperimentRunner runner{stats::Rng{3}};
+  ExperimentPlan plan;
+  plan.repetitions = 20;
+  plan.fresh_environment_each_run = false;
+  const auto r = runner.run(env, plan);
+  EXPECT_EQ(env.fresh_calls, 0);
+  // Later runs are much slower than early ones.
+  EXPECT_GT(r.summary.max, 2.0 * r.summary.min);
+  ASSERT_TRUE(r.diagnostics_available);
+  EXPECT_TRUE(r.independence.reject());
+  EXPECT_TRUE(r.normality.reject());
+}
+
+TEST(ExperimentRunnerTest, RestBetweenRunsInvokesRest) {
+  BudgetedEnvironment env;
+  ExperimentRunner runner{stats::Rng{4}};
+  ExperimentPlan plan;
+  plan.repetitions = 5;
+  plan.fresh_environment_each_run = false;
+  plan.rest_between_runs_s = 60.0;
+  runner.run(env, plan);
+  EXPECT_EQ(env.rest_calls, 4);  // Between runs, not before the first.
+}
+
+TEST(ExperimentRunnerTest, LongRestsRestoreFastRuns) {
+  BudgetedEnvironment env;
+  ExperimentRunner runner{stats::Rng{5}};
+  ExperimentPlan plan;
+  plan.repetitions = 10;
+  plan.fresh_environment_each_run = false;
+  plan.rest_between_runs_s = 100.0;  // Full refill each time.
+  const auto r = runner.run(env, plan);
+  EXPECT_LT(r.summary.max, 60.0);
+}
+
+TEST(ExperimentRunnerTest, ConvergenceVerdict) {
+  BudgetedEnvironment env;
+  ExperimentRunner runner{stats::Rng{6}};
+  ExperimentPlan plan;
+  plan.repetitions = 30;
+  plan.target_error_bound = 0.05;
+  const auto r = runner.run(env, plan);
+  EXPECT_TRUE(r.converged());
+
+  ExperimentPlan tiny;
+  tiny.repetitions = 3;
+  const auto r3 = runner.run(env, tiny);
+  EXPECT_FALSE(r3.converged());  // No valid CI with 3 runs.
+  EXPECT_FALSE(r3.diagnostics_available);
+}
+
+TEST(ExperimentRunnerTest, ThrowsOnZeroRepetitions) {
+  BudgetedEnvironment env;
+  ExperimentRunner runner{stats::Rng{7}};
+  ExperimentPlan plan;
+  plan.repetitions = 0;
+  EXPECT_THROW(runner.run(env, plan), std::invalid_argument);
+}
+
+TEST(ExperimentRunnerTest, SuitePreservesConfigurationOrder) {
+  BudgetedEnvironment e1, e2, e3;
+  ExperimentRunner runner{stats::Rng{8}};
+  ExperimentPlan plan;
+  plan.repetitions = 6;
+  const auto results = runner.run_suite({e1, e2, e3}, plan, /*randomize=*/true);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.values.size(), 6u);
+  }
+  EXPECT_EQ(e1.runs, 6);
+  EXPECT_EQ(e2.runs, 6);
+  EXPECT_EQ(e3.runs, 6);
+}
+
+TEST(LambdaEnvironmentTest, ForwardsCalls) {
+  int fresh = 0;
+  double rested = 0.0;
+  LambdaEnvironment env{
+      "lambda", [&] { ++fresh; }, [&](double s) { rested += s; },
+      [](stats::Rng& rng) { return rng.uniform(); }};
+  env.fresh();
+  env.rest(30.0);
+  stats::Rng rng{9};
+  const double v = env.run_once(rng);
+  EXPECT_EQ(fresh, 1);
+  EXPECT_DOUBLE_EQ(rested, 30.0);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LT(v, 1.0);
+  EXPECT_EQ(env.description(), "lambda");
+}
+
+TEST(LambdaEnvironmentTest, RejectsNullCallables) {
+  EXPECT_THROW(LambdaEnvironment("x", nullptr, [](double) {},
+                                 [](stats::Rng&) { return 0.0; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudrepro::core

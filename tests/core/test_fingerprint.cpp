@@ -1,0 +1,122 @@
+#include "core/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudrepro::core {
+namespace {
+
+FingerprintOptions quick_options() {
+  FingerprintOptions o;
+  o.bandwidth_probes = 2;
+  o.bandwidth_probe_s = 120.0;
+  o.latency_probe_s = 1.0;
+  o.bucket_probe.max_probe_s = 1800.0;
+  o.bucket_probe.rest_s = 120.0;
+  return o;
+}
+
+TEST(FingerprintTest, ClassifiesEc2AsTokenBucket) {
+  stats::Rng rng{1};
+  const auto fp = fingerprint_network(cloud::ec2_c5_xlarge(), quick_options(), rng);
+  EXPECT_EQ(fp.qos, QosClass::kTokenBucket);
+  EXPECT_TRUE(fp.bucket.bucket_detected);
+  EXPECT_EQ(fp.cloud, "Amazon EC2");
+  EXPECT_EQ(fp.instance_type, "c5.xlarge");
+  EXPECT_LT(fp.base_latency_ms, 1.0);
+  EXPECT_GT(fp.base_bandwidth_gbps, 8.0);
+}
+
+TEST(FingerprintTest, ClassifiesGceAsRateCap) {
+  stats::Rng rng{2};
+  const auto fp = fingerprint_network(cloud::gce_8core(), quick_options(), rng);
+  EXPECT_EQ(fp.qos, QosClass::kRateCap);
+  EXPECT_FALSE(fp.bucket.bucket_detected);
+  EXPECT_NEAR(fp.base_bandwidth_gbps, 16.0, 1.0);
+  EXPECT_GT(fp.base_latency_ms, 1.0);  // Millisecond-scale base latency.
+  EXPECT_GT(fp.retransmission_rate, 0.005);  // TSO at 128K writes.
+}
+
+TEST(FingerprintTest, ClassifiesHpcCloudAsNoQos) {
+  stats::Rng rng{3};
+  const auto fp = fingerprint_network(cloud::hpccloud_8core(), quick_options(), rng);
+  EXPECT_EQ(fp.qos, QosClass::kNone);
+  EXPECT_GT(fp.bandwidth_cov, 0.03);
+}
+
+TEST(FingerprintTest, QosClassNames) {
+  EXPECT_EQ(to_string(QosClass::kTokenBucket), "token bucket");
+  EXPECT_FALSE(to_string(QosClass::kNone).empty());
+  EXPECT_FALSE(to_string(QosClass::kRateCap).empty());
+}
+
+TEST(FingerprintComparisonTest, IdenticalFingerprintsMatch) {
+  NetworkFingerprint fp;
+  fp.base_bandwidth_gbps = 10.0;
+  fp.base_latency_ms = 0.2;
+  fp.qos = QosClass::kTokenBucket;
+  fp.bucket.high_rate_gbps = 10.0;
+  fp.bucket.low_rate_gbps = 1.0;
+  fp.bucket.inferred_budget_gbit = 5000.0;
+  const auto cmp = compare_fingerprints(fp, fp);
+  EXPECT_TRUE(cmp.baselines_match());
+}
+
+TEST(FingerprintComparisonTest, DetectsAugust2019NicCap) {
+  // The F5.2 war story: c5.xlarge NICs silently dropping from 10 to 5 Gbps.
+  NetworkFingerprint before;
+  before.base_bandwidth_gbps = 10.0;
+  before.base_latency_ms = 0.2;
+  before.qos = QosClass::kTokenBucket;
+  before.bucket.high_rate_gbps = 10.0;
+  before.bucket.low_rate_gbps = 1.0;
+  before.bucket.inferred_budget_gbit = 5000.0;
+
+  NetworkFingerprint after = before;
+  after.base_bandwidth_gbps = 5.0;
+  after.bucket.high_rate_gbps = 5.0;
+
+  const auto cmp = compare_fingerprints(before, after);
+  EXPECT_FALSE(cmp.baselines_match());
+  EXPECT_TRUE(cmp.bandwidth_drift);
+  EXPECT_TRUE(cmp.bucket_parameter_drift);
+  EXPECT_FALSE(cmp.qos_class_change);
+}
+
+TEST(FingerprintComparisonTest, DetectsQosClassChange) {
+  NetworkFingerprint a;
+  a.qos = QosClass::kRateCap;
+  NetworkFingerprint b;
+  b.qos = QosClass::kTokenBucket;
+  EXPECT_TRUE(compare_fingerprints(a, b).qos_class_change);
+}
+
+TEST(FingerprintComparisonTest, SmallDriftWithinTolerance) {
+  NetworkFingerprint a;
+  a.base_bandwidth_gbps = 10.0;
+  a.base_latency_ms = 0.2;
+  NetworkFingerprint b = a;
+  b.base_bandwidth_gbps = 10.8;  // 8% < 15% tolerance.
+  b.base_latency_ms = 0.25;      // 25% < 50% tolerance.
+  EXPECT_TRUE(compare_fingerprints(a, b).baselines_match());
+}
+
+TEST(FingerprintComparisonTest, CustomTolerances) {
+  NetworkFingerprint a;
+  a.base_bandwidth_gbps = 10.0;
+  NetworkFingerprint b = a;
+  b.base_bandwidth_gbps = 10.8;
+  ComparisonTolerances strict;
+  strict.bandwidth_rel = 0.05;
+  EXPECT_TRUE(compare_fingerprints(a, b, strict).bandwidth_drift);
+}
+
+TEST(FingerprintComparisonTest, ZeroBaselineHandled) {
+  NetworkFingerprint a;  // All zeros.
+  NetworkFingerprint b;
+  b.base_bandwidth_gbps = 1.0;
+  EXPECT_TRUE(compare_fingerprints(a, b).bandwidth_drift);
+  EXPECT_FALSE(compare_fingerprints(a, a).bandwidth_drift);
+}
+
+}  // namespace
+}  // namespace cloudrepro::core

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/fingerprint.h"
+
+namespace cloudrepro::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FingerprintIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = fs::temp_directory_path() /
+            (std::string{"cloudrepro_fp_"} + info->name() + ".txt");
+    fs::remove(path_);
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  fs::path path_;
+};
+
+NetworkFingerprint sample_fingerprint() {
+  NetworkFingerprint fp;
+  fp.cloud = "Amazon EC2";
+  fp.instance_type = "c5.xlarge";
+  fp.base_latency_ms = 0.174;
+  fp.loaded_latency_ms = 0.31;
+  fp.base_bandwidth_gbps = 9.92;
+  fp.bandwidth_cov = 0.012;
+  fp.retransmission_rate = 0.0001;
+  fp.qos = QosClass::kTokenBucket;
+  fp.bucket.bucket_detected = true;
+  fp.bucket.time_to_empty_s = 640.0;
+  fp.bucket.high_rate_gbps = 10.3;
+  fp.bucket.low_rate_gbps = 1.0;
+  fp.bucket.replenish_gbps = 0.93;
+  fp.bucket.inferred_budget_gbit = 5988.0;
+  return fp;
+}
+
+TEST_F(FingerprintIoTest, RoundTripsExactly) {
+  const auto original = sample_fingerprint();
+  save_fingerprint(path_, original);
+  const auto loaded = load_fingerprint(path_);
+  EXPECT_EQ(loaded.cloud, original.cloud);
+  EXPECT_EQ(loaded.instance_type, original.instance_type);
+  EXPECT_DOUBLE_EQ(loaded.base_latency_ms, original.base_latency_ms);
+  EXPECT_DOUBLE_EQ(loaded.base_bandwidth_gbps, original.base_bandwidth_gbps);
+  EXPECT_EQ(loaded.qos, original.qos);
+  EXPECT_TRUE(loaded.bucket.bucket_detected);
+  EXPECT_DOUBLE_EQ(loaded.bucket.inferred_budget_gbit,
+                   original.bucket.inferred_budget_gbit);
+}
+
+TEST_F(FingerprintIoTest, RoundTripPreservesComparisonVerdict) {
+  const auto original = sample_fingerprint();
+  save_fingerprint(path_, original);
+  const auto loaded = load_fingerprint(path_);
+  EXPECT_TRUE(compare_fingerprints(original, loaded).baselines_match());
+}
+
+TEST_F(FingerprintIoTest, AllQosClassesRoundTrip) {
+  for (const auto qos :
+       {QosClass::kNone, QosClass::kRateCap, QosClass::kTokenBucket}) {
+    auto fp = sample_fingerprint();
+    fp.qos = qos;
+    save_fingerprint(path_, fp);
+    EXPECT_EQ(load_fingerprint(path_).qos, qos);
+  }
+}
+
+TEST_F(FingerprintIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_fingerprint(path_), std::runtime_error);
+}
+
+TEST_F(FingerprintIoTest, MalformedContentThrows) {
+  {
+    std::ofstream out{path_};
+    out << "this is not a fingerprint\n";
+  }
+  EXPECT_THROW(load_fingerprint(path_), std::runtime_error);
+  {
+    std::ofstream out{path_};
+    out << "format=cloudrepro-fingerprint-v1\nqos=warp_drive\n";
+  }
+  EXPECT_THROW(load_fingerprint(path_), std::runtime_error);
+}
+
+TEST_F(FingerprintIoTest, MissingKeyThrows) {
+  {
+    std::ofstream out{path_};
+    out << "format=cloudrepro-fingerprint-v1\ncloud=X\nqos=none\n";
+  }
+  EXPECT_THROW(load_fingerprint(path_), std::runtime_error);
+}
+
+TEST_F(FingerprintIoTest, UnwritablePathThrows) {
+  EXPECT_THROW(save_fingerprint("/nonexistent_dir_xyz/fp.txt", sample_fingerprint()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cloudrepro::core

@@ -1,0 +1,165 @@
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::core {
+namespace {
+
+FingerprintOptions quick_fp() {
+  FingerprintOptions o;
+  o.bandwidth_probes = 2;
+  o.bandwidth_probe_s = 120.0;
+  o.latency_probe_s = 1.0;
+  o.bucket_probe.max_probe_s = 1800.0;
+  o.bucket_probe.rest_s = 120.0;
+  return o;
+}
+
+TEST(WindowedConfirmTest, MediansPerWindow) {
+  stats::Rng rng{1};
+  std::vector<double> series(600);
+  for (auto& x : series) x = rng.normal(100.0, 3.0);
+  const auto analysis = windowed_median_confirm(series, 20);
+  EXPECT_EQ(analysis.points.size(), 30u);  // 600 / 20 medians.
+  EXPECT_TRUE(analysis.final_point().ci_valid);
+}
+
+TEST(WindowedConfirmTest, SmoothsHighFrequencyNoise) {
+  // Per-sample noise is huge; window medians are tight — the F5.4 point
+  // that "large time periods can smooth out noise".
+  stats::Rng rng{2};
+  std::vector<double> series(2000);
+  for (auto& x : series) x = 100.0 + rng.pareto(1.0, 1.3);
+  ConfirmOptions opt;
+  opt.error_bound = 0.05;
+  const auto raw = confirm_analysis(
+      std::span<const double>{series}.subspan(0, 40), opt);
+  const auto windowed = windowed_median_confirm(series, 50, opt);
+  ASSERT_TRUE(windowed.final_point().ci_valid);
+  // Windowed medians converge to the bound; 40 raw samples of a
+  // heavy-tailed distribution generally do not.
+  EXPECT_TRUE(windowed.final_point().within_bound);
+  (void)raw;
+}
+
+TEST(WindowedConfirmTest, ThrowsWhenSeriesShorterThanWindow) {
+  const std::vector<double> series{1.0, 2.0};
+  EXPECT_THROW(windowed_median_confirm(series, 10), std::invalid_argument);
+}
+
+TEST(RestRecommendationTest, TokenBucketGetsTransferBasedRest) {
+  NetworkFingerprint fp;
+  fp.qos = QosClass::kTokenBucket;
+  fp.bucket.replenish_gbps = 1.0;
+  // 90 Gbit per run at 1 Gbit/s replenish, 1.25 safety -> 112.5 s.
+  EXPECT_NEAR(recommend_rest_seconds(fp, 90.0), 112.5, 1e-9);
+}
+
+TEST(RestRecommendationTest, UnshapedCloudNeedsNoRest) {
+  NetworkFingerprint fp;
+  fp.qos = QosClass::kNone;
+  EXPECT_DOUBLE_EQ(recommend_rest_seconds(fp, 90.0), 0.0);
+  fp.qos = QosClass::kRateCap;
+  EXPECT_DOUBLE_EQ(recommend_rest_seconds(fp, 90.0), 0.0);
+}
+
+TEST(RestRecommendationTest, DegenerateInputs) {
+  NetworkFingerprint fp;
+  fp.qos = QosClass::kTokenBucket;
+  fp.bucket.replenish_gbps = 0.0;
+  EXPECT_DOUBLE_EQ(recommend_rest_seconds(fp, 90.0), 0.0);
+  fp.bucket.replenish_gbps = 1.0;
+  EXPECT_DOUBLE_EQ(recommend_rest_seconds(fp, 0.0), 0.0);
+}
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest()
+      : bucket_{*cloud::ec2_c5_xlarge().nominal_bucket()},
+        proto_{bucket_},
+        cluster_{bigdata::Cluster::uniform(12, 16, proto_, 10.0)},
+        env_{"Q65 on 12-node c5.xlarge cluster",
+             [this] { cluster_.reset_network(); },
+             [this](double s) { cluster_.rest(s); },
+             [this](stats::Rng& r) {
+               return engine_.run(bigdata::tpcds_query(65), cluster_, r).runtime_s;
+             }} {}
+
+  simnet::TokenBucketConfig bucket_;
+  simnet::TokenBucketQos proto_;
+  bigdata::Cluster cluster_;
+  bigdata::SparkEngine engine_;
+  LambdaEnvironment env_;
+};
+
+TEST_F(ProtocolTest, WellDesignedExperimentIsReproducible) {
+  stats::Rng rng{3};
+  ProtocolOptions options;
+  options.fingerprint = quick_fp();
+  options.plan.repetitions = 15;
+  options.plan.fresh_environment_each_run = true;
+  options.planned_transfer_gbit_per_run =
+      bigdata::tpcds_query(65).total_shuffle_gbit_per_node();
+
+  const auto report = run_protocol(cloud::ec2_c5_xlarge(), env_, options, rng);
+  EXPECT_EQ(report.baseline.qos, QosClass::kTokenBucket);
+  EXPECT_GT(report.recommended_rest_s, 60.0);
+  EXPECT_TRUE(report.result.converged());
+  EXPECT_TRUE(report.reproducible);
+}
+
+TEST_F(ProtocolTest, LiteratureStyleDesignIsNotReproducible) {
+  stats::Rng rng{4};
+  ProtocolOptions options;
+  options.fingerprint = quick_fp();
+  options.plan.repetitions = 3;  // The modal design from Figure 1b.
+  options.plan.fresh_environment_each_run = false;
+
+  const auto report = run_protocol(cloud::ec2_c5_xlarge(), env_, options, rng);
+  EXPECT_FALSE(report.reproducible);
+  bool has_violation = false;
+  for (const auto& f : report.findings) {
+    has_violation = has_violation || f.severity == Severity::kViolation;
+  }
+  EXPECT_TRUE(has_violation);
+}
+
+TEST_F(ProtocolTest, RecommendedRestSubstitutedIntoReusedPlans) {
+  stats::Rng rng{5};
+  ProtocolOptions options;
+  options.fingerprint = quick_fp();
+  options.plan.repetitions = 10;
+  options.plan.fresh_environment_each_run = false;
+  options.plan.rest_between_runs_s = 1.0;  // Far too short on its own.
+  options.planned_transfer_gbit_per_run =
+      bigdata::tpcds_query(65).total_shuffle_gbit_per_node();
+
+  const auto report = run_protocol(cloud::ec2_c5_xlarge(), env_, options, rng);
+  // With the substituted rest the reused runs stay fast and comparable.
+  EXPECT_LT(report.result.summary.max, 1.5 * report.result.summary.min);
+}
+
+TEST_F(ProtocolTest, ReportRendering) {
+  stats::Rng rng{6};
+  ProtocolOptions options;
+  options.fingerprint = quick_fp();
+  options.plan.repetitions = 10;
+  const auto report = run_protocol(cloud::ec2_c5_xlarge(), env_, options, rng);
+  std::ostringstream ss;
+  print_protocol_report(ss, report);
+  const auto out = ss.str();
+  EXPECT_NE(out.find("Reproducibility protocol report"), std::string::npos);
+  EXPECT_NE(out.find("token bucket"), std::string::npos);
+  EXPECT_NE(out.find("Overall verdict"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudrepro::core

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/guidelines.h"
+#include "core/report.h"
+
+namespace cloudrepro::core {
+namespace {
+
+ExperimentResult make_result(int reps, bool fresh, double spread = 1.0) {
+  ExperimentResult r;
+  r.environment = "test env";
+  r.plan.repetitions = reps;
+  r.plan.fresh_environment_each_run = fresh;
+  stats::Rng rng{1};
+  for (int i = 0; i < reps; ++i) r.values.push_back(rng.normal(100.0, spread));
+  r.summary = stats::summarize(r.values);
+  r.median_ci = stats::median_ci(r.values);
+  if (r.values.size() >= 4) {
+    r.normality = stats::shapiro_wilk(r.values);
+    r.independence = stats::runs_test(r.values);
+    r.diagnostics_available = true;
+  }
+  return r;
+}
+
+// ---- TablePrinter ------------------------------------------------------------
+
+TEST(TablePrinterTest, RendersAlignedColumns) {
+  TablePrinter t{{"Cloud", "Gbps"}};
+  t.add_row({"EC2", "10.00"});
+  t.add_row({"Google Cloud", "16.00"});
+  std::ostringstream ss;
+  t.print(ss);
+  const auto out = ss.str();
+  EXPECT_NE(out.find("Cloud"), std::string::npos);
+  EXPECT_NE(out.find("Google Cloud"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RejectsMismatchedRow) {
+  TablePrinter t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(FormatTest, Fmt) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt_pct(0.25), "25.0%");
+}
+
+TEST(FormatTest, FmtCi) {
+  stats::ConfidenceInterval ci;
+  ci.estimate = 10.0;
+  ci.lower = 9.0;
+  ci.upper = 11.0;
+  ci.valid = true;
+  EXPECT_EQ(fmt_ci(ci), "10.00 [9.00, 11.00]");
+  ci.valid = false;
+  EXPECT_NE(fmt_ci(ci).find("n too small"), std::string::npos);
+}
+
+TEST(ReportTest, ExperimentReportContainsKeyFields) {
+  const auto r = make_result(20, true);
+  std::ostringstream ss;
+  print_experiment_report(ss, r);
+  const auto out = ss.str();
+  EXPECT_NE(out.find("test env"), std::string::npos);
+  EXPECT_NE(out.find("median"), std::string::npos);
+  EXPECT_NE(out.find("normality"), std::string::npos);
+  EXPECT_NE(out.find("independence"), std::string::npos);
+  EXPECT_NE(out.find("fresh environment"), std::string::npos);
+}
+
+TEST(ReportTest, Verdicts) {
+  stats::TestResult ok{0.0, 0.5};
+  stats::TestResult bad{0.0, 0.001};
+  EXPECT_NE(normality_verdict(ok).find("consistent"), std::string::npos);
+  EXPECT_NE(normality_verdict(bad).find("NOT normal"), std::string::npos);
+  EXPECT_NE(independence_verdict(ok).find("consistent"), std::string::npos);
+  EXPECT_NE(independence_verdict(bad).find("NOT independent"), std::string::npos);
+}
+
+// ---- Guidelines ----------------------------------------------------------------
+
+TEST(GuidelinesTest, CleanExperimentFewFindings) {
+  const auto r = make_result(30, true);
+  ExperimentContext ctx;
+  ctx.baseline = NetworkFingerprint{};
+  const auto findings = check_guidelines(r, ctx);
+  for (const auto& f : findings) {
+    EXPECT_NE(f.severity, Severity::kViolation) << f.message;
+  }
+}
+
+TEST(GuidelinesTest, ThreeRepsIsAViolation) {
+  const auto r = make_result(3, true);
+  const auto findings = check_guidelines(r);
+  bool found = false;
+  for (const auto& f : findings) {
+    if (f.guideline == Guideline::kF53_EnoughRepetitions &&
+        f.severity == Severity::kViolation) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GuidelinesTest, ReusedEnvironmentWithTokenBucketIsViolation) {
+  const auto r = make_result(20, /*fresh=*/false);
+  ExperimentContext ctx;
+  ctx.qos = QosClass::kTokenBucket;
+  const auto findings = check_guidelines(r, ctx);
+  bool found = false;
+  for (const auto& f : findings) {
+    if (f.guideline == Guideline::kF54_StatisticalAssumptions &&
+        f.severity == Severity::kViolation) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GuidelinesTest, ReusedEnvironmentWithoutBucketIsOnlyWarning) {
+  const auto r = make_result(20, /*fresh=*/false);
+  ExperimentContext ctx;
+  ctx.qos = QosClass::kNone;
+  const auto findings = check_guidelines(r, ctx);
+  for (const auto& f : findings) {
+    if (f.guideline == Guideline::kF54_StatisticalAssumptions &&
+        f.message.find("reused") != std::string::npos) {
+      EXPECT_EQ(f.severity, Severity::kWarning);
+    }
+  }
+}
+
+TEST(GuidelinesTest, MissingBaselineIsWarning) {
+  const auto r = make_result(20, true);
+  const auto findings = check_guidelines(r, {});
+  bool found = false;
+  for (const auto& f : findings) {
+    if (f.guideline == Guideline::kF52_BaselineFingerprint) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GuidelinesTest, DriftedBaselineIsViolation) {
+  const auto r = make_result(20, true);
+  ExperimentContext ctx;
+  NetworkFingerprint before;
+  before.base_bandwidth_gbps = 10.0;
+  NetworkFingerprint after = before;
+  after.base_bandwidth_gbps = 5.0;
+  ctx.baseline = before;
+  ctx.current_fingerprint = after;
+  const auto findings = check_guidelines(r, ctx);
+  bool violation = false;
+  for (const auto& f : findings) {
+    if (f.guideline == Guideline::kF52_BaselineFingerprint &&
+        f.severity == Severity::kViolation) {
+      violation = true;
+      EXPECT_NE(f.message.find("bandwidth"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(violation);
+}
+
+TEST(GuidelinesTest, CrossCloudComparisonFlagged) {
+  const auto r = make_result(20, true);
+  ExperimentContext ctx;
+  ctx.compares_across_clouds = true;
+  const auto findings = check_guidelines(r, ctx);
+  bool found = false;
+  for (const auto& f : findings) {
+    if (f.guideline == Guideline::kF51_CrossCloudComparison) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GuidelinesTest, MissingEnvironmentDescriptionFlagged) {
+  auto r = make_result(20, true);
+  r.environment.clear();
+  const auto findings = check_guidelines(r);
+  bool found = false;
+  for (const auto& f : findings) {
+    if (f.guideline == Guideline::kF55_ReportPlatformDetail &&
+        f.severity == Severity::kViolation) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GuidelinesTest, RenderFindings) {
+  EXPECT_EQ(render_findings({}), "All guideline checks passed.\n");
+  std::vector<GuidelineFinding> findings{
+      {Guideline::kF53_EnoughRepetitions, Severity::kViolation, "too few"}};
+  const auto out = render_findings(findings);
+  EXPECT_NE(out.find("VIOLATION"), std::string::npos);
+  EXPECT_NE(out.find("F5.3"), std::string::npos);
+  EXPECT_NE(out.find("too few"), std::string::npos);
+}
+
+TEST(GuidelinesTest, ToStringCoversAll) {
+  EXPECT_FALSE(to_string(Guideline::kF51_CrossCloudComparison).empty());
+  EXPECT_FALSE(to_string(Guideline::kF55_ReportPlatformDetail).empty());
+  EXPECT_EQ(to_string(Severity::kAdvice), "advice");
+  EXPECT_EQ(to_string(Severity::kViolation), "VIOLATION");
+}
+
+}  // namespace
+}  // namespace cloudrepro::core

@@ -1,0 +1,103 @@
+// Determinism guardrails: everything in this repository is reproducible
+// run-to-run given the same seed — the repository practices what the paper
+// preaches about reproducibility.
+
+#include <gtest/gtest.h>
+
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "measure/iperf.h"
+#include "measure/patterns.h"
+#include "measure/rtt.h"
+#include "survey/corpus.h"
+
+namespace cloudrepro {
+namespace {
+
+TEST(DeterminismTest, BandwidthProbeIsSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    stats::Rng rng{seed};
+    measure::BandwidthProbeOptions probe;
+    probe.duration_s = 600.0;
+    return measure::run_bandwidth_probe(cloud::ec2_c5_xlarge(),
+                                        measure::full_speed(), probe, rng);
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].bandwidth_gbps, b.samples[i].bandwidth_gbps);
+    EXPECT_DOUBLE_EQ(a.samples[i].retransmissions, b.samples[i].retransmissions);
+  }
+  const auto c = run(43);
+  bool identical = a.samples.size() == c.samples.size();
+  if (identical) {
+    identical = false;
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+      if (a.samples[i].retransmissions != c.samples[i].retransmissions ||
+          a.samples[i].bandwidth_gbps != c.samples[i].bandwidth_gbps) {
+        break;
+      }
+      if (i + 1 == a.samples.size()) identical = true;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(DeterminismTest, RttProbeIsSeedDeterministic) {
+  const auto run = [] {
+    stats::Rng rng{7};
+    measure::RttProbeOptions opt;
+    opt.duration_s = 1.0;
+    return measure::run_rtt_probe(cloud::gce_8core(), opt, rng);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.capture.segments_sent, b.capture.segments_sent);
+  EXPECT_EQ(a.capture.retransmissions, b.capture.retransmissions);
+  EXPECT_DOUBLE_EQ(a.analysis.median_rtt_ms, b.analysis.median_rtt_ms);
+}
+
+TEST(DeterminismTest, EngineRunIsSeedDeterministic) {
+  const auto run = [] {
+    stats::Rng rng{11};
+    auto cluster =
+        bigdata::Cluster::from_cloud(12, 16, cloud::ec2_c5_xlarge(), rng);
+    bigdata::EngineOptions opt;
+    opt.partition_skew = 0.4;
+    bigdata::SparkEngine engine{opt};
+    return engine.run(bigdata::tpcds_query(65), cluster, rng);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_EQ(a.slowest_node, b.slowest_node);
+  EXPECT_DOUBLE_EQ(a.straggler_ratio, b.straggler_ratio);
+}
+
+TEST(DeterminismTest, CorpusIsSeedDeterministic) {
+  stats::Rng rng1{3};
+  stats::Rng rng2{3};
+  const auto a = survey::generate_corpus({}, rng1);
+  const auto b = survey::generate_corpus({}, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].citations, b[i].citations);
+    EXPECT_EQ(a[i].repetitions, b[i].repetitions);
+    EXPECT_EQ(a[i].cloud_experiments, b[i].cloud_experiments);
+  }
+}
+
+TEST(DeterminismTest, VmIncarnationsAreSeedDeterministic) {
+  stats::Rng rng1{5};
+  stats::Rng rng2{5};
+  const auto a = cloud::ec2_c5_xlarge().create_vm(rng1);
+  const auto b = cloud::ec2_c5_xlarge().create_vm(rng2);
+  EXPECT_DOUBLE_EQ(a.bucket->capacity_gbit, b.bucket->capacity_gbit);
+  EXPECT_DOUBLE_EQ(a.bucket->high_rate_gbps, b.bucket->high_rate_gbps);
+}
+
+}  // namespace
+}  // namespace cloudrepro

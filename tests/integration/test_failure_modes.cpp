@@ -1,0 +1,134 @@
+// Failure-injection and adverse-condition tests: the simulator and engine
+// must degrade loudly (exceptions) or gracefully (bounded behaviour), never
+// silently wrong.
+
+#include <gtest/gtest.h>
+
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "core/protocol.h"
+#include "measure/iperf.h"
+#include "measure/patterns.h"
+#include "simnet/fluid_network.h"
+#include "simnet/qos.h"
+
+namespace cloudrepro {
+namespace {
+
+TEST(FailureModesTest, EngineThrowsWhenShuffleMissesDeadline) {
+  // A pathologically slow network (1 Mbps) cannot move Terasort's shuffle
+  // before the deadline: the engine must throw, not hang or return garbage.
+  simnet::FixedRateQos crawl{0.001};
+  auto cluster = bigdata::Cluster::uniform(12, 16, crawl, 10.0);
+  bigdata::EngineOptions opt;
+  opt.deadline_s = 600.0;
+  bigdata::SparkEngine engine{opt};
+  stats::Rng rng{1};
+  EXPECT_THROW(engine.run(bigdata::hibench_terasort(), cluster, rng),
+               std::runtime_error);
+}
+
+TEST(FailureModesTest, NearZeroRatesStillConserveBytes) {
+  simnet::FluidNetwork net;
+  const auto a = net.add_node(std::make_unique<simnet::FixedRateQos>(1e-3));
+  const auto b = net.add_node(std::make_unique<simnet::FixedRateQos>(10.0));
+  const auto f = net.start_flow(a, b, 0.01);
+  EXPECT_TRUE(net.run_until_flows_complete(100.0));
+  EXPECT_NEAR(net.flow(f).transferred_gbit, 0.01, 1e-9);
+  EXPECT_NEAR(net.now(), 10.0, 1e-3);
+}
+
+TEST(FailureModesTest, ZeroBudgetZeroCreditClusterStillFinishes) {
+  // Every shaping mechanism at its worst simultaneously: the job is slow
+  // but completes and the accounting stays consistent.
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  cluster.set_token_budgets(0.0);
+  cloud::CpuCreditConfig cpu;
+  cpu.vcpus = 16;
+  cluster.attach_cpu_credits(cpu);
+  cluster.set_cpu_credits(0.0);
+
+  bigdata::SparkEngine engine;
+  stats::Rng rng{2};
+  const auto r = engine.run(bigdata::tpcds_query(65), cluster, rng);
+  const auto& q = bigdata::tpcds_query(65);
+  EXPECT_GT(r.runtime_s, q.nominal_compute_s(16));  // Slower than nominal.
+  for (const double sent : r.per_node_sent_gbit) {
+    EXPECT_NEAR(sent, q.total_shuffle_gbit_per_node(), 1e-9);
+  }
+}
+
+TEST(FailureModesTest, ProbeOnAlmostDeadNetworkTerminates) {
+  // Probing a nearly-dead link for an hour completes in bounded sim steps.
+  cloud::VmNetwork vm;
+  vm.egress = std::make_unique<simnet::FixedRateQos>(1e-3);
+  vm.vnic = simnet::ec2_vnic();
+  vm.line_rate_gbps = 10.0;
+  measure::BandwidthProbeOptions probe;
+  probe.duration_s = 3600.0;
+  stats::Rng rng{3};
+  const auto trace = measure::run_bandwidth_probe(vm, measure::full_speed(), probe, rng);
+  EXPECT_EQ(trace.samples.size(), 360u);
+  for (const auto& s : trace.samples) {
+    EXPECT_NEAR(s.bandwidth_gbps, 1e-3, 1e-6);
+  }
+}
+
+TEST(FailureModesTest, SingleRepetitionProtocolIsAuditableNotCrashy) {
+  // The degenerate "ran it once" experiment: everything that can be
+  // reported is reported, everything else is flagged.
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  bigdata::SparkEngine engine;
+
+  core::LambdaEnvironment env{
+      "single-shot", [&] { cluster.reset_network(); }, [&](double s) { cluster.rest(s); },
+      [&](stats::Rng& r) {
+        return engine.run(bigdata::tpcds_query(3), cluster, r).runtime_s;
+      }};
+  core::ProtocolOptions options;
+  options.plan.repetitions = 1;
+  options.fingerprint.bandwidth_probes = 1;
+  options.fingerprint.bandwidth_probe_s = 60.0;
+  options.fingerprint.latency_probe_s = 0.5;
+  options.fingerprint.bucket_probe.max_probe_s = 900.0;
+  stats::Rng rng{4};
+  const auto report = core::run_protocol(cloud::ec2_c5_xlarge(), env, options, rng);
+  EXPECT_FALSE(report.reproducible);
+  EXPECT_EQ(report.result.values.size(), 1u);
+  EXPECT_FALSE(report.result.median_ci.valid);
+}
+
+TEST(FailureModesTest, ClusterSurvivesExtremeSkew) {
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  bigdata::EngineOptions opt;
+  opt.partition_skew = 5.0;  // Nearly everything on one node.
+  bigdata::SparkEngine engine{opt};
+  stats::Rng rng{5};
+  const auto r = engine.run(bigdata::tpcds_query(65), cluster, rng);
+  EXPECT_GT(r.runtime_s, 0.0);
+  // Sent volumes still total to nodes * per-node profile volume.
+  double total = 0.0;
+  for (const double sent : r.per_node_sent_gbit) total += sent;
+  EXPECT_NEAR(total, 12.0 * bigdata::tpcds_query(65).total_shuffle_gbit_per_node(),
+              1e-6);
+}
+
+TEST(FailureModesTest, StochasticQosWithExtremeSamplerStaysPositive) {
+  stats::Rng rng{6};
+  simnet::StochasticQos qos{[](stats::Rng&) { return -100.0; }, 1.0, rng};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GT(qos.allowed_rate(), 0.0);
+    qos.advance(1.0, qos.allowed_rate());
+  }
+}
+
+}  // namespace
+}  // namespace cloudrepro

@@ -1,0 +1,241 @@
+// Integration tests: each test reproduces, end-to-end across modules, one of
+// the paper's numbered findings. These are the repository's "does it still
+// tell the paper's story?" guardrails.
+
+#include <gtest/gtest.h>
+
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/ballani.h"
+#include "cloud/instances.h"
+#include "core/confirm.h"
+#include "core/experiment.h"
+#include "measure/iperf.h"
+#include "measure/patterns.h"
+#include "measure/rtt.h"
+#include "simnet/units.h"
+#include "stats/ci.h"
+#include "stats/descriptive.h"
+#include "stats/hypothesis.h"
+
+namespace cloudrepro {
+namespace {
+
+simnet::TokenBucketConfig c5_bucket() {
+  return *cloud::ec2_c5_xlarge().nominal_bucket();
+}
+
+TEST(PaperFindings, F31_TokenBucketCutsBandwidthByOrderOfMagnitude) {
+  // "token-bucket approaches, where bandwidth is cut by an order of
+  // magnitude after several minutes of transfer".
+  stats::Rng rng{1};
+  measure::BandwidthProbeOptions probe;
+  probe.duration_s = 1800.0;
+  const auto trace = measure::run_bandwidth_probe(cloud::ec2_c5_xlarge(),
+                                                  measure::full_speed(), probe, rng);
+  const auto bw = trace.bandwidths();
+  const double early = stats::median(std::span<const double>{bw}.subspan(0, 30));
+  const double late = stats::median(
+      std::span<const double>{bw}.subspan(bw.size() - 30, 30));
+  EXPECT_GT(early / late, 5.0);
+  // The cut happens after minutes, not seconds.
+  std::size_t drop_index = 0;
+  for (std::size_t i = 0; i < bw.size(); ++i) {
+    if (bw[i] < 0.5 * early) {
+      drop_index = i;
+      break;
+    }
+  }
+  EXPECT_GT(drop_index * 10.0, 120.0);
+}
+
+TEST(PaperFindings, F32_PrivateCloudMoreVariableThanCommercial) {
+  // "Private clouds can exhibit more variability than public commercial
+  // clouds" — compare HPCCloud's full-speed CoV with GCE's.
+  stats::Rng rng{2};
+  measure::BandwidthProbeOptions probe;
+  probe.duration_s = 4.0 * 3600.0;
+  const auto hpc = measure::run_bandwidth_probe(cloud::hpccloud_8core(),
+                                                measure::full_speed(), probe, rng);
+  const auto gce = measure::run_bandwidth_probe(cloud::gce_8core(),
+                                                measure::full_speed(), probe, rng);
+  EXPECT_GT(hpc.bandwidth_summary().coefficient_of_variation,
+            3.0 * gce.bandwidth_summary().coefficient_of_variation);
+}
+
+TEST(PaperFindings, F33_BaseLatencyVariesNearlyTenXBetweenClouds) {
+  stats::Rng rng{3};
+  measure::RttProbeOptions opt;
+  opt.duration_s = 2.0;
+  opt.write_bytes = 4096.0;
+  const auto ec2 = measure::run_rtt_probe(cloud::ec2_c5_xlarge(), opt, rng);
+  const auto gce = measure::run_rtt_probe(cloud::gce_8core(), opt, rng);
+  const double ratio = gce.analysis.median_rtt_ms / ec2.analysis.median_rtt_ms;
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 40.0);
+}
+
+TEST(PaperFindings, F41_StochasticCloudsConvergeWithEnoughRepetitions) {
+  // Under GCE/HPCCloud-style noise, repetitions + sound statistics give
+  // reproducible results.
+  stats::Rng rng{4};
+  bigdata::SparkEngine engine;
+  std::vector<double> runtimes;
+  for (int i = 0; i < 40; ++i) {
+    auto cluster = bigdata::Cluster::from_cloud(12, 16, cloud::hpccloud_8core(), rng);
+    runtimes.push_back(engine.run(bigdata::hibench_kmeans(), cluster, rng).runtime_s);
+  }
+  const auto analysis = core::confirm_analysis(runtimes);
+  ASSERT_TRUE(analysis.final_point().ci_valid);
+  // CI should be tight (few-percent) and runs i.i.d.
+  const auto ci = stats::median_ci(runtimes);
+  EXPECT_LT(ci.relative_half_width(), 0.05);
+  EXPECT_FALSE(stats::runs_test(runtimes).reject());
+}
+
+TEST(PaperFindings, F42_BudgetStateChangesFutureRuntimes) {
+  stats::Rng rng{5};
+  simnet::TokenBucketQos proto{c5_bucket()};
+  bigdata::SparkEngine engine;
+
+  // Same workload, same cluster size — different *history*.
+  auto fresh = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  const double fresh_runtime =
+      engine.run(bigdata::tpcds_query(68), fresh, rng).runtime_s;
+
+  auto used = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  used.set_token_budgets(0.0);
+  const double used_runtime =
+      engine.run(bigdata::tpcds_query(68), used, rng).runtime_s;
+
+  EXPECT_GT(used_runtime, 2.0 * fresh_runtime);
+}
+
+TEST(PaperFindings, F43_TokenBucketsPlusImbalanceCreateStragglers) {
+  stats::Rng rng{6};
+  simnet::TokenBucketQos proto{c5_bucket()};
+  bigdata::EngineOptions opt;
+  opt.partition_skew = 0.6;
+  bigdata::SparkEngine engine{opt};
+
+  // Figure 18's setup: 2500-Gbit budgets, repeated heavy queries. The
+  // most-loaded node depletes its bucket first and straggles while the
+  // others remain at the high QoS.
+  auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  cluster.set_token_budgets(2500.0);
+  bigdata::JobResult straggling_run;
+  bool straggled = false;
+  for (int i = 0; i < 22 && !straggled; ++i) {
+    straggling_run = engine.run(bigdata::tpcds_query(65), cluster, rng);
+    straggled = straggling_run.has_straggler();
+  }
+  ASSERT_TRUE(straggled);
+
+  // The straggler is exactly the node with the lowest remaining budget.
+  double min_budget = 1e18;
+  std::size_t min_node = 0;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    if (*cluster.token_budget(i) < min_budget) {
+      min_budget = *cluster.token_budget(i);
+      min_node = i;
+    }
+  }
+  EXPECT_EQ(straggling_run.slowest_node, min_node);
+}
+
+TEST(PaperFindings, F44_UnknownBudgetStateMakesPerformanceUnpredictable) {
+  // Figure 19's mechanism via the experiment runner: reusing VMs produces a
+  // non-independent, drifting sequence; fresh VMs do not.
+  stats::Rng rng{7};
+  simnet::TokenBucketQos proto{c5_bucket()};
+  bigdata::SparkEngine engine;
+
+  auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  cluster.set_token_budgets(500.0);
+
+  core::LambdaEnvironment env{
+      "Q65 on reused 12-node cluster",
+      [&] {
+        cluster.reset_network();
+        cluster.set_token_budgets(500.0);
+      },
+      [&](double s) { cluster.rest(s); },
+      [&](stats::Rng& r) {
+        return engine.run(bigdata::tpcds_query(65), cluster, r).runtime_s;
+      }};
+
+  core::ExperimentRunner runner{rng.split()};
+  core::ExperimentPlan reuse_plan;
+  reuse_plan.repetitions = 20;
+  reuse_plan.fresh_environment_each_run = false;
+  const auto reused = runner.run(env, reuse_plan);
+  EXPECT_TRUE(reused.independence.reject());  // Non-i.i.d.
+
+  core::ExperimentPlan fresh_plan;
+  fresh_plan.repetitions = 20;
+  fresh_plan.fresh_environment_each_run = true;
+  const auto fresh = runner.run(env, fresh_plan);
+  EXPECT_FALSE(fresh.independence.reject());
+  EXPECT_LT(fresh.summary.coefficient_of_variation,
+            0.5 * reused.summary.coefficient_of_variation);
+}
+
+TEST(PaperFindings, Figure3_FewRepetitionMediansMissGoldStandardCis) {
+  // The Section 2.1 emulation: under Ballani bandwidth distributions,
+  // 3-run medians frequently fall outside the 50-run gold-standard CI.
+  stats::Rng rng{8};
+  bigdata::SparkEngine engine;
+
+  int clouds_with_bad_3run = 0;
+  for (const auto& dist : cloud::ballani_distributions()) {
+    // 16-node cluster whose links resample from the distribution every 5 s.
+    auto sampler = [&dist](stats::Rng& r) {
+      return simnet::mbps_to_gbps(dist.sample_mbps(r));
+    };
+    std::vector<double> runtimes;
+    for (int rep = 0; rep < 50; ++rep) {
+      simnet::StochasticQos proto(sampler, 5.0, rng.split());
+      auto cluster = bigdata::Cluster::uniform(16, 16, proto, 1.0);
+      runtimes.push_back(engine.run(bigdata::hibench_kmeans(), cluster, rng).runtime_s);
+    }
+    const auto gold = stats::median_ci(runtimes);
+    ASSERT_TRUE(gold.valid);
+    const double median3 =
+        stats::median(std::span<const double>{runtimes}.subspan(0, 3));
+    if (!gold.contains(median3)) ++clouds_with_bad_3run;
+  }
+  // The paper found 6/8 clouds with inaccurate 3-run medians; we only
+  // require that the phenomenon shows (at least a couple of clouds).
+  EXPECT_GE(clouds_with_bad_3run, 2);
+}
+
+TEST(PaperFindings, Figure19_BudgetDepletionWidensCiForSensitiveQueries) {
+  stats::Rng rng{9};
+  simnet::TokenBucketQos proto{c5_bucket()};
+  bigdata::SparkEngine engine;
+
+  const double budgets[] = {5000.0, 2500.0, 1000.0, 100.0, 10.0};
+  const auto run_schedule = [&](int query) {
+    std::vector<double> runtimes;
+    for (const double b : budgets) {
+      for (int i = 0; i < 10; ++i) {
+        auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+        cluster.set_token_budgets(b);
+        runtimes.push_back(engine.run(bigdata::tpcds_query(query), cluster, rng).runtime_s);
+      }
+    }
+    return core::confirm_analysis(runtimes);
+  };
+
+  const auto q65 = run_schedule(65);
+  const auto q82 = run_schedule(82);
+
+  EXPECT_TRUE(q65.ci_widened);   // Budget-dependent: CI widens.
+  EXPECT_FALSE(q82.ci_widened);  // Budget-agnostic: CI tightens normally.
+  EXPECT_TRUE(q82.final_point().within_bound ||
+              q82.final_point().ci_valid);
+}
+
+}  // namespace
+}  // namespace cloudrepro

@@ -1,0 +1,91 @@
+#include "measure/bucket_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "simnet/qos.h"
+
+namespace cloudrepro::measure {
+namespace {
+
+BucketProbeOptions fast_probe() {
+  BucketProbeOptions o;
+  o.max_probe_s = 3600.0;
+  o.rest_s = 300.0;
+  return o;
+}
+
+TEST(BucketProbeTest, IdentifiesC5XlargeParameters) {
+  stats::Rng rng{1};
+  const auto r = identify_token_bucket(cloud::ec2_c5_xlarge(), fast_probe(), rng);
+  ASSERT_TRUE(r.bucket_detected);
+  // Section 3.3: 10 Gbps high, ~1 Gbps low, ~10 minutes to empty,
+  // ~1 Gbit/s replenish.
+  EXPECT_NEAR(r.high_rate_gbps, 10.0, 1.0);
+  EXPECT_NEAR(r.low_rate_gbps, 1.0, 0.3);
+  EXPECT_NEAR(r.time_to_empty_s, 600.0, 200.0);
+  EXPECT_NEAR(r.replenish_gbps, 1.0, 0.5);
+  EXPECT_NEAR(r.inferred_budget_gbit, 5400.0, 1800.0);
+}
+
+TEST(BucketProbeTest, NoBucketOnGce) {
+  stats::Rng rng{2};
+  BucketProbeOptions o = fast_probe();
+  o.max_probe_s = 1200.0;
+  const auto r = identify_token_bucket(cloud::gce_8core(), o, rng);
+  EXPECT_FALSE(r.bucket_detected);
+  EXPECT_NEAR(r.high_rate_gbps, 16.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.high_rate_gbps, r.low_rate_gbps);
+}
+
+TEST(BucketProbeTest, NoBucketOnHpcCloud) {
+  stats::Rng rng{3};
+  BucketProbeOptions o = fast_probe();
+  o.max_probe_s = 1200.0;
+  const auto r = identify_token_bucket(cloud::hpccloud_8core(), o, rng);
+  EXPECT_FALSE(r.bucket_detected);
+  EXPECT_GT(r.high_rate_gbps, 9.0);
+}
+
+TEST(BucketProbeTest, BiggerInstancesHaveBiggerBuckets) {
+  // Figure 11's monotone trend across the c5 family.
+  stats::Rng rng{4};
+  double prev_tte = 0.0;
+  double prev_low = 0.0;
+  for (const char* name : {"c5.large", "c5.xlarge", "c5.2xlarge"}) {
+    cloud::CloudProfile profile{
+        cloud::find_instance(cloud::Provider::kAmazonEc2, name)};
+    BucketProbeOptions o = fast_probe();
+    o.max_probe_s = 4.0 * 3600.0;
+    const auto r = identify_token_bucket(profile, o, rng);
+    ASSERT_TRUE(r.bucket_detected) << name;
+    EXPECT_GT(r.time_to_empty_s, prev_tte) << name;
+    EXPECT_GT(r.low_rate_gbps, prev_low) << name;
+    prev_tte = r.time_to_empty_s;
+    prev_low = r.low_rate_gbps;
+  }
+}
+
+TEST(BucketProbeTest, RepeatedProbesScatter) {
+  // Figure 11: parameters are "not always consistent for multiple
+  // incarnations" — repeated identifications of the same type differ.
+  stats::Rng rng{5};
+  const auto profile = cloud::ec2_c5_xlarge();
+  double min_tte = 1e18, max_tte = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto r = identify_token_bucket(profile, fast_probe(), rng);
+    ASSERT_TRUE(r.bucket_detected);
+    min_tte = std::min(min_tte, r.time_to_empty_s);
+    max_tte = std::max(max_tte, r.time_to_empty_s);
+  }
+  EXPECT_GT(max_tte, min_tte);
+}
+
+TEST(BucketProbeTest, WorksOnExplicitVm) {
+  stats::Rng rng{6};
+  auto vm = cloud::ec2_c5_xlarge().create_vm(rng);
+  const auto r = identify_token_bucket(vm, fast_probe(), rng);
+  EXPECT_TRUE(r.bucket_detected);
+}
+
+}  // namespace
+}  // namespace cloudrepro::measure

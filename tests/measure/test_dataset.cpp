@@ -1,0 +1,102 @@
+#include "measure/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace cloudrepro::measure {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each case in its own process concurrently: the directory
+    // must be unique per test or parallel cases stomp each other.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string{"cloudrepro_dataset_"} + info->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+DatasetOptions tiny_campaign() {
+  DatasetOptions options;
+  options.duration_s = 600.0;
+  options.cells = {
+      {cloud::Provider::kAmazonEc2, "c5.xlarge", full_speed()},
+      {cloud::Provider::kHpcCloud, "8-core", pattern_10_30()},
+  };
+  return options;
+}
+
+TEST_F(DatasetTest, WritesOneCsvPerCellPlusManifest) {
+  const auto files = generate_dataset(dir_, tiny_campaign());
+  ASSERT_EQ(files.size(), 2u);
+  for (const auto& f : files) {
+    EXPECT_TRUE(fs::exists(f.path)) << f.path;
+    EXPECT_GT(f.samples, 0u);
+    EXPECT_GT(f.total_gbit, 0.0);
+  }
+  EXPECT_TRUE(fs::exists(dir_ / "MANIFEST.csv"));
+}
+
+TEST_F(DatasetTest, ManifestListsEveryFile) {
+  const auto files = generate_dataset(dir_, tiny_campaign());
+  std::ifstream manifest{dir_ / "MANIFEST.csv"};
+  std::string content{std::istreambuf_iterator<char>{manifest},
+                      std::istreambuf_iterator<char>{}};
+  EXPECT_NE(content.find("file,cloud,instance,pattern"), std::string::npos);
+  for (const auto& f : files) {
+    EXPECT_NE(content.find(f.path.filename().string()), std::string::npos);
+  }
+}
+
+TEST_F(DatasetTest, CsvRoundTrips) {
+  const auto files = generate_dataset(dir_, tiny_campaign());
+  const auto trace = read_trace_csv(files[0].path);
+  EXPECT_EQ(trace.samples.size(), files[0].samples);
+  EXPECT_NEAR(trace.total_gbit(), files[0].total_gbit, 1e-3 * files[0].total_gbit);
+  EXPECT_NEAR(trace.bandwidth_summary().median, files[0].median_gbps,
+              1e-3 * files[0].median_gbps + 1e-6);
+}
+
+TEST_F(DatasetTest, DeterministicAcrossRuns) {
+  const auto a = generate_dataset(dir_, tiny_campaign());
+  fs::remove_all(dir_);
+  const auto b = generate_dataset(dir_, tiny_campaign());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].total_gbit, b[i].total_gbit);
+    EXPECT_DOUBLE_EQ(a[i].median_gbps, b[i].median_gbps);
+  }
+}
+
+TEST_F(DatasetTest, DefaultCampaignCoversStarredCells) {
+  const auto campaign = default_campaign();
+  EXPECT_EQ(campaign.cells.size(), 9u);  // 3 clouds x 3 patterns.
+}
+
+TEST_F(DatasetTest, EmptyCampaignThrows) {
+  DatasetOptions options;
+  EXPECT_THROW(generate_dataset(dir_, options), std::invalid_argument);
+}
+
+TEST_F(DatasetTest, ReadRejectsMalformedFiles) {
+  fs::create_directories(dir_);
+  const auto bad = dir_ / "bad.csv";
+  {
+    std::ofstream out{bad};
+    out << "not,a,trace,header\n";
+  }
+  EXPECT_THROW(read_trace_csv(bad), std::runtime_error);
+  EXPECT_THROW(read_trace_csv(dir_ / "missing.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cloudrepro::measure

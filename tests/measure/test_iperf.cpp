@@ -1,0 +1,162 @@
+#include "measure/iperf.h"
+
+#include <gtest/gtest.h>
+
+#include "measure/patterns.h"
+#include "stats/descriptive.h"
+#include "stats/timeseries.h"
+
+namespace cloudrepro::measure {
+namespace {
+
+BandwidthProbeOptions hour_probe() {
+  BandwidthProbeOptions o;
+  o.duration_s = 3600.0;
+  return o;
+}
+
+TEST(BandwidthProbeTest, SampleCountMatchesDuration) {
+  stats::Rng rng{1};
+  const auto trace =
+      run_bandwidth_probe(cloud::hpccloud_8core(), full_speed(), hour_probe(), rng);
+  // 3600 s at 10-s samples.
+  EXPECT_EQ(trace.samples.size(), 360u);
+  EXPECT_EQ(trace.pattern, "full-speed");
+  EXPECT_EQ(trace.cloud, "HPCCloud");
+}
+
+TEST(BandwidthProbeTest, OnOffEmitsOneSamplePerBurst) {
+  stats::Rng rng{2};
+  const auto trace =
+      run_bandwidth_probe(cloud::hpccloud_8core(), pattern_10_30(), hour_probe(), rng);
+  // One 10-s burst per 40-s cycle.
+  EXPECT_EQ(trace.samples.size(), 90u);
+}
+
+TEST(BandwidthProbeTest, HpcCloudBandwidthInMeasuredRange) {
+  stats::Rng rng{3};
+  const auto trace =
+      run_bandwidth_probe(cloud::hpccloud_8core(), full_speed(), hour_probe(), rng);
+  const auto s = trace.bandwidth_summary();
+  EXPECT_GE(s.min, 7.0);
+  EXPECT_LE(s.max, 10.5);
+  EXPECT_GT(s.coefficient_of_variation, 0.01);  // Visibly variable (F3.2).
+}
+
+TEST(BandwidthProbeTest, Ec2FullSpeedThrottlesAfterMinutes) {
+  stats::Rng rng{4};
+  const auto trace =
+      run_bandwidth_probe(cloud::ec2_c5_xlarge(), full_speed(), hour_probe(), rng);
+  const auto bw = trace.bandwidths();
+  // Early samples at ~10 Gbps, late samples at ~1 Gbps (Figure 7 behaviour).
+  EXPECT_GT(bw.front(), 8.0);
+  EXPECT_LT(bw.back(), 1.5);
+}
+
+TEST(BandwidthProbeTest, Ec2PatternOrderingMatchesFigure6) {
+  // Figure 6: heavier streams achieve LESS performance: full-speed <<
+  // 10-30 << 5-30 in steady state.
+  stats::Rng rng{5};
+  BandwidthProbeOptions probe;
+  probe.duration_s = 24.0 * 3600.0;
+
+  const auto full = run_bandwidth_probe(cloud::ec2_c5_xlarge(), full_speed(), probe, rng);
+  const auto t1030 = run_bandwidth_probe(cloud::ec2_c5_xlarge(), pattern_10_30(), probe, rng);
+  const auto t530 = run_bandwidth_probe(cloud::ec2_c5_xlarge(), pattern_5_30(), probe, rng);
+
+  const double m_full = full.bandwidth_summary().median;
+  const double m_1030 = t1030.bandwidth_summary().median;
+  const double m_530 = t530.bandwidth_summary().median;
+
+  EXPECT_LT(m_full, m_1030);
+  EXPECT_LT(m_1030, m_530);
+  // Approximate 3x-4x and 7x slowdown factors.
+  EXPECT_NEAR(m_1030 / m_full, 3.5, 1.5);
+  EXPECT_NEAR(m_530 / m_full, 7.0, 2.0);
+}
+
+TEST(BandwidthProbeTest, GcePatternOrderingIsOpposite) {
+  // Figure 5: on GCE longer streams achieve better, more stable performance.
+  stats::Rng rng{6};
+  BandwidthProbeOptions probe;
+  probe.duration_s = 6.0 * 3600.0;
+
+  const auto full = run_bandwidth_probe(cloud::gce_8core(), full_speed(), probe, rng);
+  const auto t530 = run_bandwidth_probe(cloud::gce_8core(), pattern_5_30(), probe, rng);
+
+  EXPECT_GT(full.bandwidth_summary().median, t530.bandwidth_summary().median);
+  // 5-30 has the long tail: its 1st percentile dips far below full-speed's.
+  EXPECT_LT(t530.bandwidth_box().p1, full.bandwidth_box().p1 - 1.0);
+}
+
+TEST(BandwidthProbeTest, GceRetransmissionsCommonEc2Negligible) {
+  // Figure 9: retransmissions are common in Google Cloud (~2%), negligible
+  // on EC2 and HPCCloud.
+  stats::Rng rng{7};
+  const auto gce = run_bandwidth_probe(cloud::gce_8core(), full_speed(), hour_probe(), rng);
+  const auto ec2 = run_bandwidth_probe(cloud::ec2_c5_xlarge(), full_speed(), hour_probe(), rng);
+  const auto hpc = run_bandwidth_probe(cloud::hpccloud_8core(), full_speed(), hour_probe(), rng);
+
+  const double gce_total = stats::mean(gce.retransmissions());
+  const double ec2_total = stats::mean(ec2.retransmissions());
+  const double hpc_total = stats::mean(hpc.retransmissions());
+  EXPECT_GT(gce_total, 100.0 * std::max(ec2_total, 1.0));
+  EXPECT_LT(hpc_total, 10.0);
+}
+
+TEST(BandwidthProbeTest, UsedVmStateCarriesAcrossProbes) {
+  // Figure 19's mechanism: a second probe on the same VM starts where the
+  // first left the bucket.
+  stats::Rng rng{8};
+  const auto profile = cloud::ec2_c5_xlarge();
+  auto vm = profile.create_vm(rng);
+
+  BandwidthProbeOptions probe;
+  probe.duration_s = 900.0;  // Drains the bucket past the throttle point.
+  const auto first = run_bandwidth_probe(vm, full_speed(), probe, rng);
+  EXPECT_GT(first.bandwidths().front(), 8.0);
+
+  probe.duration_s = 60.0;
+  const auto second = run_bandwidth_probe(vm, full_speed(), probe, rng);
+  // The bucket is empty: the second probe never sees the high rate.
+  EXPECT_LT(second.bandwidth_summary().max, 2.0);
+}
+
+TEST(BandwidthProbeTest, TransferredVolumeConsistentWithBandwidth) {
+  stats::Rng rng{9};
+  const auto trace =
+      run_bandwidth_probe(cloud::hpccloud_8core(), full_speed(), hour_probe(), rng);
+  for (const auto& s : trace.samples) {
+    EXPECT_NEAR(s.transferred_gbit, s.bandwidth_gbps * 10.0, 1e-6);
+  }
+}
+
+TEST(BandwidthProbeTest, SampleToSampleVariabilitySignificant) {
+  // Section 3.1: HPCCloud varies up to ~33% between consecutive 10-s
+  // samples.
+  stats::Rng rng{10};
+  const auto trace =
+      run_bandwidth_probe(cloud::hpccloud_8core(), full_speed(), hour_probe(), rng);
+  const double max_change =
+      stats::max_sample_to_sample_variability(trace.bandwidths());
+  EXPECT_GT(max_change, 0.08);
+  EXPECT_LT(max_change, 0.45);
+}
+
+TEST(BandwidthProbeTest, Validation) {
+  stats::Rng rng{11};
+  auto vm = cloud::hpccloud_8core().create_vm(rng);
+  BandwidthProbeOptions bad;
+  bad.duration_s = 0.0;
+  EXPECT_THROW(run_bandwidth_probe(vm, full_speed(), bad, rng), std::invalid_argument);
+  bad.duration_s = 10.0;
+  bad.sample_interval_s = 0.0;
+  EXPECT_THROW(run_bandwidth_probe(vm, full_speed(), bad, rng), std::invalid_argument);
+  cloud::VmNetwork no_policy;
+  BandwidthProbeOptions ok;
+  EXPECT_THROW(run_bandwidth_probe(no_policy, full_speed(), ok, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudrepro::measure

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "measure/patterns.h"
+#include "measure/trace.h"
+
+namespace cloudrepro::measure {
+namespace {
+
+TEST(PatternsTest, CanonicalThree) {
+  const auto patterns = canonical_patterns();
+  ASSERT_EQ(patterns.size(), 3u);
+  EXPECT_EQ(patterns[0].name, "full-speed");
+  EXPECT_EQ(patterns[1].name, "10-30");
+  EXPECT_EQ(patterns[2].name, "5-30");
+}
+
+TEST(PatternsTest, FullSpeedIsContinuous) {
+  EXPECT_TRUE(full_speed().continuous());
+  EXPECT_DOUBLE_EQ(full_speed().duty_cycle(), 1.0);
+}
+
+TEST(PatternsTest, OnOffDutyCycles) {
+  EXPECT_FALSE(pattern_10_30().continuous());
+  EXPECT_DOUBLE_EQ(pattern_10_30().duty_cycle(), 0.25);
+  EXPECT_DOUBLE_EQ(pattern_5_30().duty_cycle(), 5.0 / 35.0);
+}
+
+TEST(TraceTest, TotalAndCumulative) {
+  Trace t;
+  t.samples = {{10.0, 1.0, 10.0, 0.0}, {20.0, 2.0, 20.0, 5.0}, {30.0, 3.0, 30.0, 0.0}};
+  EXPECT_DOUBLE_EQ(t.total_gbit(), 60.0);
+  const auto cum = t.cumulative_terabytes();
+  ASSERT_EQ(cum.size(), 3u);
+  EXPECT_DOUBLE_EQ(cum[0], 10.0 / 8.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(cum[2], 60.0 / 8.0 / 1000.0);
+}
+
+TEST(TraceTest, BandwidthVectors) {
+  Trace t;
+  t.samples = {{10.0, 1.5, 15.0, 2.0}, {20.0, 2.5, 25.0, 3.0}};
+  EXPECT_EQ(t.bandwidths(), (std::vector<double>{1.5, 2.5}));
+  EXPECT_EQ(t.retransmissions(), (std::vector<double>{2.0, 3.0}));
+}
+
+TEST(TraceTest, SummaryAndBox) {
+  Trace t;
+  for (int i = 1; i <= 100; ++i) {
+    t.samples.push_back({10.0 * i, static_cast<double>(i), 10.0 * i, 0.0});
+  }
+  const auto s = t.bandwidth_summary();
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  const auto b = t.bandwidth_box();
+  EXPECT_LT(b.p1, b.p99);
+}
+
+TEST(TraceTest, CsvFormat) {
+  Trace t;
+  t.samples = {{10.0, 1.0, 10.0, 3.0}};
+  std::ostringstream ss;
+  t.write_csv(ss);
+  EXPECT_EQ(ss.str(), "t_s,bandwidth_gbps,transferred_gbit,retransmissions\n10,1,10,3\n");
+}
+
+}  // namespace
+}  // namespace cloudrepro::measure

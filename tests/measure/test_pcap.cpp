@@ -1,0 +1,145 @@
+#include "measure/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/instances.h"
+#include "simnet/qos.h"
+
+namespace cloudrepro::measure {
+namespace {
+
+TEST(PcapTest, CaptureIsTimeOrdered) {
+  stats::Rng rng{1};
+  simnet::FixedRateQos qos{10.0};
+  const auto cap = capture_stream(qos, simnet::ec2_vnic(), 0.5, 9000.0, rng);
+  ASSERT_GT(cap.packets.size(), 100u);
+  for (std::size_t i = 1; i < cap.packets.size(); ++i) {
+    EXPECT_GE(cap.packets[i].timestamp_s, cap.packets[i - 1].timestamp_s);
+  }
+}
+
+TEST(PcapTest, SequenceNumbersAdvanceBySegmentLength) {
+  stats::Rng rng{2};
+  simnet::FixedRateQos qos{10.0};
+  const auto cap = capture_stream(qos, simnet::ec2_vnic(), 0.2, 9000.0, rng);
+  std::uint64_t prev_seq = 0;
+  for (const auto& p : cap.packets) {
+    if (p.is_ack) continue;
+    if (p.seq > prev_seq) {
+      if (prev_seq != 0) {
+        EXPECT_EQ(p.seq, prev_seq + 9000);
+      }
+      prev_seq = p.seq;
+    }
+  }
+}
+
+TEST(PcapTest, EveryDataSegmentEventuallyAcked) {
+  stats::Rng rng{3};
+  simnet::FixedRateQos qos{8.0};
+  const auto cap = capture_stream(qos, simnet::gce_vnic(), 0.5, 9000.0, rng);
+  std::uint64_t max_seq_end = 0;
+  std::uint64_t max_ack = 0;
+  for (const auto& p : cap.packets) {
+    if (p.is_ack) {
+      max_ack = std::max(max_ack, p.ack);
+    } else {
+      max_seq_end = std::max(max_seq_end, p.seq + p.length);
+    }
+  }
+  EXPECT_EQ(max_ack, max_seq_end);
+}
+
+TEST(PcapTest, WiresharkMatchesGroundTruthRetransmissions) {
+  // The offline analysis must find the retransmissions from duplicate
+  // sequence numbers alone — at GCE's ~2% loss with TSO segments.
+  stats::Rng rng{4};
+  simnet::FixedRateQos qos{8.0};
+  const auto cap = capture_stream(qos, simnet::gce_vnic(), 3.0, 128.0 * 1024.0, rng);
+  const auto a = wireshark_analysis(cap);
+  EXPECT_GT(a.retransmissions, 20u);
+  const double rate =
+      static_cast<double>(a.retransmissions) / static_cast<double>(a.data_packets);
+  EXPECT_NEAR(rate, 0.021, 0.012);
+}
+
+TEST(PcapTest, CleanPathHasNoRetransmissions) {
+  stats::Rng rng{5};
+  simnet::FixedRateQos qos{10.0};
+  const auto cap = capture_stream(qos, simnet::ec2_vnic(), 1.0, 9000.0, rng);
+  const auto a = wireshark_analysis(cap);
+  EXPECT_LT(a.retransmissions, 3u);
+  EXPECT_EQ(a.data_packets, a.ack_packets + a.retransmissions);
+}
+
+TEST(PcapTest, KarnsRuleExcludesRetransmittedSegments) {
+  stats::Rng rng{6};
+  simnet::FixedRateQos qos{8.0};
+  const auto cap = capture_stream(qos, simnet::gce_vnic(), 2.0, 128.0 * 1024.0, rng);
+  const auto a = wireshark_analysis(cap);
+  // RTT samples = acked unique segments minus the retransmitted ones.
+  EXPECT_EQ(a.rtts_s.size() + a.retransmissions,
+            a.data_packets - a.retransmissions);
+  // Karn-filtered RTTs exclude the RTO-inflated outliers: p99 stays within
+  // the queueing regime instead of the ~200 ms RTO scale.
+  EXPECT_LT(a.p99_rtt_ms, 50.0);
+}
+
+TEST(PcapTest, RttsMatchPaperScalePerCloud) {
+  stats::Rng rng{7};
+  simnet::FixedRateQos ec2_rate{10.0};
+  const auto ec2 =
+      wireshark_analysis(capture_stream(ec2_rate, simnet::ec2_vnic(), 2.0, 9000.0, rng));
+  EXPECT_LT(ec2.median_rtt_ms, 1.0);  // Sub-millisecond.
+
+  simnet::FixedRateQos gce_rate{8.0};
+  const auto gce =
+      wireshark_analysis(capture_stream(gce_rate, simnet::gce_vnic(), 2.0, 9000.0, rng));
+  EXPECT_GT(gce.median_rtt_ms, 1.0);  // Millisecond scale.
+  EXPECT_LT(gce.median_rtt_ms, 10.0);
+}
+
+TEST(PcapTest, GoodputTimelineTracksAckFront) {
+  stats::Rng rng{8};
+  simnet::FixedRateQos qos{10.0};
+  const auto cap = capture_stream(qos, simnet::ec2_vnic(), 3.0, 9000.0, rng);
+  const auto a = wireshark_analysis(cap, 0.5);
+  ASSERT_GE(a.goodput_gbps.size(), 5u);
+  // Steady stream: every full interval carries roughly the link rate.
+  for (std::size_t i = 1; i + 1 < a.goodput_gbps.size(); ++i) {
+    EXPECT_NEAR(a.goodput_gbps[i], 8.3, 1.5) << "interval " << i;
+  }
+}
+
+TEST(PcapTest, ThrottledStreamVisibleInCapture) {
+  stats::Rng rng{9};
+  simnet::TokenBucketConfig tb;
+  tb.capacity_gbit = 20.0;
+  tb.initial_gbit = 20.0;
+  tb.high_rate_gbps = 10.0;
+  tb.low_rate_gbps = 1.0;
+  tb.replenish_gbps = 1.0;
+  simnet::TokenBucketQos qos{tb};
+  const auto cap = capture_stream(qos, simnet::ec2_vnic(), 8.0, 9000.0, rng);
+  const auto a = wireshark_analysis(cap, 1.0);
+  ASSERT_GE(a.goodput_gbps.size(), 6u);
+  EXPECT_GT(a.goodput_gbps.front(), 6.0);
+  EXPECT_LT(a.goodput_gbps.back(), 1.5);
+}
+
+TEST(PcapTest, Validation) {
+  stats::Rng rng{10};
+  simnet::FixedRateQos qos{10.0};
+  EXPECT_THROW(capture_stream(qos, simnet::ec2_vnic(), 0.0, 9000.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(capture_stream(qos, simnet::ec2_vnic(), 1.0, 0.0, rng),
+               std::invalid_argument);
+  PacketCapture empty;
+  EXPECT_THROW(wireshark_analysis(empty, 0.0), std::invalid_argument);
+  const auto a = wireshark_analysis(empty);
+  EXPECT_EQ(a.data_packets, 0u);
+  EXPECT_DOUBLE_EQ(a.mean_rtt_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace cloudrepro::measure

@@ -1,0 +1,78 @@
+#include "measure/rtt.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudrepro::measure {
+namespace {
+
+TEST(RttProbeTest, GceLatencyMillisecondsWithCap) {
+  // Figure 8: GCE latency is in the order of milliseconds, upper limit
+  // around 10 ms for typical samples.
+  stats::Rng rng{1};
+  RttProbeOptions opt;
+  opt.duration_s = 3.0;
+  opt.write_bytes = 9000.0;  // The "clean" configuration.
+  const auto r = run_rtt_probe(cloud::gce_8core(), opt, rng);
+  EXPECT_GT(r.analysis.median_rtt_ms, 1.0);
+  EXPECT_LT(r.analysis.median_rtt_ms, 10.0);
+  // Paper: with 9K writes GCE shows an average RTT of about 2.3 ms.
+  EXPECT_NEAR(r.analysis.mean_rtt_ms, 2.3, 1.5);
+}
+
+TEST(RttProbeTest, Ec2LatencySubMillisecond) {
+  // Figure 7 top: "generally exhibits faster sub-millisecond latency under
+  // typical conditions".
+  stats::Rng rng{2};
+  RttProbeOptions opt;
+  opt.duration_s = 3.0;
+  const auto r = run_rtt_probe(cloud::ec2_c5_xlarge(), opt, rng);
+  EXPECT_LT(r.analysis.median_rtt_ms, 1.0);
+}
+
+TEST(RttProbeTest, BaseLatencyDiffersByAlmostTenX) {
+  // F3.3: base latency levels vary by a factor of almost 10x between clouds.
+  stats::Rng rng{3};
+  RttProbeOptions opt;
+  opt.duration_s = 2.0;
+  opt.write_bytes = 4096.0;
+  const auto ec2 = run_rtt_probe(cloud::ec2_c5_xlarge(), opt, rng);
+  const auto gce = run_rtt_probe(cloud::gce_8core(), opt, rng);
+  EXPECT_GT(gce.analysis.median_rtt_ms / ec2.analysis.median_rtt_ms, 5.0);
+}
+
+TEST(RttProbeTest, ThrottledVmShowsLatencySpike) {
+  // Figure 7 bottom: latency behaviour when the bandwidth drop occurs.
+  stats::Rng rng{4};
+  auto vm = cloud::ec2_c5_xlarge().create_vm(rng);
+  // Drain the bucket first.
+  vm.egress->advance(1000.0, 10.0);
+  ASSERT_LT(vm.egress->allowed_rate(), 2.0);
+
+  RttProbeOptions opt;
+  opt.duration_s = 2.0;
+  const auto throttled = run_rtt_probe(vm, opt, rng);
+  EXPECT_GT(throttled.analysis.median_rtt_ms, 1.0);  // Now milliseconds.
+}
+
+TEST(RttProbeTest, AnalysisFieldsConsistent) {
+  stats::Rng rng{5};
+  RttProbeOptions opt;
+  opt.duration_s = 1.0;
+  const auto r = run_rtt_probe(cloud::gce_8core(), opt, rng);
+  EXPECT_EQ(r.analysis.packet_count, r.capture.segments_sent);
+  EXPECT_EQ(r.analysis.retransmissions, r.capture.retransmissions);
+  EXPECT_LE(r.analysis.median_rtt_ms, r.analysis.p99_rtt_ms);
+  EXPECT_LE(r.analysis.p99_rtt_ms, r.analysis.max_rtt_ms);
+  EXPECT_GT(r.analysis.mean_bandwidth_gbps, 0.0);
+}
+
+TEST(RttProbeTest, AnalyzeEmptyCapture) {
+  const simnet::LatencyTrace empty;
+  const auto a = analyze_capture(empty);
+  EXPECT_EQ(a.packet_count, 0u);
+  EXPECT_DOUBLE_EQ(a.mean_rtt_ms, 0.0);
+  EXPECT_DOUBLE_EQ(a.retransmission_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace cloudrepro::measure

@@ -1,0 +1,84 @@
+#include "measure/write_sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudrepro::measure {
+namespace {
+
+WriteSweepOptions quick_sweep() {
+  WriteSweepOptions o;
+  o.stream_duration_s = 1.0;
+  return o;
+}
+
+TEST(WriteSweepTest, CoversRequestedSizes) {
+  stats::Rng rng{1};
+  WriteSweepOptions o = quick_sweep();
+  o.write_sizes = {4096.0, 65536.0};
+  const auto pts = run_write_sweep(cloud::ec2_c5_xlarge(), o, rng);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].write_bytes, 4096.0);
+  EXPECT_DOUBLE_EQ(pts[1].write_bytes, 65536.0);
+}
+
+TEST(WriteSweepTest, Ec2SegmentsCapAtNineK) {
+  // Figure 12: "On EC2, the size of a single packet tops out at the MTU of
+  // 9K".
+  stats::Rng rng{2};
+  const auto pts = run_write_sweep(cloud::ec2_c5_xlarge(), quick_sweep(), rng);
+  for (const auto& p : pts) {
+    EXPECT_LE(p.segment_bytes, 9000.0);
+  }
+}
+
+TEST(WriteSweepTest, GceSegmentsReach64K) {
+  stats::Rng rng{3};
+  const auto pts = run_write_sweep(cloud::gce_8core(), quick_sweep(), rng);
+  double max_segment = 0.0;
+  for (const auto& p : pts) max_segment = std::max(max_segment, p.segment_bytes);
+  EXPECT_DOUBLE_EQ(max_segment, 65536.0);
+}
+
+TEST(WriteSweepTest, GceLatencyGrowsWithWriteSize) {
+  // Figure 12's central claim for GCE: perceived latency climbs from
+  // ~2.3 ms at 9K writes to ~10 ms at 128K.
+  stats::Rng rng{4};
+  WriteSweepOptions o;
+  o.stream_duration_s = 2.0;
+  o.write_sizes = {9000.0, 131072.0};
+  const auto pts = run_write_sweep(cloud::gce_8core(), o, rng);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_NEAR(pts[0].mean_rtt_ms, 2.3, 1.5);
+  EXPECT_GT(pts[1].mean_rtt_ms, 2.0 * pts[0].mean_rtt_ms);
+}
+
+TEST(WriteSweepTest, GceRetransmissionsAppearOnlyAtLargeWrites) {
+  stats::Rng rng{5};
+  WriteSweepOptions o;
+  o.stream_duration_s = 2.0;
+  o.write_sizes = {9000.0, 131072.0};
+  const auto pts = run_write_sweep(cloud::gce_8core(), o, rng);
+  EXPECT_LT(pts[0].retransmission_rate, 1e-3);  // Near-zero at 9K.
+  EXPECT_GT(pts[1].retransmission_rate, 5e-3);  // ~2% at 128K.
+}
+
+TEST(WriteSweepTest, Ec2LatencyStaysSubMillisecondAcrossSizes) {
+  stats::Rng rng{6};
+  const auto pts = run_write_sweep(cloud::ec2_c5_xlarge(), quick_sweep(), rng);
+  for (const auto& p : pts) {
+    EXPECT_LT(p.mean_rtt_ms, 1.5) << p.write_bytes;
+    EXPECT_LT(p.retransmission_rate, 1e-3) << p.write_bytes;
+  }
+}
+
+TEST(WriteSweepTest, BandwidthRisesWithWriteSize) {
+  stats::Rng rng{7};
+  WriteSweepOptions o;
+  o.stream_duration_s = 1.0;
+  o.write_sizes = {1024.0, 9000.0};
+  const auto pts = run_write_sweep(cloud::ec2_c5_xlarge(), o, rng);
+  EXPECT_LT(pts[0].bandwidth_gbps, pts[1].bandwidth_gbps);
+}
+
+}  // namespace
+}  // namespace cloudrepro::measure

@@ -1,0 +1,137 @@
+// Analytic-validation property suite: the fluid simulator must agree with
+// closed-form token-bucket arithmetic across a grid of access patterns.
+// These are the formulas the paper's Section 3.3 analysis implies, and the
+// ones `examples/token_bucket_explorer` prints.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/tc_emulator.h"
+#include "simnet/qos.h"
+#include "simnet/token_bucket.h"
+#include "stats/descriptive.h"
+
+namespace cloudrepro::simnet {
+namespace {
+
+struct PatternCase {
+  double burst_s;
+  double idle_s;
+};
+
+class OnOffSteadyStateTest : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(OnOffSteadyStateTest, SimulatedSteadyStateMatchesClosedForm) {
+  const auto param = GetParam();
+  TokenBucketConfig cfg;
+  cfg.capacity_gbit = 5400.0;
+  cfg.initial_gbit = 0.0;  // Start in steady state directly.
+  cfg.high_rate_gbps = 10.0;
+  cfg.low_rate_gbps = 1.0;
+  cfg.replenish_gbps = 1.0;
+
+  // Closed form: each idle period refills idle_s * replenish tokens; a burst
+  // spends them at (high - replenish); the remainder of the burst runs at
+  // the low rate.
+  const double refill = param.idle_s * cfg.replenish_gbps;
+  const double need = param.burst_s * (cfg.high_rate_gbps - cfg.replenish_gbps);
+  double expected;
+  if (refill >= need) {
+    expected = cfg.high_rate_gbps;
+  } else {
+    const double high_window = refill / (cfg.high_rate_gbps - cfg.replenish_gbps);
+    expected = (high_window * cfg.high_rate_gbps +
+                (param.burst_s - high_window) * cfg.low_rate_gbps) /
+               param.burst_s;
+  }
+
+  TokenBucketQos qos{cfg};
+  const auto curve = cloud::onoff_bandwidth_curve(
+      qos, param.burst_s, param.idle_s, 40.0 * (param.burst_s + param.idle_s));
+
+  // Average over transfer seconds in the second half (steady state).
+  std::vector<double> busy;
+  for (std::size_t i = curve.size() / 2; i < curve.size(); ++i) {
+    if (curve[i].bandwidth_gbps > 0.05) busy.push_back(curve[i].bandwidth_gbps);
+  }
+  ASSERT_FALSE(busy.empty());
+  // Per-second samples quantize the burst boundaries; allow ~15% tolerance.
+  EXPECT_NEAR(stats::mean(busy), expected, 0.15 * expected)
+      << "burst " << param.burst_s << " idle " << param.idle_s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, OnOffSteadyStateTest,
+    ::testing::Values(PatternCase{10.0, 30.0},   // The paper's 10-30: 4 Gbps.
+                      PatternCase{5.0, 30.0},    // The paper's 5-30: 7 Gbps.
+                      PatternCase{5.0, 60.0},    // Refill exceeds need: 10.
+                      PatternCase{20.0, 20.0},   // Heavier duty: ~2.
+                      PatternCase{60.0, 10.0})); // Nearly continuous: ~1.2.
+
+// Depletion-time grid: budget / (high - replenish) exactly.
+class DepletionTimeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DepletionTimeTest, TimeToThrottleMatchesFormula) {
+  const double budget = GetParam();
+  TokenBucketConfig cfg;
+  cfg.capacity_gbit = 5400.0;
+  cfg.initial_gbit = budget;
+  cfg.high_rate_gbps = 10.0;
+  cfg.low_rate_gbps = 1.0;
+  cfg.replenish_gbps = 1.0;
+  TokenBucket tb{cfg};
+
+  const double expected = budget / (cfg.high_rate_gbps - cfg.replenish_gbps);
+  EXPECT_NEAR(tb.time_until_change(cfg.high_rate_gbps), expected, 1e-9);
+
+  // And the fluid simulation agrees: advance in odd-sized steps.
+  double t = 0.0;
+  while (!tb.in_low_mode() && t < 2.0 * expected + 1.0) {
+    const double dt = 0.37;
+    tb.advance(dt, cfg.high_rate_gbps);
+    t += dt;
+  }
+  EXPECT_NEAR(t, expected, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, DepletionTimeTest,
+                         ::testing::Values(10.0, 100.0, 1000.0, 2500.0, 5400.0));
+
+// Long-run throughput is bounded by the replenish rate, whatever the
+// pattern: the mechanism behind Figure 10's equal EC2 totals.
+class LongRunThroughputTest : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(LongRunThroughputTest, SustainedThroughputEqualsReplenishRate) {
+  const auto param = GetParam();
+  TokenBucketConfig cfg;
+  cfg.capacity_gbit = 100.0;  // Small: steady state arrives quickly.
+  cfg.initial_gbit = 0.0;
+  cfg.high_rate_gbps = 10.0;
+  cfg.low_rate_gbps = 1.0;
+  cfg.replenish_gbps = 1.0;
+  TokenBucketQos qos{cfg};
+
+  const auto curve =
+      cloud::onoff_bandwidth_curve(qos, param.burst_s, param.idle_s, 4000.0);
+  double total = 0.0;
+  for (const auto& p : curve) total += p.bandwidth_gbps;  // Gbit (1-s bins).
+  const double duty = param.burst_s / (param.burst_s + param.idle_s);
+  const double elapsed = curve.back().t;
+  const double long_run = total / elapsed;
+  // Sustained throughput cannot exceed replenish (while transferring at
+  // least that fraction of time) and approaches min(replenish, duty * high).
+  const double bound = std::min(cfg.replenish_gbps, duty * cfg.high_rate_gbps);
+  EXPECT_NEAR(long_run, bound, 0.25 * bound + 0.05)
+      << "burst " << param.burst_s << " idle " << param.idle_s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, LongRunThroughputTest,
+                         ::testing::Values(PatternCase{10.0, 30.0},
+                                           PatternCase{5.0, 30.0},
+                                           PatternCase{30.0, 5.0},
+                                           PatternCase{10.0, 0.5}));
+
+}  // namespace
+}  // namespace cloudrepro::simnet

@@ -1,0 +1,144 @@
+// Property suite: the fluid allocator produces *feasible, max-min fair*
+// allocations on randomized topologies. The max-min certificate: every flow
+// crosses at least one saturated constraint where it receives at least as
+// much as every other flow crossing that constraint.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "simnet/fluid_network.h"
+#include "simnet/qos.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::simnet {
+namespace {
+
+struct Topology {
+  FluidNetwork net;
+  std::vector<NodeId> nodes;
+  std::vector<FlowId> flows;
+  std::vector<double> egress_caps;
+  std::vector<double> ingress_caps;
+};
+
+Topology random_topology(std::uint64_t seed) {
+  stats::Rng rng{seed};
+  Topology t;
+  const int n_nodes = static_cast<int>(rng.uniform_int(3, 8));
+  for (int i = 0; i < n_nodes; ++i) {
+    const double egress = rng.uniform(1.0, 20.0);
+    const double ingress = rng.uniform(1.0, 20.0);
+    t.egress_caps.push_back(egress);
+    t.ingress_caps.push_back(ingress);
+    t.nodes.push_back(t.net.add_node(std::make_unique<FixedRateQos>(egress), ingress));
+  }
+  const int n_flows = static_cast<int>(rng.uniform_int(2, 24));
+  for (int f = 0; f < n_flows; ++f) {
+    const auto src = static_cast<std::size_t>(rng.uniform_int(0, n_nodes - 1));
+    auto dst = static_cast<std::size_t>(rng.uniform_int(0, n_nodes - 1));
+    if (dst == src) dst = (dst + 1) % static_cast<std::size_t>(n_nodes);
+    t.flows.push_back(t.net.start_flow(src, dst));  // Unbounded.
+  }
+  return t;
+}
+
+class MaxMinFairnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinFairnessTest, AllocationIsFeasibleAndMaxMinFair) {
+  auto t = random_topology(GetParam());
+  // One infinitesimal step computes the allocation.
+  t.net.run_for(1e-6);
+
+  constexpr double kEps = 1e-6;
+  const std::size_t n_nodes = t.nodes.size();
+
+  // Feasibility: per-node egress/ingress sums within caps.
+  std::vector<double> egress_used(n_nodes, 0.0), ingress_used(n_nodes, 0.0);
+  for (const auto fid : t.flows) {
+    const auto& f = t.net.flow(fid);
+    ASSERT_GE(f.rate_gbps, 0.0);
+    egress_used[f.src] += f.rate_gbps;
+    ingress_used[f.dst] += f.rate_gbps;
+  }
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    EXPECT_LE(egress_used[i], t.egress_caps[i] + kEps) << "egress node " << i;
+    EXPECT_LE(ingress_used[i], t.ingress_caps[i] + kEps) << "ingress node " << i;
+  }
+
+  // Max-min certificate: every flow crosses a saturated constraint on which
+  // it is a maximal-rate flow.
+  for (const auto fid : t.flows) {
+    const auto& f = t.net.flow(fid);
+
+    const auto certificate_at = [&](bool egress_side) {
+      const std::size_t node = egress_side ? f.src : f.dst;
+      const double used = egress_side ? egress_used[node] : ingress_used[node];
+      const double cap = egress_side ? t.egress_caps[node] : t.ingress_caps[node];
+      if (used < cap - 1e-4) return false;  // Not saturated.
+      for (const auto other_id : t.flows) {
+        const auto& other = t.net.flow(other_id);
+        const bool crosses = egress_side ? other.src == node : other.dst == node;
+        if (crosses && other.rate_gbps > f.rate_gbps + 1e-4) return false;
+      }
+      return true;
+    };
+
+    EXPECT_TRUE(certificate_at(true) || certificate_at(false))
+        << "flow " << fid << " (rate " << f.rate_gbps
+        << ") has no saturated bottleneck where it is maximal";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, MaxMinFairnessTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// Allocation is invariant to flow insertion order.
+class OrderInvarianceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderInvarianceTest, PermutedInsertionSameRates) {
+  stats::Rng rng{GetParam()};
+  const int n_nodes = 5;
+  struct Spec {
+    std::size_t src, dst;
+  };
+  std::vector<Spec> specs;
+  for (int f = 0; f < 10; ++f) {
+    const auto src = static_cast<std::size_t>(rng.uniform_int(0, n_nodes - 1));
+    auto dst = static_cast<std::size_t>(rng.uniform_int(0, n_nodes - 1));
+    if (dst == src) dst = (dst + 1) % n_nodes;
+    specs.push_back({src, dst});
+  }
+
+  const auto build = [&](const std::vector<std::size_t>& order) {
+    auto net = std::make_unique<FluidNetwork>();
+    for (int i = 0; i < n_nodes; ++i) {
+      net->add_node(std::make_unique<FixedRateQos>(5.0 + i), 4.0 + i);
+    }
+    std::vector<FlowId> ids(specs.size());
+    for (const auto idx : order) {
+      ids[idx] = net->start_flow(specs[idx].src, specs[idx].dst);
+    }
+    net->run_for(1e-6);
+    std::vector<double> rates;
+    for (const auto id : ids) rates.push_back(net->flow(id).rate_gbps);
+    return rates;
+  };
+
+  std::vector<std::size_t> identity(specs.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  const auto base = build(identity);
+  const auto permuted = build(rng.permutation(specs.size()));
+  ASSERT_EQ(base.size(), permuted.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(base[i], permuted[i], 1e-9) << "flow " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderInvarianceTest,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace cloudrepro::simnet

@@ -1,0 +1,230 @@
+#include "simnet/fluid_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "simnet/qos.h"
+#include "simnet/units.h"
+
+namespace cloudrepro::simnet {
+namespace {
+
+std::unique_ptr<QosPolicy> fixed(double gbps) {
+  return std::make_unique<FixedRateQos>(gbps);
+}
+
+TEST(FluidNetworkTest, SingleFlowRunsAtLinkRate) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  const auto b = net.add_node(fixed(10.0));
+  const auto f = net.start_flow(a, b, 100.0);
+  EXPECT_TRUE(net.run_until_flows_complete(1000.0));
+  EXPECT_NEAR(net.now(), 10.0, 1e-6);
+  EXPECT_NEAR(net.flow(f).transferred_gbit, 100.0, 1e-6);
+  EXPECT_FALSE(net.flow(f).active);
+  EXPECT_NEAR(net.flow(f).end_time, 10.0, 1e-6);
+}
+
+TEST(FluidNetworkTest, TwoFlowsShareEgressFairly) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  const auto b = net.add_node(fixed(10.0));
+  const auto c = net.add_node(fixed(10.0));
+  const auto f1 = net.start_flow(a, b, 50.0);
+  const auto f2 = net.start_flow(a, c, 50.0);
+  EXPECT_TRUE(net.run_until_flows_complete(1000.0));
+  // Both flows get 5 Gbps: finish together at t = 10.
+  EXPECT_NEAR(net.flow(f1).end_time, 10.0, 1e-6);
+  EXPECT_NEAR(net.flow(f2).end_time, 10.0, 1e-6);
+}
+
+TEST(FluidNetworkTest, IngressCapConstrains) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  const auto b = net.add_node(fixed(10.0));
+  const auto dst = net.add_node(fixed(10.0), /*ingress=*/5.0);
+  net.start_flow(a, dst, 25.0);
+  net.start_flow(b, dst, 25.0);
+  EXPECT_TRUE(net.run_until_flows_complete(1000.0));
+  // Combined ingress 5 Gbps -> 50 Gbit take 10 s.
+  EXPECT_NEAR(net.now(), 10.0, 1e-6);
+}
+
+TEST(FluidNetworkTest, MaxMinSharingGivesBottleneckedFlowItsShare) {
+  // Flow 1: a->b contends at a with flow 2: a->c; c's ingress is tiny, so
+  // flow 2 is bottlenecked at 1 Gbps and flow 1 should get the rest (9).
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  const auto b = net.add_node(fixed(10.0));
+  const auto c = net.add_node(fixed(10.0), /*ingress=*/1.0);
+  const auto f1 = net.start_flow(a, b, 90.0);
+  const auto f2 = net.start_flow(a, c, 10.0);
+  EXPECT_TRUE(net.run_until_flows_complete(1000.0));
+  EXPECT_NEAR(net.flow(f1).end_time, 10.0, 1e-5);
+  EXPECT_NEAR(net.flow(f2).end_time, 10.0, 1e-5);
+}
+
+TEST(FluidNetworkTest, AllToAllCompletesAtExpectedTime) {
+  // 12 nodes, each sends 70 Gbit split over 11 peers, egress/ingress 10:
+  // aggregate per-node rate 10 -> 7 s.
+  FluidNetwork net;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 12; ++i) nodes.push_back(net.add_node(fixed(10.0), 10.0));
+  for (const auto s : nodes) {
+    for (const auto d : nodes) {
+      if (s != d) net.start_flow(s, d, 70.0 / 11.0);
+    }
+  }
+  EXPECT_TRUE(net.run_until_flows_complete(100.0));
+  EXPECT_NEAR(net.now(), 7.0, 1e-5);
+}
+
+TEST(FluidNetworkTest, TokenBucketThrottlesMidFlow) {
+  TokenBucketConfig cfg;
+  cfg.capacity_gbit = 90.0;
+  cfg.initial_gbit = 90.0;
+  cfg.high_rate_gbps = 10.0;
+  cfg.low_rate_gbps = 1.0;
+  cfg.replenish_gbps = 1.0;
+
+  FluidNetwork net;
+  const auto a = net.add_node(std::make_unique<TokenBucketQos>(cfg));
+  const auto b = net.add_node(fixed(100.0));
+  const auto f = net.start_flow(a, b, 150.0);
+  EXPECT_TRUE(net.run_until_flows_complete(10000.0));
+  // Deplete 90 Gbit budget at net 9 -> 10 s (100 Gbit sent), then
+  // 50 Gbit at 1 Gbps -> 50 s. Total 60 s.
+  EXPECT_NEAR(net.flow(f).end_time, 60.0, 0.1);
+}
+
+TEST(FluidNetworkTest, StopFlowFreezesTransfer) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  const auto b = net.add_node(fixed(10.0));
+  const auto f = net.start_flow(a, b);  // Unbounded.
+  net.run_for(5.0);
+  net.stop_flow(f);
+  const double at_stop = net.flow(f).transferred_gbit;
+  EXPECT_NEAR(at_stop, 50.0, 1e-6);
+  net.run_for(5.0);
+  EXPECT_DOUBLE_EQ(net.flow(f).transferred_gbit, at_stop);
+  EXPECT_FALSE(net.flow(f).active);
+  EXPECT_NEAR(net.flow(f).end_time, 5.0, 1e-9);
+}
+
+TEST(FluidNetworkTest, StopIsIdempotent) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  const auto b = net.add_node(fixed(10.0));
+  const auto f = net.start_flow(a, b);
+  net.run_for(1.0);
+  net.stop_flow(f);
+  const double end = net.flow(f).end_time;
+  net.run_for(1.0);
+  net.stop_flow(f);
+  EXPECT_DOUBLE_EQ(net.flow(f).end_time, end);
+}
+
+TEST(FluidNetworkTest, ObserverSeesEveryStep) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  const auto b = net.add_node(fixed(10.0));
+  double observed_gbit = 0.0;
+  net.set_step_observer([&](const FluidNetwork& n, double, double dt) {
+    observed_gbit += n.node_egress_rate(a) * dt;
+  });
+  net.start_flow(a, b, 30.0);
+  EXPECT_TRUE(net.run_until_flows_complete(100.0));
+  EXPECT_NEAR(observed_gbit, 30.0, 1e-6);
+  (void)b;
+}
+
+TEST(FluidNetworkTest, NodeRatesReflectAllocation) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  const auto b = net.add_node(fixed(10.0));
+  net.start_flow(a, b);
+  net.run_for(1.0);
+  EXPECT_NEAR(net.node_egress_rate(a), 10.0, 1e-9);
+  EXPECT_NEAR(net.node_ingress_rate(b), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(net.node_egress_rate(b), 0.0);
+}
+
+TEST(FluidNetworkTest, DeadlineExceededReturnsFalse) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(1.0));
+  const auto b = net.add_node(fixed(1.0));
+  net.start_flow(a, b, 1000.0);
+  EXPECT_FALSE(net.run_until_flows_complete(10.0));
+  EXPECT_NEAR(net.now(), 10.0, 1e-6);
+}
+
+TEST(FluidNetworkTest, ArgumentValidation) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  EXPECT_THROW(net.add_node(nullptr), std::invalid_argument);
+  EXPECT_THROW(net.add_node(fixed(1.0), 0.0), std::invalid_argument);
+  EXPECT_THROW(net.start_flow(a, a, 10.0), std::invalid_argument);
+  EXPECT_THROW(net.start_flow(a, 99, 10.0), std::out_of_range);
+  const auto b = net.add_node(fixed(10.0));
+  EXPECT_THROW(net.start_flow(a, b, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.start_flow(a, b, -1.0), std::invalid_argument);
+}
+
+TEST(FluidNetworkTest, ActiveFlowCount) {
+  FluidNetwork net;
+  const auto a = net.add_node(fixed(10.0));
+  const auto b = net.add_node(fixed(10.0));
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  const auto f1 = net.start_flow(a, b, 10.0);
+  net.start_flow(a, b);
+  EXPECT_EQ(net.active_flow_count(), 2u);
+  net.run_until_flows_complete(100.0);
+  EXPECT_EQ(net.active_flow_count(), 1u);
+  EXPECT_FALSE(net.flow(f1).active);
+}
+
+// ---- Conservation property: total transferred equals integral of rates,
+// under several topologies with shapers.
+class FlowConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowConservationTest, TransferredMatchesRateIntegral) {
+  const int n_nodes = GetParam();
+  FluidNetwork net;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n_nodes; ++i) {
+    TokenBucketConfig cfg;
+    cfg.capacity_gbit = 40.0 + 10.0 * i;
+    cfg.initial_gbit = cfg.capacity_gbit;
+    cfg.high_rate_gbps = 10.0;
+    cfg.low_rate_gbps = 1.0;
+    cfg.replenish_gbps = 1.0;
+    nodes.push_back(net.add_node(std::make_unique<TokenBucketQos>(cfg), 10.0));
+  }
+  double integral = 0.0;
+  net.set_step_observer([&](const FluidNetwork& nn, double, double dt) {
+    for (std::size_t i = 0; i < nn.node_count(); ++i) {
+      integral += nn.node_egress_rate(i) * dt;
+    }
+  });
+  for (const auto s : nodes) {
+    for (const auto d : nodes) {
+      if (s != d) net.start_flow(s, d, 8.0);
+    }
+  }
+  ASSERT_TRUE(net.run_until_flows_complete(10000.0));
+  double transferred = 0.0;
+  for (std::size_t f = 0; f < net.flow_count(); ++f) {
+    transferred += net.flow(f).transferred_gbit;
+  }
+  EXPECT_NEAR(transferred, integral, 1e-5);
+  EXPECT_NEAR(transferred, 8.0 * n_nodes * (n_nodes - 1), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, FlowConservationTest,
+                         ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace cloudrepro::simnet

@@ -1,0 +1,199 @@
+#include "simnet/packet_path.h"
+
+#include <gtest/gtest.h>
+
+#include "simnet/qos.h"
+#include "stats/descriptive.h"
+
+namespace cloudrepro::simnet {
+namespace {
+
+TEST(VnicConfigTest, Ec2SegmentsAtJumboMtu) {
+  const auto v = ec2_vnic();
+  EXPECT_DOUBLE_EQ(v.segment_bytes(128.0 * 1024.0), 9000.0);
+  EXPECT_DOUBLE_EQ(v.segment_bytes(4096.0), 4096.0);
+}
+
+TEST(VnicConfigTest, GceTsoAllowsLargeSegments) {
+  const auto v = gce_vnic();
+  // "On GCE, TSO can result in a single packet at the virtual NIC being as
+  // large as 64K".
+  EXPECT_DOUBLE_EQ(v.segment_bytes(128.0 * 1024.0), 65536.0);
+  EXPECT_DOUBLE_EQ(v.segment_bytes(9000.0), 9000.0);
+}
+
+TEST(VnicConfigTest, GceNineKWritesNearZeroLoss) {
+  // "When we limited our benchmarks to writes of 9K, we got near-zero packet
+  // retransmission."
+  const auto v = gce_vnic();
+  EXPECT_LT(v.loss_probability(v.segment_bytes(9000.0)), 1e-4);
+}
+
+TEST(VnicConfigTest, GceTsoSegmentsLoseAroundTwoPercent) {
+  // Figure 9 / Section 3.3: ~2% retransmissions with the default 128K writes.
+  const auto v = gce_vnic();
+  const double p = v.loss_probability(v.segment_bytes(128.0 * 1024.0));
+  EXPECT_GT(p, 0.005);
+  EXPECT_LT(p, 0.05);
+}
+
+TEST(VnicConfigTest, Ec2LossNegligibleAtAnyWriteSize) {
+  const auto v = ec2_vnic();
+  for (double w : {1024.0, 9000.0, 65536.0, 262144.0}) {
+    EXPECT_LT(v.loss_probability(v.segment_bytes(w)), 1e-4) << w;
+  }
+}
+
+TEST(PacketStreamTest, Ec2BaseLatencySubMillisecond) {
+  auto vnic = ec2_vnic();
+  FixedRateQos qos{10.0};
+  PacketPathConfig cfg;
+  cfg.duration_s = 1.0;
+  stats::Rng rng{1};
+  const auto trace = run_packet_stream(qos, vnic, cfg, rng);
+  const auto rtts = trace.rtts();
+  ASSERT_FALSE(rtts.empty());
+  EXPECT_LT(stats::median(rtts), 1e-3);  // Sub-millisecond.
+}
+
+TEST(PacketStreamTest, GceBaseLatencyMillisecondScale) {
+  auto vnic = gce_vnic();
+  FixedRateQos qos{8.0};
+  PacketPathConfig cfg;
+  cfg.duration_s = 1.0;
+  cfg.write_bytes = 9000.0;
+  stats::Rng rng{2};
+  const auto trace = run_packet_stream(qos, vnic, cfg, rng);
+  const double med = stats::median(trace.rtts());
+  EXPECT_GT(med, 1e-3);
+  EXPECT_LT(med, 10e-3);
+}
+
+TEST(PacketStreamTest, ThrottledEc2LatencyTwoOrdersWorse) {
+  // Figure 7: when the traffic shaping takes effect, "latency increases by
+  // two orders of magnitude".
+  auto vnic = ec2_vnic();
+  PacketPathConfig cfg;
+  cfg.duration_s = 1.0;
+  stats::Rng rng{3};
+
+  FixedRateQos fast{10.0};
+  const double fast_median = stats::median(run_packet_stream(fast, vnic, cfg, rng).rtts());
+
+  FixedRateQos throttled{1.0};
+  const double slow_median =
+      stats::median(run_packet_stream(throttled, vnic, cfg, rng).rtts());
+
+  EXPECT_GT(slow_median, 8.0 * fast_median);
+  EXPECT_GT(slow_median, 1e-3);  // Milliseconds once throttled.
+}
+
+TEST(PacketStreamTest, TokenBucketThrottlesMidStream) {
+  auto vnic = ec2_vnic();
+  TokenBucketConfig bucket;
+  bucket.capacity_gbit = 20.0;
+  bucket.initial_gbit = 20.0;
+  bucket.high_rate_gbps = 10.0;
+  bucket.low_rate_gbps = 1.0;
+  bucket.replenish_gbps = 1.0;
+  TokenBucketQos qos{bucket};
+  PacketPathConfig cfg;
+  cfg.duration_s = 10.0;
+  cfg.bandwidth_sample_interval_s = 1.0;
+  stats::Rng rng{4};
+  const auto trace = run_packet_stream(qos, vnic, cfg, rng);
+  ASSERT_GE(trace.bandwidth_gbps.size(), 5u);
+  // First second at ~10 Gbps; throttles to ~1 Gbps after ~2.2 s.
+  EXPECT_GT(trace.bandwidth_gbps.front(), 7.0);
+  EXPECT_LT(trace.bandwidth_gbps.back(), 1.6);
+}
+
+TEST(PacketStreamTest, GceLargeWritesCauseMassRetransmissions) {
+  auto vnic = gce_vnic();
+  FixedRateQos qos{8.0};
+  PacketPathConfig cfg;
+  cfg.duration_s = 3.0;
+  cfg.write_bytes = 128.0 * 1024.0;
+  stats::Rng rng{5};
+  const auto trace = run_packet_stream(qos, vnic, cfg, rng);
+  EXPECT_GT(trace.retransmission_rate(), 0.005);
+  EXPECT_GT(trace.retransmissions, 100u);
+}
+
+TEST(PacketStreamTest, SmallWritesCannotFillTheLink) {
+  // Figure 12's bandwidth curve: tiny writes pay per-segment overhead.
+  auto vnic = ec2_vnic();
+  PacketPathConfig cfg;
+  cfg.duration_s = 1.0;
+  stats::Rng rng{6};
+
+  FixedRateQos qos1{10.0};
+  cfg.write_bytes = 1024.0;
+  const double bw_small =
+      stats::mean(run_packet_stream(qos1, vnic, cfg, rng).bandwidth_gbps);
+
+  FixedRateQos qos2{10.0};
+  cfg.write_bytes = 9000.0;
+  const double bw_large =
+      stats::mean(run_packet_stream(qos2, vnic, cfg, rng).bandwidth_gbps);
+
+  EXPECT_LT(bw_small, 0.85 * bw_large);
+}
+
+TEST(PacketStreamTest, RetransmittedPacketsHaveInflatedRtt) {
+  auto vnic = gce_vnic();
+  FixedRateQos qos{8.0};
+  PacketPathConfig cfg;
+  cfg.duration_s = 3.0;
+  cfg.write_bytes = 128.0 * 1024.0;
+  stats::Rng rng{7};
+  const auto trace = run_packet_stream(qos, vnic, cfg, rng);
+
+  std::vector<double> normal_rtts, retrans_rtts;
+  for (const auto& p : trace.packets) {
+    (p.retransmitted ? retrans_rtts : normal_rtts).push_back(p.rtt_s);
+  }
+  ASSERT_FALSE(retrans_rtts.empty());
+  ASSERT_FALSE(normal_rtts.empty());
+  EXPECT_GT(stats::median(retrans_rtts), 5.0 * stats::median(normal_rtts));
+}
+
+TEST(PacketStreamTest, ThinningBoundsRecordedPackets) {
+  auto vnic = ec2_vnic();
+  FixedRateQos qos{10.0};
+  PacketPathConfig cfg;
+  cfg.duration_s = 2.0;
+  cfg.write_bytes = 9000.0;
+  cfg.max_recorded_packets = 1000;
+  stats::Rng rng{8};
+  const auto trace = run_packet_stream(qos, vnic, cfg, rng);
+  EXPECT_LE(trace.packets.size(), 1300u);  // Thinned (some slack for rounding).
+  EXPECT_GT(trace.segments_sent, trace.packets.size());
+}
+
+TEST(PacketStreamTest, SendTimesAreMonotone) {
+  auto vnic = ec2_vnic();
+  FixedRateQos qos{10.0};
+  PacketPathConfig cfg;
+  cfg.duration_s = 0.5;
+  stats::Rng rng{9};
+  const auto trace = run_packet_stream(qos, vnic, cfg, rng);
+  for (std::size_t i = 1; i < trace.packets.size(); ++i) {
+    EXPECT_GE(trace.packets[i].send_time_s, trace.packets[i - 1].send_time_s);
+  }
+}
+
+TEST(PacketStreamTest, Validation) {
+  auto vnic = ec2_vnic();
+  FixedRateQos qos{10.0};
+  PacketPathConfig cfg;
+  stats::Rng rng{10};
+  cfg.write_bytes = 0.0;
+  EXPECT_THROW(run_packet_stream(qos, vnic, cfg, rng), std::invalid_argument);
+  cfg.write_bytes = 1024.0;
+  cfg.duration_s = 0.0;
+  EXPECT_THROW(run_packet_stream(qos, vnic, cfg, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudrepro::simnet

@@ -1,0 +1,197 @@
+#include "simnet/qos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simnet/units.h"
+#include "stats/descriptive.h"
+
+namespace cloudrepro::simnet {
+namespace {
+
+TEST(FixedRateQosTest, ConstantRate) {
+  FixedRateQos qos{5.0};
+  EXPECT_DOUBLE_EQ(qos.allowed_rate(), 5.0);
+  qos.advance(100.0, 5.0);
+  EXPECT_DOUBLE_EQ(qos.allowed_rate(), 5.0);
+  EXPECT_TRUE(std::isinf(qos.time_until_change(5.0)));
+  EXPECT_FALSE(qos.budget_gbit().has_value());
+}
+
+TEST(FixedRateQosTest, RejectsNonPositiveRate) {
+  EXPECT_THROW(FixedRateQos{0.0}, std::invalid_argument);
+  EXPECT_THROW(FixedRateQos{-1.0}, std::invalid_argument);
+}
+
+TEST(FixedRateQosTest, CloneIsIndependent) {
+  FixedRateQos qos{5.0};
+  auto copy = qos.clone();
+  EXPECT_DOUBLE_EQ(copy->allowed_rate(), 5.0);
+}
+
+TEST(TokenBucketQosTest, ExposesBudget) {
+  TokenBucketConfig cfg;
+  cfg.capacity_gbit = 100.0;
+  cfg.initial_gbit = 100.0;
+  TokenBucketQos qos{cfg};
+  ASSERT_TRUE(qos.budget_gbit().has_value());
+  EXPECT_DOUBLE_EQ(*qos.budget_gbit(), 100.0);
+  qos.advance(5.0, 10.0);
+  EXPECT_NEAR(*qos.budget_gbit(), 100.0 - 45.0, 1e-9);
+}
+
+TEST(TokenBucketQosTest, CloneCarriesState) {
+  TokenBucketConfig cfg;
+  cfg.capacity_gbit = 100.0;
+  cfg.initial_gbit = 100.0;
+  TokenBucketQos qos{cfg};
+  qos.advance(5.0, 10.0);
+  auto copy = qos.clone();
+  EXPECT_NEAR(*copy->budget_gbit(), *qos.budget_gbit(), 1e-12);
+  // Advancing the copy does not touch the original.
+  copy->advance(1.0, 10.0);
+  EXPECT_GT(*qos.budget_gbit(), *copy->budget_gbit());
+}
+
+TEST(StochasticQosTest, RateWithinSamplerRange) {
+  stats::Rng rng{1};
+  StochasticQos qos{[](stats::Rng& r) { return r.uniform(7.7, 10.4); }, 10.0, rng};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(qos.allowed_rate(), 7.7);
+    EXPECT_LE(qos.allowed_rate(), 10.4);
+    qos.advance(10.0, qos.allowed_rate());
+  }
+}
+
+TEST(StochasticQosTest, ResamplesOnlyAtBoundaries) {
+  stats::Rng rng{2};
+  StochasticQos qos{[](stats::Rng& r) { return r.uniform(1.0, 9.0); }, 10.0, rng};
+  const double r0 = qos.allowed_rate();
+  qos.advance(4.0, r0);
+  EXPECT_DOUBLE_EQ(qos.allowed_rate(), r0);  // Mid-interval: unchanged.
+  qos.advance(6.0, r0);
+  // Boundary crossed; with a continuous sampler a repeat is a.s. impossible.
+  EXPECT_NE(qos.allowed_rate(), r0);
+}
+
+TEST(StochasticQosTest, TimeUntilChangeIsBoundaryDistance) {
+  stats::Rng rng{3};
+  StochasticQos qos{[](stats::Rng&) { return 5.0; }, 10.0, rng};
+  EXPECT_NEAR(qos.time_until_change(5.0), 10.0, 1e-9);
+  qos.advance(4.0, 5.0);
+  EXPECT_NEAR(qos.time_until_change(5.0), 6.0, 1e-9);
+}
+
+TEST(StochasticQosTest, ResetReproducesSequence) {
+  stats::Rng rng{4};
+  StochasticQos qos{[](stats::Rng& r) { return r.uniform(1.0, 9.0); }, 1.0, rng};
+  std::vector<double> first;
+  for (int i = 0; i < 10; ++i) {
+    first.push_back(qos.allowed_rate());
+    qos.advance(1.0, 0.0);
+  }
+  qos.reset();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(qos.allowed_rate(), first[static_cast<std::size_t>(i)]);
+    qos.advance(1.0, 0.0);
+  }
+}
+
+TEST(StochasticQosTest, GuardsAgainstNonPositiveRates) {
+  stats::Rng rng{5};
+  StochasticQos qos{[](stats::Rng&) { return -3.0; }, 1.0, rng};
+  EXPECT_GT(qos.allowed_rate(), 0.0);
+}
+
+TEST(StochasticQosTest, Validation) {
+  stats::Rng rng{6};
+  EXPECT_THROW(StochasticQos(nullptr, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(StochasticQos([](stats::Rng&) { return 1.0; }, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(PerCoreQosTest, NominalRateIsPerCoreTimesCores) {
+  PerCoreQosConfig cfg;
+  cfg.cores = 4;
+  cfg.per_core_gbps = 2.0;
+  cfg.max_gbps = 16.0;
+  PerCoreQos qos{cfg, stats::Rng{7}};
+  EXPECT_DOUBLE_EQ(qos.nominal_rate(), 8.0);
+}
+
+TEST(PerCoreQosTest, NominalRateIsCapped) {
+  PerCoreQosConfig cfg;
+  cfg.cores = 16;
+  cfg.per_core_gbps = 2.0;
+  cfg.max_gbps = 16.0;
+  PerCoreQos qos{cfg, stats::Rng{8}};
+  EXPECT_DOUBLE_EQ(qos.nominal_rate(), 16.0);
+}
+
+TEST(PerCoreQosTest, SteadyTransmissionStaysNearNominal) {
+  PerCoreQosConfig cfg;
+  cfg.cores = 8;
+  PerCoreQos qos{cfg, stats::Rng{9}};
+  std::vector<double> rates;
+  for (int i = 0; i < 600; ++i) {
+    rates.push_back(qos.allowed_rate());
+    qos.advance(1.0, qos.allowed_rate());
+  }
+  const auto s = stats::summarize(rates);
+  EXPECT_GT(s.min, 0.9 * qos.nominal_rate());
+  EXPECT_LT(s.coefficient_of_variation, 0.02);
+}
+
+TEST(PerCoreQosTest, ResumingAfterIdleCostsWarmup) {
+  PerCoreQosConfig cfg;
+  cfg.cores = 8;
+  cfg.idle_threshold_s = 5.0;
+  cfg.warmup_s = 4.0;
+  cfg.cold_penalty_mean = 0.2;
+  PerCoreQos qos{cfg, stats::Rng{10}};
+
+  // Long idle, then resume: first advance flags the cold path.
+  qos.advance(30.0, 0.0);
+  qos.advance(0.1, 10.0);
+  const double cold_rate = qos.allowed_rate();
+  EXPECT_LT(cold_rate, 0.995 * qos.nominal_rate());
+
+  // Keep transmitting: the warm-up completes and the rate recovers.
+  for (int i = 0; i < 100; ++i) qos.advance(0.1, qos.allowed_rate());
+  EXPECT_GT(qos.allowed_rate(), cold_rate);
+}
+
+TEST(PerCoreQosTest, ShortPauseDoesNotTriggerColdPath) {
+  PerCoreQosConfig cfg;
+  cfg.cores = 8;
+  cfg.idle_threshold_s = 5.0;
+  PerCoreQos qos{cfg, stats::Rng{11}};
+  qos.advance(10.0, qos.allowed_rate());
+  qos.advance(2.0, 0.0);  // Pause below the idle threshold.
+  qos.advance(0.1, 10.0);
+  EXPECT_GT(qos.allowed_rate(), 0.95 * qos.nominal_rate());
+}
+
+TEST(PerCoreQosTest, Validation) {
+  PerCoreQosConfig cfg;
+  cfg.cores = 0;
+  EXPECT_THROW(PerCoreQos(cfg, stats::Rng{12}), std::invalid_argument);
+  cfg.cores = 4;
+  cfg.per_core_gbps = 0.0;
+  EXPECT_THROW(PerCoreQos(cfg, stats::Rng{13}), std::invalid_argument);
+}
+
+TEST(PerCoreQosTest, TimeUntilChangeIsPositive) {
+  PerCoreQosConfig cfg;
+  PerCoreQos qos{cfg, stats::Rng{14}};
+  for (int i = 0; i < 100; ++i) {
+    const double bound = qos.time_until_change(qos.allowed_rate());
+    EXPECT_GT(bound, 0.0);
+    qos.advance(bound, qos.allowed_rate());
+  }
+}
+
+}  // namespace
+}  // namespace cloudrepro::simnet

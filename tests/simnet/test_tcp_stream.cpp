@@ -1,0 +1,160 @@
+#include "simnet/tcp_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace cloudrepro::simnet {
+namespace {
+
+PacketPathConfig stream_config(double duration_s = 3.0, double write = 9000.0) {
+  PacketPathConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.write_bytes = write;
+  return cfg;
+}
+
+TEST(TcpStreamTest, ReachesNearBottleneckRate) {
+  stats::Rng rng{1};
+  FixedRateQos qos{10.0};
+  auto vnic = ec2_vnic();
+  const auto r = run_tcp_stream(qos, vnic, TcpConfig{}, stream_config(), rng);
+  EXPECT_GT(r.mean_goodput_gbps(), 7.0);
+  EXPECT_LT(r.mean_goodput_gbps(), 10.0);
+}
+
+TEST(TcpStreamTest, SlowStartGrowsWindowExponentiallyAtFirst) {
+  stats::Rng rng{2};
+  FixedRateQos qos{10.0};
+  auto vnic = ec2_vnic();
+  TcpConfig tcp;
+  tcp.initial_cwnd_segments = 2.0;
+  PacketPathConfig cfg = stream_config(1.0);
+  cfg.bandwidth_sample_interval_s = 0.02;
+  const auto r = run_tcp_stream(qos, vnic, tcp, cfg, rng);
+  ASSERT_GE(r.cwnd_segments.size(), 5u);
+  // The window grows well past the initial value within the first samples.
+  EXPECT_GT(r.cwnd_segments[4], 4.0 * tcp.initial_cwnd_segments);
+}
+
+TEST(TcpStreamTest, LossesTriggerMultiplicativeDecrease) {
+  stats::Rng rng{3};
+  FixedRateQos qos{8.0};
+  auto vnic = gce_vnic();  // 64 KB TSO segments: visible loss rate.
+  PacketPathConfig cfg = stream_config(3.0, 128.0 * 1024.0);
+  const auto r = run_tcp_stream(qos, vnic, TcpConfig{}, cfg, rng);
+  EXPECT_GT(r.retransmissions, 10u);
+  // Sawtooth: the cwnd trace is not monotone.
+  bool decreased = false;
+  for (std::size_t i = 1; i < r.cwnd_segments.size(); ++i) {
+    if (r.cwnd_segments[i] < r.cwnd_segments[i - 1]) decreased = true;
+  }
+  EXPECT_TRUE(decreased);
+}
+
+TEST(TcpStreamTest, HigherLossMeansLowerThroughput) {
+  // Qualitative Mathis relation: goodput falls as loss rises, all else
+  // equal. Identical vNICs (GCE TSO segments, ms-scale RTT) except that one
+  // has the byte-pressure loss disabled.
+  stats::Rng rng{4};
+  auto lossy = gce_vnic();  // ~2% loss at TSO segments.
+  auto clean = gce_vnic();
+  clean.loss_pressure_coefficient = 0.0;
+
+  FixedRateQos qos1{8.0};
+  const auto r_clean = run_tcp_stream(qos1, clean, TcpConfig{},
+                                      stream_config(3.0, 128.0 * 1024.0), rng);
+  FixedRateQos qos2{8.0};
+  const auto r_lossy = run_tcp_stream(qos2, lossy, TcpConfig{},
+                                      stream_config(3.0, 128.0 * 1024.0), rng);
+  EXPECT_GT(r_clean.mean_goodput_gbps(), 1.5 * r_lossy.mean_goodput_gbps());
+}
+
+TEST(TcpStreamTest, TokenBucketCollapseMidStream) {
+  // The Figure 7 regime shift seen by a real congestion controller.
+  stats::Rng rng{5};
+  TokenBucketConfig tb;
+  tb.capacity_gbit = 20.0;
+  tb.initial_gbit = 20.0;
+  tb.high_rate_gbps = 10.0;
+  tb.low_rate_gbps = 1.0;
+  tb.replenish_gbps = 1.0;
+  TokenBucketQos qos{tb};
+  auto vnic = ec2_vnic();
+  PacketPathConfig cfg = stream_config(10.0);
+  const auto r = run_tcp_stream(qos, vnic, TcpConfig{}, cfg, rng);
+  ASSERT_GE(r.bandwidth_gbps.size(), 8u);
+  EXPECT_GT(r.bandwidth_gbps.front(), 6.0);
+  EXPECT_LT(r.bandwidth_gbps.back(), 1.5);
+}
+
+TEST(TcpStreamTest, ReceiveWindowCapsThroughput) {
+  stats::Rng rng{6};
+  FixedRateQos qos{10.0};
+  auto vnic = ec2_vnic();
+  TcpConfig tcp;
+  // The BDP at 10 Gbps x 50 us is ~62 KB; a 16 KB receive window is ~BDP/4.
+  tcp.receive_window_bytes = 16.0 * 1024.0;
+  const auto r = run_tcp_stream(qos, vnic, tcp, stream_config(), rng);
+  // Window-limited: goodput ≈ rwnd / RTT, far below the link rate.
+  EXPECT_LT(r.mean_goodput_gbps(), 5.0);
+}
+
+TEST(TcpStreamTest, RttSamplesReflectBaseLatency) {
+  stats::Rng rng{7};
+  FixedRateQos qos{10.0};
+  auto vnic = gce_vnic();
+  const auto r = run_tcp_stream(qos, vnic, TcpConfig{}, stream_config(2.0, 9000.0), rng);
+  std::vector<double> rtts;
+  for (const auto& p : r.packets) {
+    if (!p.retransmitted) rtts.push_back(p.rtt_s);
+  }
+  ASSERT_FALSE(rtts.empty());
+  EXPECT_GT(stats::median(rtts), vnic.base_rtt_s);
+  EXPECT_LT(stats::median(rtts), 50.0 * vnic.base_rtt_s);
+}
+
+TEST(TcpStreamTest, DeterministicGivenSeed) {
+  const auto run = [] {
+    stats::Rng rng{8};
+    FixedRateQos qos{10.0};
+    auto vnic = ec2_vnic();
+    return run_tcp_stream(qos, vnic, TcpConfig{}, stream_config(1.0), rng);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.segments_sent, b.segments_sent);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_DOUBLE_EQ(a.delivered_gbit, b.delivered_gbit);
+}
+
+TEST(TcpStreamTest, Validation) {
+  stats::Rng rng{9};
+  FixedRateQos qos{10.0};
+  auto vnic = ec2_vnic();
+  PacketPathConfig cfg = stream_config();
+  cfg.duration_s = 0.0;
+  EXPECT_THROW(run_tcp_stream(qos, vnic, TcpConfig{}, cfg, rng), std::invalid_argument);
+  TcpConfig bad;
+  bad.initial_cwnd_segments = 0.5;
+  EXPECT_THROW(run_tcp_stream(qos, vnic, bad, stream_config(), rng),
+               std::invalid_argument);
+}
+
+// Throughput sweep: goodput grows with the bottleneck rate.
+class TcpRateSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpRateSweepTest, GoodputTracksBottleneck) {
+  stats::Rng rng{10};
+  FixedRateQos qos{GetParam()};
+  auto vnic = ec2_vnic();
+  const auto r = run_tcp_stream(qos, vnic, TcpConfig{}, stream_config(2.0), rng);
+  EXPECT_GT(r.mean_goodput_gbps(), 0.6 * GetParam());
+  EXPECT_LE(r.mean_goodput_gbps(), 1.02 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TcpRateSweepTest,
+                         ::testing::Values(1.0, 2.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace cloudrepro::simnet

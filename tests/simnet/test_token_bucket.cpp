@@ -1,0 +1,220 @@
+#include "simnet/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simnet/units.h"
+
+namespace cloudrepro::simnet {
+namespace {
+
+TokenBucketConfig c5_xlarge_like() {
+  TokenBucketConfig cfg;
+  cfg.capacity_gbit = 5400.0;
+  cfg.initial_gbit = 5400.0;
+  cfg.high_rate_gbps = 10.0;
+  cfg.low_rate_gbps = 1.0;
+  cfg.replenish_gbps = 1.0;
+  cfg.recover_threshold_gbit = 5.0;
+  return cfg;
+}
+
+TEST(TokenBucketTest, StartsAtHighRateWithFullBudget) {
+  TokenBucket tb{c5_xlarge_like()};
+  EXPECT_DOUBLE_EQ(tb.allowed_rate(), 10.0);
+  EXPECT_DOUBLE_EQ(tb.budget(), 5400.0);
+  EXPECT_FALSE(tb.in_low_mode());
+}
+
+TEST(TokenBucketTest, DrainsAtNetRate) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.advance(100.0, 10.0);  // Net drain 9 Gbit/s.
+  EXPECT_NEAR(tb.budget(), 5400.0 - 900.0, 1e-9);
+}
+
+TEST(TokenBucketTest, TimeToEmptyMatchesPaperScale) {
+  // c5.xlarge: ~10 minutes of full-speed transfer empties the bucket.
+  TokenBucket tb{c5_xlarge_like()};
+  const double tte = tb.time_until_change(10.0);
+  EXPECT_NEAR(tte, 600.0, 1e-9);
+}
+
+TEST(TokenBucketTest, DepletionDropsToLowRate) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.advance(600.0, 10.0);
+  EXPECT_TRUE(tb.in_low_mode());
+  EXPECT_DOUBLE_EQ(tb.allowed_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(tb.budget(), 0.0);
+}
+
+TEST(TokenBucketTest, CappedRateSendingKeepsBucketEmpty) {
+  // The paper: "once the token bucket empties, transmission at the capped
+  // rate is sufficient to keep it from filling back up".
+  TokenBucket tb{c5_xlarge_like()};
+  tb.advance(600.0, 10.0);
+  ASSERT_TRUE(tb.in_low_mode());
+  tb.advance(1000.0, 1.0);  // Send at the low rate == replenish rate.
+  EXPECT_TRUE(tb.in_low_mode());
+  EXPECT_DOUBLE_EQ(tb.budget(), 0.0);
+}
+
+TEST(TokenBucketTest, RestingRefills) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.advance(600.0, 10.0);
+  ASSERT_TRUE(tb.in_low_mode());
+  tb.advance(30.0, 0.0);  // Rest 30 s -> +30 Gbit.
+  EXPECT_NEAR(tb.budget(), 30.0, 1e-9);
+  EXPECT_FALSE(tb.in_low_mode());  // Past the 5-Gbit recovery threshold.
+  EXPECT_DOUBLE_EQ(tb.allowed_rate(), 10.0);
+}
+
+TEST(TokenBucketTest, HysteresisPreventsInstantFlapping) {
+  auto cfg = c5_xlarge_like();
+  cfg.recover_threshold_gbit = 5.0;
+  TokenBucket tb{cfg};
+  tb.advance(600.0, 10.0);
+  ASSERT_TRUE(tb.in_low_mode());
+  tb.advance(2.0, 0.0);  // +2 Gbit < threshold: still low.
+  EXPECT_TRUE(tb.in_low_mode());
+  tb.advance(3.0, 0.0);  // Now at 5 Gbit: recovers.
+  EXPECT_FALSE(tb.in_low_mode());
+}
+
+TEST(TokenBucketTest, TimeUntilRecoveryWhileResting) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.advance(600.0, 10.0);
+  ASSERT_TRUE(tb.in_low_mode());
+  EXPECT_NEAR(tb.time_until_change(0.0), 5.0, 1e-9);  // 5 Gbit at 1 Gbit/s.
+}
+
+TEST(TokenBucketTest, StableStatesReportInfiniteHorizon) {
+  TokenBucket tb{c5_xlarge_like()};
+  // Sending below replenish in high mode: budget grows (capped) -> stable.
+  EXPECT_TRUE(std::isinf(tb.time_until_change(0.5)));
+  tb.advance(600.0, 10.0);
+  // Low mode, sending at replenish rate: stable.
+  EXPECT_TRUE(std::isinf(tb.time_until_change(1.0)));
+}
+
+TEST(TokenBucketTest, BudgetNeverExceedsCapacity) {
+  auto cfg = c5_xlarge_like();
+  cfg.initial_gbit = 5000.0;
+  TokenBucket tb{cfg};
+  tb.advance(100000.0, 0.0);
+  EXPECT_DOUBLE_EQ(tb.budget(), cfg.capacity_gbit);
+}
+
+TEST(TokenBucketTest, SendRateClampedToAllowed) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.advance(600.0, 10.0);
+  ASSERT_TRUE(tb.in_low_mode());
+  // Claiming to send at 10 in low mode is clamped to 1 == replenish.
+  tb.advance(100.0, 10.0);
+  EXPECT_DOUBLE_EQ(tb.budget(), 0.0);
+}
+
+TEST(TokenBucketTest, FullRefillTime) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.advance(600.0, 10.0);
+  EXPECT_NEAR(tb.time_to_full_refill(), 5400.0, 1e-6);
+}
+
+TEST(TokenBucketTest, ResetRestoresInitialState) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.advance(600.0, 10.0);
+  tb.reset();
+  EXPECT_DOUBLE_EQ(tb.budget(), 5400.0);
+  EXPECT_FALSE(tb.in_low_mode());
+}
+
+TEST(TokenBucketTest, SetBudgetModelsUsedVm) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.set_budget(100.0);
+  EXPECT_DOUBLE_EQ(tb.budget(), 100.0);
+  EXPECT_FALSE(tb.in_low_mode());
+  tb.set_budget(0.0);
+  EXPECT_TRUE(tb.in_low_mode());
+}
+
+TEST(TokenBucketTest, SetBudgetClampsToCapacity) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.set_budget(99999.0);
+  EXPECT_DOUBLE_EQ(tb.budget(), 5400.0);
+  tb.set_budget(-5.0);
+  EXPECT_DOUBLE_EQ(tb.budget(), 0.0);
+}
+
+TEST(TokenBucketTest, ZeroInitialBudgetStartsLow) {
+  auto cfg = c5_xlarge_like();
+  cfg.initial_gbit = 0.0;
+  TokenBucket tb{cfg};
+  EXPECT_TRUE(tb.in_low_mode());
+  EXPECT_DOUBLE_EQ(tb.allowed_rate(), 1.0);
+}
+
+TEST(TokenBucketTest, ConfigValidation) {
+  auto cfg = c5_xlarge_like();
+  cfg.initial_gbit = cfg.capacity_gbit + 1.0;
+  EXPECT_THROW(TokenBucket{cfg}, std::invalid_argument);
+
+  cfg = c5_xlarge_like();
+  cfg.low_rate_gbps = 20.0;
+  EXPECT_THROW(TokenBucket{cfg}, std::invalid_argument);
+
+  cfg = c5_xlarge_like();
+  cfg.high_rate_gbps = 0.0;
+  EXPECT_THROW(TokenBucket{cfg}, std::invalid_argument);
+
+  cfg = c5_xlarge_like();
+  cfg.replenish_gbps = -1.0;
+  EXPECT_THROW(TokenBucket{cfg}, std::invalid_argument);
+
+  cfg = c5_xlarge_like();
+  cfg.recover_threshold_gbit = cfg.capacity_gbit + 1.0;
+  EXPECT_THROW(TokenBucket{cfg}, std::invalid_argument);
+
+  cfg = c5_xlarge_like();
+  cfg.capacity_gbit = -1.0;
+  cfg.initial_gbit = -1.0;
+  EXPECT_THROW(TokenBucket{cfg}, std::invalid_argument);
+}
+
+TEST(TokenBucketTest, AdvanceIgnoresNonPositiveDt) {
+  TokenBucket tb{c5_xlarge_like()};
+  tb.advance(0.0, 10.0);
+  tb.advance(-5.0, 10.0);
+  EXPECT_DOUBLE_EQ(tb.budget(), 5400.0);
+}
+
+// ---- Conservation property: over any drain/rest schedule, the budget
+// change equals replenish*time - sent (within clamping).
+class BucketConservationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BucketConservationTest, BudgetAccountingIsExact) {
+  auto cfg = c5_xlarge_like();
+  cfg.initial_gbit = 2000.0;
+  TokenBucket tb{cfg};
+  const double rate = GetParam();
+  double sent = 0.0;
+  double elapsed = 0.0;
+  // Alternate short sends and rests; stay away from the clamp boundaries.
+  for (int i = 0; i < 50; ++i) {
+    const double r = std::min(rate, tb.allowed_rate());
+    tb.advance(1.0, r);
+    sent += r;
+    elapsed += 1.0;
+    tb.advance(0.5, 0.0);
+    elapsed += 0.5;
+  }
+  const double expected = 2000.0 - sent + cfg.replenish_gbps * elapsed;
+  if (expected >= 0.0 && expected <= cfg.capacity_gbit) {
+    EXPECT_NEAR(tb.budget(), expected, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BucketConservationTest,
+                         ::testing::Values(2.0, 5.0, 8.0, 10.0));
+
+}  // namespace
+}  // namespace cloudrepro::simnet

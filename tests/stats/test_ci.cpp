@@ -1,0 +1,160 @@
+#include "stats/ci.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mean, double sd,
+                                  std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+TEST(CiTest, MedianCiContainsSampleMedian) {
+  const auto xs = normal_sample(101, 50.0, 5.0, 3);
+  const auto ci = median_ci(xs);
+  ASSERT_TRUE(ci.valid);
+  EXPECT_LE(ci.lower, ci.estimate);
+  EXPECT_GE(ci.upper, ci.estimate);
+  EXPECT_TRUE(ci.contains(median(xs)));
+}
+
+TEST(CiTest, ThreeRepetitionsCannotFormMedianCi) {
+  // The Figure 3 caption: "three repetitions are insufficient to calculate
+  // CIs" — our implementation reports this explicitly.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto ci = median_ci(xs);
+  EXPECT_FALSE(ci.valid);
+  EXPECT_DOUBLE_EQ(ci.estimate, 2.0);
+}
+
+TEST(CiTest, SixSamplesIsMinimumForMedian95) {
+  EXPECT_EQ(min_samples_for_quantile_ci(0.5, 0.95), 6u);
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  EXPECT_TRUE(median_ci(xs).valid);
+  const std::vector<double> ys{1, 2, 3, 4, 5};
+  EXPECT_FALSE(median_ci(ys).valid);
+}
+
+TEST(CiTest, TailQuantileNeedsFarMoreSamples) {
+  // F2.3/Figure 3b: tail estimates are much harder than medians.
+  const auto median_n = min_samples_for_quantile_ci(0.5, 0.95);
+  const auto p90_n = min_samples_for_quantile_ci(0.9, 0.95);
+  EXPECT_GT(p90_n, 4 * median_n);
+}
+
+TEST(CiTest, HigherConfidenceWidensInterval) {
+  const auto xs = normal_sample(200, 0.0, 1.0, 4);
+  const auto ci95 = median_ci(xs, 0.95);
+  const auto ci99 = median_ci(xs, 0.99);
+  ASSERT_TRUE(ci95.valid);
+  ASSERT_TRUE(ci99.valid);
+  EXPECT_GE(ci99.width(), ci95.width());
+}
+
+TEST(CiTest, MoreSamplesTightenInterval) {
+  const auto small = normal_sample(20, 0.0, 1.0, 5);
+  const auto large = normal_sample(2000, 0.0, 1.0, 5);
+  const auto ci_small = median_ci(small);
+  const auto ci_large = median_ci(large);
+  ASSERT_TRUE(ci_small.valid);
+  ASSERT_TRUE(ci_large.valid);
+  EXPECT_LT(ci_large.width(), ci_small.width());
+}
+
+TEST(CiTest, AchievedConfidenceAtLeastRequested) {
+  const auto xs = normal_sample(60, 0.0, 1.0, 6);
+  const auto ci = median_ci(xs, 0.95);
+  ASSERT_TRUE(ci.valid);
+  EXPECT_GE(ci.confidence, 0.95);
+}
+
+TEST(CiTest, RelativeHalfWidth) {
+  ConfidenceInterval ci;
+  ci.lower = 90.0;
+  ci.estimate = 100.0;
+  ci.upper = 110.0;
+  EXPECT_NEAR(ci.relative_half_width(), 0.1, 1e-12);
+}
+
+TEST(CiTest, InvalidArgumentsThrow) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(quantile_ci({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile_ci(xs, 0.0), std::invalid_argument);
+  EXPECT_THROW(quantile_ci(xs, 1.0), std::invalid_argument);
+  EXPECT_THROW(quantile_ci(xs, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(quantile_ci(xs, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(CiTest, BootstrapMedianCiAgreesWithOrderStatisticCi) {
+  const auto xs = normal_sample(300, 20.0, 3.0, 7);
+  Rng rng{8};
+  const auto boot = bootstrap_ci(
+      xs, [](std::span<const double> s) { return median(s); }, rng);
+  const auto order = median_ci(xs);
+  ASSERT_TRUE(boot.valid);
+  ASSERT_TRUE(order.valid);
+  // The two methods should overlap substantially.
+  EXPECT_LT(boot.lower, order.upper);
+  EXPECT_GT(boot.upper, order.lower);
+  EXPECT_NEAR(boot.estimate, order.estimate, 1e-12);
+}
+
+TEST(CiTest, BootstrapThrowsOnEmpty) {
+  Rng rng{9};
+  EXPECT_THROW(
+      bootstrap_ci({}, [](std::span<const double> s) { return mean(s); }, rng),
+      std::invalid_argument);
+}
+
+// ---- Coverage property: the 95% CI for the median covers the true median
+// ~95% of the time (within Monte-Carlo tolerance), for several sample sizes
+// and distributions. This validates the Le Boudec order-statistic method
+// end-to-end.
+struct CoverageCase {
+  std::size_t n;
+  bool heavy_tailed;
+};
+
+class CiCoverageTest : public ::testing::TestWithParam<CoverageCase> {};
+
+TEST_P(CiCoverageTest, CoversTrueMedianAtNominalRate) {
+  const auto param = GetParam();
+  Rng rng{1234};
+  const double true_median = param.heavy_tailed ? 1.0 * std::pow(2.0, 1.0 / 1.5) : 0.0;
+
+  int covered = 0;
+  constexpr int kTrials = 600;
+  std::vector<double> xs(param.n);
+  for (int t = 0; t < kTrials; ++t) {
+    for (auto& x : xs) {
+      x = param.heavy_tailed ? rng.pareto(1.0, 1.5) : rng.normal(0.0, 1.0);
+    }
+    const auto ci = median_ci(xs);
+    ASSERT_TRUE(ci.valid);
+    if (ci.contains(true_median)) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / kTrials;
+  // Order-statistic CIs are conservative: coverage >= nominal, and should
+  // not be absurdly wide either.
+  EXPECT_GE(coverage, 0.93);
+  EXPECT_LE(coverage, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SampleSizes, CiCoverageTest,
+    ::testing::Values(CoverageCase{10, false}, CoverageCase{30, false},
+                      CoverageCase{100, false}, CoverageCase{10, true},
+                      CoverageCase{50, true}));
+
+}  // namespace
+}  // namespace cloudrepro::stats

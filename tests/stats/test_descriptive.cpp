@@ -1,0 +1,137 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace cloudrepro::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanOfKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(DescriptiveTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(DescriptiveTest, VarianceIsUnbiasedSampleVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Known: population variance 4, sample variance 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(DescriptiveTest, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(DescriptiveTest, StddevIsSquareRootOfVariance) {
+  const std::vector<double> xs{1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(variance(xs)));
+}
+
+TEST(DescriptiveTest, CoefficientOfVariation) {
+  const std::vector<double> xs{10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+  const std::vector<double> ys{5.0, 15.0};
+  EXPECT_NEAR(coefficient_of_variation(ys), stddev(ys) / 10.0, 1e-12);
+}
+
+TEST(DescriptiveTest, CoVOfZeroMeanIsZero) {
+  const std::vector<double> xs{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(DescriptiveTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(DescriptiveTest, QuantileEndpoints) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(DescriptiveTest, QuantileInterpolatesLinearly) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(DescriptiveTest, QuantileThrowsOnEmptyOrBadQ) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(DescriptiveTest, QuantileOfSingleton) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 7.0);
+}
+
+TEST(DescriptiveTest, SummarizeMatchesComponents) {
+  const std::vector<double> xs{4.0, 8.0, 6.0, 2.0};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(s.variance), 1e-15);
+}
+
+TEST(DescriptiveTest, SummarizeThrowsOnEmpty) {
+  EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+TEST(DescriptiveTest, BoxStatsOrdering) {
+  Rng rng{1};
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  const auto b = box_stats(xs);
+  EXPECT_LT(b.p1, b.p25);
+  EXPECT_LT(b.p25, b.p50);
+  EXPECT_LT(b.p50, b.p75);
+  EXPECT_LT(b.p75, b.p99);
+  EXPECT_NEAR(b.p50, 0.0, 0.1);
+  EXPECT_GT(b.iqr(), 0.0);
+}
+
+TEST(DescriptiveTest, SortedReturnsAscendingCopy) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const auto s = sorted(xs);
+  EXPECT_EQ(s, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(xs[0], 3.0);  // Original untouched.
+}
+
+// Property sweep: for any sample, quantiles are monotone in q and bounded by
+// min/max.
+class QuantileMonotonicityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotonicityTest, MonotoneAndBounded) {
+  Rng rng{GetParam()};
+  std::vector<double> xs(257);
+  for (auto& x : xs) x = rng.pareto(1.0, 1.5);
+  const auto s = sorted(xs);
+  double prev = s.front();
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = quantile_sorted(s, q);
+    EXPECT_GE(v, prev - 1e-12);
+    EXPECT_GE(v, s.front());
+    EXPECT_LE(v, s.back());
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotonicityTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace cloudrepro::stats

@@ -1,0 +1,108 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace cloudrepro::stats {
+namespace {
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.7);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h{0.0, 10.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW(h.bin_center(5), std::out_of_range);
+}
+
+TEST(HistogramTest, DensitiesSumToOne) {
+  Rng rng{3};
+  Histogram h{0.0, 1.0, 20};
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  double sum = 0.0;
+  for (const double d : h.densities()) sum += d;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyHistogramDensityIsZero) {
+  Histogram h{0.0, 1.0, 4};
+  EXPECT_DOUBLE_EQ(h.density(2), 0.0);
+}
+
+TEST(HistogramTest, ConstructorValidation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, AddAllMatchesIndividualAdds) {
+  const std::vector<double> xs{0.1, 0.2, 0.8};
+  Histogram a{0.0, 1.0, 10};
+  Histogram b{0.0, 1.0, 10};
+  a.add_all(xs);
+  for (const double x : xs) b.add(x);
+  for (std::size_t i = 0; i < a.bin_count(); ++i) EXPECT_EQ(a.count(i), b.count(i));
+}
+
+TEST(EcdfTest, StepFunctionValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Ecdf f{xs};
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(EcdfTest, InverseRoundTrips) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  const Ecdf f{xs};
+  EXPECT_DOUBLE_EQ(f.inverse(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.inverse(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(f.inverse(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(f.inverse(1.0), 50.0);
+  EXPECT_THROW(f.inverse(1.5), std::invalid_argument);
+}
+
+TEST(EcdfTest, ThrowsOnEmpty) {
+  EXPECT_THROW(Ecdf({}), std::invalid_argument);
+}
+
+TEST(EcdfTest, CurveIsMonotone) {
+  Rng rng{4};
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  const Ecdf f{xs};
+  const auto curve = f.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+}  // namespace
+}  // namespace cloudrepro::stats

@@ -1,0 +1,79 @@
+#include "stats/kappa.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace cloudrepro::stats {
+namespace {
+
+TEST(KappaTest, PerfectAgreementIsOne) {
+  const bool a[] = {true, false, true, true, false};
+  EXPECT_DOUBLE_EQ(cohens_kappa(a, a), 1.0);
+}
+
+TEST(KappaTest, KnownTextbookValue) {
+  // 2x2 table: both-yes 20, A-yes/B-no 5, A-no/B-yes 10, both-no 15.
+  std::vector<bool> a, b;
+  for (int i = 0; i < 20; ++i) { a.push_back(true);  b.push_back(true);  }
+  for (int i = 0; i < 5;  ++i) { a.push_back(true);  b.push_back(false); }
+  for (int i = 0; i < 10; ++i) { a.push_back(false); b.push_back(true);  }
+  for (int i = 0; i < 15; ++i) { a.push_back(false); b.push_back(false); }
+  std::unique_ptr<bool[]> ab{new bool[a.size()]}, bb{new bool[b.size()]};
+  for (std::size_t i = 0; i < a.size(); ++i) { ab[i] = a[i]; bb[i] = b[i]; }
+  // po = 0.70, pe = 0.5 -> kappa = 0.40.
+  EXPECT_NEAR(cohens_kappa({ab.get(), a.size()}, {bb.get(), b.size()}), 0.40, 1e-12);
+}
+
+TEST(KappaTest, IndependentRatersNearZero) {
+  Rng rng{5};
+  const std::size_t n = 20000;
+  std::unique_ptr<bool[]> a{new bool[n]}, b{new bool[n]};
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.bernoulli(0.5);
+    b[i] = rng.bernoulli(0.5);
+  }
+  EXPECT_NEAR(cohens_kappa({a.get(), n}, {b.get(), n}), 0.0, 0.05);
+}
+
+TEST(KappaTest, SystematicDisagreementIsNegative) {
+  const bool a[] = {true, true, false, false};
+  const bool b[] = {false, false, true, true};
+  EXPECT_LT(cohens_kappa(a, b), 0.0);
+}
+
+TEST(KappaTest, ConstantIdenticalRatersIsOne) {
+  const bool a[] = {true, true, true};
+  EXPECT_DOUBLE_EQ(cohens_kappa(a, a), 1.0);
+}
+
+TEST(KappaTest, ThrowsOnMismatchedOrEmpty) {
+  const bool a[] = {true, false};
+  const bool b[] = {true};
+  EXPECT_THROW(cohens_kappa(a, b), std::invalid_argument);
+  EXPECT_THROW(cohens_kappa({}, {}), std::invalid_argument);
+}
+
+TEST(KappaTest, InterpretationBands) {
+  EXPECT_EQ(interpret_kappa(-0.2), AgreementLevel::kLessThanChance);
+  EXPECT_EQ(interpret_kappa(0.1), AgreementLevel::kSlight);
+  EXPECT_EQ(interpret_kappa(0.3), AgreementLevel::kFair);
+  EXPECT_EQ(interpret_kappa(0.5), AgreementLevel::kModerate);
+  EXPECT_EQ(interpret_kappa(0.7), AgreementLevel::kSubstantial);
+  // The paper's reviewer scores (0.95, 0.81, 0.85) are all "almost perfect".
+  EXPECT_EQ(interpret_kappa(0.95), AgreementLevel::kAlmostPerfect);
+  EXPECT_EQ(interpret_kappa(0.81), AgreementLevel::kAlmostPerfect);
+  EXPECT_EQ(interpret_kappa(0.85), AgreementLevel::kAlmostPerfect);
+}
+
+TEST(KappaTest, ToStringCoversAllLevels) {
+  EXPECT_EQ(to_string(AgreementLevel::kAlmostPerfect), "almost perfect");
+  EXPECT_EQ(to_string(AgreementLevel::kLessThanChance), "less than chance");
+  EXPECT_FALSE(to_string(AgreementLevel::kModerate).empty());
+}
+
+}  // namespace
+}  // namespace cloudrepro::stats

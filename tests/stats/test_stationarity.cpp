@@ -1,0 +1,102 @@
+#include "stats/stationarity.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace cloudrepro::stats {
+namespace {
+
+std::vector<double> white_noise(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(10.0, 1.0);
+  return xs;
+}
+
+std::vector<double> random_walk(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> xs(n);
+  double level = 0.0;
+  for (auto& x : xs) {
+    level += rng.normal(0.0, 1.0);
+    x = level;
+  }
+  return xs;
+}
+
+TEST(StationarityTest, WhiteNoiseIsFullyStationary) {
+  const auto xs = white_noise(600, 1);
+  EXPECT_GT(stationary_fraction(xs), 0.9);
+  const auto ranges = stationary_ranges(xs);
+  ASSERT_FALSE(ranges.empty());
+  // Merged ranges should cover essentially the whole series.
+  EXPECT_EQ(ranges.front().begin, 0u);
+  EXPECT_GT(ranges.back().end, xs.size() - 80);
+}
+
+TEST(StationarityTest, RandomWalkIsNotStationary) {
+  const auto xs = random_walk(600, 2);
+  EXPECT_LT(stationary_fraction(xs), 0.3);
+}
+
+TEST(StationarityTest, RegimeSwitchFoundMidSeries) {
+  // Stationary noise, then a drifting (budget-depleting) segment.
+  Rng rng{3};
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.normal(10.0, 0.5));
+  double level = 10.0;
+  for (int i = 0; i < 300; ++i) {
+    level += 0.2 + rng.normal(0.0, 0.5);  // Trend: unit-root-like.
+    xs.push_back(level);
+  }
+  StationarityScanOptions opt;
+  opt.window = 100;
+  opt.stride = 50;
+  const auto verdicts = stationarity_scan(xs, opt);
+  ASSERT_GE(verdicts.size(), 8u);
+  // The early windows are stationary, the late ones are not.
+  EXPECT_TRUE(verdicts.front().stationary);
+  EXPECT_FALSE(verdicts.back().stationary);
+}
+
+TEST(StationarityTest, ShortSeriesYieldsNoWindows) {
+  const auto xs = white_noise(30, 4);
+  StationarityScanOptions opt;
+  opt.window = 60;
+  EXPECT_TRUE(stationarity_scan(xs, opt).empty());
+  EXPECT_DOUBLE_EQ(stationary_fraction(xs, opt), 0.0);
+}
+
+TEST(StationarityTest, RangesMergeOverlappingWindows) {
+  const auto xs = white_noise(400, 5);
+  StationarityScanOptions opt;
+  opt.window = 100;
+  opt.stride = 25;  // Heavy overlap.
+  const auto ranges = stationary_ranges(xs, opt);
+  // Overlapping stationary windows merge into few ranges.
+  EXPECT_LE(ranges.size(), 3u);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_GT(ranges[i].begin, ranges[i - 1].end);
+  }
+}
+
+TEST(StationarityTest, Validation) {
+  const auto xs = white_noise(100, 6);
+  StationarityScanOptions opt;
+  opt.window = 10;
+  EXPECT_THROW(stationarity_scan(xs, opt), std::invalid_argument);
+  opt.window = 60;
+  opt.stride = 0;
+  EXPECT_THROW(stationarity_scan(xs, opt), std::invalid_argument);
+}
+
+TEST(StationarityTest, WindowRangeSize) {
+  WindowRange r{10, 25};
+  EXPECT_EQ(r.size(), 15u);
+}
+
+}  // namespace
+}  // namespace cloudrepro::stats

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/kappa.h"
+#include "survey/corpus.h"
+#include "survey/review.h"
+
+namespace cloudrepro::survey {
+namespace {
+
+std::vector<Article> selected_articles(stats::Rng& rng) {
+  const auto corpus = generate_corpus(CorpusOptions{}, rng);
+  return filter_cloud_experiments(filter_by_keywords(corpus));
+}
+
+TEST(CorpusTest, FunnelMatchesTable2) {
+  stats::Rng rng{1};
+  const auto corpus = generate_corpus(CorpusOptions{}, rng);
+  EXPECT_EQ(corpus.size(), 1867u);
+  const auto keyword = filter_by_keywords(corpus);
+  EXPECT_EQ(keyword.size(), 138u);
+  const auto cloud = filter_cloud_experiments(keyword);
+  EXPECT_EQ(cloud.size(), 44u);
+}
+
+TEST(CorpusTest, VenueSplitMatchesTable2) {
+  stats::Rng rng{2};
+  const auto cloud = selected_articles(rng);
+  int nsdi = 0, osdi = 0, sosp = 0, sc = 0;
+  for (const auto& a : cloud) {
+    switch (a.venue) {
+      case Venue::kNsdi: ++nsdi; break;
+      case Venue::kOsdi: ++osdi; break;
+      case Venue::kSosp: ++sosp; break;
+      case Venue::kSc: ++sc; break;
+    }
+  }
+  EXPECT_EQ(nsdi, 15);
+  EXPECT_EQ(osdi, 7);
+  EXPECT_EQ(sosp, 7);
+  EXPECT_EQ(sc, 15);
+}
+
+TEST(CorpusTest, SelectedCitationsSumTo11203) {
+  stats::Rng rng{3};
+  const auto cloud = selected_articles(rng);
+  long long total = 0;
+  for (const auto& a : cloud) total += a.citations;
+  EXPECT_EQ(total, 11203);
+}
+
+TEST(CorpusTest, YearsWithinSurveyWindow) {
+  stats::Rng rng{4};
+  for (const auto& a : generate_corpus(CorpusOptions{}, rng)) {
+    EXPECT_GE(a.year, 2008);
+    EXPECT_LE(a.year, 2018);
+  }
+}
+
+TEST(CorpusTest, ReportingMarginalsMatchFigure1) {
+  // Averaged over several corpora: >60% under-specified; of the articles
+  // reporting a central tendency only ~37% report variability.
+  stats::Rng rng{5};
+  double under = 0.0, central = 0.0, var_given_central = 0.0;
+  constexpr int kCorpora = 30;
+  for (int i = 0; i < kCorpora; ++i) {
+    const auto cloud = selected_articles(rng);
+    int u = 0, c = 0, vc = 0;
+    for (const auto& a : cloud) {
+      if (a.underspecified()) ++u;
+      if (a.reports_central_tendency) {
+        ++c;
+        if (a.reports_variability) ++vc;
+      }
+    }
+    under += static_cast<double>(u) / 44.0;
+    central += static_cast<double>(c) / 44.0;
+    var_given_central += c > 0 ? static_cast<double>(vc) / c : 0.0;
+  }
+  under /= kCorpora;
+  central /= kCorpora;
+  var_given_central /= kCorpora;
+  EXPECT_NEAR(under, 0.61, 0.08);
+  EXPECT_NEAR(central, 0.55, 0.08);
+  EXPECT_NEAR(var_given_central, 0.37, 0.10);
+}
+
+TEST(CorpusTest, RepetitionCountsFromFigure1bSupport) {
+  stats::Rng rng{6};
+  const auto corpus = generate_corpus(CorpusOptions{}, rng);
+  const std::set<int> allowed{3, 5, 9, 10, 15, 20, 100};
+  for (const auto& a : corpus) {
+    if (a.repetitions > 0) {
+      EXPECT_TRUE(allowed.count(a.repetitions)) << a.repetitions;
+    }
+  }
+}
+
+TEST(CorpusTest, MostProperlySpecifiedUseAtMost15Reps) {
+  // The paper: 76% of properly specified studies use <= 15 repetitions.
+  stats::Rng rng{7};
+  int le15 = 0, total = 0;
+  for (int i = 0; i < 20; ++i) {
+    for (const auto& a : generate_corpus(CorpusOptions{}, rng)) {
+      if (a.properly_specified()) {
+        ++total;
+        if (a.repetitions <= 15) ++le15;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_NEAR(static_cast<double>(le15) / total, 0.80, 0.12);
+}
+
+TEST(CorpusTest, InvalidFunnelThrows) {
+  CorpusOptions bad;
+  bad.cloud_articles = 500;
+  bad.keyword_matches = 100;
+  stats::Rng rng{8};
+  EXPECT_THROW(generate_corpus(bad, rng), std::invalid_argument);
+
+  CorpusOptions bad_split;
+  bad_split.nsdi_cloud = 44;  // Sums to > 44 with the other defaults.
+  EXPECT_THROW(generate_corpus(bad_split, rng), std::invalid_argument);
+}
+
+TEST(ReviewTest, PerfectReviewersFullyAgree) {
+  stats::Rng rng{9};
+  const auto articles = selected_articles(rng);
+  const auto a = review_articles(articles, 0.0, rng);
+  const auto b = review_articles(articles, 0.0, rng);
+  const auto agr = agreement(a, b);
+  EXPECT_DOUBLE_EQ(agr.kappa_central_tendency, 1.0);
+  EXPECT_DOUBLE_EQ(agr.kappa_variability, 1.0);
+  EXPECT_DOUBLE_EQ(agr.kappa_underspecified, 1.0);
+}
+
+TEST(ReviewTest, SmallErrorRateGivesAlmostPerfectKappa) {
+  // The paper's dual review reached kappas of 0.95/0.81/0.85 — all above
+  // the 0.8 "almost perfect" threshold [59].
+  stats::Rng rng{10};
+  double k_sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto articles = selected_articles(rng);
+    const auto a = review_articles(articles, 0.02, rng);
+    const auto b = review_articles(articles, 0.02, rng);
+    const auto agr = agreement(a, b);
+    k_sum += agr.kappa_underspecified;
+    ++count;
+  }
+  const double mean_kappa = k_sum / count;
+  EXPECT_GT(mean_kappa, 0.8);
+  EXPECT_EQ(stats::interpret_kappa(mean_kappa), stats::AgreementLevel::kAlmostPerfect);
+}
+
+TEST(ReviewTest, ErrorRateValidation) {
+  stats::Rng rng{11};
+  const auto articles = selected_articles(rng);
+  EXPECT_THROW(review_articles(articles, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(review_articles(articles, 0.6, rng), std::invalid_argument);
+}
+
+TEST(ReviewTest, FavorableConsensusIsFavorable) {
+  ReviewerLabels a, b;
+  a.reports_central_tendency = {true, false};
+  b.reports_central_tendency = {false, false};
+  a.reports_variability = {false, true};
+  b.reports_variability = {false, false};
+  a.underspecified = {true, true};
+  b.underspecified = {false, true};
+  const auto c = favorable_consensus(a, b);
+  // Positive categories: OR (favorable to the article).
+  EXPECT_TRUE(c.reports_central_tendency[0]);
+  EXPECT_TRUE(c.reports_variability[1]);
+  // Negative category: AND.
+  EXPECT_FALSE(c.underspecified[0]);
+  EXPECT_TRUE(c.underspecified[1]);
+}
+
+TEST(ReviewTest, FavorableConsensusSizeMismatchThrows) {
+  ReviewerLabels a, b;
+  a.reports_central_tendency = {true};
+  b.reports_central_tendency = {true, false};
+  EXPECT_THROW(favorable_consensus(a, b), std::invalid_argument);
+}
+
+TEST(SummarizeTest, FindingsAddUp) {
+  stats::Rng rng{12};
+  const auto articles = selected_articles(rng);
+  const auto labels = review_articles(articles, 0.0, rng);
+  const auto f = summarize_survey(articles, labels);
+  EXPECT_EQ(f.selected_articles, 44u);
+  EXPECT_EQ(f.total_citations, 11203);
+  EXPECT_GE(f.pct_underspecified, 0.0);
+  EXPECT_LE(f.pct_underspecified, 100.0);
+  EXPECT_LE(f.pct_reporting_variability, f.pct_reporting_central_tendency + 1e-9);
+  double rep_total = 0.0;
+  for (const auto& [reps, pct] : f.repetition_pct) {
+    EXPECT_GT(reps, 0);
+    rep_total += pct;
+  }
+  EXPECT_LE(rep_total, 100.0 + 1e-9);
+}
+
+TEST(SummarizeTest, MismatchThrows) {
+  stats::Rng rng{13};
+  const auto articles = selected_articles(rng);
+  ReviewerLabels labels;  // Empty.
+  EXPECT_THROW(summarize_survey(articles, labels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudrepro::survey
