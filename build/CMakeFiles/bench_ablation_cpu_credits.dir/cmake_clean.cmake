@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cpu_credits.dir/bench/bench_ablation_cpu_credits.cpp.o"
+  "CMakeFiles/bench_ablation_cpu_credits.dir/bench/bench_ablation_cpu_credits.cpp.o.d"
+  "bench/bench_ablation_cpu_credits"
+  "bench/bench_ablation_cpu_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cpu_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

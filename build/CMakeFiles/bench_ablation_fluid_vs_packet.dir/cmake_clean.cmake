@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fluid_vs_packet.dir/bench/bench_ablation_fluid_vs_packet.cpp.o"
+  "CMakeFiles/bench_ablation_fluid_vs_packet.dir/bench/bench_ablation_fluid_vs_packet.cpp.o.d"
+  "bench/bench_ablation_fluid_vs_packet"
+  "bench/bench_ablation_fluid_vs_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fluid_vs_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

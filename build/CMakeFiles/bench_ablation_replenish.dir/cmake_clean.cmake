@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_replenish.dir/bench/bench_ablation_replenish.cpp.o"
+  "CMakeFiles/bench_ablation_replenish.dir/bench/bench_ablation_replenish.cpp.o.d"
+  "bench/bench_ablation_replenish"
+  "bench/bench_ablation_replenish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_replenish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_ballani.dir/bench/bench_fig02_ballani.cpp.o"
+  "CMakeFiles/bench_fig02_ballani.dir/bench/bench_fig02_ballani.cpp.o.d"
+  "bench/bench_fig02_ballani"
+  "bench/bench_fig02_ballani.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_ballani.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_few_reps.dir/bench/bench_fig03_few_reps.cpp.o"
+  "CMakeFiles/bench_fig03_few_reps.dir/bench/bench_fig03_few_reps.cpp.o.d"
+  "bench/bench_fig03_few_reps"
+  "bench/bench_fig03_few_reps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_few_reps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

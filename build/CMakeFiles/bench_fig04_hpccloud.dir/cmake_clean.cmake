@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_hpccloud.dir/bench/bench_fig04_hpccloud.cpp.o"
+  "CMakeFiles/bench_fig04_hpccloud.dir/bench/bench_fig04_hpccloud.cpp.o.d"
+  "bench/bench_fig04_hpccloud"
+  "bench/bench_fig04_hpccloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_hpccloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

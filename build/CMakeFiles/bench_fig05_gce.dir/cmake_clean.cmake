@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_gce.dir/bench/bench_fig05_gce.cpp.o"
+  "CMakeFiles/bench_fig05_gce.dir/bench/bench_fig05_gce.cpp.o.d"
+  "bench/bench_fig05_gce"
+  "bench/bench_fig05_gce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_gce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_retrans.dir/bench/bench_fig09_retrans.cpp.o"
+  "CMakeFiles/bench_fig09_retrans.dir/bench/bench_fig09_retrans.cpp.o.d"
+  "bench/bench_fig09_retrans"
+  "bench/bench_fig09_retrans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_retrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_token_bucket.dir/bench/bench_fig11_token_bucket.cpp.o"
+  "CMakeFiles/bench_fig11_token_bucket.dir/bench/bench_fig11_token_bucket.cpp.o.d"
+  "bench/bench_fig11_token_bucket"
+  "bench/bench_fig11_token_bucket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_token_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_confirm.dir/bench/bench_fig13_confirm.cpp.o"
+  "CMakeFiles/bench_fig13_confirm.dir/bench/bench_fig13_confirm.cpp.o.d"
+  "bench/bench_fig13_confirm"
+  "bench/bench_fig13_confirm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_confirm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

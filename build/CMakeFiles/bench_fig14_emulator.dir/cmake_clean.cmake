@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_emulator.dir/bench/bench_fig14_emulator.cpp.o"
+  "CMakeFiles/bench_fig14_emulator.dir/bench/bench_fig14_emulator.cpp.o.d"
+  "bench/bench_fig14_emulator"
+  "bench/bench_fig14_emulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_straggler.dir/bench/bench_fig18_straggler.cpp.o"
+  "CMakeFiles/bench_fig18_straggler.dir/bench/bench_fig18_straggler.cpp.o.d"
+  "bench/bench_fig18_straggler"
+  "bench/bench_fig18_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_budget_depletion.dir/bench/bench_fig19_budget_depletion.cpp.o"
+  "CMakeFiles/bench_fig19_budget_depletion.dir/bench/bench_fig19_budget_depletion.cpp.o.d"
+  "bench/bench_fig19_budget_depletion"
+  "bench/bench_fig19_budget_depletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_budget_depletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig19_budget_depletion.
+# This may be replaced when dependencies are built.

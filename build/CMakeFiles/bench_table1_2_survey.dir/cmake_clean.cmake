@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_2_survey.dir/bench/bench_table1_2_survey.cpp.o"
+  "CMakeFiles/bench_table1_2_survey.dir/bench/bench_table1_2_survey.cpp.o.d"
+  "bench/bench_table1_2_survey"
+  "bench/bench_table1_2_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_2_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_survey.dir/bandwidth_survey.cpp.o"
+  "CMakeFiles/bandwidth_survey.dir/bandwidth_survey.cpp.o.d"
+  "bandwidth_survey"
+  "bandwidth_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

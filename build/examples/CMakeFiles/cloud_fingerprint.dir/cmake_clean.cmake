@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_fingerprint.dir/cloud_fingerprint.cpp.o"
+  "CMakeFiles/cloud_fingerprint.dir/cloud_fingerprint.cpp.o.d"
+  "cloud_fingerprint"
+  "cloud_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

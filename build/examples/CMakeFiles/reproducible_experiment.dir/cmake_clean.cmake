@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproducible_experiment.dir/reproducible_experiment.cpp.o"
+  "CMakeFiles/reproducible_experiment.dir/reproducible_experiment.cpp.o.d"
+  "reproducible_experiment"
+  "reproducible_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproducible_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_bucket_explorer.dir/token_bucket_explorer.cpp.o"
+  "CMakeFiles/token_bucket_explorer.dir/token_bucket_explorer.cpp.o.d"
+  "token_bucket_explorer"
+  "token_bucket_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_bucket_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigdata/cluster.cpp" "src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/cluster.cpp.o" "gcc" "src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/cluster.cpp.o.d"
+  "/root/repo/src/bigdata/engine.cpp" "src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/engine.cpp.o" "gcc" "src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/engine.cpp.o.d"
+  "/root/repo/src/bigdata/workload.cpp" "src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/workload.cpp.o" "gcc" "src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/cloudrepro_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cloudrepro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudrepro_bigdata.dir/cluster.cpp.o"
+  "CMakeFiles/cloudrepro_bigdata.dir/cluster.cpp.o.d"
+  "CMakeFiles/cloudrepro_bigdata.dir/engine.cpp.o"
+  "CMakeFiles/cloudrepro_bigdata.dir/engine.cpp.o.d"
+  "CMakeFiles/cloudrepro_bigdata.dir/workload.cpp.o"
+  "CMakeFiles/cloudrepro_bigdata.dir/workload.cpp.o.d"
+  "libcloudrepro_bigdata.a"
+  "libcloudrepro_bigdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudrepro_bigdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cloudrepro_bigdata.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/ballani.cpp" "src/cloud/CMakeFiles/cloudrepro_cloud.dir/ballani.cpp.o" "gcc" "src/cloud/CMakeFiles/cloudrepro_cloud.dir/ballani.cpp.o.d"
+  "/root/repo/src/cloud/cpu_credits.cpp" "src/cloud/CMakeFiles/cloudrepro_cloud.dir/cpu_credits.cpp.o" "gcc" "src/cloud/CMakeFiles/cloudrepro_cloud.dir/cpu_credits.cpp.o.d"
+  "/root/repo/src/cloud/instances.cpp" "src/cloud/CMakeFiles/cloudrepro_cloud.dir/instances.cpp.o" "gcc" "src/cloud/CMakeFiles/cloudrepro_cloud.dir/instances.cpp.o.d"
+  "/root/repo/src/cloud/tc_emulator.cpp" "src/cloud/CMakeFiles/cloudrepro_cloud.dir/tc_emulator.cpp.o" "gcc" "src/cloud/CMakeFiles/cloudrepro_cloud.dir/tc_emulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/cloudrepro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudrepro_cloud.dir/ballani.cpp.o"
+  "CMakeFiles/cloudrepro_cloud.dir/ballani.cpp.o.d"
+  "CMakeFiles/cloudrepro_cloud.dir/cpu_credits.cpp.o"
+  "CMakeFiles/cloudrepro_cloud.dir/cpu_credits.cpp.o.d"
+  "CMakeFiles/cloudrepro_cloud.dir/instances.cpp.o"
+  "CMakeFiles/cloudrepro_cloud.dir/instances.cpp.o.d"
+  "CMakeFiles/cloudrepro_cloud.dir/tc_emulator.cpp.o"
+  "CMakeFiles/cloudrepro_cloud.dir/tc_emulator.cpp.o.d"
+  "libcloudrepro_cloud.a"
+  "libcloudrepro_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudrepro_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/cloudrepro_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/cloudrepro_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "src/core/CMakeFiles/cloudrepro_core.dir/comparison.cpp.o" "gcc" "src/core/CMakeFiles/cloudrepro_core.dir/comparison.cpp.o.d"
+  "/root/repo/src/core/confirm.cpp" "src/core/CMakeFiles/cloudrepro_core.dir/confirm.cpp.o" "gcc" "src/core/CMakeFiles/cloudrepro_core.dir/confirm.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/cloudrepro_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/cloudrepro_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/fingerprint.cpp" "src/core/CMakeFiles/cloudrepro_core.dir/fingerprint.cpp.o" "gcc" "src/core/CMakeFiles/cloudrepro_core.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/core/guidelines.cpp" "src/core/CMakeFiles/cloudrepro_core.dir/guidelines.cpp.o" "gcc" "src/core/CMakeFiles/cloudrepro_core.dir/guidelines.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/cloudrepro_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/cloudrepro_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/cloudrepro_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/cloudrepro_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/cloudrepro_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cloudrepro_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cloudrepro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/cloudrepro_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudrepro_core.dir/campaign.cpp.o"
+  "CMakeFiles/cloudrepro_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/cloudrepro_core.dir/comparison.cpp.o"
+  "CMakeFiles/cloudrepro_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/cloudrepro_core.dir/confirm.cpp.o"
+  "CMakeFiles/cloudrepro_core.dir/confirm.cpp.o.d"
+  "CMakeFiles/cloudrepro_core.dir/experiment.cpp.o"
+  "CMakeFiles/cloudrepro_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/cloudrepro_core.dir/fingerprint.cpp.o"
+  "CMakeFiles/cloudrepro_core.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/cloudrepro_core.dir/guidelines.cpp.o"
+  "CMakeFiles/cloudrepro_core.dir/guidelines.cpp.o.d"
+  "CMakeFiles/cloudrepro_core.dir/protocol.cpp.o"
+  "CMakeFiles/cloudrepro_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/cloudrepro_core.dir/report.cpp.o"
+  "CMakeFiles/cloudrepro_core.dir/report.cpp.o.d"
+  "libcloudrepro_core.a"
+  "libcloudrepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudrepro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

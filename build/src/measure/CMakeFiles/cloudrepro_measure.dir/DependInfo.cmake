@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/bucket_probe.cpp" "src/measure/CMakeFiles/cloudrepro_measure.dir/bucket_probe.cpp.o" "gcc" "src/measure/CMakeFiles/cloudrepro_measure.dir/bucket_probe.cpp.o.d"
+  "/root/repo/src/measure/dataset.cpp" "src/measure/CMakeFiles/cloudrepro_measure.dir/dataset.cpp.o" "gcc" "src/measure/CMakeFiles/cloudrepro_measure.dir/dataset.cpp.o.d"
+  "/root/repo/src/measure/iperf.cpp" "src/measure/CMakeFiles/cloudrepro_measure.dir/iperf.cpp.o" "gcc" "src/measure/CMakeFiles/cloudrepro_measure.dir/iperf.cpp.o.d"
+  "/root/repo/src/measure/patterns.cpp" "src/measure/CMakeFiles/cloudrepro_measure.dir/patterns.cpp.o" "gcc" "src/measure/CMakeFiles/cloudrepro_measure.dir/patterns.cpp.o.d"
+  "/root/repo/src/measure/pcap.cpp" "src/measure/CMakeFiles/cloudrepro_measure.dir/pcap.cpp.o" "gcc" "src/measure/CMakeFiles/cloudrepro_measure.dir/pcap.cpp.o.d"
+  "/root/repo/src/measure/rtt.cpp" "src/measure/CMakeFiles/cloudrepro_measure.dir/rtt.cpp.o" "gcc" "src/measure/CMakeFiles/cloudrepro_measure.dir/rtt.cpp.o.d"
+  "/root/repo/src/measure/trace.cpp" "src/measure/CMakeFiles/cloudrepro_measure.dir/trace.cpp.o" "gcc" "src/measure/CMakeFiles/cloudrepro_measure.dir/trace.cpp.o.d"
+  "/root/repo/src/measure/write_sweep.cpp" "src/measure/CMakeFiles/cloudrepro_measure.dir/write_sweep.cpp.o" "gcc" "src/measure/CMakeFiles/cloudrepro_measure.dir/write_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/cloudrepro_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cloudrepro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

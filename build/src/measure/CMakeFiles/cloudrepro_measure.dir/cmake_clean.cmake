@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudrepro_measure.dir/bucket_probe.cpp.o"
+  "CMakeFiles/cloudrepro_measure.dir/bucket_probe.cpp.o.d"
+  "CMakeFiles/cloudrepro_measure.dir/dataset.cpp.o"
+  "CMakeFiles/cloudrepro_measure.dir/dataset.cpp.o.d"
+  "CMakeFiles/cloudrepro_measure.dir/iperf.cpp.o"
+  "CMakeFiles/cloudrepro_measure.dir/iperf.cpp.o.d"
+  "CMakeFiles/cloudrepro_measure.dir/patterns.cpp.o"
+  "CMakeFiles/cloudrepro_measure.dir/patterns.cpp.o.d"
+  "CMakeFiles/cloudrepro_measure.dir/pcap.cpp.o"
+  "CMakeFiles/cloudrepro_measure.dir/pcap.cpp.o.d"
+  "CMakeFiles/cloudrepro_measure.dir/rtt.cpp.o"
+  "CMakeFiles/cloudrepro_measure.dir/rtt.cpp.o.d"
+  "CMakeFiles/cloudrepro_measure.dir/trace.cpp.o"
+  "CMakeFiles/cloudrepro_measure.dir/trace.cpp.o.d"
+  "CMakeFiles/cloudrepro_measure.dir/write_sweep.cpp.o"
+  "CMakeFiles/cloudrepro_measure.dir/write_sweep.cpp.o.d"
+  "libcloudrepro_measure.a"
+  "libcloudrepro_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudrepro_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/fluid_network.cpp" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/fluid_network.cpp.o" "gcc" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/fluid_network.cpp.o.d"
+  "/root/repo/src/simnet/packet_path.cpp" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/packet_path.cpp.o" "gcc" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/packet_path.cpp.o.d"
+  "/root/repo/src/simnet/qos.cpp" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/qos.cpp.o" "gcc" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/qos.cpp.o.d"
+  "/root/repo/src/simnet/tcp_stream.cpp" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/tcp_stream.cpp.o" "gcc" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/tcp_stream.cpp.o.d"
+  "/root/repo/src/simnet/token_bucket.cpp" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/token_bucket.cpp.o" "gcc" "src/simnet/CMakeFiles/cloudrepro_simnet.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

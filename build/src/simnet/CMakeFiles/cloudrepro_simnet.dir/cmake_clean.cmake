@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudrepro_simnet.dir/fluid_network.cpp.o"
+  "CMakeFiles/cloudrepro_simnet.dir/fluid_network.cpp.o.d"
+  "CMakeFiles/cloudrepro_simnet.dir/packet_path.cpp.o"
+  "CMakeFiles/cloudrepro_simnet.dir/packet_path.cpp.o.d"
+  "CMakeFiles/cloudrepro_simnet.dir/qos.cpp.o"
+  "CMakeFiles/cloudrepro_simnet.dir/qos.cpp.o.d"
+  "CMakeFiles/cloudrepro_simnet.dir/tcp_stream.cpp.o"
+  "CMakeFiles/cloudrepro_simnet.dir/tcp_stream.cpp.o.d"
+  "CMakeFiles/cloudrepro_simnet.dir/token_bucket.cpp.o"
+  "CMakeFiles/cloudrepro_simnet.dir/token_bucket.cpp.o.d"
+  "libcloudrepro_simnet.a"
+  "libcloudrepro_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudrepro_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ci.cpp" "src/stats/CMakeFiles/cloudrepro_stats.dir/ci.cpp.o" "gcc" "src/stats/CMakeFiles/cloudrepro_stats.dir/ci.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/cloudrepro_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/cloudrepro_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/cloudrepro_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/cloudrepro_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/cloudrepro_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/cloudrepro_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/kappa.cpp" "src/stats/CMakeFiles/cloudrepro_stats.dir/kappa.cpp.o" "gcc" "src/stats/CMakeFiles/cloudrepro_stats.dir/kappa.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/cloudrepro_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/cloudrepro_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/cloudrepro_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/cloudrepro_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/stationarity.cpp" "src/stats/CMakeFiles/cloudrepro_stats.dir/stationarity.cpp.o" "gcc" "src/stats/CMakeFiles/cloudrepro_stats.dir/stationarity.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/cloudrepro_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/cloudrepro_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

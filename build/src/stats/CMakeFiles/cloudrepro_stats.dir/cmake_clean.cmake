@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudrepro_stats.dir/ci.cpp.o"
+  "CMakeFiles/cloudrepro_stats.dir/ci.cpp.o.d"
+  "CMakeFiles/cloudrepro_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/cloudrepro_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/cloudrepro_stats.dir/histogram.cpp.o"
+  "CMakeFiles/cloudrepro_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/cloudrepro_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/cloudrepro_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/cloudrepro_stats.dir/kappa.cpp.o"
+  "CMakeFiles/cloudrepro_stats.dir/kappa.cpp.o.d"
+  "CMakeFiles/cloudrepro_stats.dir/rng.cpp.o"
+  "CMakeFiles/cloudrepro_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/cloudrepro_stats.dir/special.cpp.o"
+  "CMakeFiles/cloudrepro_stats.dir/special.cpp.o.d"
+  "CMakeFiles/cloudrepro_stats.dir/stationarity.cpp.o"
+  "CMakeFiles/cloudrepro_stats.dir/stationarity.cpp.o.d"
+  "CMakeFiles/cloudrepro_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/cloudrepro_stats.dir/timeseries.cpp.o.d"
+  "libcloudrepro_stats.a"
+  "libcloudrepro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudrepro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

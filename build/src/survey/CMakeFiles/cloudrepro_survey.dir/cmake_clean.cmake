@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudrepro_survey.dir/corpus.cpp.o"
+  "CMakeFiles/cloudrepro_survey.dir/corpus.cpp.o.d"
+  "CMakeFiles/cloudrepro_survey.dir/review.cpp.o"
+  "CMakeFiles/cloudrepro_survey.dir/review.cpp.o.d"
+  "libcloudrepro_survey.a"
+  "libcloudrepro_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudrepro_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudrepro_survey.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigdata.dir/bigdata/test_cluster.cpp.o"
+  "CMakeFiles/test_bigdata.dir/bigdata/test_cluster.cpp.o.d"
+  "CMakeFiles/test_bigdata.dir/bigdata/test_engine.cpp.o"
+  "CMakeFiles/test_bigdata.dir/bigdata/test_engine.cpp.o.d"
+  "CMakeFiles/test_bigdata.dir/bigdata/test_extended_workloads.cpp.o"
+  "CMakeFiles/test_bigdata.dir/bigdata/test_extended_workloads.cpp.o.d"
+  "CMakeFiles/test_bigdata.dir/bigdata/test_workload.cpp.o"
+  "CMakeFiles/test_bigdata.dir/bigdata/test_workload.cpp.o.d"
+  "test_bigdata"
+  "test_bigdata.pdb"
+  "test_bigdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

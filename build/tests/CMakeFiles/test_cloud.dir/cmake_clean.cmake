@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud.dir/cloud/test_ballani.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_ballani.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_cpu_credits.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_cpu_credits.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_instances.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_instances.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_tc_emulator.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_tc_emulator.cpp.o.d"
+  "test_cloud"
+  "test_cloud.pdb"
+  "test_cloud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_campaign.cpp" "tests/CMakeFiles/test_core.dir/core/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_campaign.cpp.o.d"
+  "/root/repo/tests/core/test_comparison.cpp" "tests/CMakeFiles/test_core.dir/core/test_comparison.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_comparison.cpp.o.d"
+  "/root/repo/tests/core/test_confirm.cpp" "tests/CMakeFiles/test_core.dir/core/test_confirm.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_confirm.cpp.o.d"
+  "/root/repo/tests/core/test_experiment.cpp" "tests/CMakeFiles/test_core.dir/core/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_experiment.cpp.o.d"
+  "/root/repo/tests/core/test_fingerprint.cpp" "tests/CMakeFiles/test_core.dir/core/test_fingerprint.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fingerprint.cpp.o.d"
+  "/root/repo/tests/core/test_fingerprint_io.cpp" "tests/CMakeFiles/test_core.dir/core/test_fingerprint_io.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fingerprint_io.cpp.o.d"
+  "/root/repo/tests/core/test_protocol.cpp" "tests/CMakeFiles/test_core.dir/core/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_protocol.cpp.o.d"
+  "/root/repo/tests/core/test_report_guidelines.cpp" "tests/CMakeFiles/test_core.dir/core/test_report_guidelines.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report_guidelines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cloudrepro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cloudrepro_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cloudrepro_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cloudrepro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/cloudrepro_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

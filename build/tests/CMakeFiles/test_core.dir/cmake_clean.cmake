@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_campaign.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_campaign.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_comparison.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_comparison.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_confirm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_confirm.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fingerprint.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fingerprint.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fingerprint_io.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fingerprint_io.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_protocol.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_protocol.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report_guidelines.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report_guidelines.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

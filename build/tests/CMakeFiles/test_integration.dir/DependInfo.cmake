@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_determinism.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_determinism.cpp.o.d"
+  "/root/repo/tests/integration/test_failure_modes.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_failure_modes.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_failure_modes.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_findings.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_paper_findings.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_paper_findings.cpp.o.d"
+  "/root/repo/tests/integration/test_protocol_across_clouds.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_protocol_across_clouds.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_protocol_across_clouds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cloudrepro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cloudrepro_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cloudrepro_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cloudrepro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/cloudrepro_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

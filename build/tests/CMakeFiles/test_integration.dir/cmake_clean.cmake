@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_determinism.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_determinism.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_failure_modes.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_failure_modes.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_paper_findings.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_paper_findings.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_protocol_across_clouds.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_protocol_across_clouds.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/measure/test_bucket_probe.cpp" "tests/CMakeFiles/test_measure.dir/measure/test_bucket_probe.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/test_bucket_probe.cpp.o.d"
+  "/root/repo/tests/measure/test_dataset.cpp" "tests/CMakeFiles/test_measure.dir/measure/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/test_dataset.cpp.o.d"
+  "/root/repo/tests/measure/test_iperf.cpp" "tests/CMakeFiles/test_measure.dir/measure/test_iperf.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/test_iperf.cpp.o.d"
+  "/root/repo/tests/measure/test_patterns_trace.cpp" "tests/CMakeFiles/test_measure.dir/measure/test_patterns_trace.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/test_patterns_trace.cpp.o.d"
+  "/root/repo/tests/measure/test_pcap.cpp" "tests/CMakeFiles/test_measure.dir/measure/test_pcap.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/test_pcap.cpp.o.d"
+  "/root/repo/tests/measure/test_rtt.cpp" "tests/CMakeFiles/test_measure.dir/measure/test_rtt.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/test_rtt.cpp.o.d"
+  "/root/repo/tests/measure/test_write_sweep.cpp" "tests/CMakeFiles/test_measure.dir/measure/test_write_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/test_write_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cloudrepro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cloudrepro_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cloudrepro_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cloudrepro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/cloudrepro_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure.dir/measure/test_bucket_probe.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_bucket_probe.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_dataset.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_dataset.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_iperf.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_iperf.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_patterns_trace.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_patterns_trace.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_pcap.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_pcap.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_rtt.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_rtt.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_write_sweep.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_write_sweep.cpp.o.d"
+  "test_measure"
+  "test_measure.pdb"
+  "test_measure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

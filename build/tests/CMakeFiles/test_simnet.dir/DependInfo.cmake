@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simnet/test_analytic_validation.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/test_analytic_validation.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/test_analytic_validation.cpp.o.d"
+  "/root/repo/tests/simnet/test_fairness_properties.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/test_fairness_properties.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/test_fairness_properties.cpp.o.d"
+  "/root/repo/tests/simnet/test_fluid_network.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/test_fluid_network.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/test_fluid_network.cpp.o.d"
+  "/root/repo/tests/simnet/test_packet_path.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/test_packet_path.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/test_packet_path.cpp.o.d"
+  "/root/repo/tests/simnet/test_qos.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/test_qos.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/test_qos.cpp.o.d"
+  "/root/repo/tests/simnet/test_tcp_stream.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/test_tcp_stream.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/test_tcp_stream.cpp.o.d"
+  "/root/repo/tests/simnet/test_token_bucket.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/test_token_bucket.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/test_token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cloudrepro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cloudrepro_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cloudrepro_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cloudrepro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/cloudrepro_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

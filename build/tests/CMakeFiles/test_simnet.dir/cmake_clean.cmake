@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet.dir/simnet/test_analytic_validation.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_analytic_validation.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_fairness_properties.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_fairness_properties.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_fluid_network.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_fluid_network.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_packet_path.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_packet_path.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_qos.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_qos.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_tcp_stream.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_tcp_stream.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_token_bucket.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_token_bucket.cpp.o.d"
+  "test_simnet"
+  "test_simnet.pdb"
+  "test_simnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

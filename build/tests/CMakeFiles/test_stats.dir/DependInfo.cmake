@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_ci.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_ci.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_ci.cpp.o.d"
+  "/root/repo/tests/stats/test_descriptive.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o.d"
+  "/root/repo/tests/stats/test_histogram.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "/root/repo/tests/stats/test_hypothesis.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_hypothesis.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_hypothesis.cpp.o.d"
+  "/root/repo/tests/stats/test_kappa.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_kappa.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_kappa.cpp.o.d"
+  "/root/repo/tests/stats/test_rng.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_rng.cpp.o.d"
+  "/root/repo/tests/stats/test_special.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_special.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_special.cpp.o.d"
+  "/root/repo/tests/stats/test_stationarity.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_stationarity.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_stationarity.cpp.o.d"
+  "/root/repo/tests/stats/test_timeseries.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_timeseries.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cloudrepro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cloudrepro_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigdata/CMakeFiles/cloudrepro_bigdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cloudrepro_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cloudrepro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/cloudrepro_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cloudrepro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_ci.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_ci.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_hypothesis.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_hypothesis.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_kappa.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_kappa.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_rng.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_rng.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_special.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_special.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_stationarity.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_stationarity.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_timeseries.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_timeseries.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
