@@ -1,0 +1,94 @@
+// Ablation: what straggler mitigation buys. A depleted-budget fault plan
+// (token theft drains one node's bucket mid-shuffle) collapses that node to
+// the capped low rate; without mitigation the stage barrier waits for it.
+// Speculative re-execution moves its remaining transfers to the fastest
+// healthy node: the completion straggler ratio (max / median node
+// egress-busy time) and the runtime drop. The NIC itself is still
+// throttled — speculation routes work around it rather than fixing it.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "core/report.h"
+#include "faults/fault_plan.h"
+#include "simnet/qos.h"
+
+using namespace cloudrepro;
+
+namespace {
+
+struct Arm {
+  const char* label;
+  bool speculation;
+};
+
+bigdata::JobResult run_arm(bool speculation, const faults::FaultPlan& plan) {
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  const simnet::TokenBucketQos proto{bucket};
+  auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  cluster.set_token_budgets(5000.0);
+
+  bigdata::EngineOptions opt;
+  opt.fault_plan = plan;
+  opt.speculation.enabled = speculation;
+  opt.speculation.check_interval_s = 2.0;
+  opt.speculation.slowdown_threshold = 2.0;
+  opt.speculation.min_remaining_gbit = 1.0;
+  bigdata::SparkEngine engine{opt};
+  stats::Rng rng{bench::kBenchSeed};
+  return engine.run(bigdata::hibench_terasort(), cluster, rng);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: straggler mitigation under a depleted-budget fault plan",
+                "src/faults + EngineOptions::speculation (F4.3 mitigation)");
+
+  // The plan: a noisy neighbour burns node 0's entire token budget right as
+  // Terasort's shuffle starts — the same end state as Figure 18's heavy
+  // node, but imposed by the fault injector instead of partition skew.
+  faults::FaultPlan plan;
+  plan.steal_tokens(1.0, 0, 1e6);
+  std::cout << plan.describe() << '\n';
+
+  const Arm arms[] = {{"no mitigation", false}, {"speculation", true}};
+
+  core::TablePrinter t{{"Arm", "Runtime [s]", "Rate straggler", "Completion straggler",
+                        "Spec launches", "Moved [Gbit]"}};
+  double baseline_completion = 0.0;
+  double mitigated_completion = 0.0;
+  for (const auto& arm : arms) {
+    const auto r = run_arm(arm.speculation, plan);
+    if (arm.speculation) {
+      mitigated_completion = r.completion_straggler_ratio;
+    } else {
+      baseline_completion = r.completion_straggler_ratio;
+    }
+    t.add_row({arm.label, core::fmt(r.runtime_s, 1),
+               core::fmt(r.straggler_ratio, 2),
+               core::fmt(r.completion_straggler_ratio, 2),
+               std::to_string(r.recovery.speculative_launches),
+               core::fmt(r.recovery.speculated_gbit, 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nSpeculation " << (mitigated_completion < baseline_completion
+                                        ? "LOWERS"
+                                        : "DOES NOT LOWER")
+            << " the completion straggler ratio ("
+            << core::fmt(baseline_completion, 2) << " -> "
+            << core::fmt(mitigated_completion, 2) << ").\n"
+            << "Without mitigation the whole stage waits on the throttled\n"
+               "node. With speculation its remaining transfer volume re-runs\n"
+               "on the fastest healthy donor, so both ratios relax: the\n"
+               "straggler no longer dominates completion time, and having\n"
+               "shed its bytes it no longer sticks out in effective rate\n"
+               "either. The NIC stays capped throughout — this is routing\n"
+               "around a straggler (F4.3), not repairing one.\n";
+  return mitigated_completion < baseline_completion ? 0 : 1;
+}

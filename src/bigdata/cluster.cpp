@@ -7,6 +7,15 @@
 
 namespace cloudrepro::bigdata {
 
+const char* to_string(NodeHealth health) noexcept {
+  switch (health) {
+    case NodeHealth::kUp: return "up";
+    case NodeHealth::kDegraded: return "degraded";
+    case NodeHealth::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 Cluster::Cluster(int cores_per_node, std::vector<Node> nodes)
     : cores_per_node_{cores_per_node}, nodes_{std::move(nodes)} {
   if (cores_per_node <= 0) throw std::invalid_argument{"Cluster: cores_per_node must be positive"};
@@ -44,7 +53,40 @@ void Cluster::reset_network() {
   for (auto& n : nodes_) {
     n.egress->reset();
     if (n.cpu.has_value()) n.cpu->reset();
+    n.health = NodeHealth::kUp;
+    n.degrade_factor = 1.0;
   }
+}
+
+void Cluster::fail_node(std::size_t i) {
+  auto& n = nodes_.at(i);
+  n.health = NodeHealth::kFailed;
+  n.degrade_factor = 1.0;
+}
+
+void Cluster::degrade_node(std::size_t i, double factor) {
+  if (factor <= 0.0 || factor >= 1.0) {
+    throw std::invalid_argument{"Cluster::degrade_node: factor must be in (0, 1)"};
+  }
+  auto& n = nodes_.at(i);
+  if (n.health == NodeHealth::kFailed) return;  // Dead nodes don't degrade.
+  n.health = NodeHealth::kDegraded;
+  n.degrade_factor = factor;
+}
+
+void Cluster::restore_node(std::size_t i) {
+  auto& n = nodes_.at(i);
+  if (n.health == NodeHealth::kFailed) return;
+  n.health = NodeHealth::kUp;
+  n.degrade_factor = 1.0;
+}
+
+std::size_t Cluster::healthy_node_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& n : nodes_) {
+    if (n.health != NodeHealth::kFailed) ++count;
+  }
+  return count;
 }
 
 void Cluster::attach_cpu_credits(const cloud::CpuCreditConfig& config) {

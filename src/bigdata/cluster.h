@@ -11,6 +11,14 @@
 
 namespace cloudrepro::bigdata {
 
+/// Liveness of a worker node. Fault plans (src/faults) drive the
+/// transitions: up -> degraded (transient slowdown, link flap) -> up again,
+/// or up/degraded -> failed (crash, spot revocation). Failed is terminal
+/// until `reset_network()` hands out fresh VMs.
+enum class NodeHealth { kUp, kDegraded, kFailed };
+
+const char* to_string(NodeHealth health) noexcept;
+
 /// A cluster of worker nodes, each with its own egress QoS policy — every VM
 /// has its *own* token bucket (F4.4), which is what makes straggler
 /// behaviour and non-i.i.d. repetitions possible.
@@ -22,6 +30,9 @@ class Cluster {
     /// CPU-credit shaping for burstable instances (the paper's closing
     /// remark that providers token-bucket CPU too); nullopt = unshaped CPU.
     std::optional<cloud::CpuCreditBucket> cpu;
+    NodeHealth health = NodeHealth::kUp;
+    /// NIC speed multiplier while degraded (1.0 when up).
+    double degrade_factor = 1.0;
   };
 
   Cluster(int cores_per_node, std::vector<Node> nodes);
@@ -63,7 +74,25 @@ class Cluster {
   void set_cpu_credits(double credits);
 
   /// Lets the whole cluster rest (network and CPU buckets replenish).
+  /// Failed nodes stay failed — resting does not resurrect hardware.
   void rest(double seconds);
+
+  // --- Node health (driven by the active fault plan) ------------------------
+
+  NodeHealth node_health(std::size_t i) const { return nodes_.at(i).health; }
+
+  /// Marks a node permanently failed (crash / completed spot revocation).
+  void fail_node(std::size_t i);
+
+  /// Marks a node degraded with the given NIC speed factor in (0, 1).
+  void degrade_node(std::size_t i, double factor);
+
+  /// Returns a degraded node to full health; failed nodes stay failed
+  /// (only `reset_network()` — fresh VMs — revives them).
+  void restore_node(std::size_t i);
+
+  /// Nodes currently able to take work (up or degraded).
+  std::size_t healthy_node_count() const noexcept;
 
  private:
   int cores_per_node_;

@@ -1,11 +1,150 @@
 #include "core/campaign.h"
 
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <map>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/report.h"
 
 namespace cloudrepro::core {
+
+namespace {
+
+/// SplitMix64-style mixer for deriving independent sub-seeds. Each
+/// (cell, repetition) gets its own stream, which is what makes journal
+/// resume bit-identical: replaying a completed repetition consumes no
+/// draws from anyone else's stream.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t repetition_seed(std::uint64_t master, std::size_t cell, int rep) noexcept {
+  return mix(mix(master, cell + 1), static_cast<std::uint64_t>(rep) + 1);
+}
+
+/// Doubles are journaled with 17 significant digits — the shortest length
+/// guaranteed to round-trip an IEEE binary64 exactly, which the
+/// resume-equals-uninterrupted property depends on.
+std::string fmt_double(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(17) << v;
+  return ss.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// The journal header captures everything the campaign is a function of
+/// (seed, options, cell grid). Resume compares it verbatim: any drift in
+/// the inputs makes the journal's measurements meaningless for this run.
+std::string journal_header(const std::vector<CampaignCell>& cells,
+                           const CampaignOptions& options, std::uint64_t seed) {
+  std::ostringstream ss;
+  ss << "{\"type\":\"campaign-journal\",\"version\":1,\"seed\":" << seed
+     << ",\"repetitions_per_cell\":" << options.repetitions_per_cell
+     << ",\"randomize_order\":" << (options.randomize_order ? "true" : "false")
+     << ",\"confidence\":" << fmt_double(options.confidence) << ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) ss << ',';
+    ss << "{\"config\":\"" << json_escape(cells[i].config)
+       << "\",\"treatment\":\"" << json_escape(cells[i].treatment) << "\"}";
+  }
+  ss << "]}";
+  return ss.str();
+}
+
+std::string journal_entry(std::size_t cell, int rep, double value) {
+  std::ostringstream ss;
+  ss << "{\"cell\":" << cell << ",\"rep\":" << rep
+     << ",\"value\":" << fmt_double(value) << "}";
+  return ss.str();
+}
+
+/// Minimal field extraction for our own journal entries (no JSON library in
+/// the image; the format is machine-written, so strictness lives in the
+/// verbatim header check).
+bool extract_field(const std::string& line, const std::string& key, std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  auto end = line.find_first_of(",}", start);
+  if (end == std::string::npos) return false;
+  out = line.substr(start, end - start);
+  return true;
+}
+
+struct JournalEntry {
+  std::size_t cell = 0;
+  int rep = 0;
+  double value = 0.0;
+};
+
+bool parse_entry(const std::string& line, JournalEntry& out) {
+  std::string cell_s, rep_s, value_s;
+  if (!extract_field(line, "cell", cell_s) || !extract_field(line, "rep", rep_s) ||
+      !extract_field(line, "value", value_s)) {
+    return false;
+  }
+  char* end = nullptr;
+  out.cell = std::strtoull(cell_s.c_str(), &end, 10);
+  if (end == cell_s.c_str()) return false;
+  out.rep = static_cast<int>(std::strtol(rep_s.c_str(), &end, 10));
+  if (end == rep_s.c_str()) return false;
+  out.value = std::strtod(value_s.c_str(), &end);
+  return end != value_s.c_str();
+}
+
+/// Loads completed (cell, repetition) -> value entries from an existing
+/// journal, after verifying its header matches this campaign exactly.
+std::map<std::pair<std::size_t, int>, double> load_journal(
+    const std::filesystem::path& path, const std::string& expected_header,
+    std::size_t cell_count, int repetitions) {
+  std::map<std::pair<std::size_t, int>, double> done;
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"run_campaign: cannot read journal " + path.string()};
+  }
+  std::string line;
+  if (!std::getline(in, line)) return done;  // Empty file: treat as fresh.
+  if (line != expected_header) {
+    throw std::runtime_error{
+        "run_campaign: journal header mismatch (different seed, options, or "
+        "cell grid) in " + path.string()};
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JournalEntry e;
+    if (!parse_entry(line, e)) {
+      // A torn final line from a crash mid-write is expected; that
+      // measurement simply re-runs.
+      continue;
+    }
+    if (e.cell >= cell_count || e.rep < 0 || e.rep >= repetitions) {
+      throw std::runtime_error{
+          "run_campaign: journal entry out of range in " + path.string()};
+    }
+    done[{e.cell, e.rep}] = e.value;
+  }
+  return done;
+}
+
+}  // namespace
 
 std::vector<std::size_t> CampaignResult::cells_for(const std::string& config) const {
   std::vector<std::size_t> out;
@@ -38,10 +177,13 @@ void CampaignResult::write_csv(std::ostream& os) const {
 }
 
 CampaignResult run_campaign(std::vector<CampaignCell> cells,
-                            const CampaignOptions& options, stats::Rng& rng) {
+                            const CampaignOptions& options, std::uint64_t seed) {
   if (cells.empty()) throw std::invalid_argument{"run_campaign: no cells"};
   if (options.repetitions_per_cell < 1) {
     throw std::invalid_argument{"run_campaign: need at least one repetition per cell"};
+  }
+  if (options.max_measurements < 0) {
+    throw std::invalid_argument{"run_campaign: max_measurements must be >= 0"};
   }
   for (const auto& cell : cells) {
     if (!cell.run_once || !cell.fresh) {
@@ -50,6 +192,9 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
   }
 
   CampaignResult result;
+  result.seed = seed;
+  result.seed_recorded = true;
+  result.options = options;
   result.cells.resize(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
     result.cells[i].config = cells[i].config;
@@ -59,30 +204,112 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
   // Randomized execution order over (cell, repetition) pairs would break
   // per-cell warm-up symmetry; the paper randomizes at the experiment level,
   // so we shuffle cells and run each cell's repetitions consecutively with
-  // fresh state per repetition.
-  result.execution_order =
-      options.randomize_order
-          ? rng.permutation(cells.size())
-          : [&] {
-              std::vector<std::size_t> order(cells.size());
-              for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-              return order;
-            }();
+  // fresh state per repetition. The order comes from its own derived stream
+  // so it matches across interrupt/resume cycles.
+  if (options.randomize_order) {
+    stats::Rng order_rng{mix(seed, 0)};
+    result.execution_order = order_rng.permutation(cells.size());
+  } else {
+    result.execution_order.resize(cells.size());
+    for (std::size_t i = 0; i < result.execution_order.size(); ++i) {
+      result.execution_order[i] = i;
+    }
+  }
 
+  // Journal: replay completed measurements, append new ones as they finish.
+  const std::string header = journal_header(cells, options, seed);
+  std::map<std::pair<std::size_t, int>, double> done;
+  std::ofstream journal;
+  if (!options.journal_path.empty()) {
+    if (std::filesystem::exists(options.journal_path)) {
+      done = load_journal(options.journal_path, header, cells.size(),
+                          options.repetitions_per_cell);
+    }
+    // A crash mid-write can leave a torn final line without a newline; make
+    // sure the next append starts on a fresh line.
+    bool needs_newline = false;
+    if (std::filesystem::exists(options.journal_path) &&
+        std::filesystem::file_size(options.journal_path) > 0) {
+      std::ifstream tail{options.journal_path, std::ios::binary};
+      tail.seekg(-1, std::ios::end);
+      needs_newline = tail.get() != '\n';
+    }
+    journal.open(options.journal_path, std::ios::app);
+    if (!journal) {
+      throw std::runtime_error{"run_campaign: cannot open journal " +
+                               options.journal_path.string()};
+    }
+    if (needs_newline) journal << '\n';
+    if (std::filesystem::file_size(options.journal_path) == 0) {
+      journal << header << '\n' << std::flush;
+    }
+  }
+
+  int executed = 0;
+  bool budget_exhausted = false;
   for (const auto idx : result.execution_order) {
     auto& out = result.cells[idx];
     out.values.reserve(static_cast<std::size_t>(options.repetitions_per_cell));
     for (int r = 0; r < options.repetitions_per_cell; ++r) {
+      if (const auto it = done.find({idx, r}); it != done.end()) {
+        out.values.push_back(it->second);
+        ++result.resumed_measurements;
+        continue;
+      }
+      if (options.max_measurements > 0 && executed >= options.max_measurements) {
+        budget_exhausted = true;
+        break;
+      }
       cells[idx].fresh();
-      out.values.push_back(cells[idx].run_once(rng));
+      stats::Rng rep_rng{repetition_seed(seed, idx, r)};
+      const double value = cells[idx].run_once(rep_rng);
+      out.values.push_back(value);
+      ++executed;
+      if (journal.is_open()) {
+        journal << journal_entry(idx, r, value) << '\n' << std::flush;
+      }
     }
-    out.summary = stats::summarize(out.values);
-    out.median_ci = stats::median_ci(out.values, options.confidence);
+    if (budget_exhausted) break;
+  }
+
+  for (auto& out : result.cells) {
+    if (!out.values.empty()) {
+      out.summary = stats::summarize(out.values);
+      out.median_ci = stats::median_ci(out.values, options.confidence);
+    }
+  }
+
+  result.complete = true;
+  for (const auto& cell : result.cells) {
+    if (cell.values.size() !=
+        static_cast<std::size_t>(options.repetitions_per_cell)) {
+      result.complete = false;
+      break;
+    }
   }
   return result;
 }
 
+CampaignResult run_campaign(std::vector<CampaignCell> cells,
+                            const CampaignOptions& options, stats::Rng& rng) {
+  return run_campaign(std::move(cells), options, rng.next_u64());
+}
+
 void print_campaign_summary(std::ostream& os, const CampaignResult& result) {
+  if (result.seed_recorded) {
+    os << "campaign: seed=" << result.seed
+       << " repetitions_per_cell=" << result.options.repetitions_per_cell
+       << " randomize_order=" << (result.options.randomize_order ? "true" : "false")
+       << " confidence=" << result.options.confidence;
+    if (!result.options.journal_path.empty()) {
+      os << " journal=" << result.options.journal_path.string();
+    }
+    if (result.resumed_measurements > 0) {
+      os << " resumed=" << result.resumed_measurements;
+    }
+    if (!result.complete) os << " [INCOMPLETE]";
+    os << '\n';
+  }
   TablePrinter t{{"Config", "Treatment", "Median [95% CI]", "Mean", "CoV"}};
   for (const auto& cell : result.cells) {
     t.add_row({cell.config, cell.treatment, fmt_ci(cell.median_ci, 1),

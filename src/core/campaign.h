@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <functional>
 #include <iosfwd>
@@ -20,6 +21,14 @@ namespace cloudrepro::core {
 /// This is the production version of what the Figure 16/17 benches do
 /// inline: sweep (workload x budget), run N repetitions each, and publish
 /// median + CI + variability per cell plus cross-cell significance.
+///
+/// Campaigns are resumable: with a `journal_path` set, every completed
+/// measurement is appended to a JSONL journal as soon as it finishes. A
+/// re-run pointed at the same journal replays the completed (cell,
+/// repetition) entries and executes only the remainder. Because each
+/// repetition draws from its own seed-derived RNG stream, a resumed
+/// campaign is bit-identical to one that ran uninterrupted — long cloud
+/// sweeps survive spot revocations of the *driver* node too.
 
 /// One cell of the grid: a label and a factory that produces a measurement
 /// function after the environment has been configured for this cell.
@@ -39,6 +48,16 @@ struct CampaignOptions {
   int repetitions_per_cell = 10;
   bool randomize_order = true;
   double confidence = 0.95;
+
+  /// When non-empty, completed measurements are journaled here (JSONL) and
+  /// an existing journal written by the same (seed, options, cells) is
+  /// resumed instead of re-executed.
+  std::filesystem::path journal_path{};
+
+  /// Stop after executing this many *new* measurements (0 = unlimited).
+  /// The journal keeps what completed; a later run resumes the rest. Tests
+  /// use this to interrupt a campaign after an arbitrary prefix.
+  int max_measurements = 0;
 };
 
 struct CampaignCellResult {
@@ -53,6 +72,20 @@ struct CampaignResult {
   std::vector<CampaignCellResult> cells;  ///< In grid (not execution) order.
   std::vector<std::size_t> execution_order;
 
+  /// Provenance (F5.5 "publish as much detail as possible"): the master
+  /// seed and options that produced this result, so it can be re-derived
+  /// from its own report.
+  std::uint64_t seed = 0;
+  bool seed_recorded = false;
+  CampaignOptions options;
+
+  /// False when `max_measurements` stopped the campaign before every
+  /// (cell, repetition) had a value.
+  bool complete = true;
+
+  /// Measurements replayed from the journal rather than executed.
+  std::size_t resumed_measurements = 0;
+
   /// Cells grouped by config, for per-config treatment comparisons.
   std::vector<std::size_t> cells_for(const std::string& config) const;
 
@@ -65,13 +98,22 @@ struct CampaignResult {
   void write_csv(std::ostream& os) const;
 };
 
-/// Runs the campaign. Each repetition calls the cell's `fresh()` first, so
-/// every measurement starts from known conditions; cells are visited in
-/// randomized order when requested.
+/// Runs the campaign from a master seed. Execution order and every
+/// repetition's RNG stream are derived from (seed, cell index, repetition),
+/// so the result is a pure function of (cells, options, seed) — including
+/// across interrupt/resume cycles through `options.journal_path`. Each
+/// repetition calls the cell's `fresh()` first, so every measurement starts
+/// from known conditions; cells are visited in randomized order when
+/// requested.
+CampaignResult run_campaign(std::vector<CampaignCell> cells,
+                            const CampaignOptions& options, std::uint64_t seed);
+
+/// Legacy entry point: draws the master seed from `rng` and delegates.
 CampaignResult run_campaign(std::vector<CampaignCell> cells,
                             const CampaignOptions& options, stats::Rng& rng);
 
-/// Renders the per-cell summary table.
+/// Renders the provenance line (seed, options, resume state) and the
+/// per-cell summary table.
 void print_campaign_summary(std::ostream& os, const CampaignResult& result);
 
 }  // namespace cloudrepro::core

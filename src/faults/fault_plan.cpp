@@ -1,0 +1,162 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cloudrepro::faults {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kSpotRevocation: return "spot-revocation";
+    case FaultKind::kTransientSlowdown: return "transient-slowdown";
+    case FaultKind::kLinkFlap: return "link-flap";
+    case FaultKind::kTokenTheft: return "token-theft";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  if (event.at_s < 0.0) {
+    throw std::invalid_argument{"FaultPlan: event time must be non-negative"};
+  }
+  if (event.duration_s < 0.0) {
+    throw std::invalid_argument{"FaultPlan: duration must be non-negative"};
+  }
+  switch (event.kind) {
+    case FaultKind::kTransientSlowdown:
+      if (event.magnitude <= 0.0 || event.magnitude > 1.0) {
+        throw std::invalid_argument{
+            "FaultPlan: slowdown rate factor must be in (0, 1]"};
+      }
+      break;
+    case FaultKind::kLinkFlap:
+      if (event.magnitude < 0.0 || event.magnitude >= 1.0) {
+        throw std::invalid_argument{
+            "FaultPlan: loss fraction must be in [0, 1)"};
+      }
+      break;
+    case FaultKind::kTokenTheft:
+      if (event.magnitude < 0.0) {
+        throw std::invalid_argument{"FaultPlan: stolen Gbit must be non-negative"};
+      }
+      break;
+    case FaultKind::kNodeCrash:
+    case FaultKind::kSpotRevocation:
+      break;
+  }
+  // Insertion keeping time order, stable across equal times.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at_s < b.at_s; });
+  events_.insert(pos, event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(double at_s, std::size_t node) {
+  return add({FaultKind::kNodeCrash, at_s, node, 0.0, 0.0});
+}
+
+FaultPlan& FaultPlan::revoke(double at_s, std::size_t node, double notice_s) {
+  return add({FaultKind::kSpotRevocation, at_s, node, notice_s, 0.0});
+}
+
+FaultPlan& FaultPlan::slow_down(double at_s, std::size_t node, double duration_s,
+                                double rate_factor) {
+  return add({FaultKind::kTransientSlowdown, at_s, node, duration_s, rate_factor});
+}
+
+FaultPlan& FaultPlan::flap_link(double at_s, std::size_t node, double duration_s,
+                                double loss_fraction) {
+  return add({FaultKind::kLinkFlap, at_s, node, duration_s, loss_fraction});
+}
+
+FaultPlan& FaultPlan::steal_tokens(double at_s, std::size_t node, double gbit) {
+  return add({FaultKind::kTokenTheft, at_s, node, 0.0, gbit});
+}
+
+std::vector<FaultEvent> FaultPlan::events_for_node(std::size_t node) const {
+  std::vector<FaultEvent> out;
+  for (const auto& e : events_) {
+    if (e.node == node) out.push_back(e);
+  }
+  return out;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  if (events_.empty()) return "fault plan: (none)\n";
+  os << "fault plan (" << events_.size() << " events):\n";
+  for (const auto& e : events_) {
+    os << "  t=" << e.at_s << "s node " << e.node << ' ' << to_string(e.kind);
+    switch (e.kind) {
+      case FaultKind::kSpotRevocation:
+        os << " notice=" << e.duration_s << "s";
+        break;
+      case FaultKind::kTransientSlowdown:
+        os << " factor=" << e.magnitude << " for " << e.duration_s << "s";
+        break;
+      case FaultKind::kLinkFlap:
+        os << " loss=" << e.magnitude << " for " << e.duration_s << "s";
+        break;
+      case FaultKind::kTokenTheft:
+        os << " stolen=" << e.magnitude << " Gbit";
+        break;
+      case FaultKind::kNodeCrash:
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::sample(const FaultPlanConfig& config, std::size_t nodes,
+                            stats::Rng& rng) {
+  if (nodes == 0) throw std::invalid_argument{"FaultPlan::sample: need nodes"};
+  if (config.horizon_s <= 0.0) {
+    throw std::invalid_argument{"FaultPlan::sample: horizon must be positive"};
+  }
+  FaultPlan plan;
+  const auto arrivals = [&](double rate_per_hour, auto&& emit) {
+    if (rate_per_hour <= 0.0) return;
+    const double rate_per_s = rate_per_hour / 3600.0;
+    double t = rng.exponential(rate_per_s);
+    while (t < config.horizon_s) {
+      emit(t);
+      t += rng.exponential(rate_per_s);
+    }
+  };
+  const auto victim = [&] {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+  };
+
+  // Fixed kind order keeps the draw sequence — and therefore the sampled
+  // plan — a pure function of the seed.
+  arrivals(config.crash_rate_per_hour, [&](double t) { plan.crash(t, victim()); });
+  arrivals(config.revocation_rate_per_hour, [&](double t) {
+    plan.revoke(t, victim(), config.revocation_notice_s);
+  });
+  arrivals(config.slowdown_rate_per_hour, [&](double t) {
+    const std::size_t node = victim();
+    const double factor =
+        rng.uniform(config.slowdown_factor_lo, config.slowdown_factor_hi);
+    const double duration =
+        rng.exponential(1.0 / config.slowdown_mean_duration_s);
+    plan.slow_down(t, node, duration, factor);
+  });
+  arrivals(config.flap_rate_per_hour, [&](double t) {
+    const std::size_t node = victim();
+    const double loss = rng.uniform(config.flap_loss_lo, config.flap_loss_hi);
+    const double duration = rng.exponential(1.0 / config.flap_mean_duration_s);
+    plan.flap_link(t, node, duration, loss);
+  });
+  arrivals(config.theft_rate_per_hour, [&](double t) {
+    const std::size_t node = victim();
+    plan.steal_tokens(t, node, rng.exponential(1.0 / config.theft_mean_gbit));
+  });
+  return plan;
+}
+
+}  // namespace cloudrepro::faults

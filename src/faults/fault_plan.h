@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace cloudrepro::faults {
+
+/// The injectable fault classes. Each models a variance source the
+/// reproducibility literature treats as first-class: hardware loss and spot
+/// reclamation (long-horizon interruptions), transient contention, lossy
+/// links, and the paper's own headline mechanism — token budgets drained by
+/// traffic the experimenter never sent.
+enum class FaultKind {
+  kNodeCrash,         ///< The node dies immediately; in-flight work is lost.
+  kSpotRevocation,    ///< Revocation notice: the node drains for `duration_s`
+                      ///< (taking no new work), then dies.
+  kTransientSlowdown, ///< The node's NIC runs at `magnitude` x line rate for
+                      ///< `duration_s` seconds (degraded line_rate_gbps).
+  kLinkFlap,          ///< Packet-loss burst: fraction `magnitude` of the
+                      ///< node's egress is retransmitted for `duration_s`.
+  kTokenTheft,        ///< A noisy neighbour burns `magnitude` Gbit of the
+                      ///< node's token budget instantly.
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+/// One scheduled fault. Times are job-relative simulated seconds: an engine
+/// run applies the event when its own clock reaches `at_s`.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNodeCrash;
+  double at_s = 0.0;
+  std::size_t node = 0;
+  double duration_s = 0.0;  ///< Window (slowdown/flap) or notice (revocation).
+  double magnitude = 0.0;   ///< Rate factor, loss fraction, or stolen Gbit.
+};
+
+/// Arrival rates and magnitude distributions for `FaultPlan::sample`. Rates
+/// are whole-cluster Poisson arrivals per hour of simulated time; the struck
+/// node is drawn uniformly.
+struct FaultPlanConfig {
+  double horizon_s = 3600.0;
+
+  double crash_rate_per_hour = 0.0;
+  double revocation_rate_per_hour = 0.0;
+  double slowdown_rate_per_hour = 0.0;
+  double flap_rate_per_hour = 0.0;
+  double theft_rate_per_hour = 0.0;
+
+  double revocation_notice_s = 120.0;  ///< EC2-spot-style two-minute warning.
+  double slowdown_factor_lo = 0.2;     ///< Degrade factor range (uniform).
+  double slowdown_factor_hi = 0.8;
+  double slowdown_mean_duration_s = 60.0;  ///< Exponential window length.
+  double flap_loss_lo = 0.01;              ///< Loss fraction range (uniform).
+  double flap_loss_hi = 0.20;
+  double flap_mean_duration_s = 10.0;
+  double theft_mean_gbit = 500.0;  ///< Exponential stolen budget.
+};
+
+/// An ordered, validated schedule of fault events. Plans are plain data:
+/// building one never touches a cluster or network, so the same plan can be
+/// replayed against any run — and, sampled from a seeded `stats::Rng`, the
+/// whole fault history of an experiment is reproducible (F5.x).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Appends a validated event, keeping the schedule sorted by time
+  /// (stable: ties retain insertion order). Throws std::invalid_argument on
+  /// negative times/durations or out-of-range magnitudes.
+  FaultPlan& add(FaultEvent event);
+
+  // Convenience builders.
+  FaultPlan& crash(double at_s, std::size_t node);
+  FaultPlan& revoke(double at_s, std::size_t node, double notice_s = 120.0);
+  FaultPlan& slow_down(double at_s, std::size_t node, double duration_s,
+                       double rate_factor);
+  FaultPlan& flap_link(double at_s, std::size_t node, double duration_s,
+                       double loss_fraction);
+  FaultPlan& steal_tokens(double at_s, std::size_t node, double gbit);
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Events striking one node, in time order.
+  std::vector<FaultEvent> events_for_node(std::size_t node) const;
+
+  /// Human-readable schedule (one line per event) for reports and benches —
+  /// "publish as much detail as possible" (F5.5).
+  std::string describe() const;
+
+  /// Samples a random plan: per-kind Poisson arrivals over the horizon,
+  /// uniform victim nodes, configured magnitude distributions. Draw order is
+  /// fixed (kinds in enum order, arrivals in time order), so the same seed
+  /// always yields the same plan.
+  static FaultPlan sample(const FaultPlanConfig& config, std::size_t nodes,
+                          stats::Rng& rng);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace cloudrepro::faults

@@ -1,0 +1,29 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+
+namespace cloudrepro::faults {
+
+FaultInjector::FaultInjector(const FaultPlan& plan) {
+  heap_.reserve(plan.size());
+  for (const auto& event : plan.events()) schedule(event);
+}
+
+double FaultInjector::next_time() const noexcept {
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.front().event.at_s;
+}
+
+FaultEvent FaultInjector::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const FaultEvent event = heap_.back().event;
+  heap_.pop_back();
+  return event;
+}
+
+void FaultInjector::schedule(FaultEvent event) {
+  heap_.push_back(Entry{event, next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+}  // namespace cloudrepro::faults

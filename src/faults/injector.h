@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "faults/fault_plan.h"
+
+namespace cloudrepro::faults {
+
+/// Time-ordered cursor over a `FaultPlan` plus any synthetic follow-up
+/// events the consumer schedules while replaying it (restores at the end of
+/// a slowdown window, the delayed death behind a revocation notice).
+///
+/// The injector is the one place that decides *when* the next fault fires;
+/// the consumer (the engine) decides *what* it does to the cluster. Events
+/// due at the same instant pop in scheduling order, so replay is
+/// deterministic.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Copies the plan's events into the queue. The plan may be discarded
+  /// afterwards.
+  explicit FaultInjector(const FaultPlan& plan);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event; +infinity when none remain.
+  double next_time() const noexcept;
+
+  /// Removes and returns the earliest pending event. Undefined when empty —
+  /// guard with `next_time()`.
+  FaultEvent pop();
+
+  /// Schedules a synthetic follow-up (e.g. the restore that ends a slowdown
+  /// window, encoded as a kTransientSlowdown with magnitude 1).
+  void schedule(FaultEvent event);
+
+ private:
+  struct Entry {
+    FaultEvent event;
+    std::size_t seq = 0;  ///< Tie-breaker: earlier scheduling pops first.
+  };
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    if (a.event.at_s != b.event.at_s) return a.event.at_s > b.event.at_s;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;  ///< Min-heap via `later` as std::push_heap comparator.
+  std::size_t next_seq_ = 0;
+};
+
+}  // namespace cloudrepro::faults

@@ -24,6 +24,9 @@ FlowId FluidNetwork::start_flow(NodeId src, NodeId dst, double gbit) {
   if (src >= nodes_.size() || dst >= nodes_.size()) {
     throw std::out_of_range{"FluidNetwork::start_flow: unknown node"};
   }
+  if (nodes_[src].failed || nodes_[dst].failed) {
+    throw std::invalid_argument{"FluidNetwork::start_flow: node has failed"};
+  }
   if (src == dst) {
     throw std::invalid_argument{"FluidNetwork::start_flow: src == dst (local I/O is not shaped)"};
   }
@@ -62,6 +65,45 @@ std::size_t FluidNetwork::active_flow_count() const noexcept {
   return active_ids_.size();
 }
 
+void FluidNetwork::set_node_rate_factor(NodeId id, double factor) {
+  if (factor <= 0.0 || factor > 1.0) {
+    throw std::invalid_argument{
+        "FluidNetwork::set_node_rate_factor: factor must be in (0, 1]"};
+  }
+  nodes_.at(id).rate_factor = factor;
+}
+
+void FluidNetwork::set_node_loss(NodeId id, double loss) {
+  if (loss < 0.0 || loss >= 1.0) {
+    throw std::invalid_argument{
+        "FluidNetwork::set_node_loss: loss must be in [0, 1)"};
+  }
+  nodes_.at(id).loss_fraction = loss;
+}
+
+void FluidNetwork::fail_node(NodeId id) {
+  Node& node = nodes_.at(id);
+  if (node.failed) return;
+  node.failed = true;
+  for (std::size_t i = active_ids_.size(); i-- > 0;) {
+    const FlowId fid = active_ids_[i];
+    Flow& f = flows_[fid];
+    if (f.src == id || f.dst == id) {
+      f.active = false;
+      f.end_time = now_;
+      f.rate_gbps = 0.0;
+      active_ids_[i] = active_ids_.back();
+      active_ids_.pop_back();
+    }
+  }
+}
+
+double FluidNetwork::node_allowed_rate(NodeId id) const {
+  const Node& node = nodes_.at(id);
+  if (node.failed) return 0.0;
+  return node.egress->allowed_rate() * node.rate_factor;
+}
+
 double FluidNetwork::node_egress_rate(NodeId id) const {
   double rate = 0.0;
   for (const FlowId fid : active_ids_) {
@@ -87,8 +129,8 @@ void FluidNetwork::allocate_rates() {
   std::vector<double> egress_left(n_nodes);
   std::vector<double> ingress_left(n_nodes);
   for (std::size_t i = 0; i < n_nodes; ++i) {
-    egress_left[i] = nodes_[i].egress->allowed_rate();
-    ingress_left[i] = nodes_[i].ingress_cap_gbps;
+    egress_left[i] = nodes_[i].egress->allowed_rate() * nodes_[i].rate_factor;
+    ingress_left[i] = nodes_[i].ingress_cap_gbps * nodes_[i].rate_factor;
   }
 
   std::vector<FlowId> unfrozen;
@@ -150,8 +192,11 @@ void FluidNetwork::step_once(double t_bound) {
   double dt = t_bound - now_;
   for (const FlowId fid : active_ids_) {
     const Flow& f = flows_[fid];
-    if (std::isfinite(f.remaining_gbit) && f.rate_gbps > 0.0) {
-      dt = std::min(dt, f.remaining_gbit / f.rate_gbps);
+    // Only goodput completes the flow: under a loss burst a fraction of the
+    // wire rate is retransmitted bytes that make no forward progress.
+    const double goodput = f.rate_gbps * (1.0 - nodes_[f.src].loss_fraction);
+    if (std::isfinite(f.remaining_gbit) && goodput > 0.0) {
+      dt = std::min(dt, f.remaining_gbit / goodput);
     }
   }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -159,13 +204,16 @@ void FluidNetwork::step_once(double t_bound) {
   }
   dt = std::max(dt, kTimeEpsilon);
 
-  // Advance QoS state with the realized per-node rates, then move the data.
+  // Advance QoS state with the realized per-node *wire* rates (retransmitted
+  // bytes drain the token budget like any others), then move the data.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i].egress->advance(dt, node_egress_rate(i));
   }
   for (const FlowId fid : active_ids_) {
     Flow& f = flows_[fid];
-    const double moved = f.rate_gbps * dt;
+    const double loss = nodes_[f.src].loss_fraction;
+    const double moved = f.rate_gbps * (1.0 - loss) * dt;
+    nodes_[f.src].retransmitted_gbit += f.rate_gbps * loss * dt;
     f.transferred_gbit += moved;
     if (std::isfinite(f.remaining_gbit)) {
       f.remaining_gbit -= moved;

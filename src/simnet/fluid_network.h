@@ -84,12 +84,46 @@ class FluidNetwork {
   /// Aggregate ingress rate of a node under the current allocation.
   double node_ingress_rate(NodeId id) const;
 
+  // --- Fault-injection hooks (src/faults drives these) ---------------------
+
+  /// Scales the node's NIC — both the egress QoS grant and the ingress cap —
+  /// by `factor` in (0, 1]. Models a transient slowdown (degraded
+  /// line_rate_gbps); 1.0 restores full speed.
+  void set_node_rate_factor(NodeId id, double factor);
+  double node_rate_factor(NodeId id) const { return nodes_.at(id).rate_factor; }
+
+  /// Packet-loss burst on the node's egress: fraction `loss` of every wire
+  /// transmission is retransmitted bytes. Goodput (flow progress) drops to
+  /// (1 - loss) x the allocated rate while the *wire* rate still drains the
+  /// QoS token budget — lossy links burn budget without moving data.
+  void set_node_loss(NodeId id, double loss);
+  double node_loss(NodeId id) const { return nodes_.at(id).loss_fraction; }
+
+  /// Cumulative retransmitted Gbit charged to the node's egress.
+  double node_retransmitted_gbit(NodeId id) const {
+    return nodes_.at(id).retransmitted_gbit;
+  }
+
+  /// Kills a node: every active flow it sources or sinks is stopped at the
+  /// current time, and future start_flow calls touching it throw.
+  void fail_node(NodeId id);
+  bool node_failed(NodeId id) const { return nodes_.at(id).failed; }
+
+  /// The egress rate currently grantable to the node (QoS grant x degrade
+  /// factor); 0 for failed nodes. Speculation uses this to pick the fastest
+  /// healthy donor.
+  double node_allowed_rate(NodeId id) const;
+
   void set_step_observer(StepObserver observer) { observer_ = std::move(observer); }
 
  private:
   struct Node {
     std::unique_ptr<QosPolicy> egress;
     double ingress_cap_gbps = kInfiniteBytes;
+    double rate_factor = 1.0;     ///< Degrade multiplier on egress + ingress.
+    double loss_fraction = 0.0;   ///< Egress packet-loss burst in effect.
+    bool failed = false;
+    double retransmitted_gbit = 0.0;
   };
 
   /// Computes the max-min fair allocation for all active flows

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "faults/fault_plan.h"
+#include "simnet/qos.h"
+
+namespace cloudrepro::bigdata {
+namespace {
+
+Cluster twelve_nodes(double budget = -1.0) {
+  simnet::TokenBucketQos proto{*cloud::ec2_c5_xlarge().nominal_bucket()};
+  auto cluster = Cluster::uniform(12, 16, proto, 10.0);
+  if (budget >= 0.0) cluster.set_token_budgets(budget);
+  return cluster;
+}
+
+/// Single stage, short compute, heavy all-to-all shuffle: the shuffle is in
+/// flight from t=0, so faults at small times strike mid-transfer.
+WorkloadProfile shuffle_heavy() {
+  WorkloadProfile w;
+  w.name = "XFER";
+  w.suite = "test";
+  w.stages.push_back(StageProfile{"xfer", 16, 2.0, 0.1, 40.0});
+  return w;
+}
+
+double fault_free_runtime(std::uint64_t seed) {
+  stats::Rng rng{seed};
+  auto cluster = twelve_nodes(5000.0);
+  SparkEngine engine;
+  return engine.run(shuffle_heavy(), cluster, rng).runtime_s;
+}
+
+TEST(EngineRecoveryTest, FaultFreeRunsHaveZeroRecoveryCounters) {
+  stats::Rng rng{100};
+  auto cluster = twelve_nodes(5000.0);
+  SparkEngine engine;
+  const auto r = engine.run(shuffle_heavy(), cluster, rng);
+  EXPECT_EQ(r.recovery.task_retries, 0);
+  EXPECT_EQ(r.recovery.speculative_launches, 0);
+  EXPECT_EQ(r.recovery.nodes_lost, 0);
+  EXPECT_DOUBLE_EQ(r.recovery.lost_gbit, 0.0);
+  EXPECT_DOUBLE_EQ(r.recovery.retransmitted_gbit, 0.0);
+  EXPECT_GE(r.completion_straggler_ratio, 1.0);
+  EXPECT_LT(r.completion_straggler_ratio, 1.5);
+}
+
+TEST(EngineRecoveryTest, CrashMidShuffleRetriesAndCompletes) {
+  EngineOptions opt;
+  opt.fault_plan.crash(1.0, 3);
+  SparkEngine engine{opt};
+  stats::Rng rng{101};
+  auto cluster = twelve_nodes(5000.0);
+  const auto r = engine.run(shuffle_heavy(), cluster, rng);
+
+  EXPECT_EQ(r.recovery.nodes_lost, 1);
+  EXPECT_GE(r.recovery.task_retries, 1);
+  EXPECT_GT(r.recovery.lost_gbit, 0.0);
+  EXPECT_GT(r.recovery.lost_compute_s, 0.0);
+  EXPECT_GT(r.recovery.backoff_wait_s, 0.0);
+  EXPECT_EQ(cluster.node_health(3), NodeHealth::kFailed);
+  EXPECT_EQ(cluster.healthy_node_count(), 11u);
+  // Recovery costs time: strictly slower than the same seed without faults.
+  EXPECT_GT(r.runtime_s, fault_free_runtime(101));
+}
+
+TEST(EngineRecoveryTest, FailedNodeIsExcludedFromSubsequentRuns) {
+  EngineOptions opt;
+  opt.fault_plan.crash(1.0, 3);
+  SparkEngine engine{opt};
+  stats::Rng rng{102};
+  auto cluster = twelve_nodes(5000.0);
+  engine.run(shuffle_heavy(), cluster, rng);
+  ASSERT_EQ(cluster.node_health(3), NodeHealth::kFailed);
+
+  // The second submission schedules nothing on the dead node. Reuse a
+  // fault-free engine: the crash already happened to the *cluster*.
+  SparkEngine plain_engine;
+  const auto r2 = plain_engine.run(shuffle_heavy(), cluster, rng);
+  EXPECT_DOUBLE_EQ(r2.per_node_sent_gbit[3], 0.0);
+  EXPECT_GT(r2.runtime_s, 0.0);
+
+  // Fresh VMs (reset_network) revive the slot.
+  cluster.reset_network();
+  EXPECT_EQ(cluster.node_health(3), NodeHealth::kUp);
+  EXPECT_EQ(cluster.healthy_node_count(), 12u);
+}
+
+TEST(EngineRecoveryTest, SpotRevocationDrainsThenDies) {
+  EngineOptions opt;
+  opt.fault_plan.revoke(0.5, 2, 1.0);  // Notice at 0.5s, death at 1.5s.
+  SparkEngine engine{opt};
+  stats::Rng rng{103};
+  auto cluster = twelve_nodes(5000.0);
+  const auto r = engine.run(shuffle_heavy(), cluster, rng);
+  EXPECT_EQ(r.recovery.nodes_lost, 1);
+  EXPECT_EQ(cluster.node_health(2), NodeHealth::kFailed);
+  EXPECT_GT(r.runtime_s, fault_free_runtime(103));
+}
+
+TEST(EngineRecoveryTest, TransientSlowdownDegradesThenRestores) {
+  EngineOptions opt;
+  opt.fault_plan.slow_down(0.5, 1, 1.5, 0.3);
+  SparkEngine engine{opt};
+  stats::Rng rng{104};
+  auto cluster = twelve_nodes(5000.0);
+  const auto r = engine.run(shuffle_heavy(), cluster, rng);
+  EXPECT_EQ(r.recovery.nodes_lost, 0);
+  EXPECT_EQ(r.recovery.task_retries, 0);
+  // The window ended mid-run: the node is healthy again afterwards.
+  EXPECT_EQ(cluster.node_health(1), NodeHealth::kUp);
+  EXPECT_GT(r.runtime_s, fault_free_runtime(104));
+}
+
+TEST(EngineRecoveryTest, SlowdownOutlastingTheJobLeavesNodeDegraded) {
+  EngineOptions opt;
+  opt.fault_plan.slow_down(0.5, 1, 1e6, 0.3);
+  SparkEngine engine{opt};
+  stats::Rng rng{105};
+  auto cluster = twelve_nodes(5000.0);
+  engine.run(shuffle_heavy(), cluster, rng);
+  EXPECT_EQ(cluster.node_health(1), NodeHealth::kDegraded);
+  EXPECT_DOUBLE_EQ(cluster.node(1).degrade_factor, 0.3);
+}
+
+TEST(EngineRecoveryTest, TokenTheftDrainsBudgetAndSlowsJob) {
+  EngineOptions opt;
+  opt.fault_plan.steal_tokens(0.1, 0, 1e6);  // Far more than the budget.
+  SparkEngine engine{opt};
+  stats::Rng rng{106};
+  auto cluster = twelve_nodes(5000.0);
+  const auto r = engine.run(shuffle_heavy(), cluster, rng);
+  EXPECT_GT(r.runtime_s, fault_free_runtime(106));
+  // Node 0 ran on the capped low rate: it is the straggler.
+  EXPECT_EQ(r.slowest_node, 0u);
+  EXPECT_GT(r.straggler_ratio, 1.5);
+  EXPECT_LT(*cluster.token_budget(0), *cluster.token_budget(1));
+}
+
+TEST(EngineRecoveryTest, LinkFlapBurnsRetransmittedBytes) {
+  EngineOptions opt;
+  opt.fault_plan.flap_link(0.5, 0, 2.0, 0.3);
+  SparkEngine engine{opt};
+  stats::Rng rng{107};
+  auto cluster = twelve_nodes(5000.0);
+  const auto r = engine.run(shuffle_heavy(), cluster, rng);
+  EXPECT_GT(r.recovery.retransmitted_gbit, 0.0);
+  EXPECT_GT(r.runtime_s, fault_free_runtime(107));
+  EXPECT_EQ(cluster.node_health(0), NodeHealth::kUp);  // Restored after burst.
+}
+
+TEST(EngineRecoveryTest, SpeculationReducesCompletionStragglerRatio) {
+  // The acceptance scenario: one node's budget is stolen (depleted-budget
+  // plan), collapsing it to the capped low rate mid-shuffle. Without
+  // mitigation the whole stage waits on it; with speculation its remaining
+  // transfers re-run on the fastest healthy node.
+  const auto run_arm = [](bool speculate) {
+    EngineOptions opt;
+    opt.fault_plan.steal_tokens(0.1, 0, 1e6);
+    opt.speculation.enabled = speculate;
+    opt.speculation.check_interval_s = 1.0;
+    opt.speculation.slowdown_threshold = 2.0;
+    opt.speculation.min_remaining_gbit = 1.0;
+    SparkEngine engine{opt};
+    stats::Rng rng{108};
+    auto cluster = twelve_nodes(5000.0);
+    return engine.run(shuffle_heavy(), cluster, rng);
+  };
+
+  const auto baseline = run_arm(false);
+  const auto mitigated = run_arm(true);
+
+  EXPECT_GT(baseline.completion_straggler_ratio, 2.0);
+  EXPECT_GE(mitigated.recovery.speculative_launches, 1);
+  EXPECT_GT(mitigated.recovery.speculated_gbit, 0.0);
+  // Strictly lower completion-straggler ratio, and a faster job.
+  EXPECT_LT(mitigated.completion_straggler_ratio,
+            baseline.completion_straggler_ratio);
+  EXPECT_LT(mitigated.runtime_s, baseline.runtime_s);
+}
+
+TEST(EngineRecoveryTest, FaultRunsAreDeterministicPerSeed) {
+  const auto run_once = [] {
+    faults::FaultPlanConfig cfg;
+    cfg.horizon_s = 60.0;
+    cfg.slowdown_rate_per_hour = 240.0;
+    cfg.flap_rate_per_hour = 120.0;
+    cfg.theft_rate_per_hour = 240.0;
+    cfg.crash_rate_per_hour = 30.0;
+    stats::Rng plan_rng{55};
+    EngineOptions opt;
+    opt.fault_plan = faults::FaultPlan::sample(cfg, 12, plan_rng);
+    opt.speculation.enabled = true;
+    opt.speculation.check_interval_s = 1.0;
+    SparkEngine engine{opt};
+    stats::Rng rng{109};
+    auto cluster = twelve_nodes(5000.0);
+    return engine.run(shuffle_heavy(), cluster, rng);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_DOUBLE_EQ(a.straggler_ratio, b.straggler_ratio);
+  EXPECT_DOUBLE_EQ(a.completion_straggler_ratio, b.completion_straggler_ratio);
+  EXPECT_EQ(a.recovery.task_retries, b.recovery.task_retries);
+  EXPECT_EQ(a.recovery.speculative_launches, b.recovery.speculative_launches);
+  EXPECT_DOUBLE_EQ(a.recovery.lost_gbit, b.recovery.lost_gbit);
+  EXPECT_DOUBLE_EQ(a.recovery.speculated_gbit, b.recovery.speculated_gbit);
+  EXPECT_DOUBLE_EQ(a.recovery.retransmitted_gbit, b.recovery.retransmitted_gbit);
+  ASSERT_EQ(a.per_node_sent_gbit.size(), b.per_node_sent_gbit.size());
+  for (std::size_t i = 0; i < a.per_node_sent_gbit.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_node_sent_gbit[i], b.per_node_sent_gbit[i]);
+  }
+}
+
+TEST(EngineRecoveryTest, RetryBudgetExhaustionAborts) {
+  EngineOptions opt;
+  opt.fault_plan.crash(1.0, 3);
+  opt.retry.max_attempts = 0;  // No retries allowed: first loss is fatal.
+  SparkEngine engine{opt};
+  stats::Rng rng{110};
+  auto cluster = twelve_nodes(5000.0);
+  EXPECT_THROW(engine.run(shuffle_heavy(), cluster, rng), std::runtime_error);
+}
+
+TEST(EngineRecoveryTest, LosingQuorumAborts) {
+  EngineOptions opt;
+  for (std::size_t i = 0; i < 11; ++i) {
+    opt.fault_plan.crash(0.5 + 0.01 * static_cast<double>(i), i);
+  }
+  opt.retry.max_attempts = 100;
+  SparkEngine engine{opt};
+  stats::Rng rng{111};
+  auto cluster = twelve_nodes(5000.0);
+  EXPECT_THROW(engine.run(shuffle_heavy(), cluster, rng), std::runtime_error);
+}
+
+TEST(EngineRecoveryTest, RetryPolicyBackoffIsBoundedExponential) {
+  RetryPolicy p;
+  p.backoff_base_s = 1.0;
+  p.backoff_factor = 2.0;
+  p.backoff_cap_s = 5.0;
+  EXPECT_DOUBLE_EQ(p.delay(1), 1.0);
+  EXPECT_DOUBLE_EQ(p.delay(2), 2.0);
+  EXPECT_DOUBLE_EQ(p.delay(3), 4.0);
+  EXPECT_DOUBLE_EQ(p.delay(4), 5.0);  // Capped.
+  EXPECT_DOUBLE_EQ(p.delay(10), 5.0);
+}
+
+TEST(EngineRecoveryTest, InvalidPoliciesRejected) {
+  {
+    EngineOptions opt;
+    opt.retry.max_attempts = -1;
+    EXPECT_THROW(SparkEngine{opt}, std::invalid_argument);
+  }
+  {
+    EngineOptions opt;
+    opt.retry.backoff_factor = 0.5;
+    EXPECT_THROW(SparkEngine{opt}, std::invalid_argument);
+  }
+  {
+    EngineOptions opt;
+    opt.speculation.enabled = true;
+    opt.speculation.check_interval_s = 0.0;
+    EXPECT_THROW(SparkEngine{opt}, std::invalid_argument);
+  }
+  {
+    EngineOptions opt;
+    opt.speculation.enabled = true;
+    opt.speculation.slowdown_threshold = 1.0;
+    EXPECT_THROW(SparkEngine{opt}, std::invalid_argument);
+  }
+}
+
+TEST(EngineRecoveryTest, StragglerRatioGuardsDegenerateInputs) {
+  // The satellite fix for the engine's straggler analysis: zero, single, and
+  // all-zero inputs report "no straggler"; a zero slowest rate stays finite.
+  EXPECT_DOUBLE_EQ(compute_straggler_ratio({}), 1.0);
+  const double one[] = {5.0};
+  EXPECT_DOUBLE_EQ(compute_straggler_ratio(one), 1.0);
+  const double zeros[] = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(compute_straggler_ratio(zeros), 1.0);
+  const double stalled[] = {0.0, 10.0, 10.0};
+  const double r = compute_straggler_ratio(stalled);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_GT(r, 1e6);  // Clamped, not infinite.
+  const double normal[] = {2.0, 4.0, 8.0};
+  EXPECT_DOUBLE_EQ(compute_straggler_ratio(normal), 2.0);
+}
+
+}  // namespace
+}  // namespace cloudrepro::bigdata

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "bigdata/cluster.h"
@@ -118,6 +120,195 @@ TEST(CampaignTest, Validation) {
   CampaignOptions zero;
   zero.repetitions_per_cell = 0;
   EXPECT_THROW(run_campaign(ok, zero, rng), std::invalid_argument);
+}
+
+/// Cells whose measurement is a pure function of the repetition's RNG —
+/// the regime where resume guarantees bit-identical results.
+std::vector<CampaignCell> pure_cells() {
+  std::vector<CampaignCell> cells;
+  for (const char* config : {"a", "b"}) {
+    for (const char* treatment : {"t1", "t2"}) {
+      cells.push_back(CampaignCell{
+          config, treatment,
+          [](stats::Rng& r) { return r.normal(100.0, 5.0) + r.uniform(); },
+          [] {}});
+    }
+  }
+  return cells;
+}
+
+TEST(CampaignTest, SeedAndOptionsRecordedInResult) {
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 3;
+  opt.confidence = 0.9;
+  const auto result = run_campaign(pure_cells(), opt, std::uint64_t{777});
+  EXPECT_TRUE(result.seed_recorded);
+  EXPECT_EQ(result.seed, 777u);
+  EXPECT_EQ(result.options.repetitions_per_cell, 3);
+  EXPECT_DOUBLE_EQ(result.options.confidence, 0.9);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.resumed_measurements, 0u);
+}
+
+TEST(CampaignTest, SeedIsAPureFunctionOfTheResult) {
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 4;
+  const auto a = run_campaign(pure_cells(), opt, std::uint64_t{42});
+  const auto b = run_campaign(pure_cells(), opt, std::uint64_t{42});
+  ASSERT_EQ(a.execution_order, b.execution_order);
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    ASSERT_EQ(a.cells[i].values.size(), b.cells[i].values.size());
+    for (std::size_t r = 0; r < a.cells[i].values.size(); ++r) {
+      EXPECT_DOUBLE_EQ(a.cells[i].values[r], b.cells[i].values[r]);
+    }
+  }
+  const auto c = run_campaign(pure_cells(), opt, std::uint64_t{43});
+  bool differs = false;
+  for (std::size_t i = 0; i < a.cells.size() && !differs; ++i) {
+    differs = a.cells[i].values != c.cells[i].values;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CampaignTest, SummaryPrintsProvenance) {
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 3;
+  const auto result = run_campaign(pure_cells(), opt, std::uint64_t{31337});
+  std::ostringstream ss;
+  print_campaign_summary(ss, result);
+  EXPECT_NE(ss.str().find("seed=31337"), std::string::npos);
+  EXPECT_NE(ss.str().find("repetitions_per_cell=3"), std::string::npos);
+}
+
+TEST(CampaignTest, JournalWrittenAndResumedBitIdentical) {
+  const auto dir = std::filesystem::path{::testing::TempDir()};
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 5;
+
+  // Ground truth: uninterrupted, no journal.
+  const auto full = run_campaign(pure_cells(), opt, std::uint64_t{9});
+
+  // Interrupt after every possible prefix length, then resume to completion.
+  const int total = 4 * opt.repetitions_per_cell;
+  for (int prefix : {1, 3, 7, 12, 19}) {
+    auto journal_opt = opt;
+    journal_opt.journal_path = dir / ("campaign-prefix-" + std::to_string(prefix) + ".jsonl");
+    std::filesystem::remove(journal_opt.journal_path);
+
+    journal_opt.max_measurements = prefix;
+    const auto partial = run_campaign(pure_cells(), journal_opt, std::uint64_t{9});
+    EXPECT_FALSE(partial.complete);
+
+    journal_opt.max_measurements = 0;
+    const auto resumed = run_campaign(pure_cells(), journal_opt, std::uint64_t{9});
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.resumed_measurements, static_cast<std::size_t>(prefix));
+
+    ASSERT_EQ(resumed.execution_order, full.execution_order);
+    for (std::size_t i = 0; i < full.cells.size(); ++i) {
+      ASSERT_EQ(resumed.cells[i].values.size(), full.cells[i].values.size());
+      for (std::size_t r = 0; r < full.cells[i].values.size(); ++r) {
+        // Exact equality: values round-trip through the JSONL journal.
+        EXPECT_DOUBLE_EQ(resumed.cells[i].values[r], full.cells[i].values[r]);
+      }
+      EXPECT_DOUBLE_EQ(resumed.cells[i].summary.mean, full.cells[i].summary.mean);
+      EXPECT_DOUBLE_EQ(resumed.cells[i].median_ci.lower, full.cells[i].median_ci.lower);
+      EXPECT_DOUBLE_EQ(resumed.cells[i].median_ci.upper, full.cells[i].median_ci.upper);
+    }
+  }
+  // Sanity: a full interrupted run covered all measurements.
+  EXPECT_EQ(total, 20);
+}
+
+TEST(CampaignTest, ResumingACompleteJournalExecutesNothing) {
+  const auto dir = std::filesystem::path{::testing::TempDir()};
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 3;
+  opt.journal_path = dir / "campaign-complete.jsonl";
+  std::filesystem::remove(opt.journal_path);
+
+  run_campaign(pure_cells(), opt, std::uint64_t{10});
+
+  int executions = 0;
+  auto cells = pure_cells();
+  for (auto& cell : cells) {
+    auto inner = cell.run_once;
+    cell.run_once = [inner, &executions](stats::Rng& r) {
+      ++executions;
+      return inner(r);
+    };
+  }
+  const auto resumed = run_campaign(cells, opt, std::uint64_t{10});
+  EXPECT_EQ(executions, 0);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_measurements, 12u);
+}
+
+TEST(CampaignTest, JournalHeaderMismatchThrows) {
+  const auto dir = std::filesystem::path{::testing::TempDir()};
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 2;
+  opt.journal_path = dir / "campaign-mismatch.jsonl";
+  std::filesystem::remove(opt.journal_path);
+
+  run_campaign(pure_cells(), opt, std::uint64_t{11});
+
+  // Different seed: the journal's measurements belong to another campaign.
+  EXPECT_THROW(run_campaign(pure_cells(), opt, std::uint64_t{12}),
+               std::runtime_error);
+  // Different options: also rejected.
+  auto other = opt;
+  other.repetitions_per_cell = 4;
+  EXPECT_THROW(run_campaign(pure_cells(), other, std::uint64_t{11}),
+               std::runtime_error);
+}
+
+TEST(CampaignTest, TornFinalJournalLineIsReExecuted) {
+  const auto dir = std::filesystem::path{::testing::TempDir()};
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 2;
+  opt.journal_path = dir / "campaign-torn.jsonl";
+  std::filesystem::remove(opt.journal_path);
+
+  run_campaign(pure_cells(), opt, std::uint64_t{13});
+  const auto full = run_campaign(pure_cells(), opt, std::uint64_t{13});
+
+  // Truncate the last line mid-write, as a crash would.
+  std::string contents;
+  {
+    std::ifstream in{opt.journal_path};
+    std::stringstream ss;
+    ss << in.rdbuf();
+    contents = ss.str();
+  }
+  const auto cut = contents.rfind("\"value\":");
+  ASSERT_NE(cut, std::string::npos);
+  {
+    std::ofstream out{opt.journal_path, std::ios::trunc};
+    out << contents.substr(0, cut + 9);
+  }
+
+  const auto resumed = run_campaign(pure_cells(), opt, std::uint64_t{13});
+  EXPECT_TRUE(resumed.complete);
+  for (std::size_t i = 0; i < full.cells.size(); ++i) {
+    for (std::size_t r = 0; r < full.cells[i].values.size(); ++r) {
+      EXPECT_DOUBLE_EQ(resumed.cells[i].values[r], full.cells[i].values[r]);
+    }
+  }
+}
+
+TEST(CampaignTest, MaxMeasurementsMarksIncompleteWithoutJournal) {
+  CampaignOptions opt;
+  opt.repetitions_per_cell = 5;
+  opt.max_measurements = 3;
+  const auto result = run_campaign(pure_cells(), opt, std::uint64_t{14});
+  EXPECT_FALSE(result.complete);
+  std::size_t measured = 0;
+  for (const auto& cell : result.cells) measured += cell.values.size();
+  EXPECT_EQ(measured, 3u);
+  std::ostringstream ss;
+  print_campaign_summary(ss, result);
+  EXPECT_NE(ss.str().find("[INCOMPLETE]"), std::string::npos);
 }
 
 TEST(CampaignTest, EndToEndWithSparkEngine) {

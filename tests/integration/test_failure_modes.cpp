@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "bigdata/cluster.h"
 #include "bigdata/engine.h"
 #include "bigdata/workload.h"
 #include "cloud/instances.h"
+#include "core/campaign.h"
 #include "core/protocol.h"
 #include "measure/iperf.h"
 #include "measure/patterns.h"
@@ -127,6 +130,116 @@ TEST(FailureModesTest, StochasticQosWithExtremeSamplerStaysPositive) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_GT(qos.allowed_rate(), 0.0);
     qos.advance(1.0, qos.allowed_rate());
+  }
+}
+
+// ---- Fault plans through the whole stack (src/faults -> engine -> cluster) --
+
+TEST(FailureModesTest, NodeCrashMidShuffleIsRecoveredEndToEnd) {
+  // Terasort's first shuffle is in flight within seconds; kill a node there
+  // and the job must finish anyway, with the loss accounted for.
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  cluster.set_token_budgets(5000.0);
+
+  bigdata::EngineOptions opt;
+  opt.fault_plan.crash(5.0, 7);
+  bigdata::SparkEngine engine{opt};
+  stats::Rng rng{7};
+  const auto r = engine.run(bigdata::hibench_terasort(), cluster, rng);
+
+  EXPECT_EQ(r.recovery.nodes_lost, 1);
+  EXPECT_GE(r.recovery.task_retries, 1);
+  EXPECT_GT(r.recovery.lost_gbit, 0.0);
+  EXPECT_EQ(cluster.node_health(7), bigdata::NodeHealth::kFailed);
+  // Survivors re-shuffled the dead node's partitions: total sent volume
+  // stays near the profile's (the lost bytes moved to other sources).
+  double total = 0.0;
+  for (const double sent : r.per_node_sent_gbit) total += sent;
+  EXPECT_GT(total, 11.0 * bigdata::hibench_terasort().total_shuffle_gbit_per_node());
+}
+
+TEST(FailureModesTest, RevocationPersistsAcrossRestAndLaterRuns) {
+  // A spot revocation between experiments: the node is gone for every later
+  // run on the same allocation — resting the cluster does not resurrect it.
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  simnet::TokenBucketQos proto{bucket};
+  auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+  cluster.set_token_budgets(5000.0);
+
+  bigdata::EngineOptions opt;
+  opt.fault_plan.revoke(2.0, 4, 1.0);
+  bigdata::SparkEngine engine{opt};
+  stats::Rng rng{8};
+  engine.run(bigdata::hibench_terasort(), cluster, rng);
+  ASSERT_EQ(cluster.node_health(4), bigdata::NodeHealth::kFailed);
+
+  cluster.rest(600.0);
+  EXPECT_EQ(cluster.node_health(4), bigdata::NodeHealth::kFailed);
+  EXPECT_EQ(cluster.healthy_node_count(), 11u);
+
+  // The next (fault-free) job runs on the surviving 11 nodes.
+  bigdata::SparkEngine plain;
+  const auto r2 = plain.run(bigdata::hibench_terasort(), cluster, rng);
+  EXPECT_DOUBLE_EQ(r2.per_node_sent_gbit[4], 0.0);
+  EXPECT_EQ(r2.recovery.nodes_lost, 0);
+  EXPECT_GT(r2.runtime_s, 0.0);
+
+  // Fresh VMs (the F5.4 guideline) replace the revoked instance.
+  cluster.reset_network();
+  EXPECT_EQ(cluster.healthy_node_count(), 12u);
+}
+
+TEST(FailureModesTest, ResumedCampaignEqualsUninterruptedUnderFaults) {
+  // The full robustness loop: a campaign of fault-injected engine runs,
+  // interrupted after an arbitrary prefix and resumed from its journal,
+  // must reproduce the uninterrupted campaign bit for bit.
+  const auto make_cells = [] {
+    std::vector<core::CampaignCell> cells;
+    for (const double budget : {5000.0, 500.0}) {
+      cells.push_back(core::CampaignCell{
+          "TS", "budget=" + std::to_string(static_cast<int>(budget)),
+          [budget](stats::Rng& r) {
+            const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+            simnet::TokenBucketQos proto{bucket};
+            auto cluster = bigdata::Cluster::uniform(8, 16, proto, 10.0);
+            cluster.set_token_budgets(budget);
+            bigdata::EngineOptions opt;
+            opt.fault_plan.slow_down(3.0, 1, 5.0, 0.4).steal_tokens(1.0, 2, 200.0);
+            opt.speculation.enabled = true;
+            opt.speculation.check_interval_s = 2.0;
+            bigdata::SparkEngine engine{opt};
+            return engine.run(bigdata::hibench_terasort(), cluster, r).runtime_s;
+          },
+          [] {}});
+    }
+    return cells;
+  };
+
+  core::CampaignOptions opt;
+  opt.repetitions_per_cell = 3;
+  const auto full = core::run_campaign(make_cells(), opt, std::uint64_t{77});
+
+  auto journal_opt = opt;
+  journal_opt.journal_path =
+      std::filesystem::path{::testing::TempDir()} / "fault-campaign.jsonl";
+  std::filesystem::remove(journal_opt.journal_path);
+
+  journal_opt.max_measurements = 2;  // Interrupt mid-campaign.
+  const auto partial = core::run_campaign(make_cells(), journal_opt, std::uint64_t{77});
+  ASSERT_FALSE(partial.complete);
+
+  journal_opt.max_measurements = 0;
+  const auto resumed = core::run_campaign(make_cells(), journal_opt, std::uint64_t{77});
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_measurements, 2u);
+  ASSERT_EQ(resumed.execution_order, full.execution_order);
+  for (std::size_t i = 0; i < full.cells.size(); ++i) {
+    ASSERT_EQ(resumed.cells[i].values.size(), full.cells[i].values.size());
+    for (std::size_t r = 0; r < full.cells[i].values.size(); ++r) {
+      EXPECT_DOUBLE_EQ(resumed.cells[i].values[r], full.cells[i].values[r]);
+    }
   }
 }
 
