@@ -3,7 +3,12 @@
 // variability, budgets {5000, 1000, 100, 10} Gbit, 10 runs each.
 // Paper: the more network-dependent applications (TS, WC) are affected more
 // by lower budgets — the initial budget state can cost them 25-50%.
+//
+// The (workload x budget x repetition) grid runs as a parallel campaign:
+// every repetition builds its own cluster and engine from its seed-derived
+// RNG stream, so the numbers are bit-identical at any thread count.
 
+#include <cstdint>
 #include <iostream>
 #include <map>
 #include <vector>
@@ -13,6 +18,7 @@
 #include "bigdata/engine.h"
 #include "bigdata/workload.h"
 #include "cloud/instances.h"
+#include "core/campaign.h"
 #include "core/report.h"
 #include "simnet/qos.h"
 #include "stats/descriptive.h"
@@ -27,21 +33,36 @@ int main() {
   const simnet::TokenBucketQos proto{bucket};
   const double budgets[] = {5000.0, 1000.0, 100.0, 10.0};
 
+  const auto& suite = bigdata::hibench_suite();
+  std::vector<core::CampaignCell> cells;
+  for (const auto& workload : suite) {
+    for (const double budget : budgets) {
+      cells.push_back(core::CampaignCell{
+          workload.name, "budget=" + core::fmt(budget, 0),
+          [&proto, &workload, budget](stats::Rng& r) {
+            auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+            cluster.set_token_budgets(budget);
+            bigdata::SparkEngine engine;
+            return engine.run(workload, cluster, r).runtime_s;
+          },
+          [] {}});
+    }
+  }
+
+  core::CampaignOptions copt;
+  copt.repetitions_per_cell = 10;
+  copt.randomize_order = false;  // Cells are already independent (fresh cluster per run).
+  copt.threads = 0;              // All cores; bit-identical to threads=1.
+  const auto result = core::run_campaign(cells, copt, bench::kBenchSeed);
+
   std::map<std::string, std::map<double, std::vector<double>>> runtimes;
   std::map<std::string, std::vector<double>> pooled;
-
-  stats::Rng rng{bench::kBenchSeed};
-  bigdata::SparkEngine engine;
-  for (const auto& workload : bigdata::hibench_suite()) {
-    for (const double budget : budgets) {
-      for (int rep = 0; rep < 10; ++rep) {
-        auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
-        cluster.set_token_budgets(budget);
-        const double rt = engine.run(workload, cluster, rng).runtime_s;
-        runtimes[workload.name][budget].push_back(rt);
-        pooled[workload.name].push_back(rt);
-      }
-    }
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const auto& app = suite[i / std::size(budgets)].name;
+    const double budget = budgets[i % std::size(budgets)];
+    runtimes[app][budget] = result.cells[i].values;
+    pooled[app].insert(pooled[app].end(), result.cells[i].values.begin(),
+                       result.cells[i].values.end());
   }
 
   bench::section("(a) Average runtime [s] per budget");

@@ -3,12 +3,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bigdata/cluster.h"
 #include "bigdata/engine.h"
 #include "bigdata/workload.h"
 #include "cloud/instances.h"
+#include "core/campaign.h"
 #include "measure/iperf.h"
 #include "measure/patterns.h"
 #include "simnet/fluid_network.h"
@@ -78,6 +81,60 @@ void BM_SparkJob(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparkJob)->Unit(benchmark::kMicrosecond);
+
+// A CPU-bound campaign cell: each repetition burns deterministic arithmetic
+// from its own seed-derived stream, so the bench isolates the scheduler's
+// scaling from journal/IO costs. Threads 1/2/4/8 chart the speedup curve
+// (expect ~linear up to the core count; flat on a single-core host).
+void BM_CampaignParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<core::CampaignCell> cells;
+    for (int c = 0; c < 4; ++c) {
+      cells.push_back(core::CampaignCell{
+          "cell" + std::to_string(c), "t",
+          [](stats::Rng& r) {
+            double acc = 0.0;
+            for (int i = 0; i < 50000; ++i) acc += r.normal();
+            return acc;
+          },
+          [] {}});
+    }
+    core::CampaignOptions opt;
+    opt.repetitions_per_cell = 8;
+    opt.threads = threads;
+    benchmark::DoNotOptimize(
+        core::run_campaign(std::move(cells), opt, std::uint64_t{7}));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 8);
+}
+BENCHMARK(BM_CampaignParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Per-node aggregate-rate queries against a large live flow set: O(1) via
+// the caches maintained by allocate_rates, independent of the ~1k active
+// flows (these queries run per node per event step in week-long probes).
+void BM_FluidAggregateRate(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  simnet::FluidNetwork net;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    net.add_node(std::make_unique<simnet::FixedRateQos>(10.0), 10.0);
+  }
+  for (std::size_t s = 0; s < nodes; ++s) {
+    for (std::size_t d = 0; d < nodes; ++d) {
+      if (s != d) net.start_flow(s, d);  // Open-ended: stays active.
+    }
+  }
+  net.run_for(1e-6);  // Forces an allocation so rates are non-zero.
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      acc += net.node_egress_rate(i) + net.node_ingress_rate(i);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes * 2);
+}
+BENCHMARK(BM_FluidAggregateRate)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_MedianCi(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -43,3 +43,16 @@ cloudrepro_bench(bench_ablation_fault_mitigation)
 
 cloudrepro_bench(bench_perf_micro)
 target_link_libraries(bench_perf_micro PRIVATE benchmark::benchmark)
+
+# Perf trajectory: `cmake --build build --target bench-smoke` runs the
+# campaign/fluid hot-path microbenches and records machine-readable results
+# in ${CMAKE_BINARY_DIR}/BENCH_campaign.json — commit-over-commit numbers
+# come from diffing these files, not from eyeballing console output.
+add_custom_target(bench-smoke
+  COMMAND $<TARGET_FILE:bench_perf_micro>
+          "--benchmark_filter=BM_CampaignParallel|BM_FluidAggregateRate|BM_FluidAllToAll|BM_WeekLongTokenBucketProbe"
+          --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_campaign.json
+          --benchmark_out_format=json
+  DEPENDS bench_perf_micro
+  COMMENT "Recording campaign/fluid perf microbenches to BENCH_campaign.json"
+  VERBATIM)

@@ -1,15 +1,20 @@
 #include "core/campaign.h"
 
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
+#include <exception>
 #include <fstream>
 #include <iomanip>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/report.h"
+#include "runtime/thread_pool.h"
 
 namespace cloudrepro::core {
 
@@ -185,6 +190,9 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
   if (options.max_measurements < 0) {
     throw std::invalid_argument{"run_campaign: max_measurements must be >= 0"};
   }
+  if (options.threads < 0) {
+    throw std::invalid_argument{"run_campaign: threads must be >= 0"};
+  }
   for (const auto& cell : cells) {
     if (!cell.run_once || !cell.fresh) {
       throw std::invalid_argument{"run_campaign: cell callables must be set"};
@@ -245,31 +253,141 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
     }
   }
 
-  int executed = 0;
+  const int worker_threads =
+      runtime::ThreadPool::resolve_thread_count(options.threads);
   bool budget_exhausted = false;
-  for (const auto idx : result.execution_order) {
-    auto& out = result.cells[idx];
-    out.values.reserve(static_cast<std::size_t>(options.repetitions_per_cell));
-    for (int r = 0; r < options.repetitions_per_cell; ++r) {
-      if (const auto it = done.find({idx, r}); it != done.end()) {
-        out.values.push_back(it->second);
-        ++result.resumed_measurements;
-        continue;
+  if (worker_threads <= 1) {
+    // Serial reference path: executes pending measurements in execution
+    // order, interleaving journal replays in place.
+    int executed = 0;
+    for (const auto idx : result.execution_order) {
+      auto& out = result.cells[idx];
+      out.values.reserve(static_cast<std::size_t>(options.repetitions_per_cell));
+      for (int r = 0; r < options.repetitions_per_cell; ++r) {
+        if (const auto it = done.find({idx, r}); it != done.end()) {
+          out.values.push_back(it->second);
+          ++result.resumed_measurements;
+          continue;
+        }
+        if (options.max_measurements > 0 && executed >= options.max_measurements) {
+          budget_exhausted = true;
+          break;
+        }
+        cells[idx].fresh();
+        stats::Rng rep_rng{repetition_seed(seed, idx, r)};
+        const double value = cells[idx].run_once(rep_rng);
+        out.values.push_back(value);
+        ++executed;
+        if (journal.is_open()) {
+          journal << journal_entry(idx, r, value) << '\n' << std::flush;
+        }
       }
-      if (options.max_measurements > 0 && executed >= options.max_measurements) {
-        budget_exhausted = true;
-        break;
-      }
-      cells[idx].fresh();
-      stats::Rng rep_rng{repetition_seed(seed, idx, r)};
-      const double value = cells[idx].run_once(rep_rng);
-      out.values.push_back(value);
-      ++executed;
-      if (journal.is_open()) {
-        journal << journal_entry(idx, r, value) << '\n' << std::flush;
+      if (budget_exhausted) break;
+    }
+  } else {
+    // Parallel path. The pending task list is built in serial execution
+    // order and truncated to `max_measurements`, so the *set* of executed
+    // measurements matches the serial path exactly; each task derives its
+    // own repetition seed, so every value matches too. Workers hand
+    // completed values to this (coordinating) thread, which is the single
+    // journal writer, appending entries in completion order.
+    struct PendingTask {
+      std::size_t cell = 0;
+      int rep = 0;
+    };
+    std::vector<PendingTask> pending;
+    for (const auto idx : result.execution_order) {
+      for (int r = 0; r < options.repetitions_per_cell; ++r) {
+        if (done.find({idx, r}) == done.end()) pending.push_back({idx, r});
       }
     }
-    if (budget_exhausted) break;
+    if (options.max_measurements > 0 &&
+        pending.size() > static_cast<std::size_t>(options.max_measurements)) {
+      pending.resize(static_cast<std::size_t>(options.max_measurements));
+      budget_exhausted = true;
+    }
+
+    std::vector<double> task_values(pending.size());
+    if (!pending.empty()) {
+      std::mutex mu;
+      std::condition_variable completion_cv;
+      std::deque<std::size_t> completed;  // Task indices, completion order.
+      std::size_t finished = 0;           // Tasks done, success or failure.
+      std::exception_ptr error;
+
+      runtime::ThreadPool pool{worker_threads};
+      for (std::size_t t = 0; t < pending.size(); ++t) {
+        pool.submit([&, t] {
+          try {
+            const auto [idx, r] = pending[t];
+            cells[idx].fresh();
+            stats::Rng rep_rng{repetition_seed(seed, idx, r)};
+            const double value = cells[idx].run_once(rep_rng);
+            std::lock_guard<std::mutex> lock{mu};
+            task_values[t] = value;
+            completed.push_back(t);
+            ++finished;
+          } catch (...) {
+            std::lock_guard<std::mutex> lock{mu};
+            if (!error) error = std::current_exception();
+            ++finished;
+          }
+          completion_cv.notify_one();
+        });
+      }
+
+      std::unique_lock<std::mutex> lock{mu};
+      for (;;) {
+        completion_cv.wait(lock, [&] {
+          return !completed.empty() || finished == pending.size();
+        });
+        while (!completed.empty()) {
+          const std::size_t t = completed.front();
+          completed.pop_front();
+          if (journal.is_open()) {
+            const PendingTask task = pending[t];
+            const double value = task_values[t];
+            lock.unlock();
+            journal << journal_entry(task.cell, task.rep, value) << '\n'
+                    << std::flush;
+            lock.lock();
+          }
+        }
+        if (finished == pending.size()) break;
+      }
+      const std::exception_ptr first_error = error;
+      lock.unlock();
+      pool.wait_idle();
+      if (first_error) std::rethrow_exception(first_error);
+    }
+
+    // Assemble in grid order from journal replays and freshly executed
+    // slots, reproducing the serial path's budget-cutoff semantics: the
+    // first measurement that is neither replayed nor executed marks the
+    // interruption point.
+    std::map<std::pair<std::size_t, int>, double> fresh_values;
+    for (std::size_t t = 0; t < pending.size(); ++t) {
+      fresh_values[{pending[t].cell, pending[t].rep}] = task_values[t];
+    }
+    bool cut = false;
+    for (const auto idx : result.execution_order) {
+      auto& out = result.cells[idx];
+      out.values.reserve(static_cast<std::size_t>(options.repetitions_per_cell));
+      for (int r = 0; r < options.repetitions_per_cell; ++r) {
+        if (const auto it = done.find({idx, r}); it != done.end()) {
+          out.values.push_back(it->second);
+          ++result.resumed_measurements;
+          continue;
+        }
+        if (const auto it = fresh_values.find({idx, r}); it != fresh_values.end()) {
+          out.values.push_back(it->second);
+          continue;
+        }
+        cut = true;
+        break;
+      }
+      if (cut) break;
+    }
   }
 
   for (auto& out : result.cells) {

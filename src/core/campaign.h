@@ -58,6 +58,21 @@ struct CampaignOptions {
   /// The journal keeps what completed; a later run resumes the rest. Tests
   /// use this to interrupt a campaign after an arbitrary prefix.
   int max_measurements = 0;
+
+  /// Worker threads executing (cell, repetition) tasks: 1 (the default) is
+  /// the serial reference path, 0 means hardware concurrency, N > 1 runs N
+  /// workers. Because every repetition draws from its own seed-derived RNG
+  /// stream and results land in pre-assigned grid slots, the result —
+  /// values, summaries, CSV, journal-resumable state — is bit-identical
+  /// across thread counts. The thread count is deliberately *not* part of
+  /// the journal header: a campaign interrupted at threads=8 resumes
+  /// correctly at threads=1 and vice versa.
+  ///
+  /// With threads > 1 the cell callables run concurrently (possibly several
+  /// repetitions of the same cell at once), so `run_once`/`fresh` must not
+  /// share unsynchronized mutable state — build per-repetition state inside
+  /// the callables instead of capturing a shared cluster/engine.
+  int threads = 1;
 };
 
 struct CampaignCellResult {

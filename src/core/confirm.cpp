@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace cloudrepro::core {
 
 ConfirmAnalysis confirm_analysis(std::span<const double> measurements,
@@ -15,21 +17,30 @@ ConfirmAnalysis confirm_analysis(std::span<const double> measurements,
   }
 
   ConfirmAnalysis analysis;
-  analysis.points.reserve(measurements.size());
+  analysis.points.resize(measurements.size());
 
-  for (std::size_t n = 1; n <= measurements.size(); ++n) {
-    const auto prefix = measurements.subspan(0, n);
-    const auto ci = stats::quantile_ci(prefix, options.quantile, options.confidence);
+  // Each prefix's CI is independent of every other prefix's, so the
+  // quadratic sweep fans out across workers; point i lands in its
+  // pre-assigned slot, keeping the analysis bit-identical at any thread
+  // count. Widening detection and repetitions_needed below reduce over the
+  // points in fixed order on this thread.
+  runtime::parallel_for_each(
+      options.threads, measurements.size(), [&](std::size_t i) {
+        const std::size_t n = i + 1;
+        const auto prefix = measurements.subspan(0, n);
+        const auto ci =
+            stats::quantile_ci(prefix, options.quantile, options.confidence);
 
-    ConfirmPoint p;
-    p.repetitions = n;
-    p.estimate = ci.estimate;
-    p.ci_lower = ci.lower;
-    p.ci_upper = ci.upper;
-    p.ci_valid = ci.valid;
-    p.within_bound = ci.valid && ci.relative_half_width() <= options.error_bound;
-    analysis.points.push_back(p);
-  }
+        ConfirmPoint p;
+        p.repetitions = n;
+        p.estimate = ci.estimate;
+        p.ci_lower = ci.lower;
+        p.ci_upper = ci.upper;
+        p.ci_valid = ci.valid;
+        p.within_bound =
+            ci.valid && ci.relative_half_width() <= options.error_bound;
+        analysis.points[i] = p;
+      });
 
   // Widening detection (the Figure 19 Q65 signature). Small-n CIs
   // legitimately fluctuate as new order statistics arrive, so we compare the

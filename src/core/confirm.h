@@ -31,6 +31,12 @@ struct ConfirmOptions {
   double quantile = 0.5;       ///< Median by default; 0.9 for tail analyses.
   double confidence = 0.95;
   double error_bound = 0.01;   ///< 1% in Figure 13, 10% in Figure 19.
+
+  /// Worker threads for the per-prefix CI computation (the O(N^2) part of
+  /// the analysis): 1 = serial, 0 = hardware concurrency. Every prefix's CI
+  /// is an independent pure function of the data, so the analysis is
+  /// bit-identical across thread counts.
+  int threads = 1;
 };
 
 struct ConfirmAnalysis {

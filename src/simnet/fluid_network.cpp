@@ -1,6 +1,7 @@
 #include "simnet/fluid_network.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@ namespace cloudrepro::simnet {
 namespace {
 constexpr double kTimeEpsilon = 1e-9;
 constexpr double kBytesEpsilon = 1e-12;
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 }  // namespace
 
 NodeId FluidNetwork::add_node(std::unique_ptr<QosPolicy> egress, double ingress_cap_gbps) {
@@ -17,6 +19,8 @@ NodeId FluidNetwork::add_node(std::unique_ptr<QosPolicy> egress, double ingress_
     throw std::invalid_argument{"FluidNetwork::add_node: ingress cap must be positive"};
   }
   nodes_.push_back(Node{std::move(egress), ingress_cap_gbps});
+  egress_rate_.push_back(0.0);
+  ingress_rate_.push_back(0.0);
   return nodes_.size() - 1;
 }
 
@@ -38,6 +42,7 @@ FlowId FluidNetwork::start_flow(NodeId src, NodeId dst, double gbit) {
   f.active = true;
   f.start_time = now_;
   flows_.push_back(f);
+  active_slot_.push_back(active_ids_.size());
   active_ids_.push_back(flows_.size() - 1);
   return flows_.size() - 1;
 }
@@ -45,20 +50,49 @@ FlowId FluidNetwork::start_flow(NodeId src, NodeId dst, double gbit) {
 void FluidNetwork::stop_flow(FlowId id) {
   Flow& f = flows_.at(id);
   if (!f.active) return;
+  deactivate(id);  // Subtracts the still-current allocation from the caches.
   f.active = false;
   f.end_time = now_;
   f.rate_gbps = 0.0;
-  deactivate(id);
 }
 
 void FluidNetwork::deactivate(FlowId id) {
-  for (auto& slot : active_ids_) {
-    if (slot == id) {
-      slot = active_ids_.back();
-      active_ids_.pop_back();
-      return;
-    }
+  const std::size_t slot = active_slot_[id];
+  if (slot == kNoSlot) return;
+  remove_active_at(slot);
+}
+
+void FluidNetwork::remove_active_at(std::size_t slot) {
+  const FlowId id = active_ids_[slot];
+  const Flow& f = flows_[id];
+  egress_rate_[f.src] -= f.rate_gbps;
+  ingress_rate_[f.dst] -= f.rate_gbps;
+  active_slot_[id] = kNoSlot;
+  active_ids_[slot] = active_ids_.back();
+  active_ids_.pop_back();
+  if (slot < active_ids_.size()) active_slot_[active_ids_[slot]] = slot;
+}
+
+void FluidNetwork::assert_rate_caches() const {
+#ifndef NDEBUG
+  std::vector<double> egress(nodes_.size(), 0.0);
+  std::vector<double> ingress(nodes_.size(), 0.0);
+  for (const FlowId fid : active_ids_) {
+    const Flow& f = flows_[fid];
+    egress[f.src] += f.rate_gbps;
+    ingress[f.dst] += f.rate_gbps;
   }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Tolerance: decremental updates between allocations reassociate the
+    // floating-point sum, so exact equality only holds right after
+    // allocate_rates.
+    const double tol = 1e-9 * std::max(1.0, std::fabs(egress[i]) + std::fabs(ingress[i]));
+    assert(std::fabs(egress_rate_[i] - egress[i]) <= tol &&
+           "FluidNetwork: cached egress rate diverged from active set");
+    assert(std::fabs(ingress_rate_[i] - ingress[i]) <= tol &&
+           "FluidNetwork: cached ingress rate diverged from active set");
+  }
+#endif
 }
 
 std::size_t FluidNetwork::active_flow_count() const noexcept {
@@ -85,15 +119,15 @@ void FluidNetwork::fail_node(NodeId id) {
   Node& node = nodes_.at(id);
   if (node.failed) return;
   node.failed = true;
+  // Reverse order so a swap-erase only moves an already-examined id.
   for (std::size_t i = active_ids_.size(); i-- > 0;) {
     const FlowId fid = active_ids_[i];
     Flow& f = flows_[fid];
     if (f.src == id || f.dst == id) {
+      remove_active_at(i);
       f.active = false;
       f.end_time = now_;
       f.rate_gbps = 0.0;
-      active_ids_[i] = active_ids_.back();
-      active_ids_.pop_back();
     }
   }
 }
@@ -105,21 +139,13 @@ double FluidNetwork::node_allowed_rate(NodeId id) const {
 }
 
 double FluidNetwork::node_egress_rate(NodeId id) const {
-  double rate = 0.0;
-  for (const FlowId fid : active_ids_) {
-    const Flow& f = flows_[fid];
-    if (f.src == id) rate += f.rate_gbps;
-  }
-  return rate;
+  assert_rate_caches();
+  return egress_rate_.at(id);
 }
 
 double FluidNetwork::node_ingress_rate(NodeId id) const {
-  double rate = 0.0;
-  for (const FlowId fid : active_ids_) {
-    const Flow& f = flows_[fid];
-    if (f.dst == id) rate += f.rate_gbps;
-  }
-  return rate;
+  assert_rate_caches();
+  return ingress_rate_.at(id);
 }
 
 void FluidNetwork::allocate_rates() {
@@ -184,6 +210,17 @@ void FluidNetwork::allocate_rates() {
     }
     unfrozen.swap(still_unfrozen);
   }
+
+  // Rebuild the per-node aggregate caches. Iterating active_ids_ in order
+  // accumulates each node's sum in the same order the removed per-query
+  // scan did, so cached values are bit-identical to a rescan here.
+  std::fill(egress_rate_.begin(), egress_rate_.end(), 0.0);
+  std::fill(ingress_rate_.begin(), ingress_rate_.end(), 0.0);
+  for (const FlowId id : active_ids_) {
+    const Flow& f = flows_[id];
+    egress_rate_[f.src] += f.rate_gbps;
+    ingress_rate_[f.dst] += f.rate_gbps;
+  }
 }
 
 void FluidNetwork::step_once(double t_bound) {
@@ -227,12 +264,11 @@ void FluidNetwork::step_once(double t_bound) {
     const FlowId fid = active_ids_[i];
     Flow& f = flows_[fid];
     if (std::isfinite(f.remaining_gbit) && f.remaining_gbit <= kBytesEpsilon) {
+      remove_active_at(i);
       f.remaining_gbit = 0.0;
       f.active = false;
       f.end_time = now_;
       f.rate_gbps = 0.0;
-      active_ids_[i] = active_ids_.back();
-      active_ids_.pop_back();
     }
   }
 }

@@ -78,10 +78,11 @@ class FluidNetwork {
   QosPolicy& node_qos(NodeId id) { return *nodes_.at(id).egress; }
   const QosPolicy& node_qos(NodeId id) const { return *nodes_.at(id).egress; }
 
-  /// Aggregate egress rate of a node under the current allocation.
+  /// Aggregate egress rate of a node under the current allocation. O(1):
+  /// served from a cache maintained by `allocate_rates` and flow removal.
   double node_egress_rate(NodeId id) const;
 
-  /// Aggregate ingress rate of a node under the current allocation.
+  /// Aggregate ingress rate of a node under the current allocation. O(1).
   double node_ingress_rate(NodeId id) const;
 
   // --- Fault-injection hooks (src/faults drives these) ---------------------
@@ -127,14 +128,22 @@ class FluidNetwork {
   };
 
   /// Computes the max-min fair allocation for all active flows
-  /// (progressive filling).
+  /// (progressive filling) and rebuilds the per-node rate caches.
   void allocate_rates();
 
   /// Advances one event step, never past `t_bound`.
   void step_once(double t_bound);
 
-  /// Removes an id from the active index (swap-erase).
+  /// Removes an id from the active index (O(1) via the slot index).
   void deactivate(FlowId id);
+
+  /// Swap-erases `active_ids_[slot]`, maintaining the slot index and
+  /// subtracting the removed flow's allocation from the rate caches.
+  void remove_active_at(std::size_t slot);
+
+  /// Debug-only: verifies the cached per-node aggregates against a fresh
+  /// rescan of the active set. Compiles to nothing under NDEBUG.
+  void assert_rate_caches() const;
 
   std::vector<Node> nodes_;
   std::vector<Flow> flows_;
@@ -142,6 +151,16 @@ class FluidNetwork {
   /// thousands of completed flow records; every per-step scan must touch
   /// only the live ones or week-long simulations go quadratic.
   std::vector<FlowId> active_ids_;
+  /// Position of each flow in `active_ids_` (`kNoSlot` when inactive), so
+  /// removal never scans the live set — all-to-all shuffles and `fail_node`
+  /// deactivate flows constantly.
+  std::vector<std::size_t> active_slot_;
+  /// Per-node aggregate rates under the current allocation, rebuilt by
+  /// `allocate_rates` and decremented on flow removal, making
+  /// `node_egress_rate`/`node_ingress_rate` O(1) instead of O(active
+  /// flows) — they are called per node per event step.
+  std::vector<double> egress_rate_;
+  std::vector<double> ingress_rate_;
   double now_ = 0.0;
   StepObserver observer_;
 };

@@ -8,6 +8,14 @@ namespace cloudrepro::stats {
 
 namespace {
 
+/// std::lgamma writes the global `signgam` and is therefore not
+/// thread-safe; campaigns evaluate CIs on these functions concurrently.
+/// The reentrant lgamma_r returns bit-identical values.
+double lgamma_ts(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+
 /// Continued-fraction kernel for the incomplete beta (Lentz's method).
 double beta_continued_fraction(double a, double b, double x) {
   constexpr int kMaxIterations = 300;
@@ -50,7 +58,7 @@ double incomplete_beta(double a, double b, double x) {
   if (a <= 0.0 || b <= 0.0) throw std::invalid_argument{"incomplete_beta: a, b must be positive"};
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
-  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+  const double ln_front = lgamma_ts(a + b) - lgamma_ts(a) - lgamma_ts(b) +
                           a * std::log(x) + b * std::log1p(-x);
   const double front = std::exp(ln_front);
   if (x < (a + 1.0) / (a + b + 2.0)) {
@@ -73,7 +81,7 @@ double incomplete_gamma_p(double a, double x) {
       sum += del;
       if (std::fabs(del) < std::fabs(sum) * 3e-15) break;
     }
-    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    return sum * std::exp(-x + a * std::log(x) - lgamma_ts(a));
   }
   // Continued fraction for Q(a, x), then P = 1 - Q.
   constexpr double kTiny = 1e-300;
@@ -93,7 +101,7 @@ double incomplete_gamma_p(double a, double x) {
     h *= del;
     if (std::fabs(del - 1.0) < 3e-15) break;
   }
-  const double q = std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  const double q = std::exp(-x + a * std::log(x) - lgamma_ts(a)) * h;
   return 1.0 - q;
 }
 
@@ -161,9 +169,9 @@ double chi_squared_cdf(double x, double df) {
 
 double log_binomial_coefficient(long long n, long long k) {
   if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return lgamma_ts(static_cast<double>(n) + 1.0) -
+         lgamma_ts(static_cast<double>(k) + 1.0) -
+         lgamma_ts(static_cast<double>(n - k) + 1.0);
 }
 
 double binomial_cdf(long long k, long long n, double p) {
