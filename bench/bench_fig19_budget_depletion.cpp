@@ -17,6 +17,8 @@
 #include "cloud/instances.h"
 #include "core/confirm.h"
 #include "core/report.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "simnet/qos.h"
 #include "stats/descriptive.h"
 
@@ -74,6 +76,54 @@ void detail(const char* name, const std::vector<double>& runtimes) {
             << "\n\n";
 }
 
+#if CLOUDREPRO_OBS
+/// The same depletion story, but read off the simulator's event trace
+/// instead of engine-level results: every token-bucket high->low transition
+/// is a `bucket_depleted` instant stamped with simulated time, so the
+/// depletion timeline of each budget phase falls out of the trace directly.
+void traced_depletion_timeline() {
+  cloudrepro::bench::section(
+      "Trace-derived depletion timeline (TPC-DS Q65, from bucket_depleted events)");
+  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+  const simnet::TokenBucketQos proto{bucket};
+  const auto query = bigdata::tpcds_query(65);
+  // Separate stream: this section must not perturb the figures above.
+  stats::Rng rng{cloudrepro::bench::kBenchSeed ^ 0xf19ULL};
+
+  core::TablePrinter t{{"Budget phase", "Runs depleting", "First depletion [s]",
+                        "Depletions/run"}};
+  for (const double budget : kBudgetSchedule) {
+    obs::Tracer tracer;
+    bigdata::EngineOptions opt;
+    opt.partition_skew = 0.5;
+    opt.tracer = &tracer;
+    bigdata::SparkEngine engine{opt};
+
+    std::vector<double> first_depletion;
+    std::size_t total_depletions = 0;
+    for (int rep = 0; rep < 10; ++rep) {
+      tracer.clear();
+      auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
+      cluster.set_token_budgets(budget);
+      engine.run(query, cluster, rng);
+      const auto depletions = tracer.events_named("bucket_depleted");
+      total_depletions += depletions.size();
+      if (!depletions.empty()) first_depletion.push_back(depletions.front().ts_s);
+    }
+    t.add_row({core::fmt(budget, 0) + " Gbit",
+               std::to_string(first_depletion.size()) + "/10",
+               first_depletion.empty() ? std::string{"-"}
+                                       : core::fmt(stats::median(first_depletion), 1),
+               core::fmt(static_cast<double>(total_depletions) / 10.0, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "Small budgets deplete within seconds of the first shuffle; the\n"
+               "5000 Gbit phase never transitions. The timeline above is computed\n"
+               "from trace events alone — the observability layer sees the same\n"
+               "hidden state the runtime statistics only show indirectly.\n\n";
+}
+#endif
+
 }  // namespace
 
 int main() {
@@ -84,6 +134,13 @@ int main() {
 
   detail("TPC-DS Query 82 (budget-agnostic)", run_schedule(bigdata::tpcds_query(82), rng));
   detail("TPC-DS Query 65 (budget-dependent)", run_schedule(bigdata::tpcds_query(65), rng));
+
+#if CLOUDREPRO_OBS
+  traced_depletion_timeline();
+#else
+  std::cout << "(trace-derived depletion timeline omitted: built with "
+               "CLOUDREPRO_OBS=OFF)\n\n";
+#endif
 
   cloudrepro::bench::section("All 21 queries: how many produce poor median estimates?");
   int poor = 0;

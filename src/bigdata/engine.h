@@ -10,6 +10,11 @@
 #include "faults/fault_plan.h"
 #include "stats/rng.h"
 
+namespace cloudrepro::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace cloudrepro::obs
+
 namespace cloudrepro::bigdata {
 
 /// One point of a per-node network timeline (Figures 15 and 18): the mean
@@ -135,6 +140,15 @@ struct EngineOptions {
 
   RetryPolicy retry;
   SpeculationPolicy speculation;
+
+  /// Observability sinks (either may be null; see src/obs). When set, each
+  /// run wires them through the fluid network and fault injector, records
+  /// stage / job spans and crash / retry / speculation instants in simulated
+  /// time, and bumps the `engine.*` counters — which reconcile exactly with
+  /// the job's `RecoveryStats`. Ignored when CLOUDREPRO_OBS compiles the
+  /// instrumentation out.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Median-over-slowest straggler ratio from per-node effective rates, with

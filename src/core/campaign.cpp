@@ -1,5 +1,6 @@
 #include "core/campaign.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -7,6 +8,7 @@
 #include <fstream>
 #include <iomanip>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -14,6 +16,9 @@
 #include <utility>
 
 #include "core/report.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace cloudrepro::core {
@@ -199,6 +204,36 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
     }
   }
 
+#if CLOUDREPRO_OBS
+  // Observability sinks: external when supplied, owned when only a path was
+  // given. All campaign events live in the wall-clock domain (track 0,
+  // seconds since campaign start) — per-measurement sim time is the cells'
+  // business, not ours.
+  std::unique_ptr<obs::Tracer> owned_tracer;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics;
+  obs::Tracer* tracer = options.tracer;
+  obs::MetricsRegistry* metrics = options.metrics;
+  if (!tracer && !options.trace_path.empty()) {
+    owned_tracer = std::make_unique<obs::Tracer>();
+    tracer = owned_tracer.get();
+  }
+  if (!metrics && !options.metrics_path.empty()) {
+    owned_metrics = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics.get();
+  }
+  obs::Histogram* h_cell_wall =
+      metrics ? &metrics->histogram("campaign.cell_wall_s") : nullptr;
+  obs::Histogram* h_queue_depth =
+      metrics ? &metrics->histogram("campaign.journal_queue_depth") : nullptr;
+  obs::Counter* c_executed =
+      metrics ? &metrics->counter("campaign.measurements_executed") : nullptr;
+  const auto obs_t0 = std::chrono::steady_clock::now();
+  const auto wall_s = [obs_t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - obs_t0)
+        .count();
+  };
+#endif
+
   CampaignResult result;
   result.seed = seed;
   result.seed_recorded = true;
@@ -273,9 +308,20 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
           budget_exhausted = true;
           break;
         }
+        CLOUDREPRO_OBS_STMT(const double m_start = wall_s();)
         cells[idx].fresh();
         stats::Rng rep_rng{repetition_seed(seed, idx, r)};
         const double value = cells[idx].run_once(rep_rng);
+        CLOUDREPRO_OBS_STMT(
+            const double m_dur = wall_s() - m_start;
+            if (h_cell_wall) h_cell_wall->observe(m_dur);
+            if (c_executed) c_executed->add();
+            if (tracer) {
+              tracer->complete(m_start, m_dur, "campaign", "measurement",
+                               {"cell", static_cast<double>(idx)},
+                               {"rep", static_cast<double>(r)},
+                               static_cast<std::uint32_t>(idx), 0);
+            })
         out.values.push_back(value);
         ++executed;
         if (journal.is_open()) {
@@ -320,9 +366,20 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
         pool.submit([&, t] {
           try {
             const auto [idx, r] = pending[t];
+            CLOUDREPRO_OBS_STMT(const double m_start = wall_s();)
             cells[idx].fresh();
             stats::Rng rep_rng{repetition_seed(seed, idx, r)};
             const double value = cells[idx].run_once(rep_rng);
+            CLOUDREPRO_OBS_STMT(
+                const double m_dur = wall_s() - m_start;
+                if (h_cell_wall) h_cell_wall->observe(m_dur);
+                if (c_executed) c_executed->add();
+                if (tracer) {
+                  tracer->complete(m_start, m_dur, "campaign", "measurement",
+                                   {"cell", static_cast<double>(idx)},
+                                   {"rep", static_cast<double>(r)},
+                                   static_cast<std::uint32_t>(idx), 0);
+                })
             std::lock_guard<std::mutex> lock{mu};
             task_values[t] = value;
             completed.push_back(t);
@@ -341,6 +398,12 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
         completion_cv.wait(lock, [&] {
           return !completed.empty() || finished == pending.size();
         });
+        // Queue depth at wake-up: how far the workers have run ahead of the
+        // single journal writer.
+        CLOUDREPRO_OBS_STMT(
+            if (h_queue_depth) {
+              h_queue_depth->observe(static_cast<double>(completed.size()));
+            })
         while (!completed.empty()) {
           const std::size_t t = completed.front();
           completed.pop_front();
@@ -405,6 +468,35 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
       break;
     }
   }
+
+#if CLOUDREPRO_OBS
+  if (metrics && result.resumed_measurements > 0) {
+    metrics->counter("campaign.measurements_resumed")
+        .add(static_cast<double>(result.resumed_measurements));
+  }
+  if (tracer) {
+    tracer->complete(0.0, wall_s(), "campaign", "campaign",
+                     {"cells", static_cast<double>(cells.size())},
+                     {"reps", static_cast<double>(options.repetitions_per_cell)},
+                     0, 0);
+  }
+  if (tracer && !options.trace_path.empty()) {
+    std::ofstream out{options.trace_path};
+    if (!out) {
+      throw std::runtime_error{"run_campaign: cannot write trace " +
+                               options.trace_path.string()};
+    }
+    tracer->write_chrome_json(out);
+  }
+  if (metrics && !options.metrics_path.empty()) {
+    std::ofstream out{options.metrics_path};
+    if (!out) {
+      throw std::runtime_error{"run_campaign: cannot write metrics " +
+                               options.metrics_path.string()};
+    }
+    metrics->write_json(out);
+  }
+#endif
   return result;
 }
 

@@ -10,6 +10,11 @@
 #include "core/experiment.h"
 #include "stats/hypothesis.h"
 
+namespace cloudrepro::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace cloudrepro::obs
+
 namespace cloudrepro::core {
 
 /// Experiment campaigns: a grid of configurations, each run as a full
@@ -73,6 +78,28 @@ struct CampaignOptions {
   /// share unsynchronized mutable state — build per-repetition state inside
   /// the callables instead of capturing a shared cluster/engine.
   int threads = 1;
+
+  // --- Observability (src/obs) -------------------------------------------
+  // None of these participate in the journal header: instrumentation does
+  // not change what a campaign computes, so a journal written with tracing
+  // on resumes with tracing off and vice versa.
+
+  /// When non-empty, the campaign writes a chrome://tracing-loadable
+  /// trace_event JSON file here on completion.
+  std::filesystem::path trace_path{};
+
+  /// When non-empty, the campaign writes a metrics-registry JSON snapshot
+  /// here on completion.
+  std::filesystem::path metrics_path{};
+
+  /// External sinks. When null and the corresponding path above is set, the
+  /// campaign creates (and owns) its own. Campaign instrumentation records
+  /// per-measurement wall-time spans (lane = cell index, track 0), a
+  /// `campaign.cell_wall_s` histogram, the journal-writer queue depth, and
+  /// `campaign.measurements_executed` / `campaign.measurements_resumed`
+  /// counters. Ignored when CLOUDREPRO_OBS compiles instrumentation out.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct CampaignCellResult {

@@ -1,6 +1,10 @@
 #include "faults/injector.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace cloudrepro::faults {
 
@@ -18,6 +22,13 @@ FaultEvent FaultInjector::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), later);
   const FaultEvent event = heap_.back().event;
   heap_.pop_back();
+  CLOUDREPRO_OBS_STMT(
+      if (tracer_) {
+        tracer_->instant(event.at_s, "faults", to_string(event.kind),
+                         {"node", static_cast<double>(event.node)},
+                         {"magnitude", event.magnitude},
+                         static_cast<std::uint32_t>(event.node), 1);
+      })
   return event;
 }
 

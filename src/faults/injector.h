@@ -6,6 +6,10 @@
 
 #include "faults/fault_plan.h"
 
+namespace cloudrepro::obs {
+class Tracer;
+}  // namespace cloudrepro::obs
+
 namespace cloudrepro::faults {
 
 /// Time-ordered cursor over a `FaultPlan` plus any synthetic follow-up
@@ -38,6 +42,12 @@ class FaultInjector {
   /// window, encoded as a kTransientSlowdown with magnitude 1).
   void schedule(FaultEvent event);
 
+  /// Attaches a tracer (null clears): every popped event — planned faults
+  /// and synthetic follow-ups alike — is recorded as an instant at its
+  /// scheduled simulated time, lane = struck node, named after its kind.
+  /// No-op when the observability layer is compiled out.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   struct Entry {
     FaultEvent event;
@@ -50,6 +60,7 @@ class FaultInjector {
 
   std::vector<Entry> heap_;  ///< Min-heap via `later` as std::push_heap comparator.
   std::size_t next_seq_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace cloudrepro::faults

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cloudrepro::obs {
+
+namespace {
+
+/// JSON-safe number: shortest round-trip form; non-finite values (which JSON
+/// cannot carry) degrade to null rather than corrupting the document.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream ss;
+  ss << std::setprecision(17) << v;
+  return ss.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_{bounds.begin(), bounds.end()}, buckets_(bounds.size() + 1) {
+  if (bounds_.empty()) {
+    bounds_ = default_bounds();
+    buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument{"Histogram: bounds must be sorted ascending"};
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  std::size_t b = bounds_.size();  // Overflow bucket by default.
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      b = i;
+      break;
+    }
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  if (prev == 0) {
+    // First observation seeds min/max; racing observers correct it below.
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+    zero = 0.0;
+    max_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+  }
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.bounds = bounds_;
+  s.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) s.buckets.push_back(b.load(std::memory_order_relaxed));
+  return s;
+}
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b < 1.5e5; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock{mu_};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock{mu_};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock{mu_};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string{name}, std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+double MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0.0;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->value() : 0.0;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << json_number(c->value());
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << json_number(g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    const auto s = h->snapshot();
+    os << '"' << json_escape(name) << "\":{\"count\":" << s.count
+       << ",\"sum\":" << json_number(s.sum) << ",\"min\":" << json_number(s.min)
+       << ",\"max\":" << json_number(s.max) << ",\"mean\":" << json_number(s.mean())
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":"
+         << (i < s.bounds.size() ? json_number(s.bounds[i]) : std::string{"\"inf\""})
+         << ",\"count\":" << s.buckets[i] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream ss;
+  write_json(ss);
+  return ss.str();
+}
+
+}  // namespace cloudrepro::obs

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudrepro::obs {
+
+/// Monotonic counter (thread-safe, lock-free). Counters are created through
+/// a `MetricsRegistry` and have stable addresses for the registry's
+/// lifetime, so hot paths cache `Counter*` handles and pay one relaxed
+/// atomic add per increment — no name lookup, no lock.
+class Counter {
+ public:
+  void add(double delta = 1.0) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins instantaneous value (thread-safe).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of a histogram: cumulative-style bucket counts plus
+/// the moment statistics every exported summary needs.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< Meaningless when count == 0.
+  double max = 0.0;
+  std::vector<double> bounds;        ///< Upper bucket bounds (inclusive).
+  std::vector<std::uint64_t> buckets;///< bounds.size() + 1 entries; last = overflow.
+
+  double mean() const noexcept { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Fixed-bound histogram (thread-safe observe, lock-free counts). Bounds are
+/// immutable after construction; `observe` does a branchless-ish linear scan
+/// over them (bucket counts are small — default 25 bounds).
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double value) noexcept;
+
+  HistogramSnapshot snapshot() const;
+
+  /// Default bounds: powers of 4 spanning ~1 microsecond to ~1 day, which
+  /// covers both wall-clock spans and simulated-seconds durations.
+  static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1.
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Named registry of counters, gauges, and histograms.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a mutex and is meant
+/// for setup paths; the returned references stay valid and lock-free for the
+/// registry's lifetime. `write_json` snapshots everything under the same
+/// mutex, so an export taken while workers are mid-increment is a consistent
+/// name set (values are read with relaxed loads — fine for telemetry).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named counter, creating it on first use.
+  Counter& counter(std::string_view name);
+
+  /// Returns the named gauge, creating it on first use.
+  Gauge& gauge(std::string_view name);
+
+  /// Returns the named histogram, creating it on first use with the given
+  /// bounds (empty = `Histogram::default_bounds()`). Bounds of an existing
+  /// histogram are never changed.
+  Histogram& histogram(std::string_view name, std::span<const double> bounds = {});
+
+  /// Current value of a counter/gauge; 0 when the name was never registered
+  /// (convenient for reconciliation checks and tests).
+  double counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+
+  /// Deterministically ordered (name-sorted) JSON snapshot:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace cloudrepro::obs

@@ -1,0 +1,28 @@
+#pragma once
+
+// Compile-time gate for the observability layer (metrics + tracing).
+//
+// The build defines CLOUDREPRO_OBS=0/1 globally (CMake option CLOUDREPRO_OBS,
+// ON by default). With the gate off, every instrumentation statement in the
+// hot layers (simnet, bigdata, faults, core/campaign) compiles to nothing, so
+// the uninstrumented binary is bit-for-bit free of tracer/metrics branches —
+// `BM_FluidAggregateRate` / `BM_CampaignParallel` verify the instrumented
+// build stays within noise of this baseline.
+//
+// The obs *library* itself (Tracer, MetricsRegistry) always builds; only the
+// call sites in other layers are gated, so user code can still construct and
+// export traces explicitly in either configuration.
+
+#ifndef CLOUDREPRO_OBS
+#define CLOUDREPRO_OBS 1
+#endif
+
+// Wraps instrumentation statements: expands to its arguments when the
+// observability layer is compiled in, to nothing otherwise. Usage:
+//
+//   CLOUDREPRO_OBS_STMT(if (tracer_) tracer_->instant(now_, "simnet", "x");)
+#if CLOUDREPRO_OBS
+#define CLOUDREPRO_OBS_STMT(...) __VA_ARGS__
+#else
+#define CLOUDREPRO_OBS_STMT(...)
+#endif

@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cloudrepro::obs {
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream ss;
+  ss << std::setprecision(17) << v;
+  return ss.str();
+}
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
+}
+
+/// One trace_event object. Shared by both export formats — the JSONL stream
+/// is simply the same objects newline-delimited instead of array-wrapped.
+void write_event_json(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+     << json_escape(e.category) << "\",\"ph\":\"" << static_cast<char>(e.phase)
+     << "\",\"ts\":" << json_number(e.ts_s * 1e6);
+  if (e.phase == TracePhase::kComplete) {
+    os << ",\"dur\":" << json_number(e.dur_s * 1e6);
+  }
+  if (e.phase == TracePhase::kInstant) {
+    os << ",\"s\":\"t\"";  // Thread-scoped instant marker.
+  }
+  os << ",\"pid\":" << e.track << ",\"tid\":" << e.lane << ",\"args\":{";
+  bool first = true;
+  for (const TraceArg* a : {&e.arg0, &e.arg1}) {
+    if (!a->key) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(a->key) << "\":" << json_number(a->value);
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument{"Tracer: capacity must be positive"};
+  ring_.resize(capacity);
+}
+
+void Tracer::emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock{mu_};
+  TraceEvent& slot = ring_[static_cast<std::size_t>(emitted_ % ring_.size())];
+  slot = event;
+  slot.seq = emitted_;
+  ++emitted_;
+}
+
+void Tracer::instant(double ts_s, const char* category, const char* name,
+                     TraceArg arg0, TraceArg arg1, std::uint32_t lane,
+                     std::uint32_t track) {
+  emit(TraceEvent{ts_s, 0.0, category, name, TracePhase::kInstant, lane, track,
+                  arg0, arg1, 0});
+}
+
+void Tracer::complete(double ts_s, double dur_s, const char* category,
+                      const char* name, TraceArg arg0, TraceArg arg1,
+                      std::uint32_t lane, std::uint32_t track) {
+  emit(TraceEvent{ts_s, dur_s, category, name, TracePhase::kComplete, lane, track,
+                  arg0, arg1, 0});
+}
+
+std::size_t Tracer::capacity() const noexcept { return ring_.size(); }
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return static_cast<std::size_t>(
+      emitted_ < ring_.size() ? emitted_ : static_cast<std::uint64_t>(ring_.size()));
+}
+
+std::uint64_t Tracer::emitted() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return emitted_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return emitted_ < ring_.size() ? 0 : emitted_ - ring_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock{mu_};
+  emitted_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  std::vector<TraceEvent> out;
+  const std::uint64_t n =
+      emitted_ < ring_.size() ? emitted_ : static_cast<std::uint64_t>(ring_.size());
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = emitted_ - n; i < emitted_; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i % ring_.size())]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::events_named(const char* name) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : snapshot()) {
+    if (std::strcmp(e.name, name) == 0) out.push_back(e);
+  }
+  return out;
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  const auto events = snapshot();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '\n';
+    write_event_json(os, events[i]);
+  }
+  os << "\n]}\n";
+}
+
+void Tracer::write_jsonl(std::ostream& os) const {
+  for (const auto& e : snapshot()) {
+    write_event_json(os, e);
+    os << '\n';
+  }
+}
+
+}  // namespace cloudrepro::obs

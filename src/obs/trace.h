@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace cloudrepro::obs {
+
+/// One named numeric payload attached to a trace event. Keys must be string
+/// literals (or otherwise outlive the tracer): events are POD so that emit
+/// is a mutex acquire plus a struct copy — no allocation on the hot path.
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+/// Chrome trace_event phases we emit. kInstant marks a point in time
+/// ("ph":"i"); kComplete is a span with a duration ("ph":"X").
+enum class TracePhase : char {
+  kInstant = 'i',
+  kComplete = 'X',
+};
+
+struct TraceEvent {
+  double ts_s = 0.0;   ///< Event timestamp (simulated or wall seconds).
+  double dur_s = 0.0;  ///< Span length for kComplete; ignored for kInstant.
+  const char* category = "";
+  const char* name = "";
+  TracePhase phase = TracePhase::kInstant;
+  std::uint32_t lane = 0;   ///< Chrome "tid": a row within a track (e.g. node id).
+  std::uint32_t track = 0;  ///< Chrome "pid": a time domain (0 wall, 1 sim).
+  TraceArg arg0{};
+  TraceArg arg1{};
+  std::uint64_t seq = 0;  ///< Global emit order (survives ring wraparound).
+};
+
+/// Structured event tracer with a bounded ring buffer.
+///
+/// Producers (the simulator, the engine, the campaign scheduler) emit
+/// timestamped instants and spans; the ring keeps the most recent
+/// `capacity()` events and counts the rest as dropped, so week-long
+/// simulations cannot grow memory without bound. Emission is thread-safe —
+/// the PR 3 parallel campaign runtime runs repetitions concurrently against
+/// one tracer — and cheap: a mutex plus a 96-byte struct copy.
+///
+/// Timestamps are caller-supplied seconds. Simulation layers pass simulated
+/// time; the campaign layer passes wall seconds since campaign start, on a
+/// separate `track` so the two domains stay on separate timelines in
+/// chrome://tracing.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Point event at `ts_s`.
+  void instant(double ts_s, const char* category, const char* name,
+               TraceArg arg0 = {}, TraceArg arg1 = {}, std::uint32_t lane = 0,
+               std::uint32_t track = 0);
+
+  /// Span [ts_s, ts_s + dur_s].
+  void complete(double ts_s, double dur_s, const char* category, const char* name,
+                TraceArg arg0 = {}, TraceArg arg1 = {}, std::uint32_t lane = 0,
+                std::uint32_t track = 0);
+
+  std::size_t capacity() const noexcept;
+  std::size_t size() const;            ///< Events currently retained.
+  std::uint64_t emitted() const;       ///< Events ever emitted.
+  std::uint64_t dropped() const;       ///< Events overwritten by wraparound.
+  void clear();
+
+  /// Retained events, oldest first (emission order).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Retained events whose name matches exactly, oldest first.
+  std::vector<TraceEvent> events_named(const char* name) const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}), loadable in
+  /// chrome://tracing / Perfetto. Timestamps convert to microseconds.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// One JSON object per line, for streaming consumers (jq, log shippers).
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  void emit(const TraceEvent& event);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace cloudrepro::obs

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace cloudrepro::simnet {
 
@@ -21,7 +26,53 @@ NodeId FluidNetwork::add_node(std::unique_ptr<QosPolicy> egress, double ingress_
   nodes_.push_back(Node{std::move(egress), ingress_cap_gbps});
   egress_rate_.push_back(0.0);
   ingress_rate_.push_back(0.0);
+  CLOUDREPRO_OBS_STMT(if (tracer_) install_bucket_hook(nodes_.size() - 1);)
   return nodes_.size() - 1;
+}
+
+void FluidNetwork::set_observability(obs::Tracer* tracer,
+                                     obs::MetricsRegistry* metrics) {
+#if CLOUDREPRO_OBS
+  tracer_ = tracer;
+  if (metrics) {
+    c_allocations_ = &metrics->counter("simnet.allocations");
+    c_steps_ = &metrics->counter("simnet.steps");
+    c_flows_started_ = &metrics->counter("simnet.flows_started");
+    c_flows_completed_ = &metrics->counter("simnet.flows_completed");
+  } else {
+    c_allocations_ = c_steps_ = c_flows_started_ = c_flows_completed_ = nullptr;
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    install_bucket_hook(id);
+  }
+#else
+  (void)tracer;
+  (void)metrics;
+#endif
+}
+
+void FluidNetwork::install_bucket_hook(NodeId id) {
+  auto* tb = dynamic_cast<TokenBucketQos*>(nodes_[id].egress.get());
+  if (!tb) return;
+  if (!tracer_) {
+    tb->bucket().set_transition_hook(nullptr, nullptr);
+    return;
+  }
+  bucket_hooks_.push_back(std::make_unique<BucketHookCtx>(BucketHookCtx{this, id}));
+  tb->bucket().set_transition_hook(&FluidNetwork::bucket_transition_hook,
+                                   bucket_hooks_.back().get());
+}
+
+void FluidNetwork::bucket_transition_hook(void* ctx, bool to_low,
+                                          double budget_gbit) {
+  const auto* c = static_cast<BucketHookCtx*>(ctx);
+  FluidNetwork* net = c->net;
+  if (!net->tracer_) return;
+  net->tracer_->instant(net->step_end_, "simnet",
+                        to_low ? "bucket_depleted" : "bucket_recovered",
+                        {"node", static_cast<double>(c->node)},
+                        {"budget_gbit", budget_gbit},
+                        static_cast<std::uint32_t>(c->node), 1);
 }
 
 FlowId FluidNetwork::start_flow(NodeId src, NodeId dst, double gbit) {
@@ -44,6 +95,13 @@ FlowId FluidNetwork::start_flow(NodeId src, NodeId dst, double gbit) {
   flows_.push_back(f);
   active_slot_.push_back(active_ids_.size());
   active_ids_.push_back(flows_.size() - 1);
+  CLOUDREPRO_OBS_STMT(
+      if (c_flows_started_) c_flows_started_->add();
+      if (tracer_) {
+        tracer_->instant(now_, "simnet", "flow_start",
+                         {"flow", static_cast<double>(flows_.size() - 1)},
+                         {"gbit", gbit}, static_cast<std::uint32_t>(src), 1);
+      })
   return flows_.size() - 1;
 }
 
@@ -65,6 +123,16 @@ void FluidNetwork::deactivate(FlowId id) {
 void FluidNetwork::remove_active_at(std::size_t slot) {
   const FlowId id = active_ids_[slot];
   const Flow& f = flows_[id];
+  // Every deactivation path (completion, stop_flow, fail_node) funnels
+  // through here, so this is the single flow-end observation point.
+  CLOUDREPRO_OBS_STMT(
+      if (c_flows_completed_) c_flows_completed_->add();
+      if (tracer_) {
+        tracer_->instant(now_, "simnet", "flow_end",
+                         {"flow", static_cast<double>(id)},
+                         {"transferred_gbit", f.transferred_gbit},
+                         static_cast<std::uint32_t>(f.src), 1);
+      })
   egress_rate_[f.src] -= f.rate_gbps;
   ingress_rate_[f.dst] -= f.rate_gbps;
   active_slot_[id] = kNoSlot;
@@ -221,6 +289,14 @@ void FluidNetwork::allocate_rates() {
     egress_rate_[f.src] += f.rate_gbps;
     ingress_rate_[f.dst] += f.rate_gbps;
   }
+
+  CLOUDREPRO_OBS_STMT(
+      if (c_allocations_) c_allocations_->add();
+      if (tracer_) {
+        tracer_->instant(now_, "simnet", "reallocate",
+                         {"active_flows", static_cast<double>(active_ids_.size())},
+                         {}, 0, 1);
+      })
 }
 
 void FluidNetwork::step_once(double t_bound) {
@@ -240,6 +316,9 @@ void FluidNetwork::step_once(double t_bound) {
     dt = std::min(dt, nodes_[i].egress->time_until_change(node_egress_rate(i)));
   }
   dt = std::max(dt, kTimeEpsilon);
+  CLOUDREPRO_OBS_STMT(
+      step_end_ = now_ + dt;
+      if (c_steps_) c_steps_->add();)
 
   // Advance QoS state with the realized per-node *wire* rates (retransmitted
   // bytes drain the token budget like any others), then move the data.

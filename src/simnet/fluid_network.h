@@ -7,6 +7,12 @@
 #include "simnet/qos.h"
 #include "simnet/units.h"
 
+namespace cloudrepro::obs {
+class Counter;
+class MetricsRegistry;
+class Tracer;
+}  // namespace cloudrepro::obs
+
 namespace cloudrepro::simnet {
 
 using NodeId = std::size_t;
@@ -117,6 +123,18 @@ class FluidNetwork {
 
   void set_step_observer(StepObserver observer) { observer_ = std::move(observer); }
 
+  // --- Observability (src/obs; compiled out with CLOUDREPRO_OBS=0) ---------
+
+  /// Attaches a tracer and/or metrics registry (either may be null). Traced:
+  /// flow starts/ends, rate reallocations, and token-bucket depletion /
+  /// recovery transitions (stamped with simulated time, lane = node id,
+  /// track 1). Counted: `simnet.allocations`, `simnet.steps`,
+  /// `simnet.flows_started`, `simnet.flows_completed`. A no-op when the
+  /// observability layer is compiled out.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   struct Node {
     std::unique_ptr<QosPolicy> egress;
@@ -163,6 +181,26 @@ class FluidNetwork {
   std::vector<double> ingress_rate_;
   double now_ = 0.0;
   StepObserver observer_;
+
+  /// Context handed to a node's token-bucket transition hook; heap-allocated
+  /// so the pointer survives `nodes_` reallocation.
+  struct BucketHookCtx {
+    FluidNetwork* net = nullptr;
+    NodeId node = 0;
+  };
+  static void bucket_transition_hook(void* ctx, bool to_low, double budget_gbit);
+  void install_bucket_hook(NodeId id);
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* c_allocations_ = nullptr;
+  obs::Counter* c_steps_ = nullptr;
+  obs::Counter* c_flows_started_ = nullptr;
+  obs::Counter* c_flows_completed_ = nullptr;
+  /// Timestamp bucket transitions resolve to: QoS advances run before `now_`
+  /// moves, but the event-driven step length lands transitions exactly on
+  /// the step's end boundary.
+  double step_end_ = 0.0;
+  std::vector<std::unique_ptr<BucketHookCtx>> bucket_hooks_;
 };
 
 }  // namespace cloudrepro::simnet

@@ -30,7 +30,27 @@ struct TokenBucketConfig {
 /// resting refills it at `replenish`.
 class TokenBucket {
  public:
+  /// Observer for shaper mode transitions (high->low on depletion, low->high
+  /// on recovery past the hysteresis threshold). A raw function pointer plus
+  /// context keeps the bucket POD-cheap to copy and the transition branch
+  /// predictable; the observability layer installs hooks that stamp the
+  /// transition with simulated time (the bucket itself only knows dt).
+  using TransitionHook = void (*)(void* ctx, bool to_low, double budget_gbit);
+
   explicit TokenBucket(const TokenBucketConfig& config);
+
+  /// Copies transfer shaper state but never the transition hook: hooks bind
+  /// a bucket to its owning network's lifetime, and buckets are routinely
+  /// cloned across owners (cluster <-> per-job FluidNetwork), which would
+  /// otherwise leave a dangling context pointer in the clone.
+  TokenBucket(const TokenBucket& other) noexcept
+      : config_{other.config_}, budget_{other.budget_}, low_mode_{other.low_mode_} {}
+  TokenBucket& operator=(const TokenBucket& other) noexcept {
+    config_ = other.config_;
+    budget_ = other.budget_;
+    low_mode_ = other.low_mode_;
+    return *this;  // The destination keeps its own hook.
+  }
 
   /// Rate the shaper currently allows (Gbps).
   double allowed_rate() const noexcept;
@@ -63,10 +83,24 @@ class TokenBucket {
 
   const TokenBucketConfig& config() const noexcept { return config_; }
 
+  /// Installs (or clears, with nullptr) the mode-transition observer. The
+  /// hook fires on every high->low / low->high flip caused by `advance` or
+  /// `set_budget`, with the post-transition budget.
+  void set_transition_hook(TransitionHook hook, void* ctx) noexcept {
+    hook_ = hook;
+    hook_ctx_ = ctx;
+  }
+
  private:
+  void notify_transition() noexcept {
+    if (hook_) hook_(hook_ctx_, low_mode_, budget_);
+  }
+
   TokenBucketConfig config_;
   double budget_;
   bool low_mode_;
+  TransitionHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
 };
 
 }  // namespace cloudrepro::simnet

@@ -1,0 +1,54 @@
+# Golden-file comparison driver, invoked as a ctest command:
+#   cmake -DBENCH=<path-to-binary> -DEXPECTED=<path-to-golden.txt>
+#         -P compare_golden.cmake
+#
+# Runs the bench, normalizes line endings and trailing whitespace on both
+# sides (so goldens survive CRLF checkouts and editor trims), and fails with
+# a unified diff when the output drifts. The benches under test are seeded
+# and thread-count independent, so any diff is a real behavior change — the
+# golden must then be regenerated *deliberately*:
+#   build/bench/<bench> > tests/golden/expected/<bench>.txt
+
+if(NOT DEFINED BENCH OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "compare_golden.cmake needs -DBENCH=... and -DEXPECTED=...")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE exit_code
+)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with ${exit_code}")
+endif()
+
+file(READ "${EXPECTED}" expected)
+
+function(normalize text out_var)
+  string(REPLACE "\r\n" "\n" text "${text}")
+  string(REPLACE "\r" "\n" text "${text}")
+  # Strip trailing whitespace per line and trailing blank lines.
+  string(REGEX REPLACE "[ \t]+\n" "\n" text "${text}")
+  string(REGEX REPLACE "[ \t\n]+$" "" text "${text}")
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+
+normalize("${actual}" actual)
+normalize("${expected}" expected)
+
+if(NOT actual STREQUAL expected)
+  get_filename_component(name "${EXPECTED}" NAME_WE)
+  set(actual_file "${CMAKE_CURRENT_BINARY_DIR}/${name}.actual.txt")
+  file(WRITE "${actual_file}" "${actual}\n")
+  find_program(DIFF_TOOL diff)
+  if(DIFF_TOOL)
+    execute_process(
+      COMMAND "${DIFF_TOOL}" -u "${EXPECTED}" "${actual_file}"
+      OUTPUT_VARIABLE diff_out
+    )
+    message(STATUS "diff -u expected actual:\n${diff_out}")
+  endif()
+  message(FATAL_ERROR
+      "golden mismatch for ${name}: actual output written to ${actual_file}. "
+      "If the change is intentional, regenerate the golden from the bench.")
+endif()

@@ -1,0 +1,162 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_lint.h"
+#include "runtime/thread_pool.h"
+
+namespace cloudrepro::obs {
+namespace {
+
+TEST(ObsMetrics, CounterStartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(ObsMetrics, GaugeIsLastWriteWins) {
+  Gauge g;
+  g.set(4.0);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+TEST(ObsMetrics, RegistryReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.add(7.0);
+  // Re-registering more metrics must not move existing handles.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.value(), 7.0);
+}
+
+TEST(ObsMetrics, LookupOfUnregisteredNameIsZero) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("absent"), 0.0);
+  EXPECT_EQ(reg.gauge_value("absent"), 0.0);
+}
+
+TEST(ObsMetrics, HistogramBucketsPartitionTheLine) {
+  const std::array<double, 3> bounds{1.0, 10.0, 100.0};
+  Histogram h{bounds};
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (bounds are inclusive)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // overflow
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 0u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1006.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 1006.5 / 4.0);
+}
+
+TEST(ObsMetrics, HistogramRejectsUnsortedBounds) {
+  const std::array<double, 2> bad{10.0, 1.0};
+  EXPECT_THROW(Histogram{bad}, std::invalid_argument);
+}
+
+TEST(ObsMetrics, HistogramDefaultBoundsAreSortedAndNonEmpty) {
+  const auto bounds = Histogram::default_bounds();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(ObsMetrics, ConcurrentCounterAddsLoseNothing) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  runtime::ThreadPool pool{kThreads};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.submit([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.add();
+    });
+  }
+  pool.wait_idle();
+  EXPECT_DOUBLE_EQ(c.value(), static_cast<double>(kThreads * kAddsPerThread));
+}
+
+TEST(ObsMetrics, ConcurrentHistogramObservesLoseNothing) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 5000;
+  runtime::ThreadPool pool{kThreads};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.submit([&h, t] {
+      for (int i = 0; i < kObsPerThread; ++i) {
+        h.observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  pool.wait_idle();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kObsPerThread));
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(kThreads));
+}
+
+TEST(ObsMetrics, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  runtime::ThreadPool pool{kThreads};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.submit([&reg] {
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("shared." + std::to_string(i)).add();
+      }
+    });
+  }
+  pool.wait_idle();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(reg.counter_value("shared." + std::to_string(i)),
+                     static_cast<double>(kThreads));
+  }
+}
+
+TEST(ObsMetrics, JsonExportIsValidAndDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(3);
+  reg.counter("a.count").add(1);
+  reg.gauge("queue").set(17.0);
+  const std::array<double, 2> bounds{1.0, 2.0};
+  reg.histogram("spans", bounds).observe(1.5);
+
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(testing::JsonLint::valid(json)) << json;
+  // Name-sorted export: "a.count" precedes "b.count".
+  EXPECT_LT(json.find("a.count"), json.find("b.count"));
+  EXPECT_EQ(json, reg.to_json());
+
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_EQ(os.str(), json);
+}
+
+TEST(ObsMetrics, EmptyRegistryExportsValidJson) {
+  MetricsRegistry reg;
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(testing::JsonLint::valid(json)) << json;
+}
+
+}  // namespace
+}  // namespace cloudrepro::obs

@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "json_lint.h"
+#include "runtime/thread_pool.h"
+
+namespace cloudrepro::obs {
+namespace {
+
+TEST(ObsTracer, RecordsInstantAndCompleteEvents) {
+  Tracer tracer;
+  tracer.instant(1.5, "cat", "tick", {"node", 3.0});
+  tracer.complete(2.0, 0.5, "cat", "span", {"cell", 1.0}, {"rep", 2.0}, 7, 1);
+
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].ts_s, 1.5);
+  EXPECT_EQ(events[0].phase, TracePhase::kInstant);
+  EXPECT_STREQ(events[0].name, "tick");
+  EXPECT_STREQ(events[0].arg0.key, "node");
+  EXPECT_DOUBLE_EQ(events[0].arg0.value, 3.0);
+  EXPECT_DOUBLE_EQ(events[1].dur_s, 0.5);
+  EXPECT_EQ(events[1].phase, TracePhase::kComplete);
+  EXPECT_EQ(events[1].lane, 7u);
+  EXPECT_EQ(events[1].track, 1u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+}
+
+TEST(ObsTracer, ZeroCapacityIsRejected) {
+  EXPECT_THROW(Tracer{0}, std::invalid_argument);
+}
+
+TEST(ObsTracer, RingKeepsTheMostRecentEvents) {
+  Tracer tracer{8};
+  for (int i = 0; i < 20; ++i) {
+    tracer.instant(static_cast<double>(i), "cat", "e");
+  }
+  EXPECT_EQ(tracer.capacity(), 8u);
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.emitted(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, and exactly the last 8 emissions (12..19).
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].ts_s, static_cast<double>(12 + i));
+    EXPECT_EQ(events[i].seq, 12 + i);
+  }
+}
+
+TEST(ObsTracer, WraparoundExactlyAtCapacityBoundary) {
+  Tracer tracer{4};
+  for (int i = 0; i < 4; ++i) tracer.instant(static_cast<double>(i), "c", "e");
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.instant(4.0, "c", "e");  // First overwrite.
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.snapshot().front().ts_s, 1.0);
+}
+
+TEST(ObsTracer, ClearResetsEverything) {
+  Tracer tracer{4};
+  for (int i = 0; i < 10; ++i) tracer.instant(0.0, "c", "e");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.emitted(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(ObsTracer, EventsNamedFiltersExactly) {
+  Tracer tracer;
+  tracer.instant(0.0, "c", "alpha");
+  tracer.instant(1.0, "c", "beta");
+  tracer.instant(2.0, "c", "alpha");
+  const auto alphas = tracer.events_named("alpha");
+  ASSERT_EQ(alphas.size(), 2u);
+  EXPECT_DOUBLE_EQ(alphas[0].ts_s, 0.0);
+  EXPECT_DOUBLE_EQ(alphas[1].ts_s, 2.0);
+  EXPECT_TRUE(tracer.events_named("gamma").empty());
+}
+
+TEST(ObsTracer, ConcurrentEmitLosesNoEventsUnderThreadPool) {
+  // TSan covers this test (suite name matches the CI regex): many producers
+  // against one tracer, as in the parallel campaign runtime.
+  Tracer tracer{1 << 12};
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 2000;
+  runtime::ThreadPool pool{kThreads};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.submit([&tracer, t] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        tracer.instant(static_cast<double>(i), "cat", "e",
+                       {"thread", static_cast<double>(t)}, {},
+                       static_cast<std::uint32_t>(t));
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(tracer.emitted(),
+            static_cast<std::uint64_t>(kThreads * kEventsPerThread));
+  EXPECT_EQ(tracer.size(), tracer.capacity());
+  // Sequence numbers in the retained window are consecutive: no tearing.
+  const auto events = tracer.snapshot();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST(ObsTracer, ChromeExportIsValidJson) {
+  Tracer tracer;
+  tracer.instant(1.0, "cat", "tick", {"node", 1.0}, {"x", 2.0}, 3, 1);
+  tracer.complete(2.0, 0.25, "cat", "span");
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(testing::JsonLint::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Seconds convert to microseconds for chrome://tracing.
+  EXPECT_NE(json.find("\"ts\":1000000"), std::string::npos);
+}
+
+TEST(ObsTracer, JsonlExportIsOneValidObjectPerLine) {
+  Tracer tracer;
+  tracer.instant(1.0, "cat", "a");
+  tracer.complete(2.0, 1.0, "cat", "b", {"k", 1.0});
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  std::istringstream lines{os.str()};
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(testing::JsonLint::valid(line)) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(ObsTracer, EmptyTracerExportsValidJson) {
+  Tracer tracer;
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  EXPECT_TRUE(testing::JsonLint::valid(os.str())) << os.str();
+}
+
+}  // namespace
+}  // namespace cloudrepro::obs

@@ -1,0 +1,204 @@
+// Property-based tests for the fluid network's allocation invariants under
+// seed-randomized flow churn. The step observer fires after every internal
+// allocation (and before completed flows are removed), so each step checks:
+//
+//  1. the O(1) per-node egress/ingress caches equal a fresh scan over all
+//     flows — this guards the PR 3 cache maintenance in *release* builds,
+//     where the debug-only assert_rate_caches() compiles to nothing;
+//  2. no node and no single flow exceeds its QoS/ingress cap;
+//  3. the allocation is max-min fair: every active flow has a bottleneck
+//     constraint — a saturated source-egress or destination-ingress cap on
+//     which its rate is maximal among the sharing flows.
+//
+// Node QoS grants are constant throughout (fixed rates, plus token buckets
+// whose replenish rate equals the high rate, so they never deplete): that
+// keeps the test's tracked caps exact at every step. Bucket depletion
+// dynamics are covered by test_token_bucket / test_fluid_network.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simnet/fluid_network.h"
+#include "simnet/qos.h"
+#include "simnet/token_bucket.h"
+#include "simnet/units.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::simnet {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+struct TrackedNet {
+  FluidNetwork net;
+  std::vector<double> base_egress;   ///< Constant QoS grant per node.
+  std::vector<double> base_ingress;  ///< Line-rate ingress cap per node.
+  std::vector<double> factor;       ///< Mirrors set_node_rate_factor calls.
+  std::vector<char> failed;
+
+  double egress_cap(NodeId i) const {
+    return failed[i] ? 0.0 : base_egress[i] * factor[i];
+  }
+  double ingress_cap(NodeId i) const {
+    return failed[i] ? 0.0 : base_ingress[i] * factor[i];
+  }
+  std::vector<NodeId> alive() const {
+    std::vector<NodeId> out;
+    for (NodeId i = 0; i < failed.size(); ++i) {
+      if (!failed[i]) out.push_back(i);
+    }
+    return out;
+  }
+};
+
+TrackedNet build_network(stats::Rng& rng, std::size_t nodes) {
+  TrackedNet t;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const double ingress = 10.0;
+    double egress = 0.0;
+    if (rng.bernoulli(0.5)) {
+      const double rates[] = {5.0, 8.0, 10.0};
+      egress = rates[rng.next_u64() % 3];
+      t.net.add_node(std::make_unique<FixedRateQos>(egress), ingress);
+    } else {
+      TokenBucketConfig cfg;
+      cfg.capacity_gbit = 1000.0;
+      cfg.initial_gbit = 1000.0;
+      cfg.high_rate_gbps = rng.bernoulli(0.5) ? 6.0 : 9.0;
+      cfg.low_rate_gbps = 1.0;
+      cfg.replenish_gbps = cfg.high_rate_gbps;  // Never depletes.
+      cfg.recover_threshold_gbit = 5.0;
+      egress = cfg.high_rate_gbps;
+      t.net.add_node(std::make_unique<TokenBucketQos>(cfg), ingress);
+    }
+    t.base_egress.push_back(egress);
+    t.base_ingress.push_back(ingress);
+    t.factor.push_back(1.0);
+    t.failed.push_back(0);
+  }
+  return t;
+}
+
+/// Runs the full invariant battery against the current allocation.
+void verify_invariants(const TrackedNet& t, double now) {
+  const FluidNetwork& net = t.net;
+  const std::size_t n = net.node_count();
+  std::vector<double> egress_sum(n, 0.0);
+  std::vector<double> ingress_sum(n, 0.0);
+  std::vector<double> max_on_src(n, 0.0);
+  std::vector<double> max_into_dst(n, 0.0);
+  std::vector<const Flow*> active;
+  for (FlowId id = 0; id < net.flow_count(); ++id) {
+    const Flow& f = net.flow(id);
+    if (!f.active) continue;
+    egress_sum[f.src] += f.rate_gbps;
+    ingress_sum[f.dst] += f.rate_gbps;
+    max_on_src[f.src] = std::max(max_on_src[f.src], f.rate_gbps);
+    max_into_dst[f.dst] = std::max(max_into_dst[f.dst], f.rate_gbps);
+    active.push_back(&f);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // (1) Cached aggregates vs a fresh scan. The cache accumulates in
+    // active-set order, the scan in flow-id order, so allow summation noise.
+    ASSERT_NEAR(net.node_egress_rate(i), egress_sum[i], 1e-7)
+        << "egress cache drift, node " << i << " t=" << now;
+    ASSERT_NEAR(net.node_ingress_rate(i), ingress_sum[i], 1e-7)
+        << "ingress cache drift, node " << i << " t=" << now;
+    // (2) Aggregate caps.
+    ASSERT_LE(egress_sum[i], t.egress_cap(i) + kTol)
+        << "egress cap exceeded, node " << i << " t=" << now;
+    ASSERT_LE(ingress_sum[i], t.ingress_cap(i) + kTol)
+        << "ingress cap exceeded, node " << i << " t=" << now;
+  }
+
+  for (const Flow* f : active) {
+    // (2b) A single flow can never exceed its source's shaped rate.
+    ASSERT_LE(f->rate_gbps, t.egress_cap(f->src) + kTol)
+        << "flow above its bucket rate, src " << f->src << " t=" << now;
+    // (3) Max-min fairness: a saturated constraint on which this flow's
+    // rate is maximal among the flows sharing it.
+    const bool egress_bottleneck =
+        t.egress_cap(f->src) - egress_sum[f->src] <= kTol &&
+        f->rate_gbps >= max_on_src[f->src] - kTol;
+    const bool ingress_bottleneck =
+        t.ingress_cap(f->dst) - ingress_sum[f->dst] <= kTol &&
+        f->rate_gbps >= max_into_dst[f->dst] - kTol;
+    ASSERT_TRUE(egress_bottleneck || ingress_bottleneck)
+        << "flow " << f->src << "->" << f->dst << " rate " << f->rate_gbps
+        << " has no bottleneck at t=" << now;
+  }
+}
+
+void churn(TrackedNet& t, stats::Rng& rng, int iterations,
+           std::vector<FlowId>& open_flows) {
+  for (int iter = 0; iter < iterations; ++iter) {
+    const auto alive = t.alive();
+    ASSERT_GE(alive.size(), 2u);
+    const double u = rng.uniform();
+    if (u < 0.45) {
+      const NodeId src = alive[rng.next_u64() % alive.size()];
+      NodeId dst = src;
+      while (dst == src) dst = alive[rng.next_u64() % alive.size()];
+      t.net.start_flow(src, dst, rng.uniform(0.5, 20.0));
+    } else if (u < 0.6) {
+      const NodeId src = alive[rng.next_u64() % alive.size()];
+      NodeId dst = src;
+      while (dst == src) dst = alive[rng.next_u64() % alive.size()];
+      open_flows.push_back(t.net.start_flow(src, dst));
+    } else if (u < 0.75 && !open_flows.empty()) {
+      const std::size_t pick = rng.next_u64() % open_flows.size();
+      t.net.stop_flow(open_flows[pick]);
+      open_flows.erase(open_flows.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+    } else if (u < 0.88) {
+      const NodeId i = alive[rng.next_u64() % alive.size()];
+      const double f = rng.uniform(0.3, 1.0);
+      t.net.set_node_rate_factor(i, f);
+      t.factor[i] = f;
+    } else {
+      const NodeId i = alive[rng.next_u64() % alive.size()];
+      t.net.set_node_rate_factor(i, 1.0);
+      t.factor[i] = 1.0;
+    }
+    t.net.run_for(rng.uniform(0.05, 1.0));
+  }
+}
+
+class FluidPropertiesTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidPropertiesTest, RandomChurnPreservesAllocationInvariants) {
+  stats::Rng rng{GetParam()};
+  TrackedNet t = build_network(rng, 10);
+  int steps_checked = 0;
+  t.net.set_step_observer(
+      [&t, &steps_checked](const FluidNetwork&, double now, double) {
+        verify_invariants(t, now);
+        ++steps_checked;
+      });
+
+  std::vector<FlowId> open_flows;
+  churn(t, rng, 50, open_flows);
+
+  // Kill one node mid-churn: its flows stop, its caps drop to zero, and the
+  // invariants must keep holding for the survivors.
+  const auto alive = t.alive();
+  const NodeId victim = alive[rng.next_u64() % alive.size()];
+  t.net.fail_node(victim);
+  t.failed[victim] = 1;
+  churn(t, rng, 30, open_flows);
+
+  for (const FlowId id : open_flows) t.net.stop_flow(id);
+  EXPECT_TRUE(t.net.run_until_flows_complete(1e6));
+  EXPECT_GT(steps_checked, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidPropertiesTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace cloudrepro::simnet

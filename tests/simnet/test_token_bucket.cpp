@@ -216,5 +216,105 @@ TEST_P(BucketConservationTest, BudgetAccountingIsExact) {
 INSTANTIATE_TEST_SUITE_P(Rates, BucketConservationTest,
                          ::testing::Values(2.0, 5.0, 8.0, 10.0));
 
+TEST(TokenBucketTest, ReplenishAtOrAboveHighRateNeverDepletes) {
+  // A bucket refilling as fast as (or faster than) the shaper can drain it
+  // is effectively unshaped: no transmission pattern reaches low mode.
+  auto cfg = c5_xlarge_like();
+  cfg.initial_gbit = 1.0;  // Nearly empty, so depletion would be easy.
+  cfg.replenish_gbps = cfg.high_rate_gbps;
+  TokenBucket tb{cfg};
+  for (int i = 0; i < 1000; ++i) {
+    tb.advance(1.0, cfg.high_rate_gbps);
+    ASSERT_FALSE(tb.in_low_mode()) << "at step " << i;
+  }
+  EXPECT_DOUBLE_EQ(tb.time_until_change(cfg.high_rate_gbps), kInfiniteTime);
+
+  cfg.replenish_gbps = cfg.high_rate_gbps + 1.0;
+  TokenBucket faster{cfg};
+  faster.advance(100.0, cfg.high_rate_gbps);
+  EXPECT_FALSE(faster.in_low_mode());
+  EXPECT_DOUBLE_EQ(faster.budget(), 1.0 + 100.0);  // Net +1 Gbit/s.
+}
+
+TEST(TokenBucketTest, SubTickBurstsAccumulateExactly) {
+  // Many tiny advances must drain exactly what one long advance does: the
+  // bucket is a pure integrator with no per-call quantization.
+  auto cfg = c5_xlarge_like();
+  cfg.initial_gbit = 100.0;
+  TokenBucket many{cfg};
+  TokenBucket one{cfg};
+  constexpr int kTicks = 100000;
+  constexpr double kDt = 1e-4;
+  for (int i = 0; i < kTicks; ++i) many.advance(kDt, 10.0);
+  one.advance(kTicks * kDt, 10.0);
+  EXPECT_NEAR(many.budget(), one.budget(), 1e-6);
+  EXPECT_EQ(many.in_low_mode(), one.in_low_mode());
+}
+
+TEST(TokenBucketTest, SubTickBurstCrossingDepletionFlipsOnce) {
+  auto cfg = c5_xlarge_like();
+  cfg.initial_gbit = 0.01;  // Depletes within ~1.1ms at net 9 Gbit/s.
+  TokenBucket tb{cfg};
+  int transitions = 0;
+  tb.set_transition_hook(
+      [](void* ctx, bool to_low, double) {
+        if (to_low) ++*static_cast<int*>(ctx);
+      },
+      &transitions);
+  for (int i = 0; i < 100; ++i) tb.advance(1e-4, 10.0);
+  EXPECT_TRUE(tb.in_low_mode());
+#if CLOUDREPRO_OBS
+  EXPECT_EQ(transitions, 1);
+#endif
+}
+
+TEST(TokenBucketTest, TransitionHookFiresOnBothEdges) {
+  auto cfg = c5_xlarge_like();
+  cfg.initial_gbit = 9.0;
+  TokenBucket tb{cfg};
+  struct Log {
+    int to_low = 0;
+    int to_high = 0;
+    double last_budget = -1.0;
+  } log;
+  tb.set_transition_hook(
+      [](void* ctx, bool to_low, double budget) {
+        auto* l = static_cast<Log*>(ctx);
+        (to_low ? l->to_low : l->to_high) += 1;
+        l->last_budget = budget;
+      },
+      &log);
+  tb.advance(1.0, 10.0);  // 9 - 9 = 0: depleted.
+  tb.advance(5.0, 0.0);   // Refill to 5 = recover threshold: recovered.
+#if CLOUDREPRO_OBS
+  EXPECT_EQ(log.to_low, 1);
+  EXPECT_EQ(log.to_high, 1);
+  EXPECT_DOUBLE_EQ(log.last_budget, 5.0);
+#endif
+  EXPECT_FALSE(tb.in_low_mode());
+}
+
+TEST(TokenBucketTest, CopiesNeverInheritTheTransitionHook) {
+  // Buckets are cloned between the cluster and per-job networks; a copied
+  // hook would dangle once the originating observer dies.
+  auto cfg = c5_xlarge_like();
+  cfg.initial_gbit = 9.0;
+  TokenBucket original{cfg};
+  int fired = 0;
+  original.set_transition_hook(
+      [](void* ctx, bool, double) { ++*static_cast<int*>(ctx); }, &fired);
+
+  TokenBucket copy{original};
+  copy.advance(1.0, 10.0);  // Depletes the copy.
+  EXPECT_TRUE(copy.in_low_mode());
+  EXPECT_EQ(fired, 0);  // Only the original's transitions may fire the hook.
+
+  TokenBucket assigned{c5_xlarge_like()};
+  assigned = original;
+  assigned.advance(1.0, 10.0);
+  EXPECT_TRUE(assigned.in_low_mode());
+  EXPECT_EQ(fired, 0);
+}
+
 }  // namespace
 }  // namespace cloudrepro::simnet
