@@ -1,0 +1,381 @@
+// cloudrepro — scenario-catalog orchestrator CLI.
+//
+// Stream discipline: stdout carries ONLY the deterministic experiment
+// output (canonical summary JSON for `run`, one summary per line for
+// `suite`, canonical spec JSON for `describe`). Everything operational —
+// cache hit state, executed/resumed counts, progress — goes to stderr.
+// That split is what lets CI run a scenario twice and `cmp` the stdout
+// bytes regardless of cache state or thread count.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error,
+//             3 campaign interrupted by --max-measurements (resumable).
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/result_store.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+
+namespace {
+
+using cloudrepro::scenario::ResultStore;
+using cloudrepro::scenario::RunOptions;
+using cloudrepro::scenario::ScenarioRegistry;
+using cloudrepro::scenario::ScenarioSpec;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: cloudrepro <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                     catalog scenarios and suites\n"
+        "  describe <scenario>      canonical spec JSON (stdout) + shape (stderr)\n"
+        "  run <scenario>           run one scenario; summary JSON on stdout\n"
+        "  suite <suite>            run every scenario of a suite (one summary per line)\n"
+        "  cache stats              list cache entries\n"
+        "  cache clear              remove every cache entry\n"
+        "  cache evict <scenario>   remove one scenario's entry\n"
+        "\n"
+        "<scenario> is a catalog name, a path ending in .json, or - (stdin).\n"
+        "\n"
+        "options (run / suite / cache):\n"
+        "  --threads N              campaign workers; 0 = all cores (default 0)\n"
+        "  --seed S                 master seed (default: the scenario's)\n"
+        "  --cache-dir PATH         result cache root (default: $CLOUDREPRO_CACHE_DIR\n"
+        "                           or .cloudrepro-cache)\n"
+        "  --no-cache               run without the result store\n"
+        "  --max-measurements N     stop after N new measurements (journal resumes)\n"
+        "  --out FILE               write the summary to FILE instead of stdout\n"
+        "  --csv FILE               write config,treatment,repetition,value CSV\n";
+  return code;
+}
+
+struct Cli {
+  int threads = 0;
+  std::optional<std::uint64_t> seed;
+  std::filesystem::path cache_dir;
+  bool no_cache = false;
+  int max_measurements = 0;
+  std::string out_path;
+  std::string csv_path;
+  std::vector<std::string> positional;
+};
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<int> parse_int(std::string_view text) {
+  int value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || value < 0) return std::nullopt;
+  return value;
+}
+
+/// Parses everything after the command name. Returns false on a bad flag
+/// (message already printed).
+bool parse_cli(int argc, char** argv, int first, Cli& cli) {
+  const auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "cloudrepro: " << argv[i] << " needs a value\n";
+      return nullptr;
+    }
+    return argv[i + 1];
+  };
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto n = parse_int(v);
+      if (!n) {
+        std::cerr << "cloudrepro: bad --threads \"" << v << "\"\n";
+        return false;
+      }
+      cli.threads = *n;
+      ++i;
+    } else if (arg == "--seed") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto s = parse_u64(v);
+      if (!s) {
+        std::cerr << "cloudrepro: bad --seed \"" << v << "\"\n";
+        return false;
+      }
+      cli.seed = *s;
+      ++i;
+    } else if (arg == "--cache-dir") {
+      const char* v = need(i);
+      if (!v) return false;
+      cli.cache_dir = v;
+      ++i;
+    } else if (arg == "--no-cache") {
+      cli.no_cache = true;
+    } else if (arg == "--max-measurements") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto n = parse_int(v);
+      if (!n) {
+        std::cerr << "cloudrepro: bad --max-measurements \"" << v << "\"\n";
+        return false;
+      }
+      cli.max_measurements = *n;
+      ++i;
+    } else if (arg == "--out") {
+      const char* v = need(i);
+      if (!v) return false;
+      cli.out_path = v;
+      ++i;
+    } else if (arg == "--csv") {
+      const char* v = need(i);
+      if (!v) return false;
+      cli.csv_path = v;
+      ++i;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout, 0);
+      std::exit(0);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "cloudrepro: unknown option \"" << arg << "\"\n";
+      return false;
+    } else {
+      cli.positional.emplace_back(arg);
+    }
+  }
+  return true;
+}
+
+std::filesystem::path cache_root(const Cli& cli) {
+  if (!cli.cache_dir.empty()) return cli.cache_dir;
+  if (const char* env = std::getenv("CLOUDREPRO_CACHE_DIR"); env && *env) {
+    return env;
+  }
+  return ".cloudrepro-cache";
+}
+
+/// Resolves a scenario argument: catalog name, path to a spec JSON file
+/// (anything ending in .json), or "-" for stdin.
+ScenarioSpec resolve_scenario(const std::string& arg) {
+  if (arg == "-") {
+    std::ostringstream text;
+    text << std::cin.rdbuf();
+    return ScenarioSpec::parse(text.str());
+  }
+  if (arg.size() > 5 && arg.compare(arg.size() - 5, 5, ".json") == 0) {
+    std::ifstream in{arg, std::ios::binary};
+    if (!in) throw std::runtime_error{"cannot open scenario file \"" + arg + "\""};
+    std::ostringstream text;
+    text << in.rdbuf();
+    return ScenarioSpec::parse(text.str());
+  }
+  return ScenarioRegistry::builtin().at(arg);
+}
+
+void emit(const std::string& out_path, const std::string& payload) {
+  if (out_path.empty()) {
+    std::cout << payload << "\n";
+    return;
+  }
+  std::ofstream out{out_path, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error{"cannot write \"" + out_path + "\""};
+  out << payload << "\n";
+}
+
+/// Runs one scenario and streams its summary. Returns 0 (complete) or
+/// 3 (interrupted, resumable).
+int run_one(const ScenarioSpec& spec, const Cli& cli, ResultStore* store,
+            std::ostream* summary_line_os) {
+  RunOptions options;
+  options.threads = cli.threads;
+  options.seed = cli.seed;
+  options.store = store;
+  options.max_measurements = cli.max_measurements;
+  options.need_values = !cli.csv_path.empty();
+
+  const std::uint64_t seed = cli.seed.value_or(spec.seed);
+  std::cerr << "cloudrepro: " << spec.name << " hash=" << spec.content_hash()
+            << " seed=" << seed << "\n";
+
+  const auto result = cloudrepro::scenario::run_scenario(spec, options);
+
+  std::cerr << "cloudrepro: cache " << ResultStore::to_string(result.hit_state)
+            << (store ? "" : " (disabled)") << ", executed "
+            << result.executed_measurements << ", resumed "
+            << result.resumed_measurements << " of " << result.total_measurements
+            << " measurements\n";
+
+  if (!cli.csv_path.empty()) {
+    std::ofstream csv{cli.csv_path, std::ios::binary | std::ios::trunc};
+    if (!csv) throw std::runtime_error{"cannot write \"" + cli.csv_path + "\""};
+    result.campaign.write_csv(csv);
+  }
+
+  if (summary_line_os) {
+    *summary_line_os << result.summary << "\n";
+  } else {
+    emit(cli.out_path, result.summary);
+  }
+
+  if (!result.complete) {
+    std::cerr << "cloudrepro: interrupted by --max-measurements; rerun the "
+                 "same command to resume\n";
+    return 3;
+  }
+  return 0;
+}
+
+int cmd_list() {
+  const auto& registry = ScenarioRegistry::builtin();
+  std::size_t width = 4;
+  for (const auto& spec : registry.scenarios()) {
+    width = std::max(width, spec.name.size());
+  }
+  std::cout << std::left << std::setw(static_cast<int>(width) + 2) << "NAME"
+            << std::setw(7) << "CELLS" << std::setw(7) << "MEAS"
+            << std::setw(12) << "PAPER" << "TITLE\n";
+  for (const auto& spec : registry.scenarios()) {
+    std::cout << std::left << std::setw(static_cast<int>(width) + 2) << spec.name
+              << std::setw(7) << spec.cell_count() << std::setw(7)
+              << spec.total_measurements() << std::setw(12) << spec.paper_ref
+              << spec.title << "\n";
+  }
+  std::cout << "\nsuites:\n";
+  for (const auto& [name, members] : registry.suites()) {
+    std::cout << "  " << name << ":";
+    for (const auto& member : members) std::cout << " " << member;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_describe(const Cli& cli) {
+  if (cli.positional.size() != 1) {
+    std::cerr << "cloudrepro: describe needs exactly one scenario\n";
+    return 2;
+  }
+  const ScenarioSpec spec = resolve_scenario(cli.positional.front());
+  std::cerr << "cloudrepro: " << spec.name << " — " << spec.title << "\n"
+            << "cloudrepro: hash=" << spec.content_hash()
+            << " seed=" << spec.seed << "\n"
+            << "cloudrepro: " << spec.workloads.size() << " workloads x "
+            << spec.treatment_count() << " treatments x " << spec.repetitions
+            << " repetitions = " << spec.total_measurements()
+            << " measurements\n";
+  emit(cli.out_path, spec.canonical_json());
+  return 0;
+}
+
+int cmd_run(const Cli& cli) {
+  if (cli.positional.size() != 1) {
+    std::cerr << "cloudrepro: run needs exactly one scenario\n";
+    return 2;
+  }
+  const ScenarioSpec spec = resolve_scenario(cli.positional.front());
+  std::optional<ResultStore> store;
+  if (!cli.no_cache) store.emplace(cache_root(cli));
+  return run_one(spec, cli, store ? &*store : nullptr, nullptr);
+}
+
+int cmd_suite(const Cli& cli) {
+  if (cli.positional.size() != 1) {
+    std::cerr << "cloudrepro: suite needs exactly one suite name\n";
+    return 2;
+  }
+  const auto& registry = ScenarioRegistry::builtin();
+  const auto& members = registry.suite(cli.positional.front());
+  std::optional<ResultStore> store;
+  if (!cli.no_cache) store.emplace(cache_root(cli));
+
+  std::ostringstream lines;
+  int rc = 0;
+  for (const auto& member : members) {
+    const int one = run_one(registry.at(member), cli,
+                            store ? &*store : nullptr, &lines);
+    rc = std::max(rc, one);
+  }
+  emit(cli.out_path, [&] {
+    auto text = lines.str();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }());
+  return rc;
+}
+
+int cmd_cache(const Cli& cli) {
+  if (cli.positional.empty()) {
+    std::cerr << "cloudrepro: cache needs a subcommand (stats|clear|evict)\n";
+    return 2;
+  }
+  ResultStore store{cache_root(cli)};
+  const std::string& sub = cli.positional.front();
+  if (sub == "stats") {
+    const auto entries = store.entries();
+    std::cerr << "cloudrepro: cache root " << store.root().string() << ", "
+              << entries.size() << " entries\n";
+    for (const auto& entry : entries) {
+      std::cout << entry.key << " "
+                << (entry.complete ? "complete" : "partial") << " "
+                << entry.journal_measurements << " measurements " << entry.bytes
+                << " bytes\n";
+    }
+    return 0;
+  }
+  if (sub == "clear") {
+    const auto removed = store.clear();
+    std::cerr << "cloudrepro: evicted " << removed << " entries\n";
+    return 0;
+  }
+  if (sub == "evict") {
+    if (cli.positional.size() != 2) {
+      std::cerr << "cloudrepro: cache evict needs exactly one scenario\n";
+      return 2;
+    }
+    const ScenarioSpec spec = resolve_scenario(cli.positional[1]);
+    const auto removed = store.evict(spec, cli.seed.value_or(spec.seed));
+    std::cerr << "cloudrepro: evicted " << removed << " entries\n";
+    return 0;
+  }
+  std::cerr << "cloudrepro: unknown cache subcommand \"" << sub << "\"\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string_view command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    return usage(std::cout, 0);
+  }
+
+  Cli cli;
+  if (!parse_cli(argc, argv, 2, cli)) return 2;
+
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "describe") return cmd_describe(cli);
+    if (command == "run") return cmd_run(cli);
+    if (command == "suite") return cmd_suite(cli);
+    if (command == "cache") return cmd_cache(cli);
+    std::cerr << "cloudrepro: unknown command \"" << command << "\"\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& error) {
+    std::cerr << "cloudrepro: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -4,9 +4,12 @@
 // Paper: the more network-dependent applications (TS, WC) are affected more
 // by lower budgets — the initial budget state can cost them 25-50%.
 //
-// The (workload x budget x repetition) grid runs as a parallel campaign:
-// every repetition builds its own cluster and engine from its seed-derived
-// RNG stream, so the numbers are bit-identical at any thread count.
+// The (workload x budget x repetition) grid is the catalog scenario
+// `fig16-hibench-budget`: this bench is a thin renderer over the registry
+// spec, so `cloudrepro run fig16-hibench-budget` executes (and caches)
+// exactly the same campaign. Every repetition builds its own cluster and
+// engine from its seed-derived RNG stream, so the numbers are bit-identical
+// at any thread count.
 
 #include <cstdint>
 #include <iostream>
@@ -14,13 +17,10 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "bigdata/cluster.h"
-#include "bigdata/engine.h"
-#include "bigdata/workload.h"
-#include "cloud/instances.h"
 #include "core/campaign.h"
 #include "core/report.h"
-#include "simnet/qos.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
 #include "stats/descriptive.h"
 
 using namespace cloudrepro;
@@ -29,37 +29,19 @@ int main() {
   bench::header("HiBench runtimes vs initial token budget (10 runs each)",
                 "Figure 16");
 
-  const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
-  const simnet::TokenBucketQos proto{bucket};
-  const double budgets[] = {5000.0, 1000.0, 100.0, 10.0};
+  const auto& spec =
+      scenario::ScenarioRegistry::builtin().at("fig16-hibench-budget");
+  auto copt = scenario::campaign_options(spec);
+  copt.threads = 0;  // All cores; bit-identical to threads=1.
+  const auto result =
+      core::run_campaign(scenario::build_cells(spec), copt, spec.seed);
 
-  const auto& suite = bigdata::hibench_suite();
-  std::vector<core::CampaignCell> cells;
-  for (const auto& workload : suite) {
-    for (const double budget : budgets) {
-      cells.push_back(core::CampaignCell{
-          workload.name, "budget=" + core::fmt(budget, 0),
-          [&proto, &workload, budget](stats::Rng& r) {
-            auto cluster = bigdata::Cluster::uniform(12, 16, proto, 10.0);
-            cluster.set_token_budgets(budget);
-            bigdata::SparkEngine engine;
-            return engine.run(workload, cluster, r).runtime_s;
-          },
-          [] {}});
-    }
-  }
-
-  core::CampaignOptions copt;
-  copt.repetitions_per_cell = 10;
-  copt.randomize_order = false;  // Cells are already independent (fresh cluster per run).
-  copt.threads = 0;              // All cores; bit-identical to threads=1.
-  const auto result = core::run_campaign(cells, copt, bench::kBenchSeed);
-
+  const auto& budgets = spec.budgets;
   std::map<std::string, std::map<double, std::vector<double>>> runtimes;
   std::map<std::string, std::vector<double>> pooled;
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
-    const auto& app = suite[i / std::size(budgets)].name;
-    const double budget = budgets[i % std::size(budgets)];
+    const auto& app = result.cells[i].config;
+    const double budget = budgets[i % budgets.size()];
     runtimes[app][budget] = result.cells[i].values;
     pooled[app].insert(pooled[app].end(), result.cells[i].values.begin(),
                        result.cells[i].values.end());

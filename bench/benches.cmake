@@ -29,6 +29,9 @@ cloudrepro_bench(bench_table4_setup)
 cloudrepro_bench(bench_fig15_terasort_budget)
 cloudrepro_bench(bench_fig16_hibench_budget)
 cloudrepro_bench(bench_fig17_tpcds_budget)
+# These two render catalog scenarios (src/scenario) instead of inline sweeps.
+target_link_libraries(bench_fig16_hibench_budget PRIVATE cloudrepro_scenario)
+target_link_libraries(bench_fig17_tpcds_budget PRIVATE cloudrepro_scenario)
 cloudrepro_bench(bench_fig18_straggler)
 cloudrepro_bench(bench_fig19_budget_depletion)
 cloudrepro_bench(bench_ablation_fluid_vs_packet)

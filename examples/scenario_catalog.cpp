@@ -1,0 +1,66 @@
+// Scenario catalog + result cache tour: look up a catalog scenario, run it
+// through the content-addressed ResultStore twice, and show that the second
+// run executes nothing yet returns byte-identical summary bytes. The same
+// flow is available from the shell as
+//
+//   ./build/bin/cloudrepro run ci-smoke
+//
+// which is how the figure-scale scenarios (fig13-confirm, fig17-tpcds-budget,
+// ...) are meant to be driven.
+
+#include <filesystem>
+#include <iostream>
+
+#include "obs/metrics.h"
+#include "scenario/registry.h"
+#include "scenario/result_store.h"
+#include "scenario/runner.h"
+
+using namespace cloudrepro;
+
+int main() {
+  const auto& registry = scenario::ScenarioRegistry::builtin();
+
+  std::cout << "Catalog (" << registry.scenarios().size() << " scenarios):\n";
+  for (const auto& spec : registry.scenarios()) {
+    std::cout << "  " << spec.name << " [" << spec.paper_ref << "] — "
+              << spec.cell_count() << " cells x " << spec.repetitions
+              << " reps\n";
+  }
+
+  const auto& spec = registry.at("ci-smoke");
+  std::cout << "\nScenario " << spec.name << "\n  content hash "
+            << spec.content_hash() << "\n  (rename-stable: cosmetic fields and"
+            << " the seed are not part of the hash)\n";
+
+  const auto cache_dir =
+      std::filesystem::temp_directory_path() / "cloudrepro-example-cache";
+  std::filesystem::remove_all(cache_dir);
+  obs::MetricsRegistry metrics;
+  scenario::ResultStore store{cache_dir, &metrics};
+
+  scenario::RunOptions options;
+  options.store = &store;
+  options.threads = 0;  // All cores; bit-identical to serial.
+
+  const auto cold = scenario::run_scenario(spec, options);
+  std::cout << "\nCold run:  " << scenario::ResultStore::to_string(cold.hit_state)
+            << ", executed " << cold.executed_measurements << "/"
+            << cold.total_measurements << "\n";
+
+  const auto warm = scenario::run_scenario(spec, options);
+  std::cout << "Warm run:  " << scenario::ResultStore::to_string(warm.hit_state)
+            << ", executed " << warm.executed_measurements
+            << ", summary bytes "
+            << (warm.summary == cold.summary ? "IDENTICAL" : "DIFFERENT")
+            << "\n";
+
+  std::cout << "Cache counters: hit="
+            << metrics.counter_value("scenario.cache.hit")
+            << " partial=" << metrics.counter_value("scenario.cache.partial")
+            << " miss=" << metrics.counter_value("scenario.cache.miss") << "\n";
+
+  std::cout << "\nSummary (canonical JSON):\n" << cold.summary << "\n";
+  std::filesystem::remove_all(cache_dir);
+  return warm.summary == cold.summary ? 0 : 1;
+}

@@ -1,0 +1,444 @@
+#include "scenario/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace cloudrepro::scenario {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+  static const char* names[] = {"null", "bool",   "int",   "uint",
+                                "double", "string", "array", "object"};
+  throw JsonError{std::string{"json: expected "} + wanted + ", have " +
+                  names[static_cast<int>(got)]};
+}
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Recursive-descent parser over a string_view with a single cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError{"json parse error at offset " + std::to_string(pos_) + ": " + why};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string{"expected '"} + c + "'");
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) fail("bad literal");
+    pos_ += lit.size();
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json{parse_string()};
+      case 't': expect_literal("true"); return Json{true};
+      case 'f': expect_literal("false"); return Json{false};
+      case 'n': expect_literal("null"); return Json{nullptr};
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_ws();
+    if (consume('}')) return Json{std::move(object)};
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (!object.emplace(std::move(key), parse_value()).second) {
+        fail("duplicate object key");
+      }
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return Json{std::move(object)};
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_ws();
+    if (consume(']')) return Json{std::move(array)};
+    for (;;) {
+      array.push_back(parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return Json{std::move(array)};
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned long cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  unsigned long parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned long value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned long>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned long>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned long>(c - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned long cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            const unsigned long lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = pos_ > start + (text_[start] == '-' ? 1 : 0);
+    if (!integral) fail("bad number");
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      if (consume('.')) {
+        const std::size_t frac = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        if (pos_ == frac) fail("bad number: missing fraction digits");
+      }
+      if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+        ++pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+        const std::size_t exp = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        if (pos_ == exp) fail("bad number: missing exponent digits");
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      if (token[0] == '-') {
+        std::int64_t v = 0;
+        const auto [p, ec] = std::from_chars(token.begin(), token.end(), v);
+        if (ec == std::errc{} && p == token.end()) return Json{v};
+      } else {
+        std::uint64_t v = 0;
+        const auto [p, ec] = std::from_chars(token.begin(), token.end(), v);
+        if (ec == std::errc{} && p == token.end()) {
+          // Small non-negative integers stay kInt so 3 == 3 regardless of
+          // whether the value came from an int or size_t constructor.
+          if (v <= static_cast<std::uint64_t>(INT64_MAX)) {
+            return Json{static_cast<std::int64_t>(v)};
+          }
+          return Json{v};
+        }
+      }
+      // Integer out of 64-bit range: fall through to double.
+    }
+    double v = 0.0;
+    const auto [p, ec] = std::from_chars(token.begin(), token.end(), v);
+    if (ec != std::errc{} || p != token.end()) fail("number out of range");
+    return Json{v};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string canonical_double(double value) {
+  if (!std::isfinite(value)) {
+    throw JsonError{"json: non-finite double has no canonical form"};
+  }
+  if (value == 0.0) return "0";  // Normalizes -0.
+  char buf[40];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw JsonError{"json: double formatting failed"};
+  return std::string{buf, end};
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  switch (type_) {
+    case Type::kInt: return int_;
+    case Type::kUInt:
+      if (uint_ > static_cast<std::uint64_t>(INT64_MAX)) {
+        throw JsonError{"json: uint value out of int64 range"};
+      }
+      return static_cast<std::int64_t>(uint_);
+    default: type_error("integer", type_);
+  }
+}
+
+std::uint64_t Json::as_uint() const {
+  switch (type_) {
+    case Type::kUInt: return uint_;
+    case Type::kInt:
+      if (int_ < 0) throw JsonError{"json: negative value out of uint64 range"};
+      return static_cast<std::uint64_t>(int_);
+    default: type_error("unsigned integer", type_);
+  }
+}
+
+double Json::as_double() const {
+  switch (type_) {
+    case Type::kDouble: return double_;
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kUInt: return static_cast<double>(uint_);
+    default: type_error("number", type_);
+  }
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+JsonArray& Json::as_array() {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+JsonObject& Json::as_object() {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(std::string{key});
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (!found) throw JsonError{"json: missing field \"" + std::string{key} + "\""};
+  return *found;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_[key];
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(value));
+}
+
+bool Json::operator==(const Json& other) const noexcept {
+  if (is_number() && other.is_number()) {
+    // Numeric equality across storage types; integer/integer compares
+    // exactly, anything involving a double compares as double.
+    if (type_ != Type::kDouble && other.type_ != Type::kDouble) {
+      const bool neg_a = type_ == Type::kInt && int_ < 0;
+      const bool neg_b = other.type_ == Type::kInt && other.int_ < 0;
+      if (neg_a != neg_b) return false;
+      if (neg_a) return int_ == other.int_;
+      const std::uint64_t a = type_ == Type::kInt ? static_cast<std::uint64_t>(int_) : uint_;
+      const std::uint64_t b =
+          other.type_ == Type::kInt ? static_cast<std::uint64_t>(other.int_) : other.uint_;
+      return a == b;
+    }
+    return as_double() == other.as_double();
+  }
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+    default: return false;  // Numbers handled above.
+  }
+}
+
+void Json::write(std::ostream& os) const {
+  switch (type_) {
+    case Type::kNull: os << "null"; break;
+    case Type::kBool: os << (bool_ ? "true" : "false"); break;
+    case Type::kInt: os << int_; break;
+    case Type::kUInt: os << uint_; break;
+    case Type::kDouble: os << canonical_double(double_); break;
+    case Type::kString: write_escaped(os, string_); break;
+    case Type::kArray: {
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        array_[i].write(os);
+      }
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) os << ',';
+        first = false;
+        write_escaped(os, key);
+        os << ':';
+        value.write(os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string Json::canonical() const {
+  std::ostringstream ss;
+  write(ss);
+  return ss.str();
+}
+
+Json Json::parse(std::string_view text) { return Parser{text}.parse_document(); }
+
+}  // namespace cloudrepro::scenario

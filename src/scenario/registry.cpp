@@ -1,0 +1,254 @@
+#include "scenario/registry.h"
+
+#include <stdexcept>
+
+namespace cloudrepro::scenario {
+
+namespace {
+
+/// NSDI '20 day one — the same fixed seed every bench binary uses
+/// (bench_common.h), so registry-driven benches print the numbers they
+/// always printed.
+constexpr std::uint64_t kPaperSeed = 20200225;
+
+std::vector<WorkloadRef> hibench_five() {
+  return {{"hibench", "TS", {}},
+          {"hibench", "WC", {}},
+          {"hibench", "S", {}},
+          {"hibench", "BS", {}},
+          {"hibench", "KM", {}}};
+}
+
+std::vector<WorkloadRef> tpcds_all() {
+  std::vector<WorkloadRef> refs;
+  for (const int q : {3, 7, 19, 27, 34, 42, 43, 46, 52, 53, 55, 59, 63,
+                      65, 68, 70, 73, 79, 82, 89, 98}) {
+    refs.push_back({"tpcds", "Q" + std::to_string(q), {}});
+  }
+  return refs;
+}
+
+ScenarioRegistry build_builtin() {
+  ScenarioRegistry registry;
+
+  {
+    // Figure 13 runs *directly on the clouds*: per-VM incarnation draws and
+    // non-network machine noise entangled with the QoS effects.
+    ScenarioSpec s;
+    s.name = "fig13-confirm";
+    s.title = "CONFIRM analysis: repetitions until 95% CIs reach a 1% bound";
+    s.paper_ref = "Figure 13";
+    s.cluster.model = CloudModel::kGce;
+    s.workloads = {{"hibench", "KM", CloudModel::kGce},
+                   {"tpcds", "Q65", CloudModel::kHpcCloud}};
+    s.engine.machine_noise_cv = 0.06;
+    s.repetitions = 100;
+    s.confirm.enabled = true;
+    s.confirm.error_bound = 0.01;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  {
+    ScenarioSpec s;
+    s.name = "fig15-terasort-budget";
+    s.title = "Terasort runtime vs initial token budget";
+    s.paper_ref = "Figure 15";
+    s.workloads = {{"hibench", "TS", {}}};
+    s.budgets = {5000.0, 1000.0, 100.0, 10.0};
+    s.repetitions = 5;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  {
+    // Must mirror bench_fig16_hibench_budget exactly: the bench pulls this
+    // entry and its golden file pins the resulting numbers.
+    ScenarioSpec s;
+    s.name = "fig16-hibench-budget";
+    s.title = "HiBench runtime and variability vs initial token budget";
+    s.paper_ref = "Figure 16";
+    s.workloads = hibench_five();
+    s.budgets = {5000.0, 1000.0, 100.0, 10.0};
+    s.repetitions = 10;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  {
+    ScenarioSpec s;
+    s.name = "fig17-tpcds-budget";
+    s.title = "TPC-DS query sensitivity to the token budget";
+    s.paper_ref = "Figure 17";
+    s.workloads = tpcds_all();
+    s.budgets = {5000.0, 1000.0, 100.0, 10.0};
+    s.repetitions = 10;
+    s.engine.partition_skew = 0.5;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  {
+    ScenarioSpec s;
+    s.name = "fig18-straggler";
+    s.title = "TPC-DS Q65 under the straggler-inducing budget and skew";
+    s.paper_ref = "Figure 18";
+    s.workloads = {{"tpcds", "Q65", {}}};
+    s.budgets = {2500.0};
+    s.repetitions = 18;
+    s.engine.partition_skew = 0.6;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  {
+    ScenarioSpec s;
+    s.name = "fig19-budget-depletion";
+    s.title = "Median estimates across the depleting token-budget schedule";
+    s.paper_ref = "Figure 19";
+    s.workloads = {{"tpcds", "Q82", {}}, {"tpcds", "Q65", {}}};
+    s.budgets = {5000.0, 2500.0, 1000.0, 100.0, 10.0};
+    s.repetitions = 10;
+    s.engine.partition_skew = 0.5;
+    s.confirm.enabled = true;
+    s.confirm.error_bound = 0.10;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  {
+    ScenarioSpec s;
+    s.name = "table4-setup";
+    s.title = "The Section 4 setup: HiBench + TPC-DS, 12x16 token-bucket cluster";
+    s.paper_ref = "Table 4";
+    s.workloads = hibench_five();
+    for (auto& q : tpcds_all()) s.workloads.push_back(std::move(q));
+    s.repetitions = 10;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  {
+    // Beyond the paper: the TPC-H-style short-query suite under a
+    // full-vs-depleted budget contrast.
+    ScenarioSpec s;
+    s.name = "tpch-budget";
+    s.title = "TPC-H short-query suite, full vs depleted budget";
+    s.paper_ref = "extension";
+    for (const int q : {1, 3, 5, 6, 9, 13, 18, 21}) {
+      s.workloads.push_back({"tpch", "Q" + std::to_string(q), {}});
+    }
+    s.budgets = {5000.0, 100.0};
+    s.repetitions = 10;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  {
+    // Beyond the paper: does speculation keep the CI tight when nodes
+    // degrade and budgets are stolen mid-run?
+    ScenarioSpec s;
+    s.name = "fault-mitigation";
+    s.title = "Terasort under injected faults with speculation enabled";
+    s.paper_ref = "extension";
+    s.workloads = {{"hibench", "TS", {}}};
+    s.budgets = {2500.0};
+    s.repetitions = 10;
+    s.engine.partition_skew = 0.3;
+    s.engine.speculation = true;
+    s.faults.enabled = true;
+    s.faults.horizon_s = 3600.0;
+    s.faults.slowdown_rate_per_hour = 6.0;
+    s.faults.flap_rate_per_hour = 4.0;
+    s.faults.theft_rate_per_hour = 6.0;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  {
+    // Small enough for the CI cache-smoke job to run twice in seconds.
+    ScenarioSpec s;
+    s.name = "ci-smoke";
+    s.title = "Tiny grid exercising the full run/cache/summary path";
+    s.paper_ref = "CI";
+    s.workloads = {{"hibench", "TS", {}}, {"hibench", "KM", {}}};
+    s.budgets = {5000.0, 10.0};
+    s.repetitions = 3;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
+  registry.add_suite("paper-figures",
+                     {"fig13-confirm", "fig15-terasort-budget", "fig16-hibench-budget",
+                      "fig17-tpcds-budget", "fig18-straggler", "fig19-budget-depletion",
+                      "table4-setup"});
+  registry.add_suite("budget-sweeps",
+                     {"fig15-terasort-budget", "fig16-hibench-budget",
+                      "fig17-tpcds-budget", "fig18-straggler", "fig19-budget-depletion"});
+  registry.add_suite("extensions", {"tpch-budget", "fault-mitigation"});
+  registry.add_suite("ci", {"ci-smoke"});
+  return registry;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = build_builtin();
+  return registry;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  spec.validate();
+  if (index_.contains(spec.name)) {
+    throw std::invalid_argument{"ScenarioRegistry: duplicate scenario \"" +
+                                spec.name + "\""};
+  }
+  index_.emplace(spec.name, scenarios_.size());
+  scenarios_.push_back(std::move(spec));
+}
+
+void ScenarioRegistry::add_suite(std::string suite_name,
+                                 std::vector<std::string> scenario_names) {
+  for (const auto& n : scenario_names) {
+    if (!index_.contains(n)) {
+      throw std::invalid_argument{"ScenarioRegistry: suite \"" + suite_name +
+                                  "\" references unknown scenario \"" + n + "\""};
+    }
+  }
+  if (!suites_.emplace(std::move(suite_name), std::move(scenario_names)).second) {
+    throw std::invalid_argument{"ScenarioRegistry: duplicate suite"};
+  }
+}
+
+const ScenarioSpec* ScenarioRegistry::find(std::string_view name) const noexcept {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &scenarios_[it->second];
+}
+
+const ScenarioSpec& ScenarioRegistry::at(std::string_view name) const {
+  if (const ScenarioSpec* spec = find(name)) return *spec;
+  std::string known;
+  for (const auto& s : scenarios_) {
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  throw std::out_of_range{"unknown scenario \"" + std::string{name} +
+                          "\" (known: " + known + ")"};
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.name);
+  return out;
+}
+
+const std::vector<std::string>& ScenarioRegistry::suite(std::string_view name) const {
+  const auto it = suites_.find(std::string{name});
+  if (it == suites_.end()) {
+    throw std::out_of_range{"unknown suite \"" + std::string{name} + "\""};
+  }
+  return it->second;
+}
+
+}  // namespace cloudrepro::scenario

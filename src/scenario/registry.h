@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace cloudrepro::scenario {
+
+/// Named catalog of scenarios plus named suites (ordered lists of scenario
+/// names). `builtin()` is the read-only catalog covering the paper's
+/// figure/table experiments; benches and the `cloudrepro` CLI pull their
+/// grids from it instead of hard-coding sweeps.
+class ScenarioRegistry {
+ public:
+  ScenarioRegistry() = default;
+
+  /// The built-in catalog: Figures 13 and 15-19, Table 4, the CI smoke
+  /// scenario, and the extension scenarios (TPC-H, fault mitigation).
+  /// Constructed once; every spec is validated at construction.
+  static const ScenarioRegistry& builtin();
+
+  /// Adds a scenario; throws std::invalid_argument on duplicate names or
+  /// invalid specs.
+  void add(ScenarioSpec spec);
+
+  /// Adds a suite; every referenced scenario must already exist.
+  void add_suite(std::string suite_name, std::vector<std::string> scenario_names);
+
+  const ScenarioSpec* find(std::string_view name) const noexcept;
+  /// Throws std::out_of_range with the known names listed.
+  const ScenarioSpec& at(std::string_view name) const;
+
+  /// Scenario names in catalog (insertion) order.
+  std::vector<std::string> names() const;
+  const std::vector<ScenarioSpec>& scenarios() const noexcept { return scenarios_; }
+
+  const std::map<std::string, std::vector<std::string>>& suites() const noexcept {
+    return suites_;
+  }
+  /// Scenario names of one suite; throws std::out_of_range when unknown.
+  const std::vector<std::string>& suite(std::string_view name) const;
+
+ private:
+  std::vector<ScenarioSpec> scenarios_;  ///< Catalog order (stable for `list`).
+  std::map<std::string, std::size_t, std::less<>> index_;
+  std::map<std::string, std::vector<std::string>> suites_;
+};
+
+}  // namespace cloudrepro::scenario

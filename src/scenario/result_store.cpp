@@ -1,0 +1,177 @@
+#include "scenario/result_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "obs/metrics.h"
+
+namespace cloudrepro::scenario {
+
+namespace {
+
+/// Counts reusable measurements in a campaign journal: complete lines after
+/// the header that carry a value field. A torn final line (crash mid-write)
+/// is not counted — the campaign re-runs that measurement, exactly as its
+/// own loader does.
+std::size_t count_journal_measurements(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) return 0;
+  std::string line;
+  if (!std::getline(in, line)) return 0;  // Header (or empty file).
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"value\":") != std::string::npos) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::filesystem::path root, obs::MetricsRegistry* metrics)
+    : root_(std::move(root)), metrics_(metrics) {}
+
+const char* ResultStore::to_string(HitState state) noexcept {
+  switch (state) {
+    case HitState::kMiss: return "miss";
+    case HitState::kPartial: return "partial";
+    case HitState::kHit: return "hit";
+  }
+  return "?";
+}
+
+void ResultStore::count(const char* which, double delta) const {
+  if (metrics_) metrics_->counter(which).add(delta);
+}
+
+std::filesystem::path ResultStore::entry_dir(const ScenarioSpec& spec,
+                                             std::uint64_t seed) const {
+  return root_ / (spec.content_hash() + "-s" + std::to_string(seed) + "-v" +
+                  std::to_string(kResultSchemaVersion));
+}
+
+std::filesystem::path ResultStore::journal_path(const ScenarioSpec& spec,
+                                                std::uint64_t seed) const {
+  return entry_dir(spec, seed) / "journal.jsonl";
+}
+
+std::filesystem::path ResultStore::summary_path(const ScenarioSpec& spec,
+                                                std::uint64_t seed) const {
+  return entry_dir(spec, seed) / "summary.json";
+}
+
+ResultStore::Lookup ResultStore::peek(const ScenarioSpec& spec,
+                                      std::uint64_t seed) const {
+  Lookup lookup;
+  lookup.dir = entry_dir(spec, seed);
+  lookup.total_measurements = spec.total_measurements();
+  if (std::filesystem::exists(lookup.dir / "summary.json")) {
+    lookup.state = HitState::kHit;
+    lookup.cached_measurements = lookup.total_measurements;
+    return lookup;
+  }
+  lookup.cached_measurements = count_journal_measurements(lookup.dir / "journal.jsonl");
+  lookup.state = lookup.cached_measurements > 0 ? HitState::kPartial : HitState::kMiss;
+  return lookup;
+}
+
+ResultStore::Lookup ResultStore::lookup(const ScenarioSpec& spec, std::uint64_t seed) {
+  const Lookup result = peek(spec, seed);
+  switch (result.state) {
+    case HitState::kHit: count("scenario.cache.hit"); break;
+    case HitState::kPartial: count("scenario.cache.partial"); break;
+    case HitState::kMiss: count("scenario.cache.miss"); break;
+  }
+  return result;
+}
+
+std::filesystem::path ResultStore::prepare(const ScenarioSpec& spec,
+                                           std::uint64_t seed) {
+  const auto dir = entry_dir(spec, seed);
+  std::filesystem::create_directories(dir);
+  const auto spec_path = dir / "scenario.json";
+  if (!std::filesystem::exists(spec_path)) {
+    std::ofstream out{spec_path};
+    if (!out) {
+      throw std::runtime_error{"ResultStore: cannot write " + spec_path.string()};
+    }
+    out << spec.canonical_json() << '\n';
+  }
+  return dir / "journal.jsonl";
+}
+
+bool ResultStore::has_summary(const ScenarioSpec& spec, std::uint64_t seed) const {
+  return std::filesystem::exists(summary_path(spec, seed));
+}
+
+std::optional<std::string> ResultStore::read_summary(const ScenarioSpec& spec,
+                                                     std::uint64_t seed) const {
+  std::ifstream in{summary_path(spec, seed), std::ios::binary};
+  if (!in) return std::nullopt;
+  return std::string{std::istreambuf_iterator<char>{in},
+                     std::istreambuf_iterator<char>{}};
+}
+
+void ResultStore::write_summary(const ScenarioSpec& spec, std::uint64_t seed,
+                                std::string_view summary) {
+  const auto dir = entry_dir(spec, seed);
+  std::filesystem::create_directories(dir);
+  const auto final_path = dir / "summary.json";
+  const auto tmp_path = dir / "summary.json.tmp";
+  {
+    std::ofstream out{tmp_path, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      throw std::runtime_error{"ResultStore: cannot write " + tmp_path.string()};
+    }
+    out << summary;
+  }
+  // Rename-into-place so a reader never observes a half-written summary
+  // (the summary's presence is the completeness marker).
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+std::vector<ResultStore::EntryInfo> ResultStore::entries() const {
+  std::vector<EntryInfo> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator{root_, ec}) {
+    if (!entry.is_directory()) continue;
+    EntryInfo info;
+    info.key = entry.path().filename().string();
+    info.complete = std::filesystem::exists(entry.path() / "summary.json");
+    info.journal_measurements =
+        count_journal_measurements(entry.path() / "journal.jsonl");
+    for (const auto& file : std::filesystem::directory_iterator{entry.path()}) {
+      if (file.is_regular_file()) info.bytes += file.file_size();
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EntryInfo& a, const EntryInfo& b) { return a.key < b.key; });
+  return out;
+}
+
+std::size_t ResultStore::evict(const ScenarioSpec& spec, std::uint64_t seed) {
+  const auto dir = entry_dir(spec, seed);
+  if (!std::filesystem::exists(dir)) return 0;
+  std::filesystem::remove_all(dir);
+  count("scenario.cache.evictions");
+  return 1;
+}
+
+std::size_t ResultStore::clear() {
+  std::size_t removed = 0;
+  std::error_code ec;
+  std::vector<std::filesystem::path> dirs;
+  for (const auto& entry : std::filesystem::directory_iterator{root_, ec}) {
+    if (entry.is_directory()) dirs.push_back(entry.path());
+  }
+  for (const auto& dir : dirs) {
+    std::filesystem::remove_all(dir);
+    ++removed;
+  }
+  if (removed > 0) count("scenario.cache.evictions", static_cast<double>(removed));
+  return removed;
+}
+
+}  // namespace cloudrepro::scenario

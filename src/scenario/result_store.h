@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace cloudrepro::obs {
+class MetricsRegistry;
+}  // namespace cloudrepro::obs
+
+namespace cloudrepro::scenario {
+
+/// Version of the *measurement semantics*: what a stored value means and
+/// how it was produced (engine, simulator, campaign seed derivation). Bump
+/// whenever a change makes previously cached measurements non-reproducible
+/// by the current code — old entries then simply never match and age out.
+inline constexpr int kResultSchemaVersion = 1;
+
+/// On-disk content-addressed cache of scenario results, keyed by
+/// (scenario content hash, seed, result schema version). One directory per
+/// key:
+///
+///   <root>/<hash>-s<seed>-v<version>/
+///     scenario.json   canonical spec, for humans and debugging
+///     journal.jsonl   the campaign journal — *is* the partial-hit state;
+///                     resuming through it reuses completed measurements
+///     summary.json    canonical summary, written only when complete —
+///                     its presence is what makes an entry a full hit
+///
+/// Counters (when a MetricsRegistry is attached):
+///   scenario.cache.hit / .partial / .miss   one per `lookup`
+///   scenario.cache.evictions                entries removed
+class ResultStore {
+ public:
+  explicit ResultStore(std::filesystem::path root,
+                       obs::MetricsRegistry* metrics = nullptr);
+
+  enum class HitState { kMiss, kPartial, kHit };
+  static const char* to_string(HitState state) noexcept;
+
+  struct Lookup {
+    HitState state = HitState::kMiss;
+    /// Journal measurements available for reuse (== total when complete).
+    std::size_t cached_measurements = 0;
+    std::size_t total_measurements = 0;
+    std::filesystem::path dir;
+  };
+
+  /// Classifies the entry and bumps the corresponding cache counter.
+  Lookup lookup(const ScenarioSpec& spec, std::uint64_t seed);
+  /// Same classification without touching counters (stats, tests).
+  Lookup peek(const ScenarioSpec& spec, std::uint64_t seed) const;
+
+  std::filesystem::path entry_dir(const ScenarioSpec& spec, std::uint64_t seed) const;
+  std::filesystem::path journal_path(const ScenarioSpec& spec, std::uint64_t seed) const;
+  std::filesystem::path summary_path(const ScenarioSpec& spec, std::uint64_t seed) const;
+
+  /// Creates the entry directory (and `scenario.json` if absent) and
+  /// returns the journal path for `CampaignOptions::journal_path`.
+  std::filesystem::path prepare(const ScenarioSpec& spec, std::uint64_t seed);
+
+  bool has_summary(const ScenarioSpec& spec, std::uint64_t seed) const;
+  /// Exact bytes written by `write_summary`; nullopt when absent.
+  std::optional<std::string> read_summary(const ScenarioSpec& spec,
+                                          std::uint64_t seed) const;
+  /// Atomically (write + rename) publishes the summary, completing the entry.
+  void write_summary(const ScenarioSpec& spec, std::uint64_t seed,
+                     std::string_view summary);
+
+  struct EntryInfo {
+    std::string key;  ///< Directory name: <hash>-s<seed>-v<version>.
+    bool complete = false;
+    std::size_t journal_measurements = 0;
+    std::uintmax_t bytes = 0;
+  };
+  /// All entries under the root, key-sorted.
+  std::vector<EntryInfo> entries() const;
+
+  /// Removes one entry; returns the number removed (0 or 1).
+  std::size_t evict(const ScenarioSpec& spec, std::uint64_t seed);
+  /// Removes every entry; returns the number removed.
+  std::size_t clear();
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+ private:
+  void count(const char* which, double delta = 1.0) const;
+
+  std::filesystem::path root_;
+  obs::MetricsRegistry* metrics_;
+};
+
+}  // namespace cloudrepro::scenario

@@ -1,0 +1,242 @@
+#include "scenario/runner.h"
+
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "bigdata/cluster.h"
+#include "bigdata/engine.h"
+#include "bigdata/workload.h"
+#include "cloud/instances.h"
+#include "core/confirm.h"
+#include "faults/fault_plan.h"
+#include "simnet/qos.h"
+
+namespace cloudrepro::scenario {
+
+namespace {
+
+std::span<const bigdata::WorkloadProfile> suite_profiles(const std::string& suite) {
+  if (suite == "hibench") return bigdata::hibench_suite();
+  if (suite == "hibench-ext") return bigdata::hibench_extended_suite();
+  if (suite == "tpcds") return bigdata::tpcds_suite();
+  if (suite == "tpch") return bigdata::tpch_suite();
+  throw std::out_of_range{"unknown workload suite \"" + suite + "\""};
+}
+
+faults::FaultPlanConfig fault_config(const FaultSpec& spec) {
+  faults::FaultPlanConfig config;
+  config.horizon_s = spec.horizon_s;
+  config.crash_rate_per_hour = spec.crash_rate_per_hour;
+  config.revocation_rate_per_hour = spec.revocation_rate_per_hour;
+  config.slowdown_rate_per_hour = spec.slowdown_rate_per_hour;
+  config.flap_rate_per_hour = spec.flap_rate_per_hour;
+  config.theft_rate_per_hour = spec.theft_rate_per_hour;
+  return config;
+}
+
+/// Builds this cell's cluster. Uniform-token-bucket clusters are
+/// deterministic clones of the EC2 nominal bucket (the Figures 15-19
+/// emulation); the cloud models draw per-VM incarnations from the
+/// repetition's RNG stream, consuming draws *before* the engine runs —
+/// the same order the Figure 13 bench established.
+bigdata::Cluster make_cluster(CloudModel model, const ClusterSpec& spec,
+                              stats::Rng& rng) {
+  switch (model) {
+    case CloudModel::kUniformTokenBucket: {
+      const auto bucket = *cloud::ec2_c5_xlarge().nominal_bucket();
+      const simnet::TokenBucketQos proto{bucket};
+      return bigdata::Cluster::uniform(spec.nodes, spec.cores_per_node, proto,
+                                       spec.line_rate_gbps);
+    }
+    case CloudModel::kEc2:
+      return bigdata::Cluster::from_cloud(spec.nodes, spec.cores_per_node,
+                                          cloud::ec2_c5_xlarge(), rng);
+    case CloudModel::kGce:
+      return bigdata::Cluster::from_cloud(spec.nodes, spec.cores_per_node,
+                                          cloud::gce_8core(), rng);
+    case CloudModel::kHpcCloud:
+      return bigdata::Cluster::from_cloud(spec.nodes, spec.cores_per_node,
+                                          cloud::hpccloud_8core(), rng);
+  }
+  throw std::logic_error{"make_cluster: unreachable"};
+}
+
+Json confirm_to_json(const core::ConfirmAnalysis& analysis) {
+  JsonObject out;
+  out["repetitions_needed"] = analysis.repetitions_needed
+                                  ? Json{static_cast<std::uint64_t>(
+                                        *analysis.repetitions_needed)}
+                                  : Json{nullptr};
+  out["ci_widened"] = Json{analysis.ci_widened};
+  const auto& final_point = analysis.final_point();
+  out["final_estimate"] = Json{final_point.estimate};
+  out["final_ci_lower"] = Json{final_point.ci_lower};
+  out["final_ci_upper"] = Json{final_point.ci_upper};
+  out["final_ci_valid"] = Json{final_point.ci_valid};
+  out["final_within_bound"] = Json{final_point.within_bound};
+  return Json{std::move(out)};
+}
+
+}  // namespace
+
+const bigdata::WorkloadProfile& resolve_workload(const WorkloadRef& ref) {
+  const auto profiles = suite_profiles(ref.suite);
+  for (const auto& profile : profiles) {
+    if (profile.name == ref.name) return profile;
+  }
+  std::string known;
+  for (const auto& profile : profiles) {
+    if (!known.empty()) known += ", ";
+    known += profile.name;
+  }
+  throw std::out_of_range{"unknown workload \"" + ref.name + "\" in suite \"" +
+                          ref.suite + "\" (known: " + known + ")"};
+}
+
+std::vector<core::CampaignCell> build_cells(const ScenarioSpec& spec) {
+  spec.validate();
+  std::vector<core::CampaignCell> cells;
+  cells.reserve(spec.cell_count());
+  for (const auto& ref : spec.workloads) {
+    const bigdata::WorkloadProfile& profile = resolve_workload(ref);
+    const CloudModel model = ref.cloud.value_or(spec.cluster.model);
+    for (std::size_t t = 0; t < spec.treatment_count(); ++t) {
+      const double budget = spec.budgets.empty() ? -1.0 : spec.budgets[t];
+      // Captures are by value (small structs + a pointer to the profile's
+      // static storage): cells outlive the spec they were built from and
+      // run concurrently under the campaign thread pool.
+      const ClusterSpec cluster_spec = spec.cluster;
+      const EngineSpec engine_spec = spec.engine;
+      const FaultSpec fault_spec = spec.faults;
+      cells.push_back(core::CampaignCell{
+          profile.name, spec.treatment_label(t),
+          [&profile, model, cluster_spec, engine_spec, fault_spec,
+           budget](stats::Rng& rng) {
+            auto cluster = make_cluster(model, cluster_spec, rng);
+            if (budget >= 0.0) cluster.set_token_budgets(budget);
+            bigdata::EngineOptions options;
+            options.partition_skew = engine_spec.partition_skew;
+            options.stable_partitioning = engine_spec.stable_partitioning;
+            options.machine_noise_cv = engine_spec.machine_noise_cv;
+            options.speculation.enabled = engine_spec.speculation;
+            if (fault_spec.enabled) {
+              options.fault_plan = faults::FaultPlan::sample(
+                  fault_config(fault_spec), cluster.node_count(), rng);
+            }
+            bigdata::SparkEngine engine{options};
+            return engine.run(profile, cluster, rng).runtime_s;
+          },
+          [] {}});
+    }
+  }
+  return cells;
+}
+
+core::CampaignOptions campaign_options(const ScenarioSpec& spec) {
+  core::CampaignOptions options;
+  options.repetitions_per_cell = spec.repetitions;
+  options.randomize_order = spec.randomize_order;
+  options.confidence = spec.confidence;
+  return options;
+}
+
+std::string summary_json(const ScenarioSpec& spec, std::uint64_t seed,
+                         const core::CampaignResult& result) {
+  JsonArray cells_json;
+  for (const auto& cell : result.cells) {
+    JsonObject c;
+    c["config"] = Json{cell.config};
+    c["treatment"] = Json{cell.treatment};
+    c["n"] = Json{cell.values.size()};
+    if (!cell.values.empty()) {
+      c["mean"] = Json{cell.summary.mean};
+      c["median"] = Json{cell.summary.median};
+      c["stddev"] = Json{cell.summary.stddev};
+      c["cov"] = Json{cell.summary.coefficient_of_variation};
+      c["min"] = Json{cell.summary.min};
+      c["max"] = Json{cell.summary.max};
+      c["median_ci_lower"] = Json{cell.median_ci.lower};
+      c["median_ci_upper"] = Json{cell.median_ci.upper};
+      c["median_ci_valid"] = Json{cell.median_ci.valid};
+      if (spec.confirm.enabled) {
+        core::ConfirmOptions confirm_options;
+        confirm_options.quantile = spec.confirm.quantile;
+        confirm_options.confidence = spec.confirm.confidence;
+        confirm_options.error_bound = spec.confirm.error_bound;
+        c["confirm"] = confirm_to_json(
+            core::confirm_analysis(cell.values, confirm_options));
+      }
+    }
+    cells_json.push_back(Json{std::move(c)});
+  }
+
+  JsonObject root;
+  root["scenario"] = Json{spec.name};
+  root["scenario_hash"] = Json{spec.content_hash()};
+  root["seed"] = Json{seed};
+  root["result_schema_version"] = Json{static_cast<std::int64_t>(kResultSchemaVersion)};
+  root["repetitions_per_cell"] = Json{static_cast<std::int64_t>(spec.repetitions)};
+  root["complete"] = Json{result.complete};
+  root["cells"] = Json{std::move(cells_json)};
+  return Json{std::move(root)}.canonical();
+}
+
+ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
+  spec.validate();
+  const std::uint64_t seed = options.seed.value_or(spec.seed);
+
+  ScenarioRunResult result;
+  result.total_measurements = spec.total_measurements();
+
+  if (options.store) {
+    const auto lookup = options.store->lookup(spec, seed);
+    result.hit_state = lookup.state;
+    if (lookup.state == ResultStore::HitState::kHit && !options.need_values) {
+      // Full hit: serve the stored summary verbatim; nothing executes.
+      result.summary = *options.store->read_summary(spec, seed);
+      result.from_cached_summary = true;
+      result.resumed_measurements = result.total_measurements;
+      return result;
+    }
+  }
+
+  auto campaign_opts = campaign_options(spec);
+  campaign_opts.threads = options.threads;
+  campaign_opts.max_measurements = options.max_measurements;
+  if (options.store) {
+    campaign_opts.journal_path = options.store->prepare(spec, seed);
+  }
+
+  auto cells = build_cells(spec);
+  core::CampaignResult campaign;
+  try {
+    campaign = core::run_campaign(std::move(cells), campaign_opts, seed);
+  } catch (const std::runtime_error& error) {
+    // A journal written by an older build (or corrupted) fails the verbatim
+    // header check. Content addressing makes the entry worthless, not the
+    // run: evict it and redo the campaign cold.
+    if (!options.store ||
+        std::string_view{error.what()}.find("journal") == std::string_view::npos) {
+      throw;
+    }
+    options.store->evict(spec, seed);
+    campaign_opts.journal_path = options.store->prepare(spec, seed);
+    campaign = core::run_campaign(build_cells(spec), campaign_opts, seed);
+  }
+
+  std::size_t measured = 0;
+  for (const auto& cell : campaign.cells) measured += cell.values.size();
+  result.resumed_measurements = campaign.resumed_measurements;
+  result.executed_measurements = measured - campaign.resumed_measurements;
+  result.complete = campaign.complete;
+
+  result.summary = summary_json(spec, seed, campaign);
+  if (options.store && campaign.complete) {
+    options.store->write_summary(spec, seed, result.summary);
+  }
+  result.campaign = std::move(campaign);
+  return result;
+}
+
+}  // namespace cloudrepro::scenario

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "scenario/result_store.h"
+#include "scenario/spec.h"
+
+namespace cloudrepro::bigdata {
+struct WorkloadProfile;
+}  // namespace cloudrepro::bigdata
+
+namespace cloudrepro::scenario {
+
+/// Resolves a workload reference against the built-in suites
+/// (hibench / hibench-ext / tpcds / tpch); throws std::out_of_range with
+/// the suite's known names when absent. The returned reference has static
+/// storage duration.
+const bigdata::WorkloadProfile& resolve_workload(const WorkloadRef& ref);
+
+/// Materializes the scenario grid as campaign cells, workloads outer and
+/// treatments inner — cell index = w * treatment_count + t. Every cell's
+/// `run_once` builds a fresh cluster and engine from its repetition RNG
+/// stream, so cells are thread-safe and the campaign is bit-identical at
+/// any thread count.
+std::vector<core::CampaignCell> build_cells(const ScenarioSpec& spec);
+
+/// The campaign options a scenario pins (repetitions, order, confidence).
+/// Runtime knobs (threads, journal, max_measurements) stay at their
+/// defaults for the caller to fill in.
+core::CampaignOptions campaign_options(const ScenarioSpec& spec);
+
+/// Canonical summary bytes for a finished (or interrupted) campaign:
+/// per-cell robust statistics, optional per-cell CONFIRM analysis, and the
+/// provenance triple (scenario hash, seed, result schema version). A pure
+/// function of the campaign *values* — never of thread count, cache state,
+/// or wall time — which is what makes "second run emits byte-identical
+/// output" checkable with `cmp`.
+std::string summary_json(const ScenarioSpec& spec, std::uint64_t seed,
+                         const core::CampaignResult& result);
+
+struct RunOptions {
+  /// Campaign worker threads: 1 = serial reference, 0 = all cores.
+  int threads = 1;
+  /// Master seed; defaults to the spec's.
+  std::optional<std::uint64_t> seed;
+  /// Result cache; nullptr disables journaling and summary reuse.
+  ResultStore* store = nullptr;
+  /// Force a journal replay even when a complete summary exists — used when
+  /// the caller needs the raw per-repetition values (CSV export), which the
+  /// summary alone cannot provide. Still executes zero new measurements on
+  /// a full hit.
+  bool need_values = false;
+  /// Stop after this many new measurements (0 = unlimited); the journal
+  /// keeps the prefix for a later resume.
+  int max_measurements = 0;
+};
+
+struct ScenarioRunResult {
+  /// Empty (no cells) when the run was served from the cached summary.
+  core::CampaignResult campaign;
+  std::string summary;  ///< Canonical summary bytes.
+  ResultStore::HitState hit_state = ResultStore::HitState::kMiss;
+  bool from_cached_summary = false;
+  std::size_t executed_measurements = 0;  ///< Fresh runs this invocation.
+  std::size_t resumed_measurements = 0;   ///< Reused from the cache journal.
+  std::size_t total_measurements = 0;
+  bool complete = true;
+};
+
+/// Runs one scenario end to end: cache lookup, campaign execution or resume
+/// through the store's journal, summary generation, and summary publication
+/// on completion. With a store, a complete entry is served without
+/// executing anything; a partial entry re-runs only the remainder.
+ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options = {});
+
+}  // namespace cloudrepro::scenario

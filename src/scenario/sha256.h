@@ -1,0 +1,13 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cloudrepro::scenario {
+
+/// SHA-256 of `data` as a 64-character lowercase hex string. Self-contained
+/// (FIPS 180-4); the scenario content hash needs a collision-resistant
+/// digest and the image ships no crypto library.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace cloudrepro::scenario

@@ -1,0 +1,305 @@
+#include "scenario/spec.h"
+
+#include <set>
+
+#include "scenario/sha256.h"
+
+namespace cloudrepro::scenario {
+
+namespace {
+
+[[noreturn]] void spec_error(const std::string& what) {
+  throw JsonError{"scenario spec: " + what};
+}
+
+/// Rejects unknown keys so a typoed knob fails loudly instead of silently
+/// hashing as the default.
+void check_known_keys(const Json& object, const char* where,
+                      std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : object.as_object()) {
+    (void)value;
+    bool ok = false;
+    for (const auto k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) spec_error(std::string{"unknown field \""} + key + "\" in " + where);
+  }
+}
+
+double get_double(const Json& object, const char* key, double fallback) {
+  const Json* field = object.find(key);
+  return field ? field->as_double() : fallback;
+}
+
+bool get_bool(const Json& object, const char* key, bool fallback) {
+  const Json* field = object.find(key);
+  return field ? field->as_bool() : fallback;
+}
+
+int get_int(const Json& object, const char* key, int fallback) {
+  const Json* field = object.find(key);
+  if (!field) return fallback;
+  const std::int64_t v = field->as_int();
+  if (v < INT32_MIN || v > INT32_MAX) {
+    spec_error(std::string{"field \""} + key + "\" out of int range");
+  }
+  return static_cast<int>(v);
+}
+
+std::string get_string(const Json& object, const char* key,
+                       const std::string& fallback) {
+  const Json* field = object.find(key);
+  return field ? field->as_string() : fallback;
+}
+
+CloudModel parse_cloud_model(const Json& value) {
+  const auto model = cloud_model_from_string(value.as_string());
+  if (!model) spec_error("unknown cloud model \"" + value.as_string() + "\"");
+  return *model;
+}
+
+}  // namespace
+
+const char* to_string(CloudModel model) noexcept {
+  switch (model) {
+    case CloudModel::kUniformTokenBucket: return "uniform-token-bucket";
+    case CloudModel::kEc2: return "ec2";
+    case CloudModel::kGce: return "gce";
+    case CloudModel::kHpcCloud: return "hpccloud";
+  }
+  return "?";
+}
+
+std::optional<CloudModel> cloud_model_from_string(std::string_view name) noexcept {
+  if (name == "uniform-token-bucket") return CloudModel::kUniformTokenBucket;
+  if (name == "ec2") return CloudModel::kEc2;
+  if (name == "gce") return CloudModel::kGce;
+  if (name == "hpccloud") return CloudModel::kHpcCloud;
+  return std::nullopt;
+}
+
+std::string ScenarioSpec::treatment_label(std::size_t t) const {
+  if (budgets.empty()) return "nominal";
+  return "budget=" + canonical_double(budgets.at(t));
+}
+
+Json ScenarioSpec::semantic_json() const {
+  JsonObject cluster_json;
+  cluster_json["model"] = Json{to_string(cluster.model)};
+  cluster_json["nodes"] = Json{static_cast<std::int64_t>(cluster.nodes)};
+  cluster_json["cores_per_node"] = Json{static_cast<std::int64_t>(cluster.cores_per_node)};
+  cluster_json["line_rate_gbps"] = Json{cluster.line_rate_gbps};
+
+  JsonObject engine_json;
+  engine_json["partition_skew"] = Json{engine.partition_skew};
+  engine_json["stable_partitioning"] = Json{engine.stable_partitioning};
+  engine_json["machine_noise_cv"] = Json{engine.machine_noise_cv};
+  engine_json["speculation"] = Json{engine.speculation};
+
+  JsonArray workloads_json;
+  for (const auto& w : workloads) {
+    JsonObject ref;
+    ref["suite"] = Json{w.suite};
+    ref["name"] = Json{w.name};
+    if (w.cloud) ref["cloud"] = Json{to_string(*w.cloud)};
+    workloads_json.push_back(Json{std::move(ref)});
+  }
+
+  JsonArray budgets_json;
+  for (const double b : budgets) budgets_json.push_back(Json{b});
+
+  JsonObject faults_json;
+  faults_json["enabled"] = Json{faults.enabled};
+  faults_json["horizon_s"] = Json{faults.horizon_s};
+  faults_json["crash_rate_per_hour"] = Json{faults.crash_rate_per_hour};
+  faults_json["revocation_rate_per_hour"] = Json{faults.revocation_rate_per_hour};
+  faults_json["slowdown_rate_per_hour"] = Json{faults.slowdown_rate_per_hour};
+  faults_json["flap_rate_per_hour"] = Json{faults.flap_rate_per_hour};
+  faults_json["theft_rate_per_hour"] = Json{faults.theft_rate_per_hour};
+
+  JsonObject confirm_json;
+  confirm_json["enabled"] = Json{confirm.enabled};
+  confirm_json["quantile"] = Json{confirm.quantile};
+  confirm_json["confidence"] = Json{confirm.confidence};
+  confirm_json["error_bound"] = Json{confirm.error_bound};
+
+  JsonObject root;
+  root["cluster"] = Json{std::move(cluster_json)};
+  root["engine"] = Json{std::move(engine_json)};
+  root["workloads"] = Json{std::move(workloads_json)};
+  root["budgets"] = Json{std::move(budgets_json)};
+  root["repetitions"] = Json{static_cast<std::int64_t>(repetitions)};
+  root["randomize_order"] = Json{randomize_order};
+  root["confidence"] = Json{confidence};
+  root["faults"] = Json{std::move(faults_json)};
+  root["confirm"] = Json{std::move(confirm_json)};
+  return Json{std::move(root)};
+}
+
+Json ScenarioSpec::to_json() const {
+  Json root = semantic_json();
+  root["schema"] = Json{static_cast<std::int64_t>(kSpecSchemaVersion)};
+  root["name"] = Json{name};
+  if (!title.empty()) root["title"] = Json{title};
+  if (!paper_ref.empty()) root["paper_ref"] = Json{paper_ref};
+  root["seed"] = Json{seed};
+  return root;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const Json& json) {
+  check_known_keys(json, "scenario",
+                   {"schema", "name", "title", "paper_ref", "seed", "cluster",
+                    "engine", "workloads", "budgets", "repetitions",
+                    "randomize_order", "confidence", "faults", "confirm"});
+
+  if (const Json* schema = json.find("schema")) {
+    if (schema->as_int() != kSpecSchemaVersion) {
+      spec_error("unsupported schema version " + std::to_string(schema->as_int()) +
+                 " (this build understands " + std::to_string(kSpecSchemaVersion) + ")");
+    }
+  }
+
+  ScenarioSpec spec;
+  spec.name = json.at("name").as_string();
+  spec.title = get_string(json, "title", "");
+  spec.paper_ref = get_string(json, "paper_ref", "");
+  if (const Json* seed = json.find("seed")) spec.seed = seed->as_uint();
+
+  if (const Json* cluster = json.find("cluster")) {
+    check_known_keys(*cluster, "cluster",
+                     {"model", "nodes", "cores_per_node", "line_rate_gbps"});
+    if (const Json* model = cluster->find("model")) {
+      spec.cluster.model = parse_cloud_model(*model);
+    }
+    spec.cluster.nodes = get_int(*cluster, "nodes", spec.cluster.nodes);
+    spec.cluster.cores_per_node =
+        get_int(*cluster, "cores_per_node", spec.cluster.cores_per_node);
+    spec.cluster.line_rate_gbps =
+        get_double(*cluster, "line_rate_gbps", spec.cluster.line_rate_gbps);
+  }
+
+  if (const Json* engine = json.find("engine")) {
+    check_known_keys(*engine, "engine",
+                     {"partition_skew", "stable_partitioning", "machine_noise_cv",
+                      "speculation"});
+    spec.engine.partition_skew =
+        get_double(*engine, "partition_skew", spec.engine.partition_skew);
+    spec.engine.stable_partitioning =
+        get_bool(*engine, "stable_partitioning", spec.engine.stable_partitioning);
+    spec.engine.machine_noise_cv =
+        get_double(*engine, "machine_noise_cv", spec.engine.machine_noise_cv);
+    spec.engine.speculation = get_bool(*engine, "speculation", spec.engine.speculation);
+  }
+
+  for (const Json& ref : json.at("workloads").as_array()) {
+    check_known_keys(ref, "workload", {"suite", "name", "cloud"});
+    WorkloadRef w;
+    w.suite = ref.at("suite").as_string();
+    w.name = ref.at("name").as_string();
+    if (const Json* cloud = ref.find("cloud")) w.cloud = parse_cloud_model(*cloud);
+    spec.workloads.push_back(std::move(w));
+  }
+
+  if (const Json* budgets = json.find("budgets")) {
+    for (const Json& b : budgets->as_array()) spec.budgets.push_back(b.as_double());
+  }
+
+  spec.repetitions = get_int(json, "repetitions", spec.repetitions);
+  spec.randomize_order = get_bool(json, "randomize_order", spec.randomize_order);
+  spec.confidence = get_double(json, "confidence", spec.confidence);
+
+  if (const Json* faults = json.find("faults")) {
+    check_known_keys(*faults, "faults",
+                     {"enabled", "horizon_s", "crash_rate_per_hour",
+                      "revocation_rate_per_hour", "slowdown_rate_per_hour",
+                      "flap_rate_per_hour", "theft_rate_per_hour"});
+    spec.faults.enabled = get_bool(*faults, "enabled", false);
+    spec.faults.horizon_s = get_double(*faults, "horizon_s", spec.faults.horizon_s);
+    spec.faults.crash_rate_per_hour = get_double(*faults, "crash_rate_per_hour", 0.0);
+    spec.faults.revocation_rate_per_hour =
+        get_double(*faults, "revocation_rate_per_hour", 0.0);
+    spec.faults.slowdown_rate_per_hour =
+        get_double(*faults, "slowdown_rate_per_hour", 0.0);
+    spec.faults.flap_rate_per_hour = get_double(*faults, "flap_rate_per_hour", 0.0);
+    spec.faults.theft_rate_per_hour = get_double(*faults, "theft_rate_per_hour", 0.0);
+  }
+
+  if (const Json* confirm = json.find("confirm")) {
+    check_known_keys(*confirm, "confirm",
+                     {"enabled", "quantile", "confidence", "error_bound"});
+    spec.confirm.enabled = get_bool(*confirm, "enabled", false);
+    spec.confirm.quantile = get_double(*confirm, "quantile", spec.confirm.quantile);
+    spec.confirm.confidence =
+        get_double(*confirm, "confidence", spec.confirm.confidence);
+    spec.confirm.error_bound =
+        get_double(*confirm, "error_bound", spec.confirm.error_bound);
+  }
+
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::parse(std::string_view json_text) {
+  return from_json(Json::parse(json_text));
+}
+
+std::string ScenarioSpec::canonical_json() const { return to_json().canonical(); }
+
+std::string ScenarioSpec::content_hash() const {
+  // The version tag lives in the hashed bytes (not only in the JSON), so a
+  // future v2 document can never collide with a v1 hash even if the field
+  // set happens to serialize identically.
+  return sha256_hex("cloudrepro-scenario-v" + std::to_string(kSpecSchemaVersion) +
+                    "\n" + semantic_json().canonical());
+}
+
+void ScenarioSpec::validate() const {
+  static const std::set<std::string, std::less<>> kKnownSuites = {
+      "hibench", "hibench-ext", "tpcds", "tpch"};
+
+  if (name.empty()) spec_error("name must be non-empty");
+  if (workloads.empty()) spec_error("workloads must be non-empty");
+  for (const auto& w : workloads) {
+    if (!kKnownSuites.contains(w.suite)) {
+      spec_error("unknown workload suite \"" + w.suite + "\"");
+    }
+    if (w.name.empty()) spec_error("workload name must be non-empty");
+  }
+  for (const double b : budgets) {
+    if (!(b >= 0.0)) spec_error("budgets must be >= 0");
+  }
+  if (cluster.nodes < 1) spec_error("cluster.nodes must be >= 1");
+  if (cluster.cores_per_node < 1) spec_error("cluster.cores_per_node must be >= 1");
+  if (!(cluster.line_rate_gbps > 0.0)) spec_error("cluster.line_rate_gbps must be > 0");
+  if (repetitions < 1) spec_error("repetitions must be >= 1");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    spec_error("confidence must be in (0, 1)");
+  }
+  if (!(engine.partition_skew >= 0.0)) spec_error("engine.partition_skew must be >= 0");
+  if (!(engine.machine_noise_cv >= 0.0)) {
+    spec_error("engine.machine_noise_cv must be >= 0");
+  }
+  if (faults.enabled) {
+    if (!(faults.horizon_s > 0.0)) spec_error("faults.horizon_s must be > 0");
+    for (const double rate :
+         {faults.crash_rate_per_hour, faults.revocation_rate_per_hour,
+          faults.slowdown_rate_per_hour, faults.flap_rate_per_hour,
+          faults.theft_rate_per_hour}) {
+      if (!(rate >= 0.0)) spec_error("fault rates must be >= 0");
+    }
+  }
+  if (confirm.enabled) {
+    if (!(confirm.quantile > 0.0 && confirm.quantile < 1.0)) {
+      spec_error("confirm.quantile must be in (0, 1)");
+    }
+    if (!(confirm.confidence > 0.0 && confirm.confidence < 1.0)) {
+      spec_error("confirm.confidence must be in (0, 1)");
+    }
+    if (!(confirm.error_bound > 0.0)) spec_error("confirm.error_bound must be > 0");
+  }
+}
+
+}  // namespace cloudrepro::scenario

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/json.h"
+
+namespace cloudrepro::scenario {
+
+/// Version tag of the ScenarioSpec wire format *and* of the content-hash
+/// domain. Bump whenever the meaning of a serialized field changes; hashes
+/// from different versions never collide because the version is mixed into
+/// the hashed bytes.
+inline constexpr int kSpecSchemaVersion = 1;
+
+/// Which cloud's QoS mechanism shapes every node's egress (Section 3 of the
+/// paper identifies one per provider).
+enum class CloudModel {
+  /// Every node gets an identical copy of the EC2 c5.xlarge *nominal* token
+  /// bucket — the controlled emulation of Figures 15-19 (no incarnation
+  /// scatter, so budget effects are isolated).
+  kUniformTokenBucket,
+  /// Fresh EC2 c5.xlarge incarnations per repetition: per-VM bucket draws
+  /// (Figure 11 scatter).
+  kEc2,
+  /// Google Cloud 8-core per-core QoS incarnations.
+  kGce,
+  /// HPCCloud stochastic contention (no QoS enforcement).
+  kHpcCloud,
+};
+
+const char* to_string(CloudModel model) noexcept;
+std::optional<CloudModel> cloud_model_from_string(std::string_view name) noexcept;
+
+struct ClusterSpec {
+  CloudModel model = CloudModel::kUniformTokenBucket;
+  int nodes = 12;
+  int cores_per_node = 16;
+  /// Physical line rate for uniform-token-bucket clusters (the cloud-profile
+  /// models carry their own line rates).
+  double line_rate_gbps = 10.0;
+};
+
+struct EngineSpec {
+  double partition_skew = 0.0;
+  bool stable_partitioning = true;
+  double machine_noise_cv = 0.0;
+  /// Opt-in speculative re-execution of straggling transfers.
+  bool speculation = false;
+};
+
+/// Poisson fault-arrival rates handed to `faults::FaultPlan::sample` per
+/// repetition (each repetition samples its plan from its own RNG stream, so
+/// fault histories are reproducible and thread-count independent).
+struct FaultSpec {
+  bool enabled = false;
+  double horizon_s = 3600.0;
+  double crash_rate_per_hour = 0.0;
+  double revocation_rate_per_hour = 0.0;
+  double slowdown_rate_per_hour = 0.0;
+  double flap_rate_per_hour = 0.0;
+  double theft_rate_per_hour = 0.0;
+};
+
+/// One workload of the scenario grid. `suite` is one of "hibench",
+/// "hibench-ext", "tpcds", "tpch"; `name` the profile name within it ("TS",
+/// "Q65", ...). `cloud` overrides the scenario's cluster model for this
+/// workload's cells — how Figure 13 runs K-Means on Google Cloud and Q65 on
+/// HPCCloud inside one scenario.
+struct WorkloadRef {
+  std::string suite;
+  std::string name;
+  std::optional<CloudModel> cloud;
+};
+
+/// Optional per-cell CONFIRM analysis over the repetition sequence.
+struct ConfirmSpec {
+  bool enabled = false;
+  double quantile = 0.5;
+  double confidence = 0.95;
+  double error_bound = 0.01;
+};
+
+/// A declarative, hashable description of one campaign-shaped experiment:
+/// cloud model x workload grid x treatment (token budget) x repetitions,
+/// plus engine, fault, and analysis knobs. Everything the measured values
+/// are a function of lives here; everything that is *not* (thread count,
+/// journal paths, observability sinks) deliberately does not.
+///
+/// Repetitions are i.i.d. by construction — fresh cluster and engine per
+/// repetition, per-repetition RNG streams — which is the paper's own F5.4
+/// guideline. The sequence-effect pathologies (Figures 15, 18, 19's
+/// carry-over) remain bench-rendered narratives; the catalog records the
+/// grids they sweep.
+struct ScenarioSpec {
+  // Cosmetic identity: registry key and display strings. NOT part of the
+  // content hash — renaming a scenario must not invalidate its cache.
+  std::string name;
+  std::string title;
+  std::string paper_ref;
+
+  ClusterSpec cluster;
+  EngineSpec engine;
+  std::vector<WorkloadRef> workloads;
+  /// Treatment axis: initial token budgets in Gbit. Empty = one "nominal"
+  /// treatment (no budget override). Ignored by cells whose cloud model has
+  /// no budget-tracked policy.
+  std::vector<double> budgets;
+  int repetitions = 10;
+  bool randomize_order = false;
+  double confidence = 0.95;
+  /// Default master seed. Part of the *serialization* but not of the
+  /// content hash: the result cache keys on (hash, seed, schema) so one
+  /// scenario caches independently per seed.
+  std::uint64_t seed = 20200225;
+  FaultSpec faults;
+  ConfirmSpec confirm;
+
+  // --- Derived shape ---------------------------------------------------
+  std::size_t treatment_count() const noexcept {
+    return budgets.empty() ? 1 : budgets.size();
+  }
+  std::size_t cell_count() const noexcept {
+    return workloads.size() * treatment_count();
+  }
+  std::size_t total_measurements() const noexcept {
+    return cell_count() * static_cast<std::size_t>(repetitions);
+  }
+  /// Treatment label of column t: "budget=<canonical>" or "nominal".
+  std::string treatment_label(std::size_t t) const;
+
+  // --- Serialization ----------------------------------------------------
+  /// Full document (cosmetic fields + "schema" version + seed).
+  Json to_json() const;
+  /// Inverse of `to_json`; validates and throws JsonError on malformed or
+  /// out-of-range input. Unknown fields are rejected (a typoed knob must
+  /// not silently fall back to a default and then hash differently).
+  static ScenarioSpec from_json(const Json& json);
+  static ScenarioSpec parse(std::string_view json_text);
+  std::string canonical_json() const;
+
+  // --- Content hash -----------------------------------------------------
+  /// Canonical JSON of the semantic fields only (no name/title/paper_ref,
+  /// no seed).
+  Json semantic_json() const;
+  /// SHA-256 over a version-tagged prefix + `semantic_json().canonical()`.
+  /// Field order and whitespace of any source text cannot affect it;
+  /// changing any semantic field does.
+  std::string content_hash() const;
+
+  /// Structural validation (counts positive, rates non-negative, known
+  /// workload suites, ...). Throws JsonError with a field-naming message.
+  void validate() const;
+};
+
+}  // namespace cloudrepro::scenario

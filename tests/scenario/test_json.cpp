@@ -1,0 +1,84 @@
+// The canonical JSON document model that the scenario content hash stands
+// on: key-sorted objects, no whitespace, shortest round-trip numbers.
+
+#include "scenario/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cloudrepro::scenario {
+namespace {
+
+TEST(ScenarioJson, CanonicalSortsKeysAndDropsWhitespace) {
+  const Json a = Json::parse(R"(  { "b" : 1 , "a" : [ 2 , 3 ] , "c" : { "z" : true , "y" : null } }  )");
+  EXPECT_EQ(a.canonical(), R"({"a":[2,3],"b":1,"c":{"y":null,"z":true}})");
+}
+
+TEST(ScenarioJson, FieldOrderDoesNotAffectCanonicalBytes) {
+  const Json a = Json::parse(R"({"x":1,"y":2})");
+  const Json b = Json::parse(R"({ "y" : 2, "x" : 1 })");
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScenarioJson, ParseCanonicalRoundTripsEveryType) {
+  const char* text =
+      R"({"arr":[1,-2,3.5],"big":18446744073709551615,"f":false,"n":null,"neg":-9223372036854775808,"s":"a\"b\\c\n","t":true})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.canonical(), text);
+  EXPECT_EQ(Json::parse(doc.canonical()), doc);
+}
+
+TEST(ScenarioJson, DoubleCanonicalFormIsShortestRoundTrip) {
+  EXPECT_EQ(canonical_double(0.1), "0.1");
+  EXPECT_EQ(canonical_double(5000.0), "5000");
+  EXPECT_EQ(canonical_double(0.95), "0.95");
+  EXPECT_EQ(canonical_double(-0.0), "0");
+  // Every canonical double parses back to the same binary64.
+  for (const double v : {0.1, 1.0 / 3.0, 1e-12, 9.875e20, 20200225.0}) {
+    const Json parsed = Json::parse(canonical_double(v));
+    EXPECT_EQ(parsed.as_double(), v);
+  }
+}
+
+TEST(ScenarioJson, NonFiniteDoublesAreRejected) {
+  EXPECT_THROW(canonical_double(std::numeric_limits<double>::infinity()), JsonError);
+  EXPECT_THROW(canonical_double(std::nan("")), JsonError);
+  EXPECT_THROW(Json{std::nan("")}.canonical(), JsonError);
+}
+
+TEST(ScenarioJson, CrossTypeNumericEquality) {
+  EXPECT_EQ(Json::parse("5"), Json{5.0});
+  EXPECT_EQ(Json{std::int64_t{7}}, Json{std::uint64_t{7}});
+  EXPECT_NE(Json::parse("5"), Json::parse("6"));
+}
+
+TEST(ScenarioJson, StrictParserRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("{'a':1}"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  // Duplicate keys would make "the same document" hash two ways.
+  EXPECT_THROW(Json::parse(R"({"a":1,"a":2})"), JsonError);
+}
+
+TEST(ScenarioJson, UnicodeEscapesRoundTrip) {
+  const Json doc = Json::parse(R"("aé😀b")");
+  EXPECT_EQ(Json::parse(doc.canonical()), doc);
+}
+
+TEST(ScenarioJson, AccessorsThrowOnTypeMismatch) {
+  const Json doc = Json::parse(R"({"a":1})");
+  EXPECT_THROW(doc.as_array(), JsonError);
+  EXPECT_THROW(doc.at("missing"), JsonError);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(Json::parse("-1").as_uint(), JsonError);
+  EXPECT_THROW(Json::parse("18446744073709551615").as_int(), JsonError);
+}
+
+}  // namespace
+}  // namespace cloudrepro::scenario

@@ -1,0 +1,122 @@
+// The built-in scenario catalog: every spec validates, names and hashes are
+// unique, the grids the benches render match, and suites only reference
+// existing scenarios.
+
+#include "scenario/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "scenario/runner.h"
+
+namespace cloudrepro::scenario {
+namespace {
+
+TEST(ScenarioRegistry, BuiltinCatalogValidatesAndHasUniqueIdentities) {
+  const auto& registry = ScenarioRegistry::builtin();
+  ASSERT_GE(registry.scenarios().size(), 8u);
+
+  std::set<std::string> names, hashes;
+  for (const auto& spec : registry.scenarios()) {
+    EXPECT_NO_THROW(spec.validate()) << spec.name;
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate name " << spec.name;
+    EXPECT_TRUE(hashes.insert(spec.content_hash()).second)
+        << "duplicate hash for " << spec.name;
+  }
+}
+
+TEST(ScenarioRegistry, CoversThePaperFiguresAndTable4) {
+  const auto& registry = ScenarioRegistry::builtin();
+  for (const char* name :
+       {"fig13-confirm", "fig15-terasort-budget", "fig16-hibench-budget",
+        "fig17-tpcds-budget", "fig18-straggler", "fig19-budget-depletion",
+        "table4-setup"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(ScenarioRegistry, Fig16GridMatchesTheBenchConstants) {
+  // bench_fig16_hibench_budget renders this scenario; the golden file pins
+  // its exact output, so this grid must stay exactly the paper's.
+  const auto& spec = ScenarioRegistry::builtin().at("fig16-hibench-budget");
+  EXPECT_EQ(spec.budgets, (std::vector<double>{5000.0, 1000.0, 100.0, 10.0}));
+  EXPECT_EQ(spec.repetitions, 10);
+  EXPECT_EQ(spec.seed, 20200225u);
+  EXPECT_FALSE(spec.randomize_order);
+  EXPECT_EQ(spec.cluster.model, CloudModel::kUniformTokenBucket);
+  EXPECT_EQ(spec.cluster.nodes, 12);
+  EXPECT_EQ(spec.cluster.cores_per_node, 16);
+  EXPECT_EQ(spec.cluster.line_rate_gbps, 10.0);
+  // Default engine — the bench used a default-constructed SparkEngine.
+  EXPECT_EQ(spec.engine.partition_skew, 0.0);
+  EXPECT_TRUE(spec.engine.stable_partitioning);
+  EXPECT_EQ(spec.engine.machine_noise_cv, 0.0);
+  EXPECT_FALSE(spec.engine.speculation);
+  ASSERT_EQ(spec.workloads.size(), 5u);
+  EXPECT_EQ(spec.workloads.front().name, "TS");
+  EXPECT_EQ(spec.cell_count(), 20u);
+}
+
+TEST(ScenarioRegistry, Fig17GridMatchesTheBench) {
+  const auto& spec = ScenarioRegistry::builtin().at("fig17-tpcds-budget");
+  EXPECT_EQ(spec.workloads.size(), 21u);
+  EXPECT_EQ(spec.budgets, (std::vector<double>{5000.0, 1000.0, 100.0, 10.0}));
+  EXPECT_EQ(spec.engine.partition_skew, 0.5);
+  EXPECT_EQ(spec.total_measurements(), 840u);
+}
+
+TEST(ScenarioRegistry, EveryBuiltinWorkloadResolvesAndBuildsCells) {
+  for (const auto& spec : ScenarioRegistry::builtin().scenarios()) {
+    for (const auto& ref : spec.workloads) {
+      EXPECT_NO_THROW(resolve_workload(ref)) << spec.name << " " << ref.name;
+    }
+    const auto cells = build_cells(spec);
+    EXPECT_EQ(cells.size(), spec.cell_count()) << spec.name;
+  }
+}
+
+TEST(ScenarioRegistry, SuitesOnlyReferenceExistingScenarios) {
+  const auto& registry = ScenarioRegistry::builtin();
+  EXPECT_FALSE(registry.suites().empty());
+  for (const auto& [suite_name, members] : registry.suites()) {
+    EXPECT_FALSE(members.empty()) << suite_name;
+    for (const auto& member : members) {
+      EXPECT_NE(registry.find(member), nullptr) << suite_name << "/" << member;
+    }
+  }
+  EXPECT_FALSE(registry.suite("ci").empty());
+}
+
+TEST(ScenarioRegistry, LookupErrorsListKnownNames) {
+  const auto& registry = ScenarioRegistry::builtin();
+  EXPECT_EQ(registry.find("nope"), nullptr);
+  try {
+    registry.at("nope");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& error) {
+    EXPECT_NE(std::string{error.what()}.find("fig16-hibench-budget"),
+              std::string::npos);
+  }
+  EXPECT_THROW(registry.suite("nope"), std::out_of_range);
+}
+
+TEST(ScenarioRegistry, AddRejectsDuplicatesAndInvalidSpecs) {
+  ScenarioRegistry registry;
+  ScenarioSpec spec;
+  spec.name = "dup";
+  spec.workloads = {{"hibench", "TS", std::nullopt}};
+  registry.add(spec);
+  EXPECT_THROW(registry.add(spec), std::invalid_argument);
+
+  ScenarioSpec invalid;  // No name, no workloads: fails validate().
+  EXPECT_THROW(registry.add(invalid), JsonError);
+
+  EXPECT_THROW(registry.add_suite("s", {"missing"}), std::invalid_argument);
+  registry.add_suite("s", {"dup"});
+  EXPECT_EQ(registry.suite("s").size(), 1u);
+}
+
+}  // namespace
+}  // namespace cloudrepro::scenario

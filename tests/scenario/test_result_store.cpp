@@ -1,0 +1,155 @@
+// The content-addressed result cache: miss → partial → hit classification,
+// counters, atomic summary publication, eviction.
+
+#include "scenario/result_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/metrics.h"
+
+namespace cloudrepro::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioSpec tiny_spec() {
+  ScenarioSpec spec;
+  spec.name = "store-test";
+  spec.workloads = {{"hibench", "TS", std::nullopt}};
+  spec.budgets = {5000.0};
+  spec.repetitions = 4;
+  return spec;
+}
+
+class ScenarioResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path{::testing::TempDir()} /
+            ("cloudrepro-store-" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "-" + ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(ScenarioResultStoreTest, MissThenPartialThenHit) {
+  obs::MetricsRegistry metrics;
+  ResultStore store{root_, &metrics};
+  const ScenarioSpec spec = tiny_spec();
+  const std::uint64_t seed = spec.seed;
+
+  auto lookup = store.lookup(spec, seed);
+  EXPECT_EQ(lookup.state, ResultStore::HitState::kMiss);
+  EXPECT_EQ(lookup.cached_measurements, 0u);
+  EXPECT_EQ(lookup.total_measurements, 4u);
+
+  // A journal with completed measurements (but no summary) is a partial hit.
+  const auto journal = store.prepare(spec, seed);
+  {
+    std::ofstream out{journal};
+    out << R"({"header":true})" << "\n";
+    out << R"({"cell":0,"rep":0,"value":1.5})" << "\n";
+    out << R"({"cell":0,"rep":1,"value":2.5})" << "\n";
+    out << R"({"cell":0,"rep":2,"val)";  // Torn final line: not counted.
+  }
+  lookup = store.lookup(spec, seed);
+  EXPECT_EQ(lookup.state, ResultStore::HitState::kPartial);
+  EXPECT_EQ(lookup.cached_measurements, 2u);
+
+  store.write_summary(spec, seed, "{\"summary\":true}");
+  lookup = store.lookup(spec, seed);
+  EXPECT_EQ(lookup.state, ResultStore::HitState::kHit);
+  EXPECT_EQ(lookup.cached_measurements, 4u);
+  EXPECT_EQ(store.read_summary(spec, seed), "{\"summary\":true}");
+
+  EXPECT_EQ(metrics.counter_value("scenario.cache.miss"), 1.0);
+  EXPECT_EQ(metrics.counter_value("scenario.cache.partial"), 1.0);
+  EXPECT_EQ(metrics.counter_value("scenario.cache.hit"), 1.0);
+}
+
+TEST_F(ScenarioResultStoreTest, PeekDoesNotTouchCounters) {
+  obs::MetricsRegistry metrics;
+  ResultStore store{root_, &metrics};
+  const ScenarioSpec spec = tiny_spec();
+  EXPECT_EQ(store.peek(spec, spec.seed).state, ResultStore::HitState::kMiss);
+  EXPECT_EQ(metrics.counter_value("scenario.cache.miss"), 0.0);
+}
+
+TEST_F(ScenarioResultStoreTest, KeyIncludesHashSeedAndSchemaVersion) {
+  ResultStore store{root_};
+  const ScenarioSpec spec = tiny_spec();
+  const auto dir = store.entry_dir(spec, 42).filename().string();
+  EXPECT_EQ(dir, spec.content_hash() + "-s42-v" +
+                     std::to_string(kResultSchemaVersion));
+
+  // Different seed → different entry; a hit under one seed stays a miss
+  // under another.
+  store.write_summary(spec, 42, "{}");
+  EXPECT_TRUE(store.has_summary(spec, 42));
+  EXPECT_FALSE(store.has_summary(spec, 43));
+
+  // A semantic change re-keys the entry.
+  ScenarioSpec changed = spec;
+  changed.repetitions = 5;
+  EXPECT_FALSE(store.has_summary(changed, 42));
+}
+
+TEST_F(ScenarioResultStoreTest, PrepareWritesTheCanonicalSpec) {
+  ResultStore store{root_};
+  const ScenarioSpec spec = tiny_spec();
+  const auto journal = store.prepare(spec, spec.seed);
+  EXPECT_EQ(journal.filename(), "journal.jsonl");
+
+  std::ifstream in{journal.parent_path() / "scenario.json"};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, spec.canonical_json());
+}
+
+TEST_F(ScenarioResultStoreTest, SummaryWriteIsAtomicIntoPlace) {
+  ResultStore store{root_};
+  const ScenarioSpec spec = tiny_spec();
+  store.write_summary(spec, spec.seed, "first");
+  store.write_summary(spec, spec.seed, "second");
+  EXPECT_EQ(store.read_summary(spec, spec.seed), "second");
+  // No leftover temp file.
+  EXPECT_FALSE(fs::exists(store.entry_dir(spec, spec.seed) / "summary.json.tmp"));
+}
+
+TEST_F(ScenarioResultStoreTest, EntriesEvictAndClear) {
+  obs::MetricsRegistry metrics;
+  ResultStore store{root_, &metrics};
+  const ScenarioSpec a = tiny_spec();
+  ScenarioSpec b = tiny_spec();
+  b.budgets = {10.0};
+
+  store.write_summary(a, a.seed, "{}");
+  store.prepare(b, b.seed);
+
+  const auto entries = store.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_LT(entries[0].key, entries[1].key);
+  EXPECT_EQ(entries[0].complete + entries[1].complete, 1);
+
+  EXPECT_EQ(store.evict(a, a.seed), 1u);
+  EXPECT_EQ(store.evict(a, a.seed), 0u);  // Already gone.
+  EXPECT_EQ(store.clear(), 1u);
+  EXPECT_TRUE(store.entries().empty());
+  EXPECT_EQ(metrics.counter_value("scenario.cache.evictions"), 2.0);
+}
+
+TEST_F(ScenarioResultStoreTest, MissingRootBehavesAsEmpty) {
+  ResultStore store{root_ / "never-created"};
+  EXPECT_TRUE(store.entries().empty());
+  EXPECT_EQ(store.clear(), 0u);
+  EXPECT_EQ(store.peek(tiny_spec(), 1).state, ResultStore::HitState::kMiss);
+}
+
+}  // namespace
+}  // namespace cloudrepro::scenario

@@ -1,0 +1,181 @@
+// ScenarioSpec serialization and the content hash: round-trips, the
+// invariances the cache key depends on (field order, whitespace, cosmetic
+// renames), and the sensitivities it must have (any semantic field).
+
+#include "scenario/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/json.h"
+
+namespace cloudrepro::scenario {
+namespace {
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.name = "unit-test";
+  spec.title = "tiny grid";
+  spec.paper_ref = "none";
+  spec.workloads = {{"hibench", "TS", std::nullopt},
+                    {"tpcds", "Q65", CloudModel::kHpcCloud}};
+  spec.budgets = {5000.0, 10.0};
+  spec.repetitions = 3;
+  spec.engine.partition_skew = 0.5;
+  spec.confirm.enabled = true;
+  spec.confirm.error_bound = 0.05;
+  return spec;
+}
+
+TEST(ScenarioSpecJson, RoundTripPreservesEverything) {
+  const ScenarioSpec spec = small_spec();
+  const ScenarioSpec back = ScenarioSpec::parse(spec.canonical_json());
+  EXPECT_EQ(back.canonical_json(), spec.canonical_json());
+  EXPECT_EQ(back.content_hash(), spec.content_hash());
+  EXPECT_EQ(back.name, "unit-test");
+  EXPECT_EQ(back.workloads.size(), 2u);
+  EXPECT_EQ(back.workloads[1].cloud, CloudModel::kHpcCloud);
+  EXPECT_EQ(back.budgets, (std::vector<double>{5000.0, 10.0}));
+  EXPECT_TRUE(back.confirm.enabled);
+}
+
+TEST(ScenarioSpecJson, FieldOrderAndWhitespaceDoNotAffectHash) {
+  const ScenarioSpec spec = small_spec();
+  // Same document, keys shuffled and whitespace sprinkled.
+  const std::string reordered = R"({
+    "workloads": [ {"name":"TS","suite":"hibench"},
+                   {"cloud":"hpccloud", "name":"Q65", "suite":"tpcds"} ],
+    "seed": 20200225,
+    "repetitions": 3,
+    "name": "unit-test",
+    "title": "tiny grid",
+    "paper_ref": "none",
+    "engine": { "partition_skew": 0.5 },
+    "confirm": { "error_bound": 0.05, "enabled": true },
+    "budgets": [5000, 10]
+  })";
+  const ScenarioSpec parsed = ScenarioSpec::parse(reordered);
+  EXPECT_EQ(parsed.content_hash(), spec.content_hash());
+  EXPECT_EQ(parsed.canonical_json(), spec.canonical_json());
+}
+
+TEST(ScenarioSpecJson, CosmeticFieldsAndSeedDoNotAffectHash) {
+  const ScenarioSpec spec = small_spec();
+  ScenarioSpec renamed = spec;
+  renamed.name = "renamed";
+  renamed.title = "different title";
+  renamed.paper_ref = "Figure 99";
+  renamed.seed = 1;
+  EXPECT_EQ(renamed.content_hash(), spec.content_hash());
+}
+
+TEST(ScenarioSpecJson, EverySemanticFieldChangesTheHash) {
+  const ScenarioSpec base = small_spec();
+  const std::string h = base.content_hash();
+
+  ScenarioSpec s = base;
+  s.budgets = {5000.0, 100.0};
+  EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.repetitions = 4;
+  EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.cluster.nodes = 13;
+  EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.engine.partition_skew = 0.6;
+  EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.workloads[0].name = "WC";
+  EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.workloads[1].cloud = CloudModel::kGce;
+  EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.faults.enabled = true;
+  s.faults.slowdown_rate_per_hour = 1.0;
+  EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.confirm.error_bound = 0.01;
+  EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.randomize_order = true;
+  EXPECT_NE(s.content_hash(), h);
+}
+
+TEST(ScenarioSpecJson, HashIsStableHex) {
+  // 64 lowercase hex chars; identical across invocations (the cache's
+  // on-disk keys must survive process restarts).
+  const std::string h = small_spec().content_hash();
+  ASSERT_EQ(h.size(), 64u);
+  for (const char c : h) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+  EXPECT_EQ(h, small_spec().content_hash());
+}
+
+TEST(ScenarioSpecJson, UnknownFieldsAreRejected) {
+  EXPECT_THROW(
+      ScenarioSpec::parse(
+          R"({"name":"x","workloads":[{"suite":"hibench","name":"TS"}],"repetitons":5})"),
+      JsonError);
+  EXPECT_THROW(
+      ScenarioSpec::parse(
+          R"({"name":"x","workloads":[{"suite":"hibench","name":"TS"}],"engine":{"partition_skw":1}})"),
+      JsonError);
+}
+
+TEST(ScenarioSpecJson, UnsupportedSchemaVersionIsRejected) {
+  EXPECT_THROW(
+      ScenarioSpec::parse(
+          R"({"schema":99,"name":"x","workloads":[{"suite":"hibench","name":"TS"}]})"),
+      JsonError);
+}
+
+TEST(ScenarioSpecJson, ValidateCatchesOutOfRangeFields) {
+  ScenarioSpec spec = small_spec();
+  spec.repetitions = 0;
+  EXPECT_THROW(spec.validate(), JsonError);
+
+  spec = small_spec();
+  spec.workloads.clear();
+  EXPECT_THROW(spec.validate(), JsonError);
+
+  spec = small_spec();
+  spec.workloads[0].suite = "nosuch";
+  EXPECT_THROW(spec.validate(), JsonError);
+
+  spec = small_spec();
+  spec.budgets = {-1.0};
+  EXPECT_THROW(spec.validate(), JsonError);
+
+  spec = small_spec();
+  spec.confidence = 1.5;
+  EXPECT_THROW(spec.validate(), JsonError);
+}
+
+TEST(ScenarioSpecJson, TreatmentLabelsUseCanonicalNumbers) {
+  const ScenarioSpec spec = small_spec();
+  EXPECT_EQ(spec.treatment_label(0), "budget=5000");
+  EXPECT_EQ(spec.treatment_label(1), "budget=10");
+  ScenarioSpec nominal = spec;
+  nominal.budgets.clear();
+  EXPECT_EQ(nominal.treatment_label(0), "nominal");
+  EXPECT_EQ(nominal.treatment_count(), 1u);
+}
+
+TEST(ScenarioSpecJson, ShapeArithmetic) {
+  const ScenarioSpec spec = small_spec();
+  EXPECT_EQ(spec.cell_count(), 4u);
+  EXPECT_EQ(spec.total_measurements(), 12u);
+}
+
+}  // namespace
+}  // namespace cloudrepro::scenario
