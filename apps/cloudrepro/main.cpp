@@ -8,8 +8,12 @@
 // bytes regardless of cache state or thread count.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error,
-//             3 campaign interrupted by --max-measurements (resumable).
+//             3 campaign interrupted (resumable) — by --max-measurements
+//               or by SIGINT/SIGTERM, which flush the journal first.
 
+#include <csignal>
+
+#include <atomic>
 #include <charconv>
 #include <cstdint>
 #include <cstdlib>
@@ -30,6 +34,24 @@
 
 namespace {
 
+// SIGINT/SIGTERM request cooperative cancellation: the campaign stops
+// starting new measurements, finishes and journals the in-flight ones,
+// closes the journal, and run_one returns 3 (resumable) — the same
+// contract as --max-measurements exhaustion. Only async-signal-safe
+// atomics are touched in the handler.
+volatile std::sig_atomic_t g_signal = 0;
+std::atomic<bool> g_cancel{false};
+
+extern "C" void handle_interrupt(int sig) {
+  g_signal = sig;
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+}
+
 using cloudrepro::scenario::ResultStore;
 using cloudrepro::scenario::RunOptions;
 using cloudrepro::scenario::ScenarioRegistry;
@@ -44,6 +66,7 @@ int usage(std::ostream& os, int code) {
         "  run <scenario>           run one scenario; summary JSON on stdout\n"
         "  suite <suite>            run every scenario of a suite (one summary per line)\n"
         "  cache stats              list cache entries\n"
+        "  cache verify             integrity-check every entry (exit 1 on damage)\n"
         "  cache clear              remove every cache entry\n"
         "  cache evict <scenario>   remove one scenario's entry\n"
         "\n"
@@ -55,6 +78,8 @@ int usage(std::ostream& os, int code) {
         "  --cache-dir PATH         result cache root (default: $CLOUDREPRO_CACHE_DIR\n"
         "                           or .cloudrepro-cache)\n"
         "  --no-cache               run without the result store\n"
+        "  --cache-max-bytes N      LRU-evict cache entries to keep the cache\n"
+        "                           under N bytes (0 = unbounded, the default)\n"
         "  --max-measurements N     stop after N new measurements (journal resumes)\n"
         "  --out FILE               write the summary to FILE instead of stdout\n"
         "  --csv FILE               write config,treatment,repetition,value CSV\n";
@@ -66,6 +91,7 @@ struct Cli {
   std::optional<std::uint64_t> seed;
   std::filesystem::path cache_dir;
   bool no_cache = false;
+  std::uint64_t cache_max_bytes = 0;
   int max_measurements = 0;
   std::string out_path;
   std::string csv_path;
@@ -127,6 +153,16 @@ bool parse_cli(int argc, char** argv, int first, Cli& cli) {
       ++i;
     } else if (arg == "--no-cache") {
       cli.no_cache = true;
+    } else if (arg == "--cache-max-bytes") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto n = parse_u64(v);
+      if (!n) {
+        std::cerr << "cloudrepro: bad --cache-max-bytes \"" << v << "\"\n";
+        return false;
+      }
+      cli.cache_max_bytes = *n;
+      ++i;
     } else if (arg == "--max-measurements") {
       const char* v = need(i);
       if (!v) return false;
@@ -168,6 +204,12 @@ std::filesystem::path cache_root(const Cli& cli) {
   return ".cloudrepro-cache";
 }
 
+ResultStore make_store(const Cli& cli) {
+  ResultStore::Options options;
+  options.max_bytes = cli.cache_max_bytes;
+  return ResultStore{cache_root(cli), nullptr, nullptr, options};
+}
+
 /// Resolves a scenario argument: catalog name, path to a spec JSON file
 /// (anything ending in .json), or "-" for stdin.
 ScenarioSpec resolve_scenario(const std::string& arg) {
@@ -206,6 +248,7 @@ int run_one(const ScenarioSpec& spec, const Cli& cli, ResultStore* store,
   options.store = store;
   options.max_measurements = cli.max_measurements;
   options.need_values = !cli.csv_path.empty();
+  options.cancel = &g_cancel;
 
   const std::uint64_t seed = cli.seed.value_or(spec.seed);
   std::cerr << "cloudrepro: " << spec.name << " hash=" << spec.content_hash()
@@ -232,8 +275,14 @@ int run_one(const ScenarioSpec& spec, const Cli& cli, ResultStore* store,
   }
 
   if (!result.complete) {
-    std::cerr << "cloudrepro: interrupted by --max-measurements; rerun the "
-                 "same command to resume\n";
+    if (g_signal != 0) {
+      std::cerr << "cloudrepro: interrupted by "
+                << (g_signal == SIGTERM ? "SIGTERM" : "SIGINT")
+                << "; journal flushed, rerun the same command to resume\n";
+    } else {
+      std::cerr << "cloudrepro: interrupted by --max-measurements; rerun the "
+                   "same command to resume\n";
+    }
     return 3;
   }
   return 0;
@@ -287,7 +336,7 @@ int cmd_run(const Cli& cli) {
   }
   const ScenarioSpec spec = resolve_scenario(cli.positional.front());
   std::optional<ResultStore> store;
-  if (!cli.no_cache) store.emplace(cache_root(cli));
+  if (!cli.no_cache) store.emplace(make_store(cli));
   return run_one(spec, cli, store ? &*store : nullptr, nullptr);
 }
 
@@ -299,29 +348,43 @@ int cmd_suite(const Cli& cli) {
   const auto& registry = ScenarioRegistry::builtin();
   const auto& members = registry.suite(cli.positional.front());
   std::optional<ResultStore> store;
-  if (!cli.no_cache) store.emplace(cache_root(cli));
+  if (!cli.no_cache) store.emplace(make_store(cli));
 
-  std::ostringstream lines;
+  // Summaries stream to the sink as each scenario completes — a suite
+  // interrupted at member k still has k complete summary lines on disk /
+  // in the pipe, and a long suite shows progress instead of buffering
+  // everything for one final write. The bytes are identical to the old
+  // buffered emit: one canonical summary per line.
+  std::ofstream out_file;
+  if (!cli.out_path.empty()) {
+    out_file.open(cli.out_path, std::ios::binary | std::ios::trunc);
+    if (!out_file) {
+      throw std::runtime_error{"cannot write \"" + cli.out_path + "\""};
+    }
+  }
+  std::ostream& sink = cli.out_path.empty() ? std::cout : out_file;
+
   int rc = 0;
   for (const auto& member : members) {
     const int one = run_one(registry.at(member), cli,
-                            store ? &*store : nullptr, &lines);
+                            store ? &*store : nullptr, &sink);
     rc = std::max(rc, one);
+    sink << std::flush;
+    if (g_cancel.load(std::memory_order_relaxed)) {
+      std::cerr << "cloudrepro: suite interrupted; rerun to resume from the "
+                   "cache\n";
+      break;
+    }
   }
-  emit(cli.out_path, [&] {
-    auto text = lines.str();
-    if (!text.empty() && text.back() == '\n') text.pop_back();
-    return text;
-  }());
   return rc;
 }
 
 int cmd_cache(const Cli& cli) {
   if (cli.positional.empty()) {
-    std::cerr << "cloudrepro: cache needs a subcommand (stats|clear|evict)\n";
+    std::cerr << "cloudrepro: cache needs a subcommand (stats|verify|clear|evict)\n";
     return 2;
   }
-  ResultStore store{cache_root(cli)};
+  ResultStore store = make_store(cli);
   const std::string& sub = cli.positional.front();
   if (sub == "stats") {
     const auto entries = store.entries();
@@ -334,6 +397,18 @@ int cmd_cache(const Cli& cli) {
                 << " bytes\n";
     }
     return 0;
+  }
+  if (sub == "verify") {
+    const auto reports = store.verify();
+    int rc = 0;
+    for (const auto& report : reports) {
+      std::cout << report.key << " " << (report.ok ? "ok" : "CORRUPT")
+                << (report.note.empty() ? "" : " (" + report.note + ")")
+                << "\n";
+      if (!report.ok) rc = 1;
+    }
+    std::cerr << "cloudrepro: verified " << reports.size() << " entries\n";
+    return rc;
   }
   if (sub == "clear") {
     const auto removed = store.clear();
@@ -369,8 +444,14 @@ int main(int argc, char** argv) {
   try {
     if (command == "list") return cmd_list();
     if (command == "describe") return cmd_describe(cli);
-    if (command == "run") return cmd_run(cli);
-    if (command == "suite") return cmd_suite(cli);
+    if (command == "run") {
+      install_signal_handlers();
+      return cmd_run(cli);
+    }
+    if (command == "suite") {
+      install_signal_handlers();
+      return cmd_suite(cli);
+    }
     if (command == "cache") return cmd_cache(cli);
     std::cerr << "cloudrepro: unknown command \"" << command << "\"\n";
     return usage(std::cerr, 2);

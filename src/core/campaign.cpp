@@ -2,20 +2,19 @@
 
 #include <chrono>
 #include <condition_variable>
-#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <fstream>
-#include <iomanip>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "core/journal.h"
 #include "core/report.h"
+#include "io/vfs.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -40,118 +39,8 @@ std::uint64_t repetition_seed(std::uint64_t master, std::size_t cell, int rep) n
   return mix(mix(master, cell + 1), static_cast<std::uint64_t>(rep) + 1);
 }
 
-/// Doubles are journaled with 17 significant digits — the shortest length
-/// guaranteed to round-trip an IEEE binary64 exactly, which the
-/// resume-equals-uninterrupted property depends on.
-std::string fmt_double(double v) {
-  std::ostringstream ss;
-  ss << std::setprecision(17) << v;
-  return ss.str();
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-/// The journal header captures everything the campaign is a function of
-/// (seed, options, cell grid). Resume compares it verbatim: any drift in
-/// the inputs makes the journal's measurements meaningless for this run.
-std::string journal_header(const std::vector<CampaignCell>& cells,
-                           const CampaignOptions& options, std::uint64_t seed) {
-  std::ostringstream ss;
-  ss << "{\"type\":\"campaign-journal\",\"version\":1,\"seed\":" << seed
-     << ",\"repetitions_per_cell\":" << options.repetitions_per_cell
-     << ",\"randomize_order\":" << (options.randomize_order ? "true" : "false")
-     << ",\"confidence\":" << fmt_double(options.confidence) << ",\"cells\":[";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i > 0) ss << ',';
-    ss << "{\"config\":\"" << json_escape(cells[i].config)
-       << "\",\"treatment\":\"" << json_escape(cells[i].treatment) << "\"}";
-  }
-  ss << "]}";
-  return ss.str();
-}
-
-std::string journal_entry(std::size_t cell, int rep, double value) {
-  std::ostringstream ss;
-  ss << "{\"cell\":" << cell << ",\"rep\":" << rep
-     << ",\"value\":" << fmt_double(value) << "}";
-  return ss.str();
-}
-
-/// Minimal field extraction for our own journal entries (no JSON library in
-/// the image; the format is machine-written, so strictness lives in the
-/// verbatim header check).
-bool extract_field(const std::string& line, const std::string& key, std::string& out) {
-  const std::string needle = "\"" + key + "\":";
-  const auto pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  const auto start = pos + needle.size();
-  auto end = line.find_first_of(",}", start);
-  if (end == std::string::npos) return false;
-  out = line.substr(start, end - start);
-  return true;
-}
-
-struct JournalEntry {
-  std::size_t cell = 0;
-  int rep = 0;
-  double value = 0.0;
-};
-
-bool parse_entry(const std::string& line, JournalEntry& out) {
-  std::string cell_s, rep_s, value_s;
-  if (!extract_field(line, "cell", cell_s) || !extract_field(line, "rep", rep_s) ||
-      !extract_field(line, "value", value_s)) {
-    return false;
-  }
-  char* end = nullptr;
-  out.cell = std::strtoull(cell_s.c_str(), &end, 10);
-  if (end == cell_s.c_str()) return false;
-  out.rep = static_cast<int>(std::strtol(rep_s.c_str(), &end, 10));
-  if (end == rep_s.c_str()) return false;
-  out.value = std::strtod(value_s.c_str(), &end);
-  return end != value_s.c_str();
-}
-
-/// Loads completed (cell, repetition) -> value entries from an existing
-/// journal, after verifying its header matches this campaign exactly.
-std::map<std::pair<std::size_t, int>, double> load_journal(
-    const std::filesystem::path& path, const std::string& expected_header,
-    std::size_t cell_count, int repetitions) {
-  std::map<std::pair<std::size_t, int>, double> done;
-  std::ifstream in{path};
-  if (!in) {
-    throw std::runtime_error{"run_campaign: cannot read journal " + path.string()};
-  }
-  std::string line;
-  if (!std::getline(in, line)) return done;  // Empty file: treat as fresh.
-  if (line != expected_header) {
-    throw std::runtime_error{
-        "run_campaign: journal header mismatch (different seed, options, or "
-        "cell grid) in " + path.string()};
-  }
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    JournalEntry e;
-    if (!parse_entry(line, e)) {
-      // A torn final line from a crash mid-write is expected; that
-      // measurement simply re-runs.
-      continue;
-    }
-    if (e.cell >= cell_count || e.rep < 0 || e.rep >= repetitions) {
-      throw std::runtime_error{
-          "run_campaign: journal entry out of range in " + path.string()};
-    }
-    done[{e.cell, e.rep}] = e.value;
-  }
-  return done;
+bool cancelled(const CampaignOptions& options) noexcept {
+  return options.cancel && options.cancel->load(std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -259,33 +148,24 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
     }
   }
 
-  // Journal: replay completed measurements, append new ones as they finish.
+  // Journal: replay the checksummed valid prefix, truncate any torn or
+  // corrupt tail, then append new measurements as they finish. All journal
+  // I/O goes through the (injectable) vfs so crash torture can interpose.
+  io::Vfs& vfs = options.vfs ? *options.vfs : io::real_vfs();
   const std::string header = journal_header(cells, options, seed);
   std::map<std::pair<std::size_t, int>, double> done;
-  std::ofstream journal;
+  std::unique_ptr<io::WritableFile> journal;
   if (!options.journal_path.empty()) {
-    if (std::filesystem::exists(options.journal_path)) {
-      done = load_journal(options.journal_path, header, cells.size(),
-                          options.repetitions_per_cell);
+    auto replay = replay_journal(vfs, options.journal_path, header,
+                                 cells.size(), options.repetitions_per_cell);
+    done = std::move(replay.done);
+    if (replay.corrupt_tail) {
+      // Keep only the intact record prefix; the measurements the tail held
+      // simply re-run. This is the torn-write recovery path.
+      vfs.truncate(options.journal_path, replay.valid_bytes);
     }
-    // A crash mid-write can leave a torn final line without a newline; make
-    // sure the next append starts on a fresh line.
-    bool needs_newline = false;
-    if (std::filesystem::exists(options.journal_path) &&
-        std::filesystem::file_size(options.journal_path) > 0) {
-      std::ifstream tail{options.journal_path, std::ios::binary};
-      tail.seekg(-1, std::ios::end);
-      needs_newline = tail.get() != '\n';
-    }
-    journal.open(options.journal_path, std::ios::app);
-    if (!journal) {
-      throw std::runtime_error{"run_campaign: cannot open journal " +
-                               options.journal_path.string()};
-    }
-    if (needs_newline) journal << '\n';
-    if (std::filesystem::file_size(options.journal_path) == 0) {
-      journal << header << '\n' << std::flush;
-    }
+    journal = vfs.open_write(options.journal_path, io::WriteMode::kAppend);
+    if (replay.valid_bytes == 0) journal->append(header + "\n");
   }
 
   const int worker_threads =
@@ -304,7 +184,9 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
           ++result.resumed_measurements;
           continue;
         }
-        if (options.max_measurements > 0 && executed >= options.max_measurements) {
+        if ((options.max_measurements > 0 &&
+             executed >= options.max_measurements) ||
+            cancelled(options)) {
           budget_exhausted = true;
           break;
         }
@@ -324,9 +206,7 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
             })
         out.values.push_back(value);
         ++executed;
-        if (journal.is_open()) {
-          journal << journal_entry(idx, r, value) << '\n' << std::flush;
-        }
+        if (journal) journal->append(journal_line({idx, r, value}) + "\n");
       }
       if (budget_exhausted) break;
     }
@@ -354,6 +234,7 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
     }
 
     std::vector<double> task_values(pending.size());
+    std::vector<char> task_ran(pending.size(), 0);
     if (!pending.empty()) {
       std::mutex mu;
       std::condition_variable completion_cv;
@@ -364,6 +245,17 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
       runtime::ThreadPool pool{worker_threads};
       for (std::size_t t = 0; t < pending.size(); ++t) {
         pool.submit([&, t] {
+          if (cancelled(options)) {
+            // Cooperative cancellation: queued tasks drain without running.
+            // In-flight measurements finish and journal normally; resume
+            // picks up whatever subset completed.
+            {
+              std::lock_guard<std::mutex> lock{mu};
+              ++finished;
+            }
+            completion_cv.notify_one();
+            return;
+          }
           try {
             const auto [idx, r] = pending[t];
             CLOUDREPRO_OBS_STMT(const double m_start = wall_s();)
@@ -382,6 +274,7 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
                 })
             std::lock_guard<std::mutex> lock{mu};
             task_values[t] = value;
+            task_ran[t] = 1;
             completed.push_back(t);
             ++finished;
           } catch (...) {
@@ -407,12 +300,11 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
         while (!completed.empty()) {
           const std::size_t t = completed.front();
           completed.pop_front();
-          if (journal.is_open()) {
+          if (journal) {
             const PendingTask task = pending[t];
             const double value = task_values[t];
             lock.unlock();
-            journal << journal_entry(task.cell, task.rep, value) << '\n'
-                    << std::flush;
+            journal->append(journal_line({task.cell, task.rep, value}) + "\n");
             lock.lock();
           }
         }
@@ -430,7 +322,9 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
     // interruption point.
     std::map<std::pair<std::size_t, int>, double> fresh_values;
     for (std::size_t t = 0; t < pending.size(); ++t) {
-      fresh_values[{pending[t].cell, pending[t].rep}] = task_values[t];
+      if (task_ran[t]) {
+        fresh_values[{pending[t].cell, pending[t].rep}] = task_values[t];
+      }
     }
     bool cut = false;
     for (const auto idx : result.execution_order) {
@@ -451,6 +345,14 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
       }
       if (cut) break;
     }
+  }
+
+  if (journal) {
+    // Durability point: everything journaled so far survives a crash from
+    // here on. The caller publishes the summary only after this returns, so
+    // fsync-journal happens-before publish-summary.
+    journal->sync();
+    journal->close();
   }
 
   for (auto& out : result.cells) {

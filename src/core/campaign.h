@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
@@ -9,6 +10,10 @@
 
 #include "core/experiment.h"
 #include "stats/hypothesis.h"
+
+namespace cloudrepro::io {
+class Vfs;
+}  // namespace cloudrepro::io
 
 namespace cloudrepro::obs {
 class MetricsRegistry;
@@ -78,6 +83,21 @@ struct CampaignOptions {
   /// share unsynchronized mutable state — build per-repetition state inside
   /// the callables instead of capturing a shared cluster/engine.
   int threads = 1;
+
+  /// Cooperative cancellation (the CLI's SIGINT/SIGTERM path): when set and
+  /// it becomes true, no *new* measurement starts; measurements already in
+  /// flight complete and are journaled, and the result reports
+  /// `complete = false`, exactly like `max_measurements` exhaustion. A
+  /// later run resumes the remainder bit-identically. Not part of the
+  /// journal header: cancellation changes when a campaign stops, never what
+  /// it computes.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Filesystem the journal is read, truncated, and appended through;
+  /// null = the real filesystem. The injection point for `io::FaultVfs`
+  /// crash/ENOSPC/torn-write torture. Also excluded from the journal
+  /// header.
+  io::Vfs* vfs = nullptr;
 
   // --- Observability (src/obs) -------------------------------------------
   // None of these participate in the journal header: instrumentation does

@@ -1,0 +1,153 @@
+#include "core/journal.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "io/checksum.h"
+#include "io/vfs.h"
+
+namespace cloudrepro::core {
+
+namespace {
+
+constexpr std::string_view kCrcTag = ",\"crc\":\"";
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Minimal field extraction for our own journal records (no JSON library in
+/// the image; the format is machine-written, and the checksum already vouches
+/// for the bytes).
+bool extract_field(const std::string& text, const std::string& key,
+                   std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  auto end = text.find_first_of(",}", start);
+  if (end == std::string::npos) end = text.size();
+  out = text.substr(start, end - start);
+  return !out.empty();
+}
+
+}  // namespace
+
+std::string journal_fmt_double(double value) {
+  std::ostringstream ss;
+  ss << std::setprecision(17) << value;
+  return ss.str();
+}
+
+std::string journal_header(const std::vector<CampaignCell>& cells,
+                           const CampaignOptions& options, std::uint64_t seed) {
+  std::ostringstream ss;
+  ss << "{\"type\":\"campaign-journal\",\"version\":2,\"seed\":" << seed
+     << ",\"repetitions_per_cell\":" << options.repetitions_per_cell
+     << ",\"randomize_order\":" << (options.randomize_order ? "true" : "false")
+     << ",\"confidence\":" << journal_fmt_double(options.confidence)
+     << ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) ss << ',';
+    ss << "{\"config\":\"" << json_escape(cells[i].config)
+       << "\",\"treatment\":\"" << json_escape(cells[i].treatment) << "\"}";
+  }
+  ss << "]}";
+  return ss.str();
+}
+
+std::string journal_line(const JournalRecord& record) {
+  std::ostringstream ss;
+  ss << "{\"cell\":" << record.cell << ",\"rep\":" << record.rep
+     << ",\"value\":" << journal_fmt_double(record.value);
+  const std::string payload = ss.str();
+  return payload + std::string{kCrcTag} + io::crc32_hex(payload) + "\"}";
+}
+
+bool parse_journal_line(const std::string& line, JournalRecord& out) {
+  // Structure: <payload>,"crc":"xxxxxxxx"}  — fixed-width suffix, so a
+  // single find from the right recovers the payload boundary.
+  const auto crc_pos = line.rfind(kCrcTag);
+  if (crc_pos == std::string::npos) return false;
+  const auto hex_start = crc_pos + kCrcTag.size();
+  if (line.size() != hex_start + 8 + 2) return false;
+  if (line.compare(hex_start + 8, 2, "\"}") != 0) return false;
+  const std::string payload = line.substr(0, crc_pos);
+  if (line.compare(hex_start, 8, io::crc32_hex(payload)) != 0) return false;
+
+  std::string cell_s, rep_s, value_s;
+  if (!extract_field(payload, "cell", cell_s) ||
+      !extract_field(payload, "rep", rep_s) ||
+      !extract_field(payload, "value", value_s)) {
+    return false;
+  }
+  char* end = nullptr;
+  out.cell = std::strtoull(cell_s.c_str(), &end, 10);
+  if (end != cell_s.c_str() + cell_s.size()) return false;
+  out.rep = static_cast<int>(std::strtol(rep_s.c_str(), &end, 10));
+  if (end != rep_s.c_str() + rep_s.size()) return false;
+  out.value = std::strtod(value_s.c_str(), &end);
+  return end == value_s.c_str() + value_s.size();
+}
+
+JournalReplay replay_journal(io::Vfs& vfs, const std::filesystem::path& path,
+                             const std::string& expected_header,
+                             std::size_t cell_count, int repetitions) {
+  JournalReplay replay;
+  const auto contents = vfs.read_file(path);
+  if (!contents || contents->empty()) return replay;
+
+  const auto header_end = contents->find('\n');
+  if (header_end == std::string::npos) {
+    // No newline yet. A (possibly complete) prefix of the expected header
+    // is a crash mid-header-write — the tear can land anywhere up to and
+    // including the byte before the newline. Replay as fresh and truncate
+    // the torn bytes. Any other content is someone else's file.
+    if (contents->size() <= expected_header.size() &&
+        expected_header.compare(0, contents->size(), *contents) == 0) {
+      replay.corrupt_tail = true;
+      return replay;
+    }
+    throw JournalMismatch{"journal header mismatch (torn foreign header) in " +
+                          path.string()};
+  }
+  if (contents->compare(0, header_end, expected_header) != 0) {
+    throw JournalMismatch{
+        "journal header mismatch (different seed, options, or cell grid) in " +
+        path.string()};
+  }
+
+  std::size_t offset = header_end + 1;
+  replay.valid_bytes = offset;
+  while (offset < contents->size()) {
+    const auto line_end = contents->find('\n', offset);
+    if (line_end == std::string::npos) {
+      replay.corrupt_tail = true;  // Unterminated final line: torn write.
+      break;
+    }
+    const std::string line = contents->substr(offset, line_end - offset);
+    JournalRecord record;
+    if (!parse_journal_line(line, record)) {
+      // First malformed or checksum-failing record: everything from here on
+      // is untrusted. Truncate-and-resume re-runs only these measurements.
+      replay.corrupt_tail = true;
+      break;
+    }
+    if (record.cell >= cell_count || record.rep < 0 || record.rep >= repetitions) {
+      throw JournalMismatch{"journal record out of range in " + path.string()};
+    }
+    replay.done[{record.cell, record.rep}] = record.value;
+    offset = line_end + 1;
+    replay.valid_bytes = offset;
+  }
+  return replay;
+}
+
+}  // namespace cloudrepro::core

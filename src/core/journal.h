@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace cloudrepro::io {
+class Vfs;
+}  // namespace cloudrepro::io
+
+namespace cloudrepro::core {
+
+/// The campaign journal's record layer: one JSONL line per completed
+/// measurement, each carrying a CRC-32 of its own payload. The checksum is
+/// what turns "a crash may keep any byte prefix" (io::Vfs's durability
+/// model) into "resume sees exactly the records that were fully written":
+/// replay accepts records until the first malformed or checksum-failing
+/// line and truncates the rest — a torn or bit-rotted *tail* costs only the
+/// measurements it held, never the whole entry.
+///
+/// Format (version 2 — version 1 had no checksums):
+///   line 1:  the verbatim header from `journal_header` below
+///   line 2+: {"cell":C,"rep":R,"value":V,"crc":"xxxxxxxx"}\n
+/// where crc is crc32_hex of the bytes before `,"crc"`. A record is valid
+/// only when newline-terminated; an unterminated final line re-runs.
+
+/// The journal's inputs do not match this campaign (different seed,
+/// options, or cell grid — or a corrupted header). Distinct from plain
+/// runtime_error/IoError so callers can evict-and-retry on a mismatch
+/// without swallowing real I/O failures like ENOSPC.
+class JournalMismatch : public std::runtime_error {
+ public:
+  explicit JournalMismatch(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct JournalRecord {
+  std::size_t cell = 0;
+  int rep = 0;
+  double value = 0.0;
+};
+
+/// Doubles formatted with 17 significant digits — the shortest length
+/// guaranteed to round-trip an IEEE binary64 exactly, which the
+/// resume-equals-uninterrupted property depends on.
+std::string journal_fmt_double(double value);
+
+/// The header line: everything the campaign is a function of (seed,
+/// options, cell grid). Resume compares it verbatim.
+std::string journal_header(const std::vector<CampaignCell>& cells,
+                           const CampaignOptions& options, std::uint64_t seed);
+
+/// One checksummed record line (no trailing newline).
+std::string journal_line(const JournalRecord& record);
+
+/// Strict parse + checksum verification; false on any malformation.
+bool parse_journal_line(const std::string& line, JournalRecord& out);
+
+struct JournalReplay {
+  /// Completed (cell, repetition) -> value, from the valid record prefix.
+  std::map<std::pair<std::size_t, int>, double> done;
+  /// Byte length of the valid prefix (header + intact records, including
+  /// their newlines). Appending must continue from here.
+  std::uintmax_t valid_bytes = 0;
+  /// True when bytes beyond `valid_bytes` existed (torn or corrupt tail);
+  /// the caller truncates to `valid_bytes` before appending.
+  bool corrupt_tail = false;
+};
+
+/// Replays a journal through `vfs`, accepting the longest valid prefix.
+/// Throws JournalMismatch when the header differs from `expected_header` or
+/// a checksummed record is out of range for (cell_count, repetitions) —
+/// both mean the journal belongs to a different campaign, not that bytes
+/// were lost. An absent or empty file replays as zero records.
+JournalReplay replay_journal(io::Vfs& vfs, const std::filesystem::path& path,
+                             const std::string& expected_header,
+                             std::size_t cell_count, int repetitions);
+
+}  // namespace cloudrepro::core

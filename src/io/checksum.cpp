@@ -1,0 +1,43 @@
+#include "io/checksum.h"
+
+#include <array>
+
+namespace cloudrepro::io {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t crc = 0xffffffffu;
+  for (const char ch : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string crc32_hex(std::string_view data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::uint32_t crc = crc32(data);
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] = kHex[(crc >> (28 - 4 * i)) & 0xfu];
+  }
+  return out;
+}
+
+}  // namespace cloudrepro::io

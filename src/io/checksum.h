@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cloudrepro::io {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. Strong enough
+/// for the persistence layer's purpose — detecting torn writes and bit rot
+/// in machine-written journal records, where every single-bit and every
+/// burst-under-32-bit error is caught — and 8 hex characters per record is
+/// cheap enough to pay on every journal line.
+std::uint32_t crc32(std::string_view data) noexcept;
+
+/// The checksum as exactly 8 lowercase hex characters.
+std::string crc32_hex(std::string_view data);
+
+}  // namespace cloudrepro::io

@@ -89,17 +89,28 @@ class Parser {
     pos_ += lit.size();
   }
 
+  /// Containers recurse through parse_value; adversarial input like 100k
+  /// unclosed '[' must fail with JsonError, not a stack overflow. Our own
+  /// documents nest a handful of levels deep.
+  static constexpr int kMaxDepth = 64;
+
   Json parse_value() {
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
     skip_ws();
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return Json{parse_string()};
-      case 't': expect_literal("true"); return Json{true};
-      case 'f': expect_literal("false"); return Json{false};
-      case 'n': expect_literal("null"); return Json{nullptr};
-      default: return parse_number();
-    }
+    Json value = [&] {
+      switch (peek()) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': return Json{parse_string()};
+        case 't': expect_literal("true"); return Json{true};
+        case 'f': expect_literal("false"); return Json{false};
+        case 'n': expect_literal("null"); return Json{nullptr};
+        default: return parse_number();
+      }
+    }();
+    --depth_;
+    return value;
   }
 
   Json parse_object() {
@@ -273,6 +284,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,7 +1,9 @@
 #include "scenario/runner.h"
 
+#include <chrono>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "bigdata/cluster.h"
@@ -9,6 +11,7 @@
 #include "bigdata/workload.h"
 #include "cloud/instances.h"
 #include "core/confirm.h"
+#include "core/journal.h"
 #include "faults/fault_plan.h"
 #include "simnet/qos.h"
 
@@ -182,6 +185,24 @@ std::string summary_json(const ScenarioSpec& spec, std::uint64_t seed,
   return Json{std::move(root)}.canonical();
 }
 
+namespace {
+
+/// Serves the store's published summary, validating it first. Returns false
+/// when the summary is absent or corrupt (the checked read evicts a corrupt
+/// one so the caller re-runs).
+bool serve_summary(ResultStore& store, const ScenarioSpec& spec,
+                   std::uint64_t seed, ScenarioRunResult& result) {
+  auto summary = store.read_summary_checked(spec, seed);
+  if (!summary) return false;
+  result.summary = std::move(*summary);
+  result.from_cached_summary = true;
+  result.resumed_measurements = result.total_measurements;
+  result.complete = true;
+  return true;
+}
+
+}  // namespace
+
 ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   spec.validate();
   const std::uint64_t seed = options.seed.value_or(spec.seed);
@@ -189,14 +210,44 @@ ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& optio
   ScenarioRunResult result;
   result.total_measurements = spec.total_measurements();
 
+  EntryLock lock;
   if (options.store) {
     const auto lookup = options.store->lookup(spec, seed);
     result.hit_state = lookup.state;
-    if (lookup.state == ResultStore::HitState::kHit && !options.need_values) {
-      // Full hit: serve the stored summary verbatim; nothing executes.
-      result.summary = *options.store->read_summary(spec, seed);
-      result.from_cached_summary = true;
-      result.resumed_measurements = result.total_measurements;
+    if (lookup.state == ResultStore::HitState::kHit && !options.need_values &&
+        serve_summary(*options.store, spec, seed, result)) {
+      // Full hit: serve the stored summary verbatim; nothing executes, so
+      // no lock is needed — publication was atomic.
+      return result;
+    }
+
+    // Single-flight admission: only the lock holder executes. A losing
+    // process polls for either the holder's published summary (read
+    // through, execute nothing) or the lock itself (holder crashed or
+    // finished without publishing — e.g. interrupted; we resume its
+    // journal).
+    lock = options.store->try_lock(spec, seed);
+    for (int attempt = 0; !lock; ++attempt) {
+      if (attempt >= options.lock_wait_attempts) {
+        throw std::runtime_error{
+            "timed out waiting for the result-store lock on " +
+            options.store->entry_key(spec, seed) +
+            " (another process is executing this scenario)"};
+      }
+      options.store->note_lock_wait();
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.lock_wait_ms));
+      if (!options.need_values && options.store->has_summary(spec, seed) &&
+          serve_summary(*options.store, spec, seed, result)) {
+        options.store->note_read_through();
+        result.hit_state = ResultStore::HitState::kHit;
+        return result;
+      }
+      lock = options.store->try_lock(spec, seed);
+    }
+    // Holder may have completed between our lookup and the lock handover.
+    if (!options.need_values &&
+        serve_summary(*options.store, spec, seed, result)) {
+      result.hit_state = ResultStore::HitState::kHit;
       return result;
     }
   }
@@ -204,6 +255,9 @@ ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& optio
   auto campaign_opts = campaign_options(spec);
   campaign_opts.threads = options.threads;
   campaign_opts.max_measurements = options.max_measurements;
+  campaign_opts.cancel = options.cancel;
+  campaign_opts.vfs = options.vfs;
+  campaign_opts.metrics = options.metrics;
   if (options.store) {
     campaign_opts.journal_path = options.store->prepare(spec, seed);
   }
@@ -212,14 +266,13 @@ ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& optio
   core::CampaignResult campaign;
   try {
     campaign = core::run_campaign(std::move(cells), campaign_opts, seed);
-  } catch (const std::runtime_error& error) {
-    // A journal written by an older build (or corrupted) fails the verbatim
-    // header check. Content addressing makes the entry worthless, not the
-    // run: evict it and redo the campaign cold.
-    if (!options.store ||
-        std::string_view{error.what()}.find("journal") == std::string_view::npos) {
-      throw;
-    }
+  } catch (const core::JournalMismatch&) {
+    // A journal written by an older build (different header) or with
+    // out-of-range records. Content addressing makes the entry worthless,
+    // not the run: evict it and redo the campaign cold. The type is
+    // specific so real I/O failures (ENOSPC, EIO) can never trigger an
+    // evict-and-retry that would silently discard completed work.
+    if (!options.store) throw;
     options.store->evict(spec, seed);
     campaign_opts.journal_path = options.store->prepare(spec, seed);
     campaign = core::run_campaign(build_cells(spec), campaign_opts, seed);
@@ -234,6 +287,10 @@ ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& optio
   result.summary = summary_json(spec, seed, campaign);
   if (options.store && campaign.complete) {
     options.store->write_summary(spec, seed, result.summary);
+    // Enforce the byte budget now that the entry is complete, shielding it
+    // from its own eviction (it is by construction the most recent entry,
+    // but the budget may be smaller than this single entry).
+    options.store->enforce_budget(options.store->entry_key(spec, seed));
   }
   result.campaign = std::move(campaign);
   return result;

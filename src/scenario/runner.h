@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -57,6 +58,23 @@ struct RunOptions {
   /// Stop after this many new measurements (0 = unlimited); the journal
   /// keeps the prefix for a later resume.
   int max_measurements = 0;
+  /// Cooperative cancellation (SIGINT/SIGTERM): threaded through to
+  /// `core::CampaignOptions::cancel`. In-flight measurements finish and are
+  /// journaled; the summary is not published; a later run resumes.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Filesystem the campaign journal goes through; null = real. Pass the
+  /// same `FaultVfs` the store was built with when torturing the whole
+  /// stack.
+  io::Vfs* vfs = nullptr;
+  /// Campaign instrumentation sink (counters/histograms); independent of the
+  /// store's registry, though callers usually pass the same one.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Single-flight wait policy when another live process holds the entry's
+  /// lock: poll up to `lock_wait_attempts` times, `lock_wait_ms` apart, for
+  /// either the holder's published summary (read-through) or the lock.
+  /// Exhausting the budget throws. 600 x 100ms = one minute.
+  int lock_wait_attempts = 600;
+  int lock_wait_ms = 100;
 };
 
 struct ScenarioRunResult {
@@ -75,6 +93,18 @@ struct ScenarioRunResult {
 /// through the store's journal, summary generation, and summary publication
 /// on completion. With a store, a complete entry is served without
 /// executing anything; a partial entry re-runs only the remainder.
+///
+/// Concurrency: execution is single-flight per (spec hash, seed). The
+/// store's lock file admits one executor; a second `run_scenario` against
+/// the same entry waits (bounded, see `RunOptions`) and, when the holder
+/// publishes the summary, serves it without executing anything — the
+/// exactly-once guarantee two concurrent `cloudrepro` processes rely on.
+///
+/// Integrity: a journal whose header fails the verbatim check
+/// (`core::JournalMismatch` — older build, different grid) evicts the entry
+/// and redoes the campaign cold; a corrupt journal *tail* is truncated and
+/// only its measurements re-run; a corrupt summary is evicted and the
+/// journal resumed. Real I/O errors (ENOSPC, EIO) always propagate.
 ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options = {});
 
 }  // namespace cloudrepro::scenario

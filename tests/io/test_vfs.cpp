@@ -1,0 +1,128 @@
+// RealVfs passthrough semantics and the CRC-32 the journal checksums use.
+
+#include "io/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/checksum.h"
+
+namespace cloudrepro::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RealVfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path{::testing::TempDir()} /
+            ("cloudrepro-vfs-" +
+             std::string{::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()});
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(RealVfsTest, WriteReadRoundTrip) {
+  RealVfs vfs;
+  const auto path = root_ / "file.txt";
+  auto out = vfs.open_write(path, WriteMode::kTruncate);
+  out->append("hello ");
+  out->append("world");
+  out->sync();
+  out->close();
+  EXPECT_EQ(vfs.read_file(path), "hello world");
+  EXPECT_EQ(vfs.file_size(path), 11u);
+  EXPECT_TRUE(vfs.exists(path));
+}
+
+TEST_F(RealVfsTest, ReadMissingFileIsNullopt) {
+  RealVfs vfs;
+  EXPECT_EQ(vfs.read_file(root_ / "absent"), std::nullopt);
+  EXPECT_FALSE(vfs.exists(root_ / "absent"));
+  EXPECT_EQ(vfs.file_size(root_ / "absent"), 0u);
+}
+
+TEST_F(RealVfsTest, AppendModePreservesExistingContent) {
+  RealVfs vfs;
+  const auto path = root_ / "log";
+  vfs.open_write(path, WriteMode::kTruncate)->append("a");
+  vfs.open_write(path, WriteMode::kAppend)->append("b");
+  EXPECT_EQ(vfs.read_file(path), "ab");
+}
+
+TEST_F(RealVfsTest, ExclusiveModeFailsOnExistingFile) {
+  RealVfs vfs;
+  const auto path = root_ / "lock";
+  vfs.open_write(path, WriteMode::kExclusive)->append("pid 1\n");
+  try {
+    vfs.open_write(path, WriteMode::kExclusive);
+    FAIL() << "second exclusive create must fail";
+  } catch (const IoError& error) {
+    EXPECT_EQ(error.error_code(), EEXIST);
+  }
+}
+
+TEST_F(RealVfsTest, RenameReplacesAtomically) {
+  RealVfs vfs;
+  vfs.open_write(root_ / "tmp", WriteMode::kTruncate)->append("new");
+  vfs.open_write(root_ / "final", WriteMode::kTruncate)->append("old");
+  vfs.rename(root_ / "tmp", root_ / "final");
+  EXPECT_EQ(vfs.read_file(root_ / "final"), "new");
+  EXPECT_FALSE(vfs.exists(root_ / "tmp"));
+}
+
+TEST_F(RealVfsTest, TruncateShortensFile) {
+  RealVfs vfs;
+  const auto path = root_ / "t";
+  vfs.open_write(path, WriteMode::kTruncate)->append("0123456789");
+  vfs.truncate(path, 4);
+  EXPECT_EQ(vfs.read_file(path), "0123");
+}
+
+TEST_F(RealVfsTest, ListDirIsSortedAndEmptyForMissing) {
+  RealVfs vfs;
+  vfs.create_directories(root_ / "d");
+  vfs.open_write(root_ / "d" / "b", WriteMode::kTruncate)->append("x");
+  vfs.open_write(root_ / "d" / "a", WriteMode::kTruncate)->append("x");
+  const auto names = vfs.list_dir(root_ / "d");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0].filename(), "a");
+  EXPECT_EQ(names[1].filename(), "b");
+  EXPECT_TRUE(vfs.list_dir(root_ / "missing").empty());
+}
+
+TEST_F(RealVfsTest, RemoveAllCountsRemovedFiles) {
+  RealVfs vfs;
+  vfs.create_directories(root_ / "e");
+  vfs.open_write(root_ / "e" / "one", WriteMode::kTruncate)->append("x");
+  EXPECT_GE(vfs.remove_all(root_ / "e"), 1u);
+  EXPECT_FALSE(vfs.exists(root_ / "e"));
+}
+
+// IEEE CRC-32 check vectors; "123456789" -> cbf43926 is the canonical one.
+TEST(ChecksumTest, KnownVectors) {
+  EXPECT_EQ(crc32_hex(""), "00000000");
+  EXPECT_EQ(crc32_hex("123456789"), "cbf43926");
+  EXPECT_EQ(crc32_hex("The quick brown fox jumps over the lazy dog"),
+            "414fa339");
+}
+
+TEST(ChecksumTest, SensitiveToSingleBitFlips) {
+  const std::string base = R"({"cell":3,"rep":1,"value":42.5})";
+  const auto reference = crc32_hex(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::string flipped = base;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    EXPECT_NE(crc32_hex(flipped), reference) << "bit flip at byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cloudrepro::io

@@ -1,0 +1,98 @@
+// Adversarial bytes into the canonical JSON parser: truncations, bit
+// flips, and garbage must throw JsonError or parse into a value that
+// round-trips — never crash, hang, or silently mis-parse.
+
+#include "scenario/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/registry.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::scenario {
+namespace {
+
+/// A real document of ours: the canonical spec of the ci-smoke scenario,
+/// exercising strings, numbers, arrays, objects, and booleans.
+std::string sample_document() {
+  return ScenarioRegistry::builtin().at("ci-smoke").canonical_json();
+}
+
+/// The contract under attack: parsing either throws JsonError or yields a
+/// value whose canonical form re-parses to the same canonical form.
+void parse_or_reject(const std::string& text) {
+  try {
+    const Json parsed = Json::parse(text);
+    const std::string canonical = parsed.canonical();
+    EXPECT_EQ(Json::parse(canonical).canonical(), canonical);
+  } catch (const JsonError&) {
+    // Rejection is always acceptable.
+  }
+}
+
+TEST(JsonAdversarialTest, CanonicalDocumentRoundTrips) {
+  const std::string doc = sample_document();
+  EXPECT_EQ(Json::parse(doc).canonical(), doc);
+}
+
+TEST(JsonAdversarialTest, EveryStrictPrefixOfAnObjectIsRejected) {
+  const std::string doc = sample_document();
+  ASSERT_EQ(doc.front(), '{');
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_THROW(Json::parse(doc.substr(0, len)), JsonError)
+        << "prefix of length " << len << " parsed as complete";
+  }
+}
+
+TEST(JsonAdversarialTest, EveryBitFlipParsesOrRejectsCleanly) {
+  const std::string doc = sample_document();
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    for (const unsigned char mask : {0x01, 0x20, 0x80}) {
+      std::string flipped = doc;
+      flipped[i] = static_cast<char>(flipped[i] ^ mask);
+      parse_or_reject(flipped);
+    }
+  }
+}
+
+TEST(JsonAdversarialTest, GarbageBytesNeverCrashTheParser) {
+  stats::Rng rng{17};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string garbage;
+    const std::size_t len = rng.next_u64() % 256;
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.next_u64() & 0xff));
+    }
+    parse_or_reject(garbage);
+  }
+}
+
+TEST(JsonAdversarialTest, StructuredGarbageNeverCrashesTheParser) {
+  // Brace/bracket/quote soup hits the recursive-descent paths harder than
+  // uniform random bytes.
+  const char alphabet[] = "{}[]\",:.0123456789eE+-tfn \\";
+  stats::Rng rng{19};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup;
+    const std::size_t len = rng.next_u64() % 128;
+    for (std::size_t i = 0; i < len; ++i) {
+      soup.push_back(alphabet[rng.next_u64() % (sizeof(alphabet) - 1)]);
+    }
+    parse_or_reject(soup);
+  }
+}
+
+TEST(JsonAdversarialTest, DeepNestingRejectsInsteadOfOverflowing) {
+  // 100k unclosed arrays: must reject (or parse, for the closed variant)
+  // without exhausting the stack.
+  const std::string open(100000, '[');
+  EXPECT_THROW(Json::parse(open), JsonError);
+  std::string closed = open;
+  closed.append(100000, ']');
+  parse_or_reject(closed);
+}
+
+}  // namespace
+}  // namespace cloudrepro::scenario

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/journal.h"
 #include "obs/metrics.h"
 
 namespace cloudrepro::scenario {
@@ -50,13 +51,14 @@ TEST_F(ScenarioResultStoreTest, MissThenPartialThenHit) {
   EXPECT_EQ(lookup.total_measurements, 4u);
 
   // A journal with completed measurements (but no summary) is a partial hit.
+  // Records only count when their checksum verifies.
   const auto journal = store.prepare(spec, seed);
   {
     std::ofstream out{journal};
     out << R"({"header":true})" << "\n";
-    out << R"({"cell":0,"rep":0,"value":1.5})" << "\n";
-    out << R"({"cell":0,"rep":1,"value":2.5})" << "\n";
-    out << R"({"cell":0,"rep":2,"val)";  // Torn final line: not counted.
+    out << core::journal_line({0, 0, 1.5}) << "\n";
+    out << core::journal_line({0, 1, 2.5}) << "\n";
+    out << core::journal_line({0, 2, 3.5}).substr(0, 10);  // Torn final line.
   }
   lookup = store.lookup(spec, seed);
   EXPECT_EQ(lookup.state, ResultStore::HitState::kPartial);
