@@ -81,6 +81,12 @@ int usage(std::ostream& os, int code) {
         "  --cache-max-bytes N      LRU-evict cache entries to keep the cache\n"
         "                           under N bytes (0 = unbounded, the default)\n"
         "  --max-measurements N     stop after N new measurements (journal resumes)\n"
+        "  --adaptive               adaptive CONFIRM stopping: each cell runs until\n"
+        "                           its quantile-CI relative half-width meets the\n"
+        "                           scenario's confirm.error_bound (repetitions\n"
+        "                           becomes a cap); changes the content hash, so it\n"
+        "                           caches separately (run / suite / describe)\n"
+        "  --error-bound B          override confirm.error_bound (implies --adaptive)\n"
         "  --out FILE               write the summary to FILE instead of stdout\n"
         "  --csv FILE               write config,treatment,repetition,value CSV\n";
   return code;
@@ -93,6 +99,8 @@ struct Cli {
   bool no_cache = false;
   std::uint64_t cache_max_bytes = 0;
   int max_measurements = 0;
+  bool adaptive = false;
+  std::optional<double> error_bound;
   std::string out_path;
   std::string csv_path;
   std::vector<std::string> positional;
@@ -173,6 +181,20 @@ bool parse_cli(int argc, char** argv, int first, Cli& cli) {
       }
       cli.max_measurements = *n;
       ++i;
+    } else if (arg == "--adaptive") {
+      cli.adaptive = true;
+    } else if (arg == "--error-bound") {
+      const char* v = need(i);
+      if (!v) return false;
+      char* end = nullptr;
+      const double b = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(b > 0.0)) {
+        std::cerr << "cloudrepro: bad --error-bound \"" << v << "\"\n";
+        return false;
+      }
+      cli.error_bound = b;
+      cli.adaptive = true;
+      ++i;
     } else if (arg == "--out") {
       const char* v = need(i);
       if (!v) return false;
@@ -226,6 +248,18 @@ ScenarioSpec resolve_scenario(const std::string& arg) {
     return ScenarioSpec::parse(text.str());
   }
   return ScenarioRegistry::builtin().at(arg);
+}
+
+/// Applies `--adaptive` / `--error-bound` to a resolved spec. Mutating the
+/// ConfirmSpec changes the content hash, so an adaptive run caches under its
+/// own key and never collides with the fixed-repetition entry.
+ScenarioSpec apply_overrides(ScenarioSpec spec, const Cli& cli) {
+  if (cli.adaptive) {
+    spec.confirm.enabled = true;
+    spec.confirm.adaptive = true;
+  }
+  if (cli.error_bound) spec.confirm.error_bound = *cli.error_bound;
+  return spec;
 }
 
 void emit(const std::string& out_path, const std::string& payload) {
@@ -317,7 +351,8 @@ int cmd_describe(const Cli& cli) {
     std::cerr << "cloudrepro: describe needs exactly one scenario\n";
     return 2;
   }
-  const ScenarioSpec spec = resolve_scenario(cli.positional.front());
+  const ScenarioSpec spec =
+      apply_overrides(resolve_scenario(cli.positional.front()), cli);
   std::cerr << "cloudrepro: " << spec.name << " — " << spec.title << "\n"
             << "cloudrepro: hash=" << spec.content_hash()
             << " seed=" << spec.seed << "\n"
@@ -334,7 +369,8 @@ int cmd_run(const Cli& cli) {
     std::cerr << "cloudrepro: run needs exactly one scenario\n";
     return 2;
   }
-  const ScenarioSpec spec = resolve_scenario(cli.positional.front());
+  const ScenarioSpec spec =
+      apply_overrides(resolve_scenario(cli.positional.front()), cli);
   std::optional<ResultStore> store;
   if (!cli.no_cache) store.emplace(make_store(cli));
   return run_one(spec, cli, store ? &*store : nullptr, nullptr);
@@ -366,7 +402,7 @@ int cmd_suite(const Cli& cli) {
 
   int rc = 0;
   for (const auto& member : members) {
-    const int one = run_one(registry.at(member), cli,
+    const int one = run_one(apply_overrides(registry.at(member), cli), cli,
                             store ? &*store : nullptr, &sink);
     rc = std::max(rc, one);
     sink << std::flush;

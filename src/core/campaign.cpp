@@ -92,6 +92,19 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
       throw std::invalid_argument{"run_campaign: cell callables must be set"};
     }
   }
+  if (options.adaptive.enabled) {
+    // Fail here, on the caller's thread, rather than from the first
+    // ConfirmMonitor constructed inside a worker.
+    if (options.adaptive.error_bound <= 0.0) {
+      throw std::invalid_argument{"run_campaign: adaptive error bound must be positive"};
+    }
+    if (options.adaptive.quantile <= 0.0 || options.adaptive.quantile >= 1.0) {
+      throw std::invalid_argument{"run_campaign: adaptive quantile must be in (0, 1)"};
+    }
+    if (options.adaptive.confidence <= 0.0 || options.adaptive.confidence >= 1.0) {
+      throw std::invalid_argument{"run_campaign: adaptive confidence must be in (0, 1)"};
+    }
+  }
 
 #if CLOUDREPRO_OBS
   // Observability sinks: external when supplied, owned when only a path was
@@ -154,11 +167,13 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
   io::Vfs& vfs = options.vfs ? *options.vfs : io::real_vfs();
   const std::string header = journal_header(cells, options, seed);
   std::map<std::pair<std::size_t, int>, double> done;
+  std::map<std::size_t, int> stops;
   std::unique_ptr<io::WritableFile> journal;
   if (!options.journal_path.empty()) {
     auto replay = replay_journal(vfs, options.journal_path, header,
                                  cells.size(), options.repetitions_per_cell);
     done = std::move(replay.done);
+    stops = std::move(replay.stops);
     if (replay.corrupt_tail) {
       // Keep only the intact record prefix; the measurements the tail held
       // simply re-run. This is the torn-write recovery path.
@@ -171,7 +186,155 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
   const int worker_threads =
       runtime::ThreadPool::resolve_thread_count(options.threads);
   bool budget_exhausted = false;
-  if (worker_threads <= 1) {
+  if (options.adaptive.enabled) {
+    // Adaptive CONFIRM stopping. Each cell's repetitions must run in order
+    // (the stopping rule is evaluated after every measurement, and the next
+    // repetition may never exist), so the unit of parallelism is the cell:
+    // one sequential task per cell, in execution order. The executed set is
+    // a per-cell repetition *prefix* at any interruption point, which is
+    // what keeps resume bit-identical across thread counts — the monitor is
+    // a pure function of the cell's value sequence, so replaying the prefix
+    // re-derives the same stop decision the journal recorded.
+    const int cap = options.repetitions_per_cell;
+    std::atomic<int> budget{options.max_measurements};
+    std::atomic<bool> interrupted{false};
+    const auto claim_budget = [&]() -> bool {
+      if (options.max_measurements <= 0) return true;
+      int cur = budget.load(std::memory_order_relaxed);
+      while (cur > 0) {
+        if (budget.compare_exchange_weak(cur, cur - 1,
+                                         std::memory_order_relaxed)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // Runs one cell to its stop point (convergence, cap, budget, or
+    // cancellation), appending each record via `emit` — the journal seam
+    // that differs between the serial and parallel drivers. Returns the
+    // number of measurements replayed from the journal.
+    const auto run_cell = [&](std::size_t idx,
+                              const std::function<void(std::string)>& emit)
+        -> std::size_t {
+      ConfirmMonitor monitor{options.adaptive};
+      auto& out = result.cells[idx];
+      out.values.reserve(static_cast<std::size_t>(cap));
+      std::size_t resumed = 0;
+      const bool stop_journaled = stops.find(idx) != stops.end();
+      for (int r = 0; r < cap; ++r) {
+        double value = 0.0;
+        bool from_journal = false;
+        if (const auto it = done.find({idx, r}); it != done.end()) {
+          value = it->second;
+          from_journal = true;
+        } else {
+          if (!claim_budget() || cancelled(options)) {
+            interrupted.store(true, std::memory_order_relaxed);
+            break;
+          }
+          CLOUDREPRO_OBS_STMT(const double m_start = wall_s();)
+          cells[idx].fresh();
+          stats::Rng rep_rng{repetition_seed(seed, idx, r)};
+          value = cells[idx].run_once(rep_rng);
+          CLOUDREPRO_OBS_STMT(
+              const double m_dur = wall_s() - m_start;
+              if (h_cell_wall) h_cell_wall->observe(m_dur);
+              if (c_executed) c_executed->add();
+              if (tracer) {
+                tracer->complete(m_start, m_dur, "campaign", "measurement",
+                                 {"cell", static_cast<double>(idx)},
+                                 {"rep", static_cast<double>(r)},
+                                 static_cast<std::uint32_t>(idx), 0);
+              })
+        }
+        out.values.push_back(value);
+        if (from_journal) {
+          ++resumed;
+        } else {
+          emit(journal_line({idx, r, value}));
+        }
+        if (monitor.add(value)) {
+          // Re-emitting after a torn tail heals a lost stop record; when the
+          // record already replayed, the decision is simply re-derived.
+          if (!stop_journaled) {
+            emit(journal_line(journal_stop_record(
+                idx, static_cast<int>(monitor.stop_repetitions()))));
+          }
+          break;
+        }
+      }
+      out.adaptive_converged = monitor.converged();
+      out.stop_repetitions = monitor.stop_repetitions();
+      return resumed;
+    };
+
+    if (worker_threads <= 1) {
+      for (const auto idx : result.execution_order) {
+        result.resumed_measurements += run_cell(idx, [&](std::string line) {
+          if (journal) journal->append(line + "\n");
+        });
+        if (interrupted.load(std::memory_order_relaxed)) break;
+      }
+    } else {
+      std::mutex mu;
+      std::condition_variable completion_cv;
+      std::deque<std::string> completed;  // Journal lines, completion order.
+      std::size_t finished = 0;           // Cell tasks done.
+      std::size_t resumed_total = 0;
+      std::exception_ptr error;
+
+      runtime::ThreadPool pool{worker_threads};
+      for (const auto idx : result.execution_order) {
+        pool.submit([&, idx] {
+          try {
+            const std::size_t resumed = run_cell(idx, [&](std::string line) {
+              {
+                std::lock_guard<std::mutex> lock{mu};
+                completed.push_back(std::move(line));
+              }
+              completion_cv.notify_one();
+            });
+            std::lock_guard<std::mutex> lock{mu};
+            resumed_total += resumed;
+            ++finished;
+          } catch (...) {
+            std::lock_guard<std::mutex> lock{mu};
+            if (!error) error = std::current_exception();
+            ++finished;
+          }
+          completion_cv.notify_one();
+        });
+      }
+
+      std::unique_lock<std::mutex> lock{mu};
+      for (;;) {
+        completion_cv.wait(lock, [&] {
+          return !completed.empty() || finished == result.execution_order.size();
+        });
+        CLOUDREPRO_OBS_STMT(
+            if (h_queue_depth) {
+              h_queue_depth->observe(static_cast<double>(completed.size()));
+            })
+        while (!completed.empty()) {
+          const std::string line = std::move(completed.front());
+          completed.pop_front();
+          if (journal) {
+            lock.unlock();
+            journal->append(line + "\n");
+            lock.lock();
+          }
+        }
+        if (finished == result.execution_order.size()) break;
+      }
+      result.resumed_measurements += resumed_total;
+      const std::exception_ptr first_error = error;
+      lock.unlock();
+      pool.wait_idle();
+      if (first_error) std::rethrow_exception(first_error);
+    }
+    budget_exhausted = interrupted.load(std::memory_order_relaxed);
+  } else if (worker_threads <= 1) {
     // Serial reference path: executes pending measurements in execution
     // order, interleaving journal replays in place.
     int executed = 0;
@@ -359,13 +522,20 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
     if (!out.values.empty()) {
       out.summary = stats::summarize(out.values);
       out.median_ci = stats::median_ci(out.values, options.confidence);
+      if (options.adaptive.enabled) {
+        out.confirm_ci = stats::quantile_ci(out.values, options.adaptive.quantile,
+                                            options.adaptive.confidence);
+      }
     }
   }
 
   result.complete = true;
   for (const auto& cell : result.cells) {
-    if (cell.values.size() !=
-        static_cast<std::size_t>(options.repetitions_per_cell)) {
+    const bool at_cap = cell.values.size() ==
+                        static_cast<std::size_t>(options.repetitions_per_cell);
+    // An adaptively converged cell is complete at its stop point: the
+    // remaining repetitions were deliberately not run, not interrupted.
+    if (!at_cap && !(options.adaptive.enabled && cell.adaptive_converged)) {
       result.complete = false;
       break;
     }

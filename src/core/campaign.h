@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/confirm.h"
 #include "core/experiment.h"
 #include "stats/hypothesis.h"
 
@@ -84,6 +85,18 @@ struct CampaignOptions {
   /// the callables instead of capturing a shared cluster/engine.
   int threads = 1;
 
+  /// Adaptive CONFIRM stopping: when enabled, each cell runs until its
+  /// quantile-CI relative half-width meets `adaptive.error_bound` (evaluated
+  /// by a `ConfirmMonitor` after every repetition, in repetition order) or
+  /// `repetitions_per_cell` is reached — the cap, not a target. The stop
+  /// decision is journaled as a stop record and the adaptive parameters are
+  /// part of the journal header, so resume replays the same decision
+  /// bit-identically across thread counts and cache state. With threads > 1
+  /// each *cell* becomes one sequential task (repetitions of a cell cannot
+  /// be speculated past an unknown stop point), so parallelism is across
+  /// cells.
+  AdaptiveConfirmOptions adaptive;
+
   /// Cooperative cancellation (the CLI's SIGINT/SIGTERM path): when set and
   /// it becomes true, no *new* measurement starts; measurements already in
   /// flight complete and are journaled, and the result reports
@@ -128,6 +141,16 @@ struct CampaignCellResult {
   std::vector<double> values;
   stats::Summary summary;
   stats::ConfidenceInterval median_ci;
+
+  // --- Adaptive CONFIRM outcome (meaningful only when the campaign ran
+  // --- with options.adaptive.enabled) ------------------------------------
+  /// True when the stopping rule was met before the repetition cap.
+  bool adaptive_converged = false;
+  /// Repetitions at which the rule was met (0 if never).
+  std::size_t stop_repetitions = 0;
+  /// The stopping-rule CI (options.adaptive quantile/confidence) over the
+  /// final values; its `confidence` is the achieved coverage.
+  stats::ConfidenceInterval confirm_ci;
 };
 
 struct CampaignResult {

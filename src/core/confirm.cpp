@@ -37,8 +37,10 @@ ConfirmAnalysis confirm_analysis(std::span<const double> measurements,
         p.ci_lower = ci.lower;
         p.ci_upper = ci.upper;
         p.ci_valid = ci.valid;
-        p.within_bound =
-            ci.valid && ci.relative_half_width() <= options.error_bound;
+        // The estimate != 0 guard mirrors relative_half_width's degenerate
+        // case: a zero-quantile CI can never satisfy a *relative* bound.
+        p.within_bound = ci.valid && ci.estimate != 0.0 &&
+                         ci.relative_half_width() <= options.error_bound;
         analysis.points[i] = p;
       });
 
@@ -83,6 +85,39 @@ std::optional<std::size_t> repetitions_for_bound(std::span<const double> measure
   options.error_bound = error_bound;
   options.confidence = confidence;
   return confirm_analysis(measurements, options).repetitions_needed;
+}
+
+ConfirmMonitor::ConfirmMonitor(const AdaptiveConfirmOptions& options)
+    : options_{options} {
+  if (options.error_bound <= 0.0) {
+    throw std::invalid_argument{"ConfirmMonitor: error bound must be positive"};
+  }
+  if (options.quantile <= 0.0 || options.quantile >= 1.0) {
+    throw std::invalid_argument{"ConfirmMonitor: quantile must be in (0, 1)"};
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    throw std::invalid_argument{"ConfirmMonitor: confidence must be in (0, 1)"};
+  }
+}
+
+bool ConfirmMonitor::add(double value) {
+  sketch_.add(value);
+  if (converged_) return true;
+  if (sketch_.count() < options_.min_repetitions) return false;
+  const auto interval = ci();
+  // Same rule as ConfirmPoint::within_bound: a valid, non-degenerate CI
+  // whose relative half-width meets the bound.
+  if (interval.valid && interval.estimate != 0.0 &&
+      interval.relative_half_width() <= options_.error_bound) {
+    converged_ = true;
+    stop_repetitions_ = sketch_.count();
+  }
+  return converged_;
+}
+
+stats::ConfidenceInterval ConfirmMonitor::ci() const {
+  if (sketch_.count() == 0) return {};
+  return sketch_.ci(options_.quantile, options_.confidence);
 }
 
 ConfirmPrediction predict_repetitions(std::span<const double> pilot,

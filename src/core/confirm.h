@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "stats/ci.h"
+#include "stats/streaming.h"
 
 namespace cloudrepro::core {
 
@@ -85,5 +86,50 @@ struct ConfirmPrediction {
 
 ConfirmPrediction predict_repetitions(std::span<const double> pilot,
                                       const ConfirmOptions& options = {});
+
+/// Adaptive CONFIRM stopping: run a campaign cell *until* its quantile-CI
+/// relative half-width meets the error bound (the paper's actual protocol)
+/// instead of a fixed repetition count. Disabled by default; the campaign
+/// engine treats `repetitions_per_cell` as a hard cap when enabled.
+struct AdaptiveConfirmOptions {
+  bool enabled = false;
+  double quantile = 0.5;
+  double confidence = 0.95;
+  double error_bound = 0.01;
+  /// Never stop before this many repetitions even if the bound is already
+  /// met (0 = stop as soon as the CI allows).
+  std::size_t min_repetitions = 0;
+};
+
+/// Streaming evaluator of the adaptive stopping rule for one campaign cell.
+///
+/// Feeds each measurement into an exact `QuantileReservoir` and reports
+/// convergence as soon as the non-parametric CI is valid, non-degenerate
+/// (estimate != 0 — a zero quantile can never satisfy a relative bound),
+/// within the bound, and past `min_repetitions`. Convergence is sticky: the
+/// decision is made once, at the first qualifying repetition, so replaying
+/// the same value sequence always stops at the same repetition — which is
+/// what makes the journaled stop record reproducible.
+class ConfirmMonitor {
+ public:
+  explicit ConfirmMonitor(const AdaptiveConfirmOptions& options);
+
+  /// Feeds one measurement; returns true once the stopping rule is met.
+  bool add(double value);
+
+  bool converged() const noexcept { return converged_; }
+  /// Repetition count at which the rule was first met (0 if not yet).
+  std::size_t stop_repetitions() const noexcept { return stop_repetitions_; }
+  std::size_t count() const noexcept { return sketch_.count(); }
+  /// CI over the measurements seen so far (invalid until the sample is
+  /// large enough for the order-statistic interval to exist).
+  stats::ConfidenceInterval ci() const;
+
+ private:
+  AdaptiveConfirmOptions options_;
+  stats::QuantileReservoir sketch_;
+  bool converged_ = false;
+  std::size_t stop_repetitions_ = 0;
+};
 
 }  // namespace cloudrepro::core

@@ -52,8 +52,17 @@ std::string journal_header(const std::vector<CampaignCell>& cells,
   ss << "{\"type\":\"campaign-journal\",\"version\":2,\"seed\":" << seed
      << ",\"repetitions_per_cell\":" << options.repetitions_per_cell
      << ",\"randomize_order\":" << (options.randomize_order ? "true" : "false")
-     << ",\"confidence\":" << journal_fmt_double(options.confidence)
-     << ",\"cells\":[";
+     << ",\"confidence\":" << journal_fmt_double(options.confidence);
+  if (options.adaptive.enabled) {
+    // Adaptive parameters change which measurements run, so they are part
+    // of what the campaign is a function of. Appended only when enabled so
+    // every pre-existing (non-adaptive) journal still matches its header.
+    ss << ",\"adaptive\":{\"quantile\":" << journal_fmt_double(options.adaptive.quantile)
+       << ",\"confidence\":" << journal_fmt_double(options.adaptive.confidence)
+       << ",\"error_bound\":" << journal_fmt_double(options.adaptive.error_bound)
+       << ",\"min_repetitions\":" << options.adaptive.min_repetitions << "}";
+  }
+  ss << ",\"cells\":[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) ss << ',';
     ss << "{\"config\":\"" << json_escape(cells[i].config)
@@ -65,8 +74,12 @@ std::string journal_header(const std::vector<CampaignCell>& cells,
 
 std::string journal_line(const JournalRecord& record) {
   std::ostringstream ss;
-  ss << "{\"cell\":" << record.cell << ",\"rep\":" << record.rep
-     << ",\"value\":" << journal_fmt_double(record.value);
+  if (record.kind == JournalRecord::Kind::kStop) {
+    ss << "{\"cell\":" << record.cell << ",\"stop\":" << record.rep;
+  } else {
+    ss << "{\"cell\":" << record.cell << ",\"rep\":" << record.rep
+       << ",\"value\":" << journal_fmt_double(record.value);
+  }
   const std::string payload = ss.str();
   return payload + std::string{kCrcTag} + io::crc32_hex(payload) + "\"}";
 }
@@ -82,15 +95,26 @@ bool parse_journal_line(const std::string& line, JournalRecord& out) {
   const std::string payload = line.substr(0, crc_pos);
   if (line.compare(hex_start, 8, io::crc32_hex(payload)) != 0) return false;
 
-  std::string cell_s, rep_s, value_s;
-  if (!extract_field(payload, "cell", cell_s) ||
-      !extract_field(payload, "rep", rep_s) ||
-      !extract_field(payload, "value", value_s)) {
-    return false;
-  }
+  std::string cell_s;
+  if (!extract_field(payload, "cell", cell_s)) return false;
   char* end = nullptr;
   out.cell = std::strtoull(cell_s.c_str(), &end, 10);
   if (end != cell_s.c_str() + cell_s.size()) return false;
+
+  std::string stop_s;
+  if (extract_field(payload, "stop", stop_s)) {
+    out.kind = JournalRecord::Kind::kStop;
+    out.value = 0.0;
+    out.rep = static_cast<int>(std::strtol(stop_s.c_str(), &end, 10));
+    return end == stop_s.c_str() + stop_s.size();
+  }
+
+  std::string rep_s, value_s;
+  if (!extract_field(payload, "rep", rep_s) ||
+      !extract_field(payload, "value", value_s)) {
+    return false;
+  }
+  out.kind = JournalRecord::Kind::kValue;
   out.rep = static_cast<int>(std::strtol(rep_s.c_str(), &end, 10));
   if (end != rep_s.c_str() + rep_s.size()) return false;
   out.value = std::strtod(value_s.c_str(), &end);
@@ -140,10 +164,17 @@ JournalReplay replay_journal(io::Vfs& vfs, const std::filesystem::path& path,
       replay.corrupt_tail = true;
       break;
     }
-    if (record.cell >= cell_count || record.rep < 0 || record.rep >= repetitions) {
-      throw JournalMismatch{"journal record out of range in " + path.string()};
+    if (record.kind == JournalRecord::Kind::kStop) {
+      if (record.cell >= cell_count || record.rep < 1 || record.rep > repetitions) {
+        throw JournalMismatch{"journal stop record out of range in " + path.string()};
+      }
+      replay.stops[record.cell] = record.rep;
+    } else {
+      if (record.cell >= cell_count || record.rep < 0 || record.rep >= repetitions) {
+        throw JournalMismatch{"journal record out of range in " + path.string()};
+      }
+      replay.done[{record.cell, record.rep}] = record.value;
     }
-    replay.done[{record.cell, record.rep}] = record.value;
     offset = line_end + 1;
     replay.valid_bytes = offset;
   }

@@ -27,8 +27,15 @@ namespace cloudrepro::core {
 /// Format (version 2 — version 1 had no checksums):
 ///   line 1:  the verbatim header from `journal_header` below
 ///   line 2+: {"cell":C,"rep":R,"value":V,"crc":"xxxxxxxx"}\n
+///        or: {"cell":C,"stop":N,"crc":"xxxxxxxx"}\n
 /// where crc is crc32_hex of the bytes before `,"crc"`. A record is valid
 /// only when newline-terminated; an unterminated final line re-runs.
+///
+/// A stop record journals an adaptive CONFIRM stop decision: cell C met its
+/// CI bound after N repetitions, so reps N..cap were never run. Journaling
+/// the *decision* (not just the absence of further values) is what keeps
+/// resume bit-identical: a resumed campaign replays the stop instead of
+/// re-evaluating the rule against a possibly different execution schedule.
 
 /// The journal's inputs do not match this campaign (different seed,
 /// options, or cell grid — or a corrupted header). Distinct from plain
@@ -40,10 +47,21 @@ class JournalMismatch : public std::runtime_error {
 };
 
 struct JournalRecord {
+  enum class Kind { kValue, kStop };
+
   std::size_t cell = 0;
+  /// Repetition index for kValue; the stop repetition count for kStop.
   int rep = 0;
   double value = 0.0;
+  /// Appended after the original fields so existing aggregate initializers
+  /// ({cell, rep, value}) keep meaning what they meant.
+  Kind kind = Kind::kValue;
 };
+
+/// Convenience constructor for an adaptive stop record.
+inline JournalRecord journal_stop_record(std::size_t cell, int stop_repetitions) {
+  return {cell, stop_repetitions, 0.0, JournalRecord::Kind::kStop};
+}
 
 /// Doubles formatted with 17 significant digits — the shortest length
 /// guaranteed to round-trip an IEEE binary64 exactly, which the
@@ -64,6 +82,8 @@ bool parse_journal_line(const std::string& line, JournalRecord& out);
 struct JournalReplay {
   /// Completed (cell, repetition) -> value, from the valid record prefix.
   std::map<std::pair<std::size_t, int>, double> done;
+  /// Journaled adaptive stop decisions: cell -> stop repetition count.
+  std::map<std::size_t, int> stops;
   /// Byte length of the valid prefix (header + intact records, including
   /// their newlines). Appending must continue from here.
   std::uintmax_t valid_bytes = 0;

@@ -178,6 +178,26 @@ ScenarioRegistry build_builtin() {
     registry.add(std::move(s));
   }
 
+  {
+    // Adaptive CONFIRM stopping end-to-end: a noisy single-workload cell
+    // that reaches its (loose) CI bound well before the repetition cap, so
+    // the CI job exercises a journaled adaptive stop on every run.
+    ScenarioSpec s;
+    s.name = "ci-adaptive";
+    s.title = "Adaptive CONFIRM stop: run until the median CI meets the bound";
+    s.paper_ref = "CI";
+    s.workloads = {{"hibench", "TS", {}}};
+    s.budgets = {5000.0};
+    s.engine.machine_noise_cv = 0.05;
+    s.repetitions = 40;  // Cap, not target: the stopping rule decides.
+    s.confirm.enabled = true;
+    s.confirm.adaptive = true;
+    s.confirm.error_bound = 0.10;
+    s.confirm.min_repetitions = 8;
+    s.seed = kPaperSeed;
+    registry.add(std::move(s));
+  }
+
   registry.add_suite("paper-figures",
                      {"fig13-confirm", "fig15-terasort-budget", "fig16-hibench-budget",
                       "fig17-tpcds-budget", "fig18-straggler", "fig19-budget-depletion",
@@ -186,7 +206,7 @@ ScenarioRegistry build_builtin() {
                      {"fig15-terasort-budget", "fig16-hibench-budget",
                       "fig17-tpcds-budget", "fig18-straggler", "fig19-budget-depletion"});
   registry.add_suite("extensions", {"tpch-budget", "fault-mitigation"});
-  registry.add_suite("ci", {"ci-smoke"});
+  registry.add_suite("ci", {"ci-smoke", "ci-adaptive"});
   return registry;
 }
 

@@ -167,7 +167,8 @@ std::filesystem::path ResultStore::summary_path(const ScenarioSpec& spec,
 }
 
 std::size_t ResultStore::count_journal_measurements(
-    const std::filesystem::path& path) const {
+    const std::filesystem::path& path, std::size_t* valid_lines) const {
+  if (valid_lines) *valid_lines = 0;
   const auto contents = vfs_->read_file(path);
   if (!contents || contents->empty()) return 0;
   const auto header_end = contents->find('\n');
@@ -182,7 +183,9 @@ std::size_t ResultStore::count_journal_measurements(
                                   record)) {
       break;  // Corrupt record: the tail truncates on resume.
     }
-    ++measurements;
+    // Adaptive stop records are decisions, not measurements.
+    if (record.kind == core::JournalRecord::Kind::kValue) ++measurements;
+    if (valid_lines) ++*valid_lines;
     offset = line_end + 1;
   }
   return measurements;
@@ -458,7 +461,8 @@ std::vector<ResultStore::VerifyReport> ResultStore::verify() const {
     if (report.ok) {
       const auto journal = vfs_->read_file(dir / "journal.jsonl");
       if (journal && !journal->empty()) {
-        const std::size_t valid = count_journal_measurements(dir / "journal.jsonl");
+        std::size_t valid = 0;  // Record lines of any kind (values + stops).
+        count_journal_measurements(dir / "journal.jsonl", &valid);
         // Count the journal's total record lines to spot a corrupt tail.
         const auto header_end = journal->find('\n');
         std::size_t lines = 0;

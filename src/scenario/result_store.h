@@ -199,7 +199,11 @@ class ResultStore {
   void touch_entry(const std::filesystem::path& dir);
   std::uint64_t last_used(const std::filesystem::path& dir) const;
   std::uintmax_t entry_bytes(const std::filesystem::path& dir) const;
-  std::size_t count_journal_measurements(const std::filesystem::path& path) const;
+  /// Counts intact measurement records in a journal (adaptive stop records
+  /// are skipped, not counted). When `valid_lines` is non-null it receives
+  /// the count of intact record lines of *any* kind, for torn-tail checks.
+  std::size_t count_journal_measurements(const std::filesystem::path& path,
+                                         std::size_t* valid_lines = nullptr) const;
   std::size_t remove_entry(const std::filesystem::path& dir);
 
   std::filesystem::path root_;

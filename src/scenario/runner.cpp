@@ -13,6 +13,7 @@
 #include "core/confirm.h"
 #include "core/journal.h"
 #include "faults/fault_plan.h"
+#include "obs/metrics.h"
 #include "simnet/qos.h"
 
 namespace cloudrepro::scenario {
@@ -141,6 +142,14 @@ core::CampaignOptions campaign_options(const ScenarioSpec& spec) {
   options.repetitions_per_cell = spec.repetitions;
   options.randomize_order = spec.randomize_order;
   options.confidence = spec.confidence;
+  if (spec.confirm.enabled && spec.confirm.adaptive) {
+    options.adaptive.enabled = true;
+    options.adaptive.quantile = spec.confirm.quantile;
+    options.adaptive.confidence = spec.confirm.confidence;
+    options.adaptive.error_bound = spec.confirm.error_bound;
+    options.adaptive.min_repetitions =
+        static_cast<std::size_t>(spec.confirm.min_repetitions);
+  }
   return options;
 }
 
@@ -167,8 +176,20 @@ std::string summary_json(const ScenarioSpec& spec, std::uint64_t seed,
         confirm_options.quantile = spec.confirm.quantile;
         confirm_options.confidence = spec.confirm.confidence;
         confirm_options.error_bound = spec.confirm.error_bound;
-        c["confirm"] = confirm_to_json(
+        Json confirm_json = confirm_to_json(
             core::confirm_analysis(cell.values, confirm_options));
+        if (spec.confirm.adaptive) {
+          // Everything here is a pure function of (spec, values): the stop
+          // outcome re-derives from the value sequence, so the summary stays
+          // byte-identical across thread counts and cache state.
+          confirm_json["adaptive"] = Json{true};
+          confirm_json["converged"] = Json{cell.adaptive_converged};
+          confirm_json["stop_repetitions"] =
+              Json{static_cast<std::uint64_t>(cell.stop_repetitions)};
+          confirm_json["achieved_coverage"] =
+              Json{cell.confirm_ci.valid ? cell.confirm_ci.confidence : 0.0};
+        }
+        c["confirm"] = std::move(confirm_json);
       }
     }
     cells_json.push_back(Json{std::move(c)});
@@ -283,6 +304,22 @@ ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& optio
   result.resumed_measurements = campaign.resumed_measurements;
   result.executed_measurements = measured - campaign.resumed_measurements;
   result.complete = campaign.complete;
+
+  if (options.metrics && campaign_opts.adaptive.enabled) {
+    for (const auto& cell : campaign.cells) {
+      if (cell.adaptive_converged) {
+        options.metrics->counter("scenario.confirm.converged").add();
+        options.metrics->histogram("scenario.confirm.stop_repetitions")
+            .observe(static_cast<double>(cell.stop_repetitions));
+      } else {
+        options.metrics->counter("scenario.confirm.unconverged").add();
+      }
+      if (cell.confirm_ci.valid) {
+        options.metrics->histogram("scenario.confirm.achieved_coverage")
+            .observe(cell.confirm_ci.confidence);
+      }
+    }
+  }
 
   result.summary = summary_json(spec, seed, campaign);
   if (options.store && campaign.complete) {

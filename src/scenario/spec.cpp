@@ -125,6 +125,8 @@ Json ScenarioSpec::semantic_json() const {
   confirm_json["quantile"] = Json{confirm.quantile};
   confirm_json["confidence"] = Json{confirm.confidence};
   confirm_json["error_bound"] = Json{confirm.error_bound};
+  confirm_json["adaptive"] = Json{confirm.adaptive};
+  confirm_json["min_repetitions"] = Json{static_cast<std::int64_t>(confirm.min_repetitions)};
 
   JsonObject root;
   root["cluster"] = Json{std::move(cluster_json)};
@@ -229,13 +231,17 @@ ScenarioSpec ScenarioSpec::from_json(const Json& json) {
 
   if (const Json* confirm = json.find("confirm")) {
     check_known_keys(*confirm, "confirm",
-                     {"enabled", "quantile", "confidence", "error_bound"});
+                     {"enabled", "quantile", "confidence", "error_bound",
+                      "adaptive", "min_repetitions"});
     spec.confirm.enabled = get_bool(*confirm, "enabled", false);
     spec.confirm.quantile = get_double(*confirm, "quantile", spec.confirm.quantile);
     spec.confirm.confidence =
         get_double(*confirm, "confidence", spec.confirm.confidence);
     spec.confirm.error_bound =
         get_double(*confirm, "error_bound", spec.confirm.error_bound);
+    spec.confirm.adaptive = get_bool(*confirm, "adaptive", false);
+    spec.confirm.min_repetitions =
+        get_int(*confirm, "min_repetitions", spec.confirm.min_repetitions);
   }
 
   spec.validate();
@@ -299,6 +305,15 @@ void ScenarioSpec::validate() const {
       spec_error("confirm.confidence must be in (0, 1)");
     }
     if (!(confirm.error_bound > 0.0)) spec_error("confirm.error_bound must be > 0");
+    if (confirm.min_repetitions < 0) {
+      spec_error("confirm.min_repetitions must be >= 0");
+    }
+    if (confirm.min_repetitions > repetitions) {
+      spec_error("confirm.min_repetitions must not exceed repetitions");
+    }
+  }
+  if (!confirm.enabled && confirm.adaptive) {
+    spec_error("confirm.adaptive requires confirm.enabled");
   }
 }
 

@@ -14,7 +14,9 @@ namespace cloudrepro::scenario {
 /// domain. Bump whenever the meaning of a serialized field changes; hashes
 /// from different versions never collide because the version is mixed into
 /// the hashed bytes.
-inline constexpr int kSpecSchemaVersion = 1;
+/// Version 2: ConfirmSpec gained `adaptive` + `min_repetitions` (adaptive
+/// CONFIRM stopping), which change which measurements a scenario runs.
+inline constexpr int kSpecSchemaVersion = 2;
 
 /// Which cloud's QoS mechanism shapes every node's egress (Section 3 of the
 /// paper identifies one per provider).
@@ -76,12 +78,18 @@ struct WorkloadRef {
   std::optional<CloudModel> cloud;
 };
 
-/// Optional per-cell CONFIRM analysis over the repetition sequence.
+/// Optional per-cell CONFIRM analysis over the repetition sequence. With
+/// `adaptive` set, the analysis becomes the *stopping rule*: each cell runs
+/// until its quantile-CI relative half-width meets `error_bound` (or the
+/// scenario's `repetitions` cap), instead of a fixed repetition count.
 struct ConfirmSpec {
   bool enabled = false;
   double quantile = 0.5;
   double confidence = 0.95;
   double error_bound = 0.01;
+  bool adaptive = false;
+  /// Adaptive mode: never stop a cell before this many repetitions.
+  int min_repetitions = 0;
 };
 
 /// A declarative, hashable description of one campaign-shaped experiment:

@@ -1,6 +1,7 @@
 #include "stats/ci.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "stats/descriptive.h"
@@ -9,18 +10,28 @@
 namespace cloudrepro::stats {
 
 double ConfidenceInterval::relative_half_width() const noexcept {
-  if (estimate == 0.0) return 0.0;
+  // A zero estimate makes the relative criterion undefined. Returning 0.0
+  // here (the old behavior) made a degenerate zero-quantile CI read as
+  // "within any bound", so adaptive CONFIRM stopping would terminate a
+  // zero-valued scenario after one repetition. Report the interval as
+  // infinitely wide instead so the degenerate case can never converge.
+  if (estimate == 0.0) return std::numeric_limits<double>::infinity();
   return 0.5 * (upper - lower) / std::fabs(estimate);
 }
 
 ConfidenceInterval quantile_ci(std::span<const double> xs, double q, double confidence) {
   if (xs.empty()) throw std::invalid_argument{"quantile_ci: empty sample"};
+  return quantile_ci_sorted(sorted(xs), q, confidence);
+}
+
+ConfidenceInterval quantile_ci_sorted(std::span<const double> s, double q,
+                                      double confidence) {
+  if (s.empty()) throw std::invalid_argument{"quantile_ci: empty sample"};
   if (q <= 0.0 || q >= 1.0) throw std::invalid_argument{"quantile_ci: q must be in (0, 1)"};
   if (confidence <= 0.0 || confidence >= 1.0) {
     throw std::invalid_argument{"quantile_ci: confidence must be in (0, 1)"};
   }
 
-  const auto s = sorted(xs);
   const auto n = static_cast<long long>(s.size());
 
   ConfidenceInterval ci;

@@ -38,6 +38,12 @@ struct ConfidenceInterval {
 ConfidenceInterval quantile_ci(std::span<const double> xs, double q,
                                double confidence = 0.95);
 
+/// Same as `quantile_ci` but requires `xs` already sorted ascending — the
+/// streaming `QuantileReservoir` keeps its sample sorted and calls this to
+/// skip the O(n log n) re-sort on every stopping-rule evaluation.
+ConfidenceInterval quantile_ci_sorted(std::span<const double> xs, double q,
+                                      double confidence = 0.95);
+
 /// Convenience wrapper: non-parametric CI for the median.
 ConfidenceInterval median_ci(std::span<const double> xs, double confidence = 0.95);
 

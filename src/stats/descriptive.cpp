@@ -4,32 +4,38 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "stats/streaming.h"
+
 namespace cloudrepro::stats {
 
+// The span-based moment functions are thin adapters over StreamingMoments:
+// one implementation shared with the O(1)-mergeable accumulators. Sequential
+// accumulation reproduces the old naive-sum mean bit-exactly; variance moves
+// from the two-pass formula to Welford's M2, which agrees within 1 ulp on
+// well-conditioned data (bounded by the streaming property suite).
+
 double mean(std::span<const double> xs) noexcept {
-  if (xs.empty()) return 0.0;
-  double sum = 0.0;
-  for (const double x : xs) sum += x;
-  return sum / static_cast<double>(xs.size());
+  StreamingMoments m;
+  m.add_all(xs);
+  return m.mean();
 }
 
 double variance(std::span<const double> xs) noexcept {
-  if (xs.size() < 2) return 0.0;
-  const double m = mean(xs);
-  double ss = 0.0;
-  for (const double x : xs) {
-    const double d = x - m;
-    ss += d * d;
-  }
-  return ss / static_cast<double>(xs.size() - 1);
+  StreamingMoments m;
+  m.add_all(xs);
+  return m.variance();
 }
 
-double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+double stddev(std::span<const double> xs) noexcept {
+  StreamingMoments m;
+  m.add_all(xs);
+  return m.stddev();
+}
 
 double coefficient_of_variation(std::span<const double> xs) noexcept {
-  const double m = mean(xs);
-  if (m == 0.0) return 0.0;
-  return stddev(xs) / m;
+  StreamingMoments m;
+  m.add_all(xs);
+  return m.coefficient_of_variation();
 }
 
 std::vector<double> sorted(std::span<const double> xs) {
@@ -58,16 +64,17 @@ double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 
 Summary summarize(std::span<const double> xs) {
   if (xs.empty()) throw std::invalid_argument{"summarize: empty sample"};
+  StreamingMoments m;
+  m.add_all(xs);
   Summary s;
-  s.count = xs.size();
-  s.mean = mean(xs);
-  const auto srt = sorted(xs);
-  s.median = quantile_sorted(srt, 0.5);
-  s.variance = variance(xs);
-  s.stddev = std::sqrt(s.variance);
-  s.coefficient_of_variation = s.mean == 0.0 ? 0.0 : s.stddev / s.mean;
-  s.min = srt.front();
-  s.max = srt.back();
+  s.count = m.count();
+  s.mean = m.mean();
+  s.median = quantile(xs, 0.5);
+  s.variance = m.variance();
+  s.stddev = m.stddev();
+  s.coefficient_of_variation = m.coefficient_of_variation();
+  s.min = m.min();
+  s.max = m.max();
   return s;
 }
 

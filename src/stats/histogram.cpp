@@ -7,12 +7,22 @@
 namespace cloudrepro::stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_{lo}, hi_{hi}, width_{(hi - lo) / static_cast<double>(bins)}, counts_(bins, 0) {
+    : lo_{lo}, hi_{hi}, width_{0.0} {
+  // Validate before any arithmetic: the old code divided by `bins` in the
+  // member-init list, so `bins == 0` hit the division before the check.
   if (bins == 0) throw std::invalid_argument{"Histogram: need at least one bin"};
   if (!(hi > lo)) throw std::invalid_argument{"Histogram: hi must exceed lo"};
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
 }
 
 void Histogram::add(double value) noexcept {
+  if (!std::isfinite(value)) {
+    // floor(NaN/inf) cast to an integer is UB; count the value instead of
+    // binning it so totals still reconcile with the feed.
+    ++non_finite_;
+    return;
+  }
   auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
   bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(bin)];
@@ -53,7 +63,9 @@ double Ecdf::operator()(double x) const noexcept {
 }
 
 double Ecdf::inverse(double p) const {
-  if (p < 0.0 || p > 1.0) throw std::invalid_argument{"Ecdf::inverse: p must be in [0, 1]"};
+  // Negated comparison so NaN fails the range check instead of reaching the
+  // ceil-and-cast below (casting NaN to an integer is UB).
+  if (!(p >= 0.0 && p <= 1.0)) throw std::invalid_argument{"Ecdf::inverse: p must be in [0, 1]"};
   if (p == 0.0) return sorted_.front();
   const auto rank = static_cast<std::size_t>(
       std::ceil(p * static_cast<double>(sorted_.size())));

@@ -6,8 +6,10 @@
 
 namespace cloudrepro::stats {
 
-/// Fixed-width histogram over [lo, hi); values outside are clamped into the
-/// first/last bin so totals are preserved.
+/// Fixed-width histogram over [lo, hi); finite values outside are clamped
+/// into the first/last bin so totals are preserved. Non-finite values
+/// (NaN, ±inf) are never binned — they land in a separate `non_finite`
+/// counter, excluded from `total()` and densities.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -18,6 +20,8 @@ class Histogram {
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   std::size_t total() const noexcept { return total_; }
+  /// NaN/±inf values fed to `add`, counted but not binned.
+  std::size_t non_finite() const noexcept { return non_finite_; }
 
   /// Center of the given bin.
   double bin_center(std::size_t bin) const;
@@ -34,6 +38,7 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t non_finite_ = 0;
 };
 
 /// Empirical cumulative distribution function — the paper plots EC2

@@ -1,0 +1,205 @@
+// Adaptive CONFIRM stopping in the campaign engine: cells run until their
+// quantile CI meets the bound (or the repetition cap), the stop decision is
+// journaled, and the result stays a pure function of (cells, options, seed)
+// across thread counts and interrupt/resume cycles.
+
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/journal.h"
+
+namespace cloudrepro::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kSeed = 20200225;
+
+/// A noisy cell (converges under a loose bound) and a quiet one (converges
+/// almost immediately). Values are pure functions of the per-repetition RNG
+/// stream, so every run of the same seed sees the same sequence.
+std::vector<CampaignCell> adaptive_grid() {
+  std::vector<CampaignCell> cells;
+  cells.push_back(CampaignCell{"noisy", "t",
+                               [](stats::Rng& rng) {
+                                 return rng.normal(100.0, 5.0);
+                               },
+                               [] {}});
+  cells.push_back(CampaignCell{"quiet", "t",
+                               [](stats::Rng& rng) {
+                                 return rng.normal(100.0, 0.5);
+                               },
+                               [] {}});
+  return cells;
+}
+
+CampaignOptions adaptive_options(int cap = 60) {
+  CampaignOptions opt;
+  opt.repetitions_per_cell = cap;
+  opt.adaptive.enabled = true;
+  opt.adaptive.error_bound = 0.05;
+  opt.adaptive.min_repetitions = 6;
+  return opt;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    ASSERT_EQ(a.cells[i].values.size(), b.cells[i].values.size()) << "cell " << i;
+    for (std::size_t r = 0; r < a.cells[i].values.size(); ++r) {
+      EXPECT_EQ(a.cells[i].values[r], b.cells[i].values[r])
+          << "cell " << i << " rep " << r;
+    }
+    EXPECT_EQ(a.cells[i].adaptive_converged, b.cells[i].adaptive_converged);
+    EXPECT_EQ(a.cells[i].stop_repetitions, b.cells[i].stop_repetitions);
+    EXPECT_EQ(a.cells[i].confirm_ci.lower, b.cells[i].confirm_ci.lower);
+    EXPECT_EQ(a.cells[i].confirm_ci.upper, b.cells[i].confirm_ci.upper);
+  }
+  EXPECT_EQ(a.complete, b.complete);
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+fs::path test_dir() {
+  const auto dir =
+      fs::path{::testing::TempDir()} /
+      ("cloudrepro-adaptive-" + std::string{::testing::UnitTest::GetInstance()
+                                                ->current_test_info()
+                                                ->name()});
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(AdaptiveCampaignTest, CellsStopBeforeTheCap) {
+  const auto result = run_campaign(adaptive_grid(), adaptive_options(), kSeed);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const auto& cell : result.cells) {
+    EXPECT_TRUE(cell.adaptive_converged) << cell.config;
+    EXPECT_GE(cell.stop_repetitions, 6u);           // min_repetitions floor.
+    EXPECT_LT(cell.stop_repetitions, 60u);          // Stopped before the cap.
+    EXPECT_EQ(cell.values.size(), cell.stop_repetitions);
+    EXPECT_TRUE(cell.confirm_ci.valid);
+  }
+  // The quiet cell needs no more repetitions than the noisy one.
+  EXPECT_LE(result.cells[1].stop_repetitions, result.cells[0].stop_repetitions);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(AdaptiveCampaignTest, BitIdenticalAcrossThreadCounts) {
+  auto opt = adaptive_options();
+  const auto serial = run_campaign(adaptive_grid(), opt, kSeed);
+  opt.threads = 4;
+  const auto parallel = run_campaign(adaptive_grid(), opt, kSeed);
+  expect_identical(serial, parallel);
+}
+
+TEST(AdaptiveCampaignTest, ZeroValuedCellNeverStopsEarly) {
+  // The degenerate-CI regression, end to end: a cell measuring identically
+  // zero must run to the cap instead of "converging" at min_repetitions.
+  std::vector<CampaignCell> cells;
+  cells.push_back(CampaignCell{"zero", "t",
+                               [](stats::Rng&) { return 0.0; }, [] {}});
+  const auto result = run_campaign(std::move(cells), adaptive_options(20), kSeed);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_FALSE(result.cells[0].adaptive_converged);
+  EXPECT_EQ(result.cells[0].stop_repetitions, 0u);
+  EXPECT_EQ(result.cells[0].values.size(), 20u);  // Ran the full cap.
+  EXPECT_TRUE(result.complete);                   // At cap = complete.
+}
+
+TEST(AdaptiveCampaignTest, StopRecordIsJournaled) {
+  const auto dir = test_dir();
+  auto opt = adaptive_options();
+  opt.journal_path = dir / "journal.jsonl";
+  const auto result = run_campaign(adaptive_grid(), opt, kSeed);
+  EXPECT_TRUE(result.complete);
+  const std::string journal = read_file(opt.journal_path);
+  // One stop record per converged cell.
+  std::size_t stop_lines = 0;
+  std::istringstream lines{journal};
+  for (std::string line; std::getline(lines, line);) {
+    if (line.find("\"stop\"") != std::string::npos) ++stop_lines;
+  }
+  EXPECT_EQ(stop_lines, 2u);
+  fs::remove_all(dir);
+}
+
+TEST(AdaptiveCampaignTest, InterruptedRunResumesBitIdentically) {
+  const auto dir = test_dir();
+  auto opt = adaptive_options();
+  const auto reference = run_campaign(adaptive_grid(), opt, kSeed);
+
+  opt.journal_path = dir / "journal.jsonl";
+  opt.max_measurements = 3;
+  const auto partial = run_campaign(adaptive_grid(), opt, kSeed);
+  EXPECT_FALSE(partial.complete);
+
+  // Resume with a different thread count and no budget: the journal replays
+  // the executed prefix and the rest runs fresh.
+  opt.max_measurements = 0;
+  opt.threads = 4;
+  const auto resumed = run_campaign(adaptive_grid(), opt, kSeed);
+  EXPECT_GT(resumed.resumed_measurements, 0u);
+  expect_identical(reference, resumed);
+  fs::remove_all(dir);
+}
+
+TEST(AdaptiveCampaignTest, TornStopRecordIsHealedOnResume) {
+  const auto dir = test_dir();
+  auto opt = adaptive_options();
+  opt.journal_path = dir / "journal.jsonl";
+  const auto reference = run_campaign(adaptive_grid(), opt, kSeed);
+
+  // Tear the journal mid-way through its final stop record: the crash
+  // window between a cell's last measurement landing and its stop record
+  // landing.
+  std::string journal = read_file(opt.journal_path);
+  const auto last_stop = journal.rfind("{\"cell\"");
+  ASSERT_NE(last_stop, std::string::npos);
+  ASSERT_NE(journal.find("\"stop\"", last_stop), std::string::npos);
+  journal.resize(last_stop + 10);  // Keep a torn prefix of the line.
+  {
+    std::ofstream out{opt.journal_path, std::ios::binary | std::ios::trunc};
+    out << journal;
+  }
+
+  const auto resumed = run_campaign(adaptive_grid(), opt, kSeed);
+  expect_identical(reference, resumed);
+
+  // The healed journal carries the stop record again.
+  const std::string healed = read_file(opt.journal_path);
+  std::size_t stop_lines = 0;
+  std::istringstream lines{healed};
+  for (std::string line; std::getline(lines, line);) {
+    if (line.find("\"stop\"") != std::string::npos) ++stop_lines;
+  }
+  EXPECT_EQ(stop_lines, 2u);
+  fs::remove_all(dir);
+}
+
+TEST(AdaptiveCampaignTest, InvalidAdaptiveOptionsThrowUpfront) {
+  auto opt = adaptive_options();
+  opt.adaptive.error_bound = 0.0;
+  EXPECT_THROW(run_campaign(adaptive_grid(), opt, kSeed),
+               std::invalid_argument);
+  opt = adaptive_options();
+  opt.adaptive.quantile = 1.5;
+  EXPECT_THROW(run_campaign(adaptive_grid(), opt, kSeed),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudrepro::core

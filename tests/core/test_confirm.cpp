@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "stats/rng.h"
@@ -176,6 +178,114 @@ TEST(ConfirmPredictionTest, PredictionNeverBelowPilotSizeWhenBoundMet) {
   const auto p = predict_repetitions(xs, opt);
   ASSERT_TRUE(p.reliable);
   EXPECT_GE(p.predicted_repetitions, 60u);
+}
+
+TEST(ConfirmMonitorTest, ConvergesOnIidDataAndIsSticky) {
+  const auto xs = iid_sample(200, 100.0, 2.0, 31);
+  AdaptiveConfirmOptions opt;
+  opt.enabled = true;
+  opt.error_bound = 0.05;
+  ConfirmMonitor monitor{opt};
+  std::size_t stop = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (monitor.add(xs[i])) {
+      stop = i + 1;
+      break;
+    }
+  }
+  ASSERT_TRUE(monitor.converged());
+  ASSERT_GT(stop, 0u);
+  EXPECT_EQ(monitor.stop_repetitions(), stop);
+  // Sticky: feeding more data after convergence keeps reporting true and
+  // never moves the recorded stopping point.
+  EXPECT_TRUE(monitor.add(1e9));
+  EXPECT_EQ(monitor.stop_repetitions(), stop);
+}
+
+TEST(ConfirmMonitorTest, StopMatchesPostHocWithinBoundPrefix) {
+  // The monitor's decision and the post-hoc confirm_analysis must agree:
+  // the stopping repetition is the first prefix whose point is within
+  // bound (past min_repetitions). This is what keeps the journaled stop
+  // record and the summary's confirm block mutually consistent.
+  const auto xs = iid_sample(120, 50.0, 1.5, 32);
+  AdaptiveConfirmOptions opt;
+  opt.enabled = true;
+  opt.error_bound = 0.05;
+  ConfirmMonitor monitor{opt};
+  std::size_t stop = 0;
+  for (std::size_t i = 0; i < xs.size() && stop == 0; ++i) {
+    if (monitor.add(xs[i])) stop = i + 1;
+  }
+  ASSERT_GT(stop, 0u);
+
+  ConfirmOptions post;
+  post.error_bound = opt.error_bound;
+  const auto analysis =
+      confirm_analysis(std::span{xs}.first(stop), post);
+  EXPECT_TRUE(analysis.points.back().within_bound);
+  for (std::size_t n = 1; n < stop; ++n) {
+    EXPECT_FALSE(analysis.points[n - 1].within_bound) << "prefix " << n;
+  }
+}
+
+TEST(ConfirmMonitorTest, MinRepetitionsDefersTheStop) {
+  const auto xs = iid_sample(100, 100.0, 0.1, 33);  // Converges immediately.
+  AdaptiveConfirmOptions base;
+  base.enabled = true;
+  base.error_bound = 0.10;
+  ConfirmMonitor eager{base};
+  AdaptiveConfirmOptions floored = base;
+  floored.min_repetitions = 25;
+  ConfirmMonitor deferred{floored};
+  std::size_t eager_stop = 0, deferred_stop = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (eager_stop == 0 && eager.add(xs[i])) eager_stop = i + 1;
+    if (deferred_stop == 0 && deferred.add(xs[i])) deferred_stop = i + 1;
+  }
+  ASSERT_GT(eager_stop, 0u);
+  ASSERT_GE(deferred_stop, 25u);
+  EXPECT_LT(eager_stop, deferred_stop);
+}
+
+TEST(ConfirmMonitorTest, AllZeroStreamNeverConverges) {
+  // Regression companion to the relative_half_width fix: a metric that is
+  // identically zero has no meaningful relative bound, so the monitor must
+  // run to the cap instead of declaring instant convergence.
+  AdaptiveConfirmOptions opt;
+  opt.enabled = true;
+  opt.error_bound = 0.10;
+  ConfirmMonitor monitor{opt};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(monitor.add(0.0)) << "rep " << i + 1;
+  }
+  EXPECT_FALSE(monitor.converged());
+  EXPECT_EQ(monitor.stop_repetitions(), 0u);
+}
+
+TEST(ConfirmMonitorTest, WithinBoundGuardsZeroEstimate) {
+  // Mirror guard in the post-hoc path: an all-zero sequence must never
+  // report within_bound even though its CI has zero width.
+  const std::vector<double> zeros(40, 0.0);
+  ConfirmOptions opt;
+  opt.error_bound = 0.10;
+  const auto analysis = confirm_analysis(zeros, opt);
+  for (const auto& point : analysis.points) {
+    EXPECT_FALSE(point.within_bound);
+  }
+  EXPECT_FALSE(analysis.repetitions_needed.has_value());
+}
+
+TEST(ConfirmMonitorTest, RejectsInvalidOptions) {
+  AdaptiveConfirmOptions opt;
+  opt.enabled = true;
+  opt.error_bound = 0.0;
+  EXPECT_THROW(ConfirmMonitor{opt}, std::invalid_argument);
+  opt.error_bound = 0.05;
+  opt.quantile = 1.0;
+  EXPECT_THROW(ConfirmMonitor{opt}, std::invalid_argument);
+  opt.quantile = 0.5;
+  opt.confidence = 0.0;
+  EXPECT_THROW(ConfirmMonitor{opt}, std::invalid_argument);
 }
 
 }  // namespace

@@ -193,5 +193,72 @@ TEST_F(JournalAdversarialTest, TornHeaderPrefixReplaysAsFresh) {
   }
 }
 
+TEST_F(JournalAdversarialTest, StopRecordRoundTripsThroughParse) {
+  const JournalRecord stop = journal_stop_record(2, 7);
+  EXPECT_EQ(stop.kind, JournalRecord::Kind::kStop);
+  JournalRecord parsed;
+  ASSERT_TRUE(parse_journal_line(journal_line(stop), parsed));
+  EXPECT_EQ(parsed.kind, JournalRecord::Kind::kStop);
+  EXPECT_EQ(parsed.cell, 2u);
+  EXPECT_EQ(parsed.rep, 7);
+}
+
+TEST_F(JournalAdversarialTest, StopRecordsReplayIntoStopsMap) {
+  std::string bytes = journal_bytes_;
+  bytes += journal_line(journal_stop_record(1, 3)) + "\n";
+  const auto result = replay(bytes);
+  EXPECT_EQ(result.done.size(), records_.size());
+  ASSERT_EQ(result.stops.size(), 1u);
+  EXPECT_EQ(result.stops.at(1), 3);
+  EXPECT_FALSE(result.corrupt_tail);
+}
+
+TEST_F(JournalAdversarialTest, OutOfRangeStopRecordIsAMismatch) {
+  // A stop for a cell outside the grid, or claiming more repetitions than
+  // the cap, is a different-campaign signal — same policy as out-of-range
+  // measurement records.
+  EXPECT_THROW(
+      replay(header_ + "\n" + journal_line(journal_stop_record(99, 3)) + "\n"),
+      JournalMismatch);
+  EXPECT_THROW(
+      replay(header_ + "\n" +
+             journal_line(journal_stop_record(
+                 0, options_.repetitions_per_cell + 1)) +
+             "\n"),
+      JournalMismatch);
+  EXPECT_THROW(
+      replay(header_ + "\n" + journal_line(journal_stop_record(0, 0)) + "\n"),
+      JournalMismatch);
+}
+
+TEST_F(JournalAdversarialTest, TornStopRecordTruncatesCleanly) {
+  const std::string stop_line = journal_line(journal_stop_record(0, 2)) + "\n";
+  const std::string base = journal_bytes_;
+  for (std::size_t len = 0; len < stop_line.size(); ++len) {
+    const auto result = replay(base + stop_line.substr(0, len));
+    // The torn stop record is dropped; every measurement survives.
+    EXPECT_EQ(result.done.size(), records_.size());
+    EXPECT_TRUE(result.stops.empty());
+  }
+}
+
+TEST_F(JournalAdversarialTest, AdaptiveHeaderFieldsChangeTheHeader) {
+  // Adaptive options participate in the header (a resumed adaptive
+  // campaign must not replay a fixed-repetition journal and vice versa),
+  // but a disabled AdaptiveConfirmOptions leaves the header byte-identical
+  // to the pre-adaptive format.
+  CampaignOptions adaptive = options_;
+  adaptive.adaptive.enabled = true;
+  adaptive.adaptive.error_bound = 0.05;
+  const std::string adaptive_header = journal_header(cells_, adaptive, kSeed);
+  EXPECT_NE(adaptive_header, header_);
+  EXPECT_NE(adaptive_header.find("\"adaptive\""), std::string::npos);
+  EXPECT_EQ(header_.find("\"adaptive\""), std::string::npos);
+
+  CampaignOptions tweaked = adaptive;
+  tweaked.adaptive.error_bound = 0.10;
+  EXPECT_NE(journal_header(cells_, tweaked, kSeed), adaptive_header);
+}
+
 }  // namespace
 }  // namespace cloudrepro::core

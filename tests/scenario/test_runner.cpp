@@ -198,6 +198,76 @@ TEST_F(ScenarioRunnerTest, ConfirmAnalysisAppearsWhenEnabled) {
   EXPECT_GT(confirm->at("final_estimate").as_double(), 0.0);
 }
 
+ScenarioSpec adaptive_spec() {
+  ScenarioSpec spec = tiny_spec();
+  spec.name = "runner-adaptive-test";
+  spec.workloads = {{"hibench", "TS", std::nullopt}};
+  spec.budgets = {5000.0};
+  spec.engine.machine_noise_cv = 0.05;
+  spec.repetitions = 40;  // Cap; the stopping rule decides the actual count.
+  spec.confirm.enabled = true;
+  spec.confirm.adaptive = true;
+  spec.confirm.error_bound = 0.10;
+  spec.confirm.min_repetitions = 8;
+  return spec;
+}
+
+TEST_F(ScenarioRunnerTest, AdaptiveStopIsByteIdenticalAcrossCacheAndThreads) {
+  const ScenarioSpec spec = adaptive_spec();
+  const auto reference = run_scenario(spec);  // Store-less, serial.
+  EXPECT_TRUE(reference.complete);
+  EXPECT_LT(reference.executed_measurements, 40u);  // Stopped early.
+
+  const Json summary = Json::parse(reference.summary);
+  const auto& cell = summary.at("cells").as_array().front();
+  const Json* confirm = cell.find("confirm");
+  ASSERT_NE(confirm, nullptr);
+  EXPECT_TRUE(confirm->at("adaptive").as_bool());
+  EXPECT_TRUE(confirm->at("converged").as_bool());
+  EXPECT_EQ(confirm->at("stop_repetitions").as_uint(),
+            reference.executed_measurements);
+  EXPECT_GT(confirm->at("achieved_coverage").as_double(), 0.94);
+  EXPECT_EQ(cell.at("n").as_uint(), reference.executed_measurements);
+
+  // Cold vs cached vs threaded: identical bytes.
+  ResultStore store{root_};
+  RunOptions cached;
+  cached.store = &store;
+  cached.threads = 4;
+  EXPECT_EQ(run_scenario(spec, cached).summary, reference.summary);
+  const auto warm = run_scenario(spec, cached);
+  EXPECT_TRUE(warm.from_cached_summary);
+  EXPECT_EQ(warm.summary, reference.summary);
+}
+
+TEST_F(ScenarioRunnerTest, AdaptiveInterruptedRunResumesBitIdentically) {
+  const ScenarioSpec spec = adaptive_spec();
+  const auto reference = run_scenario(spec);
+
+  ResultStore store{root_};
+  RunOptions interrupt;
+  interrupt.store = &store;
+  interrupt.max_measurements = 3;
+  const auto partial = run_scenario(spec, interrupt);
+  EXPECT_FALSE(partial.complete);
+
+  RunOptions resume;
+  resume.store = &store;
+  resume.threads = 2;
+  const auto resumed = run_scenario(spec, resume);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_measurements, 3u);
+  EXPECT_EQ(resumed.summary, reference.summary);
+}
+
+TEST_F(ScenarioRunnerTest, AdaptiveToggleChangesTheContentHash) {
+  // --adaptive must cache under its own key: same grid, different protocol.
+  ScenarioSpec fixed = adaptive_spec();
+  fixed.confirm.adaptive = false;
+  fixed.confirm.min_repetitions = 0;
+  EXPECT_NE(adaptive_spec().content_hash(), fixed.content_hash());
+}
+
 TEST_F(ScenarioRunnerTest, RegistryCiSmokeRunsEndToEnd) {
   const auto& spec = ScenarioRegistry::builtin().at("ci-smoke");
   ResultStore store{root_};

@@ -108,6 +108,40 @@ TEST(ScenarioSpecJson, EverySemanticFieldChangesTheHash) {
   s = base;
   s.randomize_order = true;
   EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.confirm.adaptive = true;
+  EXPECT_NE(s.content_hash(), h);
+
+  s = base;
+  s.confirm.min_repetitions = 2;
+  EXPECT_NE(s.content_hash(), h);
+}
+
+TEST(ScenarioSpecJson, AdaptiveConfirmRoundTripsAndValidates) {
+  ScenarioSpec spec = small_spec();
+  spec.confirm.adaptive = true;
+  spec.confirm.min_repetitions = 2;
+  const ScenarioSpec back = ScenarioSpec::parse(spec.canonical_json());
+  EXPECT_TRUE(back.confirm.adaptive);
+  EXPECT_EQ(back.confirm.min_repetitions, 2);
+  EXPECT_EQ(back.content_hash(), spec.content_hash());
+
+  // adaptive without enabled is a contradiction, not a silent no-op.
+  ScenarioSpec bad = small_spec();
+  bad.confirm.enabled = false;
+  bad.confirm.adaptive = true;
+  EXPECT_THROW(bad.validate(), JsonError);
+
+  // The floor cannot exceed the cap.
+  bad = small_spec();
+  bad.confirm.adaptive = true;
+  bad.confirm.min_repetitions = bad.repetitions + 1;
+  EXPECT_THROW(bad.validate(), JsonError);
+
+  bad = small_spec();
+  bad.confirm.min_repetitions = -1;
+  EXPECT_THROW(bad.validate(), JsonError);
 }
 
 TEST(ScenarioSpecJson, HashIsStableHex) {

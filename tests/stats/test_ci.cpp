@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -84,6 +85,37 @@ TEST(CiTest, RelativeHalfWidth) {
   ci.estimate = 100.0;
   ci.upper = 110.0;
   EXPECT_NEAR(ci.relative_half_width(), 0.1, 1e-12);
+}
+
+TEST(CiTest, ZeroEstimateRelativeHalfWidthIsInfinite) {
+  // Regression: a degenerate interval around estimate == 0 used to report a
+  // relative half-width of 0.0 — "perfectly converged" — letting a CONFIRM
+  // analysis of an all-zero metric stop after the minimum repetitions. The
+  // degenerate case must now read as never-converged.
+  ConfidenceInterval ci;
+  ci.lower = 0.0;
+  ci.estimate = 0.0;
+  ci.upper = 0.0;
+  ci.valid = true;
+  EXPECT_TRUE(std::isinf(ci.relative_half_width()));
+
+  // Nonzero width around a zero estimate is equally undefined — same answer.
+  ci.lower = -1.0;
+  ci.upper = 1.0;
+  EXPECT_TRUE(std::isinf(ci.relative_half_width()));
+}
+
+TEST(CiTest, QuantileCiSortedMatchesUnsortedPath) {
+  const auto xs = normal_sample(40, 50.0, 4.0, 21);
+  auto s = xs;
+  std::sort(s.begin(), s.end());
+  const auto a = quantile_ci(xs, 0.5);
+  const auto b = quantile_ci_sorted(s, 0.5);
+  ASSERT_TRUE(a.valid);
+  EXPECT_EQ(a.lower, b.lower);
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.upper, b.upper);
+  EXPECT_EQ(a.confidence, b.confidence);
 }
 
 TEST(CiTest, InvalidArgumentsThrow) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "stats/rng.h"
@@ -55,6 +56,28 @@ TEST(HistogramTest, ConstructorValidation) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  // Regression: the zero-bins case used to divide by bins in the
+  // member-initializer list *before* the constructor body could reject it.
+  // Under UBSan / strict FP that division was already undefined behavior by
+  // the time the exception fired; validation must come first.
+  EXPECT_THROW(Histogram(0.0, 0.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, NonFiniteValuesAreCountedNotBinned) {
+  // Regression: `add` used to clamp via a floor+cast of the raw value, and
+  // casting NaN or ±inf to an integer is undefined behavior (caught by
+  // UBSan's float-cast-overflow check). Non-finite values now land in a
+  // dedicated overflow counter instead of a bin.
+  Histogram h{0.0, 10.0, 5};
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.non_finite(), 3u);
+  double sum = 0.0;
+  for (const double d : h.densities()) sum += d;
+  EXPECT_NEAR(sum, 1.0, 1e-12);  // Density still normalizes over binned mass.
 }
 
 TEST(HistogramTest, AddAllMatchesIndividualAdds) {
@@ -84,6 +107,11 @@ TEST(EcdfTest, InverseRoundTrips) {
   EXPECT_DOUBLE_EQ(f.inverse(0.5), 30.0);
   EXPECT_DOUBLE_EQ(f.inverse(1.0), 50.0);
   EXPECT_THROW(f.inverse(1.5), std::invalid_argument);
+  // Regression: NaN used to slip past the old `p < 0 || p > 1` range check
+  // (every comparison with NaN is false) and reach the same UB float→int
+  // cast as Histogram::add.
+  EXPECT_THROW(f.inverse(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
 }
 
 TEST(EcdfTest, ThrowsOnEmpty) {

@@ -1,0 +1,292 @@
+#include "stats/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "stats/ci.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace cloudrepro::stats {
+namespace {
+
+/// Number of representable doubles strictly between a and b (0 when equal).
+/// The refactor's numerical contract is stated in ulps, so the property
+/// suite measures in ulps rather than a relative epsilon.
+std::uint64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  std::uint64_t steps = 0;
+  double x = std::min(a, b);
+  const double hi = std::max(a, b);
+  while (x < hi && steps < 64) {
+    x = std::nextafter(x, std::numeric_limits<double>::infinity());
+    ++steps;
+  }
+  return steps;
+}
+
+std::vector<double> lognormal_sample(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = std::exp(rng.normal(5.0, 0.4));
+  return xs;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingMoments vs the legacy span-based functions.
+
+TEST(StreamingMomentsTest, EmptyAccumulatorMatchesLegacyContract) {
+  const StreamingMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance(), 0.0);
+  EXPECT_EQ(m.stddev(), 0.0);
+  EXPECT_EQ(m.coefficient_of_variation(), 0.0);
+  EXPECT_EQ(m.standard_error(), 0.0);
+  EXPECT_EQ(m.min(), 0.0);
+  EXPECT_EQ(m.max(), 0.0);
+}
+
+TEST(StreamingMomentsTest, SequentialFeedMatchesLegacySeedSwept) {
+  // Seed-swept property: across many samples, the sequential accumulator
+  // reproduces mean/min/max/count exactly (shared naive sum) and variance /
+  // stddev to within 1 ulp of the two-pass legacy implementation.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto xs = lognormal_sample(17 + seed % 120, seed);
+    StreamingMoments m;
+    m.add_all(xs);
+
+    EXPECT_EQ(m.count(), xs.size());
+    EXPECT_EQ(m.mean(), mean(xs)) << "seed " << seed;
+    EXPECT_EQ(m.min(), *std::min_element(xs.begin(), xs.end()));
+    EXPECT_EQ(m.max(), *std::max_element(xs.begin(), xs.end()));
+    EXPECT_LE(ulp_distance(m.variance(), variance(xs)), 1u) << "seed " << seed;
+    EXPECT_LE(ulp_distance(m.stddev(), stddev(xs)), 1u) << "seed " << seed;
+    EXPECT_LE(ulp_distance(m.coefficient_of_variation(),
+                           coefficient_of_variation(xs)),
+              1u)
+        << "seed " << seed;
+  }
+}
+
+TEST(StreamingMomentsTest, SummarizeAdapterIsConsistent) {
+  // descriptive.h's summarize is now a thin adapter over StreamingMoments;
+  // both views of the same sample must agree exactly.
+  const auto xs = lognormal_sample(64, 7);
+  const Summary s = summarize(xs);
+  StreamingMoments m;
+  m.add_all(xs);
+  EXPECT_EQ(s.count, m.count());
+  EXPECT_EQ(s.mean, m.mean());
+  EXPECT_EQ(s.variance, m.variance());
+  EXPECT_EQ(s.stddev, m.stddev());
+  EXPECT_EQ(s.coefficient_of_variation, m.coefficient_of_variation());
+  EXPECT_EQ(s.min, m.min());
+  EXPECT_EQ(s.max, m.max());
+}
+
+TEST(StreamingMomentsTest, CachedValuesInvalidatedByAdd) {
+  StreamingMoments m;
+  m.add(1.0);
+  m.add(3.0);
+  const double v1 = m.variance();  // Populates the cache.
+  EXPECT_DOUBLE_EQ(v1, 2.0);
+  m.add(100.0);  // Must dirty every cached slot.
+  const std::vector<double> xs{1.0, 3.0, 100.0};
+  EXPECT_LE(ulp_distance(m.variance(), variance(xs)), 1u);
+  EXPECT_LE(ulp_distance(m.stddev(), stddev(xs)), 1u);
+}
+
+TEST(StreamingMomentsTest, MergeMatchesConcatenationWithinUlps) {
+  // Chan's update reassociates the sums, so allow a small ulp budget
+  // (empirically 0-2 on this data) rather than exact equality.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto xs = lognormal_sample(101, seed);
+    for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{50}, std::size_t{100},
+                                    std::size_t{101}}) {
+      StreamingMoments a, b, whole;
+      a.add_all(std::span{xs}.first(split));
+      b.add_all(std::span{xs}.subspan(split));
+      whole.add_all(xs);
+      a.merge(b);
+      EXPECT_EQ(a.count(), whole.count());
+      EXPECT_LE(ulp_distance(a.mean(), whole.mean()), 2u)
+          << "seed " << seed << " split " << split;
+      EXPECT_LE(ulp_distance(a.variance(), whole.variance()), 4u)
+          << "seed " << seed << " split " << split;
+      EXPECT_EQ(a.min(), whole.min());
+      EXPECT_EQ(a.max(), whole.max());
+    }
+  }
+}
+
+TEST(StreamingMomentsTest, MergeIsCommutativeAndAssociative) {
+  const auto xs = lognormal_sample(90, 11);
+  StreamingMoments p[3];
+  p[0].add_all(std::span{xs}.first(30));
+  p[1].add_all(std::span{xs}.subspan(30, 30));
+  p[2].add_all(std::span{xs}.subspan(60));
+
+  // (p0 + p1) + p2  vs  p0 + (p1 + p2)  vs  p2 + p1 + p0.
+  StreamingMoments left = p[0];
+  left.merge(p[1]);
+  left.merge(p[2]);
+  StreamingMoments bc = p[1];
+  bc.merge(p[2]);
+  StreamingMoments right = p[0];
+  right.merge(bc);
+  StreamingMoments rev = p[2];
+  rev.merge(p[1]);
+  rev.merge(p[0]);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_LE(ulp_distance(left.mean(), right.mean()), 2u);
+  EXPECT_LE(ulp_distance(left.variance(), right.variance()), 4u);
+  EXPECT_LE(ulp_distance(left.mean(), rev.mean()), 2u);
+  EXPECT_LE(ulp_distance(left.variance(), rev.variance()), 4u);
+  EXPECT_EQ(left.min(), rev.min());
+  EXPECT_EQ(left.max(), rev.max());
+}
+
+TEST(StreamingMomentsTest, MergeWithEmptyIsIdentity) {
+  const auto xs = lognormal_sample(12, 3);
+  StreamingMoments m;
+  m.add_all(xs);
+  const double mean_before = m.mean();
+  const double var_before = m.variance();
+  m.merge(StreamingMoments{});
+  EXPECT_EQ(m.mean(), mean_before);
+  EXPECT_EQ(m.variance(), var_before);
+
+  StreamingMoments empty;
+  StreamingMoments other;
+  other.add_all(xs);
+  empty.merge(other);
+  EXPECT_EQ(empty.count(), xs.size());
+  EXPECT_EQ(empty.mean(), mean_before);
+}
+
+TEST(StreamingTest, WelchFromMomentsAgreesWithDirectComputation) {
+  Rng rng{17};
+  StreamingMoments a, b;
+  for (int i = 0; i < 60; ++i) a.add(rng.normal(100.0, 5.0));
+  for (int i = 0; i < 45; ++i) b.add(rng.normal(104.0, 7.0));
+  const TestResult t = welch_t_test(a, b);
+  EXPECT_TRUE(t.reject(0.05));  // 4-sigma-ish separation on these sizes.
+  const TestResult z = z_test(a, b);
+  EXPECT_TRUE(z.reject(0.05));
+  // Same-distribution null: both tests should usually fail to reject.
+  StreamingMoments c;
+  for (int i = 0; i < 60; ++i) c.add(rng.normal(100.0, 5.0));
+  EXPECT_GT(welch_t_test(a, c).p_value, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// P² streaming quantile.
+
+TEST(P2QuantileTest, ExactForFirstFiveObservations) {
+  P2Quantile p50{0.5};
+  for (const double x : {9.0, 1.0, 5.0, 3.0, 7.0}) p50.add(x);
+  EXPECT_DOUBLE_EQ(p50.value(), 5.0);
+}
+
+TEST(P2QuantileTest, TracksTrueQuantileOnLargeStreams) {
+  Rng rng{23};
+  P2Quantile p50{0.5};
+  P2Quantile p90{0.9};
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = std::exp(rng.normal(5.0, 0.4));
+    xs.push_back(x);
+    p50.add(x);
+    p90.add(x);
+  }
+  const double true_p50 = quantile(xs, 0.5);
+  const double true_p90 = quantile(xs, 0.9);
+  EXPECT_NEAR(p50.value(), true_p50, 0.03 * true_p50);
+  EXPECT_NEAR(p90.value(), true_p90, 0.05 * true_p90);
+}
+
+TEST(P2QuantileTest, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile{0.0}, std::invalid_argument);
+  EXPECT_THROW(P2Quantile{1.0}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// QuantileReservoir: the CONFIRM CI path.
+
+TEST(QuantileReservoirTest, ExactModeIsBitIdenticalToSpanCi) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto xs = lognormal_sample(33, seed);
+    QuantileReservoir r;  // Unbounded: always exact.
+    for (const double x : xs) r.add(x);
+    ASSERT_TRUE(r.exact());
+    EXPECT_EQ(r.quantile(0.5), quantile(xs, 0.5));
+    const ConfidenceInterval a = r.ci(0.5, 0.95);
+    const ConfidenceInterval b = quantile_ci(xs, 0.5, 0.95);
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.lower, b.lower);
+    EXPECT_EQ(a.estimate, b.estimate);
+    EXPECT_EQ(a.upper, b.upper);
+    EXPECT_EQ(a.confidence, b.confidence);
+  }
+}
+
+TEST(QuantileReservoirTest, CappedReservoirStaysNearTrueQuantile) {
+  const auto xs = lognormal_sample(4000, 5);
+  QuantileReservoir r{256};
+  for (const double x : xs) r.add(x);
+  EXPECT_FALSE(r.exact());
+  EXPECT_EQ(r.count(), xs.size());
+  EXPECT_EQ(r.retained(), 256u);
+  const double truth = quantile(xs, 0.5);
+  EXPECT_NEAR(r.quantile(0.5), truth, 0.10 * truth);
+}
+
+TEST(QuantileReservoirTest, CappedSamplingIsDeterministic) {
+  const auto xs = lognormal_sample(2000, 9);
+  QuantileReservoir a{128, 42};
+  QuantileReservoir b{128, 42};
+  for (const double x : xs) {
+    a.add(x);
+    b.add(x);
+  }
+  ASSERT_EQ(a.retained(), b.retained());
+  const auto sa = a.sorted_values();
+  const auto sb = b.sorted_values();
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+}
+
+TEST(QuantileReservoirTest, MergePreservesExactnessWhenUnionFits) {
+  const auto xs = lognormal_sample(60, 13);
+  QuantileReservoir a, b, whole;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ((i % 2 == 0) ? a : b).add(xs[i]);
+    whole.add(xs[i]);
+  }
+  a.merge(b);
+  ASSERT_TRUE(a.exact());
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.quantile(0.5), whole.quantile(0.5));
+  const ConfidenceInterval ca = a.ci(0.5, 0.95);
+  const ConfidenceInterval cw = whole.ci(0.5, 0.95);
+  EXPECT_EQ(ca.lower, cw.lower);
+  EXPECT_EQ(ca.upper, cw.upper);
+}
+
+TEST(QuantileReservoirTest, ThrowsOnEmptyQuantile) {
+  const QuantileReservoir r;
+  EXPECT_THROW(r.quantile(0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudrepro::stats
