@@ -73,7 +73,10 @@ int usage(std::ostream& os, int code) {
         "<scenario> is a catalog name, a path ending in .json, or - (stdin).\n"
         "\n"
         "options (run / suite / cache):\n"
-        "  --threads N              campaign workers; 0 = all cores (default 0)\n"
+        "  --threads N              campaign workers; 0 = all cores (default 0).\n"
+        "                           For suite, the N workers are ONE shared\n"
+        "                           work-stealing budget across every member\n"
+        "                           scenario (output bytes unchanged)\n"
         "  --seed S                 master seed (default: the scenario's)\n"
         "  --cache-dir PATH         result cache root (default: $CLOUDREPRO_CACHE_DIR\n"
         "                           or .cloudrepro-cache)\n"
@@ -386,11 +389,19 @@ int cmd_suite(const Cli& cli) {
   std::optional<ResultStore> store;
   if (!cli.no_cache) store.emplace(make_store(cli));
 
-  // Summaries stream to the sink as each scenario completes — a suite
-  // interrupted at member k still has k complete summary lines on disk /
-  // in the pipe, and a long suite shows progress instead of buffering
-  // everything for one final write. The bytes are identical to the old
-  // buffered emit: one canonical summary per line.
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(members.size());
+  for (const auto& member : members) {
+    specs.push_back(apply_overrides(registry.at(member), cli));
+  }
+
+  // Summaries stream to the sink as each member's prefix completes — a
+  // suite interrupted at member k still has k complete summary lines on
+  // disk / in the pipe, and a long suite shows progress instead of
+  // buffering everything for one final write. With --threads N the members
+  // share one work-stealing pool (one thread budget for the whole suite),
+  // but emission stays in member order, so the bytes are identical to the
+  // serial reference: one canonical summary per line.
   std::ofstream out_file;
   if (!cli.out_path.empty()) {
     out_file.open(cli.out_path, std::ios::binary | std::ios::trunc);
@@ -400,17 +411,38 @@ int cmd_suite(const Cli& cli) {
   }
   std::ostream& sink = cli.out_path.empty() ? std::cout : out_file;
 
+  RunOptions options;
+  options.threads = cli.threads;
+  options.seed = cli.seed;
+  options.store = store ? &*store : nullptr;
+  options.max_measurements = cli.max_measurements;
+  options.need_values = !cli.csv_path.empty();
+  options.cancel = &g_cancel;
+
   int rc = 0;
-  for (const auto& member : members) {
-    const int one = run_one(apply_overrides(registry.at(member), cli), cli,
-                            store ? &*store : nullptr, &sink);
-    rc = std::max(rc, one);
-    sink << std::flush;
-    if (g_cancel.load(std::memory_order_relaxed)) {
-      std::cerr << "cloudrepro: suite interrupted; rerun to resume from the "
-                   "cache\n";
-      break;
+  const auto report = [&](std::size_t i,
+                          const cloudrepro::scenario::ScenarioRunResult& result) {
+    const ScenarioSpec& spec = specs[i];
+    std::cerr << "cloudrepro: " << spec.name << " hash=" << spec.content_hash()
+              << " seed=" << cli.seed.value_or(spec.seed) << "\n";
+    std::cerr << "cloudrepro: cache " << ResultStore::to_string(result.hit_state)
+              << (store ? "" : " (disabled)") << ", executed "
+              << result.executed_measurements << ", resumed "
+              << result.resumed_measurements << " of "
+              << result.total_measurements << " measurements\n";
+    if (!cli.csv_path.empty()) {
+      std::ofstream csv{cli.csv_path, std::ios::binary | std::ios::trunc};
+      if (!csv) throw std::runtime_error{"cannot write \"" + cli.csv_path + "\""};
+      result.campaign.write_csv(csv);
     }
+    sink << result.summary << "\n" << std::flush;
+    if (!result.complete) rc = 3;
+  };
+
+  cloudrepro::scenario::run_suite(specs, options, report);
+  if (g_cancel.load(std::memory_order_relaxed)) {
+    std::cerr << "cloudrepro: suite interrupted; rerun to resume from the "
+                 "cache\n";
   }
   return rc;
 }

@@ -45,17 +45,38 @@ cloudrepro_bench(bench_ablation_sensitivity)
 cloudrepro_bench(bench_ablation_fault_mitigation)
 
 cloudrepro_bench(bench_perf_micro)
-target_link_libraries(bench_perf_micro PRIVATE benchmark::benchmark)
+# BM_SuiteWorkStealing drives scenario::run_suite, so the micro binary links
+# the scenario layer on top of core.
+target_link_libraries(bench_perf_micro PRIVATE cloudrepro_scenario benchmark::benchmark)
 
 # Perf trajectory: `cmake --build build --target bench-smoke` runs the
-# campaign/fluid hot-path microbenches and records machine-readable results
-# in ${CMAKE_BINARY_DIR}/BENCH_campaign.json — commit-over-commit numbers
-# come from diffing these files, not from eyeballing console output.
-add_custom_target(bench-smoke
-  COMMAND $<TARGET_FILE:bench_perf_micro>
-          "--benchmark_filter=BM_CampaignParallel|BM_FluidAggregateRate|BM_FluidAllToAll|BM_WeekLongTokenBucketProbe"
-          --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_campaign.json
-          --benchmark_out_format=json
-  DEPENDS bench_perf_micro
-  COMMENT "Recording campaign/fluid perf microbenches to BENCH_campaign.json"
-  VERBATIM)
+# campaign/fluid/lock-free hot-path microbenches and records machine-readable
+# results in ${CMAKE_BINARY_DIR}/BENCH_campaign.json — commit-over-commit
+# numbers come from diffing these files, not from eyeballing console output.
+#
+# Recording is Release-only: a debug-build JSON poisons the committed
+# trajectory (google-benchmark stamps library_build_type, but the *repo*
+# numbers would still be garbage). Override for local experiments with
+# -DCLOUDREPRO_BENCH_ALLOW_NONRELEASE=ON.
+set(CLOUDREPRO_BENCH_FILTER
+    "BM_CampaignParallel|BM_FluidAggregateRate|BM_FluidAllToAll|BM_WeekLongTokenBucketProbe|BM_EventQueue|BM_JournalHandoff|BM_SuiteWorkStealing")
+if(CMAKE_BUILD_TYPE STREQUAL "Release" OR CLOUDREPRO_BENCH_ALLOW_NONRELEASE)
+  add_custom_target(bench-smoke
+    COMMAND $<TARGET_FILE:bench_perf_micro>
+            "--benchmark_filter=${CLOUDREPRO_BENCH_FILTER}"
+            # library_build_type reflects the *system* libbenchmark package;
+            # repo_build_type is the build the numbers actually came from.
+            "--benchmark_context=repo_build_type=${CMAKE_BUILD_TYPE}"
+            --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_campaign.json
+            --benchmark_out_format=json
+    DEPENDS bench_perf_micro
+    COMMENT "Recording campaign/fluid perf microbenches to BENCH_campaign.json"
+    VERBATIM)
+else()
+  add_custom_target(bench-smoke
+    COMMAND ${CMAKE_COMMAND} -E echo
+            "bench-smoke: refusing to record BENCH_campaign.json from a '${CMAKE_BUILD_TYPE}' build -- reconfigure with -DCMAKE_BUILD_TYPE=Release, or pass -DCLOUDREPRO_BENCH_ALLOW_NONRELEASE=ON to override."
+    COMMAND ${CMAKE_COMMAND} -E false
+    COMMENT "bench-smoke requires a Release build"
+    VERBATIM)
+endif()

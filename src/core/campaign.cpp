@@ -1,5 +1,6 @@
 #include "core/campaign.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -10,7 +11,9 @@
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/journal.h"
 #include "core/report.h"
@@ -18,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "runtime/spsc_ring.h"
 #include "runtime/thread_pool.h"
 
 namespace cloudrepro::core {
@@ -42,6 +46,98 @@ std::uint64_t repetition_seed(std::uint64_t master, std::size_t cell, int rep) n
 bool cancelled(const CampaignOptions& options) noexcept {
   return options.cancel && options.cancel->load(std::memory_order_relaxed);
 }
+
+/// Handoff from the measurement workers to the single journal-writer
+/// (coordinating) thread: one SPSC ring per pool worker, keyed by
+/// `ThreadPool::current_worker_index()`, so each ring has exactly one
+/// producer (that worker) and one consumer (the writer). The producer fast
+/// path is lock-free and allocation-free; a full ring yields until the
+/// writer drains — bounded, because the writer never sleeps while
+/// `pending() > 0`. The `campaign.journal_queue_depth` histogram samples
+/// this structure's combined occupancy.
+template <typename T>
+class JournalHandoff {
+ public:
+  /// `mu`/`cv` are the campaign driver's completion channel; the handoff
+  /// borrows them for its sleep/wake protocol so one wait covers both
+  /// "a record arrived" and "a task finished".
+  JournalHandoff(int workers, std::mutex& mu, std::condition_variable& cv)
+      : mu_{mu}, cv_{cv} {
+    rings_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      rings_.push_back(std::make_unique<runtime::SpscRing<T>>(kRingCapacity));
+    }
+  }
+
+  /// Producer side. `worker` is the producer's index within the pool; -1
+  /// (not a pool worker) falls back to the mutex-guarded overflow queue.
+  void push(int worker, T value) {
+    // Count before the ring store: the consumer's decrement can then never
+    // outrun the increment (pop implies the matching add already happened),
+    // so `pending_` cannot underflow.
+    pending_.fetch_add(1, std::memory_order_seq_cst);
+    if (worker >= 0 && static_cast<std::size_t>(worker) < rings_.size()) {
+      auto& ring = *rings_[static_cast<std::size_t>(worker)];
+      while (!ring.try_push(value)) std::this_thread::yield();
+    } else {
+      std::lock_guard<std::mutex> lock{mu_};
+      overflow_.push_back(std::move(value));
+    }
+    // Dekker pair with the writer's sleep path: this thread stored
+    // `pending_` (seq_cst) before this load; the writer stores
+    // `consumer_waiting_` (seq_cst) before re-checking `pending_`.
+    // Whichever ran second sees the other, so a handed-off record is never
+    // stranded with the writer asleep. Lock-then-notify so a writer between
+    // its predicate check and its wait cannot miss the signal.
+    if (consumer_waiting_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock{mu_};
+      cv_.notify_one();
+    }
+  }
+
+  /// Consumer side: appends everything currently handed off to `out` and
+  /// returns how many elements were taken.
+  std::size_t drain(std::vector<T>& out) {
+    const std::size_t before = out.size();
+    for (auto& ring : rings_) {
+      T value;
+      while (ring->try_pop(value)) out.push_back(std::move(value));
+    }
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      while (!overflow_.empty()) {
+        out.push_back(std::move(overflow_.front()));
+        overflow_.pop_front();
+      }
+    }
+    const std::size_t taken = out.size() - before;
+    if (taken > 0) pending_.fetch_sub(taken, std::memory_order_seq_cst);
+    return taken;
+  }
+
+  /// Records handed off but not yet drained (ring + overflow occupancy,
+  /// counting a push already announced but still being stored).
+  std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_seq_cst);
+  }
+
+  void set_waiting(bool waiting) noexcept {
+    consumer_waiting_.store(waiting, std::memory_order_seq_cst);
+  }
+
+ private:
+  /// Per-worker depth. Journal records are small; 256 in flight per worker
+  /// means the writer is the bottleneck and backpressure is the right
+  /// answer anyway.
+  static constexpr std::size_t kRingCapacity = 256;
+
+  std::vector<std::unique_ptr<runtime::SpscRing<T>>> rings_;
+  std::deque<T> overflow_;  ///< Non-worker producers; guarded by mu_.
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> consumer_waiting_{false};
+  std::mutex& mu_;
+  std::condition_variable& cv_;
+};
 
 }  // namespace
 
@@ -183,8 +279,13 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
     if (replay.valid_bytes == 0) journal->append(header + "\n");
   }
 
+  // An external pool (cloudrepro suite's shared thread budget) overrides
+  // the `threads` knob; with one the parallel driver runs even at a single
+  // worker, since the caller owns the scheduling decision.
   const int worker_threads =
-      runtime::ThreadPool::resolve_thread_count(options.threads);
+      options.pool ? options.pool->thread_count()
+                   : runtime::ThreadPool::resolve_thread_count(options.threads);
+  const bool parallel_driver = options.pool != nullptr || worker_threads > 1;
   bool budget_exhausted = false;
   if (options.adaptive.enabled) {
     // Adaptive CONFIRM stopping. Each cell's repetitions must run in order
@@ -269,7 +370,7 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
       return resumed;
     };
 
-    if (worker_threads <= 1) {
+    if (!parallel_driver) {
       for (const auto idx : result.execution_order) {
         result.resumed_measurements += run_cell(idx, [&](std::string line) {
           if (journal) journal->append(line + "\n");
@@ -277,64 +378,95 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
         if (interrupted.load(std::memory_order_relaxed)) break;
       }
     } else {
+      // Cell tasks hand finished journal lines to this (coordinating)
+      // thread through per-worker SPSC rings; this thread is the single
+      // journal writer. A worker's terminal act is finished++/notify *under
+      // the mutex*, so once the writer observes finished == total while
+      // holding it, no worker can still touch this frame — which is what
+      // lets an external (suite-shared) pool outlive the campaign without a
+      // wait_idle() that would block on other campaigns' tasks.
       std::mutex mu;
-      std::condition_variable completion_cv;
-      std::deque<std::string> completed;  // Journal lines, completion order.
-      std::size_t finished = 0;           // Cell tasks done.
-      std::size_t resumed_total = 0;
-      std::exception_ptr error;
+      std::condition_variable cv;
+      std::atomic<std::size_t> finished{0};  // Cell tasks done.
+      std::size_t resumed_total = 0;         // Guarded by mu.
+      std::exception_ptr error;              // Guarded by mu.
+      JournalHandoff<std::string> handoff{worker_threads, mu, cv};
 
-      runtime::ThreadPool pool{worker_threads};
+      std::unique_ptr<runtime::ThreadPool> owned_pool;
+      runtime::ThreadPool* pool = options.pool;
+      if (!pool) {
+        owned_pool = std::make_unique<runtime::ThreadPool>(worker_threads);
+        pool = owned_pool.get();
+      }
+
+      const std::size_t total = result.execution_order.size();
       for (const auto idx : result.execution_order) {
-        pool.submit([&, idx] {
+        pool->submit([&, idx, pool] {
           try {
-            const std::size_t resumed = run_cell(idx, [&](std::string line) {
-              {
-                std::lock_guard<std::mutex> lock{mu};
-                completed.push_back(std::move(line));
-              }
-              completion_cv.notify_one();
-            });
+            const std::size_t resumed =
+                run_cell(idx, [&, pool](std::string line) {
+                  handoff.push(pool->current_worker_index(), std::move(line));
+                });
             std::lock_guard<std::mutex> lock{mu};
             resumed_total += resumed;
-            ++finished;
+            finished.fetch_add(1, std::memory_order_seq_cst);
+            cv.notify_one();
           } catch (...) {
             std::lock_guard<std::mutex> lock{mu};
             if (!error) error = std::current_exception();
-            ++finished;
+            finished.fetch_add(1, std::memory_order_seq_cst);
+            cv.notify_one();
           }
-          completion_cv.notify_one();
         });
       }
 
-      std::unique_lock<std::mutex> lock{mu};
+      std::exception_ptr writer_error;
+      std::vector<std::string> drained;
       for (;;) {
-        completion_cv.wait(lock, [&] {
-          return !completed.empty() || finished == result.execution_order.size();
-        });
-        CLOUDREPRO_OBS_STMT(
-            if (h_queue_depth) {
-              h_queue_depth->observe(static_cast<double>(completed.size()));
-            })
-        while (!completed.empty()) {
-          const std::string line = std::move(completed.front());
-          completed.pop_front();
-          if (journal) {
-            lock.unlock();
-            journal->append(line + "\n");
-            lock.lock();
+        drained.clear();
+        if (handoff.drain(drained) > 0) {
+          CLOUDREPRO_OBS_STMT(
+              if (h_queue_depth) {
+                h_queue_depth->observe(
+                    static_cast<double>(handoff.pending() + drained.size()));
+              })
+          for (auto& line : drained) {
+            if (journal && !writer_error) {
+              // A failed append must not abandon in-flight tasks (they
+              // reference this frame); keep consuming and surface the
+              // error after every task lands.
+              try {
+                journal->append(line + "\n");
+              } catch (...) {
+                writer_error = std::current_exception();
+              }
+            }
           }
+          continue;
         }
-        if (finished == result.execution_order.size()) break;
+        std::unique_lock<std::mutex> lock{mu};
+        if (finished.load(std::memory_order_seq_cst) == total &&
+            handoff.pending() == 0) {
+          break;
+        }
+        handoff.set_waiting(true);
+        cv.wait(lock, [&] {
+          return handoff.pending() > 0 ||
+                 finished.load(std::memory_order_seq_cst) == total;
+        });
+        handoff.set_waiting(false);
       }
-      result.resumed_measurements += resumed_total;
-      const std::exception_ptr first_error = error;
-      lock.unlock();
-      pool.wait_idle();
+      std::exception_ptr first_error;
+      {
+        std::lock_guard<std::mutex> lock{mu};
+        result.resumed_measurements += resumed_total;
+        first_error = error;
+      }
       if (first_error) std::rethrow_exception(first_error);
+      if (writer_error) std::rethrow_exception(writer_error);
     }
     budget_exhausted = interrupted.load(std::memory_order_relaxed);
-  } else if (worker_threads <= 1) {
+  } else if (!parallel_driver) {
     // Serial reference path: executes pending measurements in execution
     // order, interleaving journal replays in place.
     int executed = 0;
@@ -399,84 +531,109 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
     std::vector<double> task_values(pending.size());
     std::vector<char> task_ran(pending.size(), 0);
     if (!pending.empty()) {
+      // Workers hand completed task indices to this (coordinating) thread
+      // through per-worker SPSC rings; this thread is the single journal
+      // writer, appending records in drain order. `task_values[t]` is
+      // written before the ring push and read after the pop, so the ring's
+      // release/acquire pair publishes it — no lock on the value path. As
+      // in the adaptive driver, a worker's terminal act is finished++/
+      // notify under the mutex, so observing finished == total while
+      // holding it proves no worker still references this frame (external
+      // pools are never wait_idle()d).
       std::mutex mu;
-      std::condition_variable completion_cv;
-      std::deque<std::size_t> completed;  // Task indices, completion order.
-      std::size_t finished = 0;           // Tasks done, success or failure.
-      std::exception_ptr error;
+      std::condition_variable cv;
+      std::atomic<std::size_t> finished{0};  // Tasks done, success or failure.
+      std::exception_ptr error;              // Guarded by mu.
+      JournalHandoff<std::size_t> handoff{worker_threads, mu, cv};
 
-      runtime::ThreadPool pool{worker_threads};
+      std::unique_ptr<runtime::ThreadPool> owned_pool;
+      runtime::ThreadPool* pool = options.pool;
+      if (!pool) {
+        owned_pool = std::make_unique<runtime::ThreadPool>(worker_threads);
+        pool = owned_pool.get();
+      }
+
+      const std::size_t total = pending.size();
       for (std::size_t t = 0; t < pending.size(); ++t) {
-        pool.submit([&, t] {
-          if (cancelled(options)) {
-            // Cooperative cancellation: queued tasks drain without running.
-            // In-flight measurements finish and journal normally; resume
-            // picks up whatever subset completed.
-            {
+        pool->submit([&, t, pool] {
+          // Cooperative cancellation: once the flag is set, queued tasks
+          // drain without running. In-flight measurements finish and
+          // journal normally; resume picks up whatever subset completed.
+          if (!cancelled(options)) {
+            try {
+              const auto [idx, r] = pending[t];
+              CLOUDREPRO_OBS_STMT(const double m_start = wall_s();)
+              cells[idx].fresh();
+              stats::Rng rep_rng{repetition_seed(seed, idx, r)};
+              const double value = cells[idx].run_once(rep_rng);
+              CLOUDREPRO_OBS_STMT(
+                  const double m_dur = wall_s() - m_start;
+                  if (h_cell_wall) h_cell_wall->observe(m_dur);
+                  if (c_executed) c_executed->add();
+                  if (tracer) {
+                    tracer->complete(m_start, m_dur, "campaign", "measurement",
+                                     {"cell", static_cast<double>(idx)},
+                                     {"rep", static_cast<double>(r)},
+                                     static_cast<std::uint32_t>(idx), 0);
+                  })
+              task_values[t] = value;
+              task_ran[t] = 1;
+              handoff.push(pool->current_worker_index(), t);
+            } catch (...) {
               std::lock_guard<std::mutex> lock{mu};
-              ++finished;
+              if (!error) error = std::current_exception();
             }
-            completion_cv.notify_one();
-            return;
           }
-          try {
-            const auto [idx, r] = pending[t];
-            CLOUDREPRO_OBS_STMT(const double m_start = wall_s();)
-            cells[idx].fresh();
-            stats::Rng rep_rng{repetition_seed(seed, idx, r)};
-            const double value = cells[idx].run_once(rep_rng);
-            CLOUDREPRO_OBS_STMT(
-                const double m_dur = wall_s() - m_start;
-                if (h_cell_wall) h_cell_wall->observe(m_dur);
-                if (c_executed) c_executed->add();
-                if (tracer) {
-                  tracer->complete(m_start, m_dur, "campaign", "measurement",
-                                   {"cell", static_cast<double>(idx)},
-                                   {"rep", static_cast<double>(r)},
-                                   static_cast<std::uint32_t>(idx), 0);
-                })
-            std::lock_guard<std::mutex> lock{mu};
-            task_values[t] = value;
-            task_ran[t] = 1;
-            completed.push_back(t);
-            ++finished;
-          } catch (...) {
-            std::lock_guard<std::mutex> lock{mu};
-            if (!error) error = std::current_exception();
-            ++finished;
-          }
-          completion_cv.notify_one();
+          std::lock_guard<std::mutex> lock{mu};
+          finished.fetch_add(1, std::memory_order_seq_cst);
+          cv.notify_one();
         });
       }
 
-      std::unique_lock<std::mutex> lock{mu};
+      std::exception_ptr writer_error;
+      std::vector<std::size_t> drained;
       for (;;) {
-        completion_cv.wait(lock, [&] {
-          return !completed.empty() || finished == pending.size();
-        });
-        // Queue depth at wake-up: how far the workers have run ahead of the
-        // single journal writer.
-        CLOUDREPRO_OBS_STMT(
-            if (h_queue_depth) {
-              h_queue_depth->observe(static_cast<double>(completed.size()));
-            })
-        while (!completed.empty()) {
-          const std::size_t t = completed.front();
-          completed.pop_front();
-          if (journal) {
-            const PendingTask task = pending[t];
-            const double value = task_values[t];
-            lock.unlock();
-            journal->append(journal_line({task.cell, task.rep, value}) + "\n");
-            lock.lock();
+        drained.clear();
+        if (handoff.drain(drained) > 0) {
+          // Ring occupancy at this drain: how far the workers have run
+          // ahead of the single journal writer.
+          CLOUDREPRO_OBS_STMT(
+              if (h_queue_depth) {
+                h_queue_depth->observe(
+                    static_cast<double>(handoff.pending() + drained.size()));
+              })
+          for (const std::size_t t : drained) {
+            if (journal && !writer_error) {
+              const PendingTask task = pending[t];
+              try {
+                journal->append(
+                    journal_line({task.cell, task.rep, task_values[t]}) + "\n");
+              } catch (...) {
+                writer_error = std::current_exception();
+              }
+            }
           }
+          continue;
         }
-        if (finished == pending.size()) break;
+        std::unique_lock<std::mutex> lock{mu};
+        if (finished.load(std::memory_order_seq_cst) == total &&
+            handoff.pending() == 0) {
+          break;
+        }
+        handoff.set_waiting(true);
+        cv.wait(lock, [&] {
+          return handoff.pending() > 0 ||
+                 finished.load(std::memory_order_seq_cst) == total;
+        });
+        handoff.set_waiting(false);
       }
-      const std::exception_ptr first_error = error;
-      lock.unlock();
-      pool.wait_idle();
+      std::exception_ptr first_error;
+      {
+        std::lock_guard<std::mutex> lock{mu};
+        first_error = error;
+      }
       if (first_error) std::rethrow_exception(first_error);
+      if (writer_error) std::rethrow_exception(writer_error);
     }
 
     // Assemble in grid order from journal replays and freshly executed

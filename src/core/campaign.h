@@ -21,6 +21,10 @@ class MetricsRegistry;
 class Tracer;
 }  // namespace cloudrepro::obs
 
+namespace cloudrepro::runtime {
+class ThreadPool;
+}  // namespace cloudrepro::runtime
+
 namespace cloudrepro::core {
 
 /// Experiment campaigns: a grid of configurations, each run as a full
@@ -85,6 +89,17 @@ struct CampaignOptions {
   /// the callables instead of capturing a shared cluster/engine.
   int threads = 1;
 
+  /// External worker pool: when set, (cell, repetition) tasks are submitted
+  /// to this pool instead of a campaign-private one and `threads` is
+  /// ignored. This is how `cloudrepro suite` runs several campaigns against
+  /// one shared thread budget — the pool's work-stealing deques heal the
+  /// imbalance when one member's cells finish early. The campaign never
+  /// calls `wait_idle` on an external pool (other campaigns' tasks may be in
+  /// flight); it tracks its own completion counts. Like `threads`, the pool
+  /// is not part of the journal header: scheduling never changes what a
+  /// campaign computes.
+  runtime::ThreadPool* pool = nullptr;
+
   /// Adaptive CONFIRM stopping: when enabled, each cell runs until its
   /// quantile-CI relative half-width meets `adaptive.error_bound` (evaluated
   /// by a `ConfirmMonitor` after every repetition, in repetition order) or
@@ -128,9 +143,12 @@ struct CampaignOptions {
   /// External sinks. When null and the corresponding path above is set, the
   /// campaign creates (and owns) its own. Campaign instrumentation records
   /// per-measurement wall-time spans (lane = cell index, track 0), a
-  /// `campaign.cell_wall_s` histogram, the journal-writer queue depth, and
-  /// `campaign.measurements_executed` / `campaign.measurements_resumed`
-  /// counters. Ignored when CLOUDREPRO_OBS compiles instrumentation out.
+  /// `campaign.cell_wall_s` histogram, the journal-writer backlog as
+  /// `campaign.journal_queue_depth` (the combined occupancy of the
+  /// per-worker SPSC handoff rings, sampled each time the writer wakes —
+  /// the key predates the ring handoff and is kept for dashboard
+  /// continuity), and `campaign.measurements_executed` /
+  /// `campaign.measurements_resumed` counters. Ignored when CLOUDREPRO_OBS compiles instrumentation out.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 };

@@ -1,6 +1,5 @@
 #include "faults/injector.h"
 
-#include <algorithm>
 #include <cstdint>
 
 #include "obs/obs.h"
@@ -9,19 +8,15 @@
 namespace cloudrepro::faults {
 
 FaultInjector::FaultInjector(const FaultPlan& plan) {
-  heap_.reserve(plan.size());
   for (const auto& event : plan.events()) schedule(event);
 }
 
 double FaultInjector::next_time() const noexcept {
-  if (heap_.empty()) return std::numeric_limits<double>::infinity();
-  return heap_.front().event.at_s;
+  return queue_.next_time();
 }
 
 FaultEvent FaultInjector::pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  const FaultEvent event = heap_.back().event;
-  heap_.pop_back();
+  const FaultEvent event = queue_.pop();
   CLOUDREPRO_OBS_STMT(
       if (tracer_) {
         tracer_->instant(event.at_s, "faults", to_string(event.kind),
@@ -33,8 +28,7 @@ FaultEvent FaultInjector::pop() {
 }
 
 void FaultInjector::schedule(FaultEvent event) {
-  heap_.push_back(Entry{event, next_seq_++});
-  std::push_heap(heap_.begin(), heap_.end(), later);
+  queue_.push(event.at_s, event);
 }
 
 }  // namespace cloudrepro::faults

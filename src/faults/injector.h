@@ -2,9 +2,9 @@
 
 #include <cstddef>
 #include <limits>
-#include <vector>
 
 #include "faults/fault_plan.h"
+#include "runtime/calendar_queue.h"
 
 namespace cloudrepro::obs {
 class Tracer;
@@ -18,8 +18,10 @@ namespace cloudrepro::faults {
 ///
 /// The injector is the one place that decides *when* the next fault fires;
 /// the consumer (the engine) decides *what* it does to the cluster. Events
-/// due at the same instant pop in scheduling order, so replay is
-/// deterministic.
+/// due at the same instant pop in scheduling order — the calendar queue
+/// tie-breaks on its internal push sequence — so replay is deterministic:
+/// the pop order is a pure function of the schedule order, exactly as with
+/// the explicit (at_s, seq) heap this replaced.
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -28,8 +30,8 @@ class FaultInjector {
   /// afterwards.
   explicit FaultInjector(const FaultPlan& plan);
 
-  bool empty() const noexcept { return heap_.empty(); }
-  std::size_t pending() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
 
   /// Time of the earliest pending event; +infinity when none remain.
   double next_time() const noexcept;
@@ -49,17 +51,9 @@ class FaultInjector {
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
  private:
-  struct Entry {
-    FaultEvent event;
-    std::size_t seq = 0;  ///< Tie-breaker: earlier scheduling pops first.
-  };
-  static bool later(const Entry& a, const Entry& b) noexcept {
-    if (a.event.at_s != b.event.at_s) return a.event.at_s > b.event.at_s;
-    return a.seq > b.seq;
-  }
-
-  std::vector<Entry> heap_;  ///< Min-heap via `later` as std::push_heap comparator.
-  std::size_t next_seq_ = 0;
+  /// Fault plans tick on the hours-scale horizon; seconds-wide buckets are
+  /// a reasonable seed and the calendar re-tunes itself on growth.
+  runtime::CalendarQueue<FaultEvent> queue_{60.0};
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -1,0 +1,277 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace cloudrepro::runtime {
+
+/// Calendar (bucketed timer-wheel) event queue with deterministic FIFO
+/// tie-breaking.
+///
+/// The simulators' hot loops are push/pop storms over timestamps with a
+/// strong cadence: token-bucket replenish ticks, per-segment service times,
+/// fault-plan events. A binary heap pays O(log n) per operation and, worse
+/// for reproducibility, pops *equal* timestamps in heap order. This queue
+/// pays amortized O(1) per operation when event spacing matches the bucket
+/// width (the calendar adapts its width on resize) and orders equal
+/// timestamps by push sequence, so the pop sequence is a pure function of
+/// the push sequence — the property the bit-identity tests pin.
+///
+/// Structure: `bucket_count` buckets each `width` seconds wide, cycling
+/// over a "year" of `bucket_count * width` seconds. An event lands in
+/// bucket `floor(time / width) % bucket_count`; the scan visits buckets in
+/// calendar order and only accepts events of the bucket's current year, so
+/// far-future events wait in place without being re-sorted. Each entry
+/// caches its home *virtual* bucket (`floor(time / width)` as an integer),
+/// making year membership an exact integer comparison — no float-boundary
+/// ambiguity between push and pop. When a whole year is empty the scan
+/// falls back to a direct minimum search and jumps the calendar forward
+/// (the classic skip-ahead), so sparse tails cost O(n) once instead of
+/// O(empty buckets) each pop.
+///
+/// Not thread-safe: one queue per simulation, like the heaps it replaces.
+template <typename T>
+class CalendarQueue {
+ public:
+  /// `initial_width` seeds the bucket width before the first adaptive
+  /// resize; pass the expected event spacing when known. The width is
+  /// re-derived from the live event span on every resize, so a poor guess
+  /// only costs until the queue first holds ~2x `kMinBuckets` events.
+  explicit CalendarQueue(double initial_width = 1.0)
+      : width_(initial_width > 0.0 ? initial_width : 1.0) {
+    buckets_.resize(kMinBuckets);
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Timestamp of the earliest event; +infinity when empty.
+  double next_time() const {
+    if (size_ == 0) return std::numeric_limits<double>::infinity();
+    find_min();
+    return min_time_;
+  }
+
+  void push(double time, T value) {
+    maybe_grow();
+    const std::int64_t vb = virtual_bucket(time);
+    buckets_[physical(vb)].push_back(Entry{time, next_seq_++, vb, std::move(value)});
+    ++size_;
+    // Events may be scheduled before the current cursor (the injector's
+    // synthetic follow-ups land at "now", which the last pop may equal);
+    // pull the cursor back so the scan cannot skip them.
+    if (vb < cursor_) cursor_ = vb;
+    min_cached_ = false;
+  }
+
+  /// Removes and returns the earliest event (FIFO among equal timestamps).
+  /// Undefined when empty — guard with `empty()` / `next_time()`.
+  T pop() {
+    find_min();
+    auto& bucket = buckets_[min_bucket_];
+    T out = std::move(bucket[min_pos_].value);
+    // Swap-remove: intra-bucket order is irrelevant because the scan
+    // compares full (time, seq) keys.
+    if (min_pos_ + 1 != bucket.size()) bucket[min_pos_] = std::move(bucket.back());
+    bucket.pop_back();
+    --size_;
+    cursor_ = min_vb_;
+    min_cached_ = false;
+    if (++pops_since_retune_ >= kRetuneWindow) maybe_retune();
+    return out;
+  }
+
+ private:
+  struct Entry {
+    double time = 0.0;
+    std::uint64_t seq = 0;   ///< Global push counter: FIFO tie-break.
+    std::int64_t vb = 0;     ///< Home virtual bucket under the current width.
+    T value{};
+  };
+
+  static constexpr std::size_t kMinBuckets = 8;
+
+  // Scan-cost-triggered width retune (see maybe_retune): every
+  // kRetuneWindow pops, rebuild if the scan examined more than
+  // kScanThreshold entries per pop on average AND re-deriving the width
+  // from the live span would actually change it.
+  static constexpr std::size_t kRetuneWindow = 64;
+  static constexpr std::size_t kScanThreshold = 8;
+
+  static bool earlier(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  std::int64_t virtual_bucket(double time) const noexcept {
+    const double q = std::floor(time / width_);
+    // Clamp instead of overflowing the cast: +/-inf and huge timestamps
+    // become "last representable year", which the direct-search fallback
+    // handles exactly like any other far-future event.
+    constexpr double kLimit = 4.6e18;  // < 2^62, exactly representable.
+    if (!(q > -kLimit)) return static_cast<std::int64_t>(-kLimit);
+    if (!(q < kLimit)) return static_cast<std::int64_t>(kLimit);
+    return static_cast<std::int64_t>(q);
+  }
+
+  std::size_t physical(std::int64_t vb) const noexcept {
+    const auto mask = static_cast<std::uint64_t>(buckets_.size()) - 1;
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(vb) & mask);
+  }
+
+  /// Locates the minimum (time, seq) entry and caches its position.
+  /// Calendar scan first: starting at the cursor's virtual bucket, each
+  /// bucket is scanned for entries of that exact year; the first bucket
+  /// with a candidate holds the global minimum (later windows start later).
+  void find_min() const {
+    if (min_cached_) return;
+    std::int64_t vb = cursor_;
+    for (std::size_t step = 0; step < buckets_.size(); ++step, ++vb) {
+      const auto& bucket = buckets_[physical(vb)];
+      const Entry* best = nullptr;
+      std::size_t best_pos = 0;
+      scanned_ += bucket.size();
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].vb != vb) continue;  // Another year of this bucket.
+        if (!best || earlier(bucket[i], *best)) {
+          best = &bucket[i];
+          best_pos = i;
+        }
+      }
+      if (best) {
+        cache_min(physical(vb), best_pos, *best);
+        return;
+      }
+    }
+    // Whole year empty: direct search (skip-ahead). O(n) once, then the
+    // cursor jumps to the found event's year.
+    const Entry* best = nullptr;
+    std::size_t best_bucket = 0;
+    std::size_t best_pos = 0;
+    scanned_ += size_;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      for (std::size_t i = 0; i < buckets_[b].size(); ++i) {
+        if (!best || earlier(buckets_[b][i], *best)) {
+          best = &buckets_[b][i];
+          best_bucket = b;
+          best_pos = i;
+        }
+      }
+    }
+    cache_min(best_bucket, best_pos, *best);
+  }
+
+  void cache_min(std::size_t bucket, std::size_t pos, const Entry& e) const {
+    min_bucket_ = bucket;
+    min_pos_ = pos;
+    min_time_ = e.time;
+    min_vb_ = e.vb;
+    min_cached_ = true;
+  }
+
+  /// Doubles the calendar when buckets average two entries, re-deriving the
+  /// width from the live span so the cadence the queue actually carries
+  /// sets the resolution. Purely size-triggered, so the layout (and cost)
+  /// is a deterministic function of the operation sequence.
+  void maybe_grow() {
+    if (size_ < buckets_.size() * 2) return;
+    std::size_t count = buckets_.size();
+    while (count < size_) count <<= 1;
+    rebuild(count * 2);
+  }
+
+  /// Growth only fires while the queue is filling; a steady-state workload
+  /// (pop one, push one — the simulators' hold pattern) never resizes, so
+  /// the width stays frozen at whatever the *setup* span dictated. When the
+  /// live span then contracts — e.g. every timer converges to within one
+  /// replenish interval of "now" — the whole population collapses into a
+  /// couple of buckets and each pop degrades to a linear rescan. Detect
+  /// that from the scan cost itself: every kRetuneWindow pops, if find_min
+  /// examined more than kScanThreshold entries per pop on average and the
+  /// span-derived width differs from the current one by more than 2x in
+  /// either direction, rebuild at the same bucket count. The trigger is a
+  /// pure function of the operation sequence (scan cost is deterministic),
+  /// and the layout never affects pop order — only its cost — so
+  /// bit-identity of every consumer is preserved.
+  void maybe_retune() {
+    const std::size_t scanned = scanned_;
+    const std::size_t pops = pops_since_retune_;
+    scanned_ = 0;
+    pops_since_retune_ = 0;
+    if (size_ < kMinBuckets * 2) return;
+    if (scanned <= kScanThreshold * pops) return;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto& bucket : buckets_) {
+      for (const auto& e : bucket) {
+        if (e.time < lo) lo = e.time;
+        if (e.time > hi && e.time < std::numeric_limits<double>::infinity()) {
+          hi = e.time;
+        }
+      }
+    }
+    const double span = hi - lo;
+    if (!(span > 0.0) || !std::isfinite(span)) return;
+    const double candidate = span / static_cast<double>(size_);
+    // A rebuild that lands on essentially the same width buys nothing (the
+    // cost is genuine clustering, e.g. heavy ties): skip, and the zeroed
+    // counters back the check off for another window.
+    if (candidate > width_ * 0.5 && candidate < width_ * 2.0) return;
+    rebuild(buckets_.size());
+  }
+
+  /// Re-derives the width from the live event span and rehomes every entry
+  /// into `bucket_count` buckets. Shared by size-triggered growth and
+  /// scan-cost-triggered retuning.
+  void rebuild(std::size_t bucket_count) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    std::vector<Entry> all;
+    all.reserve(size_);
+    for (auto& bucket : buckets_) {
+      for (auto& e : bucket) {
+        if (e.time < lo) lo = e.time;
+        if (e.time > hi && e.time < std::numeric_limits<double>::infinity()) {
+          hi = e.time;
+        }
+        all.push_back(std::move(e));
+      }
+      bucket.clear();
+    }
+    buckets_.assign(bucket_count, {});
+    const double span = hi - lo;
+    if (span > 0.0 && std::isfinite(span)) {
+      width_ = span / static_cast<double>(size_);
+    }
+    std::int64_t new_cursor = std::numeric_limits<std::int64_t>::max();
+    for (auto& e : all) {
+      e.vb = virtual_bucket(e.time);
+      if (e.vb < new_cursor) new_cursor = e.vb;
+      buckets_[physical(e.vb)].push_back(std::move(e));
+    }
+    cursor_ = new_cursor;
+    min_cached_ = false;
+  }
+
+  std::vector<std::vector<Entry>> buckets_;
+  double width_;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t cursor_ = 0;  ///< Virtual bucket the next scan starts from.
+  std::size_t pops_since_retune_ = 0;
+  mutable std::size_t scanned_ = 0;  ///< Entries examined by find_min.
+
+  // Cached location of the minimum entry, so next_time() + pop() pairs scan
+  // once. Invalidated by any push/pop.
+  mutable bool min_cached_ = false;
+  mutable std::size_t min_bucket_ = 0;
+  mutable std::size_t min_pos_ = 0;
+  mutable double min_time_ = 0.0;
+  mutable std::int64_t min_vb_ = 0;
+};
+
+}  // namespace cloudrepro::runtime

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cloudrepro::runtime {
+
+/// Fixed-capacity single-producer/single-consumer ring buffer.
+///
+/// The campaign's journal handoff is the motivating user: worker threads
+/// finish measurements far faster than the single journal writer can fsync
+/// them, and the old mutex+condvar deque made every completion pay a lock.
+/// Here the producer's fast path is one relaxed load, one acquire load, a
+/// slot move, and one release store — no locks, no allocation (slots are
+/// preallocated; moving a `std::string` into a slot reuses its buffer).
+///
+/// Contract: exactly one thread calls `try_push` and exactly one thread
+/// calls `try_pop` over the ring's lifetime (the threads may differ).
+/// `try_push` returning false is the backpressure signal — the producer
+/// must retry (bounded: the consumer always drains), not drop.
+///
+/// Memory ordering is the classic Lamport queue with acquire/release
+/// pairs: the producer's release store of `tail_` publishes the slot write
+/// to the consumer's acquire load, and symmetrically for `head_` on reuse.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer only. Moves `value` in and returns true; returns false (value
+  /// untouched) when the ring is full.
+  bool try_push(T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. Moves the oldest element into `out` and returns true;
+  /// false when empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Occupancy snapshot; exact when called by either endpoint, approximate
+  /// (but never torn) from anywhere else. Used for the queue-depth gauge.
+  std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Producer and consumer cursors on separate cache lines so the
+  /// producer's stores never invalidate the consumer's line and vice versa.
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< Next slot to pop.
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< Next slot to fill.
+};
+
+}  // namespace cloudrepro::runtime

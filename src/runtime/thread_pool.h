@@ -1,9 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -20,7 +23,21 @@ namespace cloudrepro::runtime {
 /// dynamically, results land in pre-assigned slots, and reductions happen in
 /// a fixed order on the coordinating thread.
 
-/// Fixed-size worker pool with a FIFO task queue.
+/// Fixed-size worker pool with per-worker work-stealing deques.
+///
+/// Each worker owns a Chase–Lev deque: the owner pushes and pops at the
+/// bottom lock-free, idle workers steal from the top with a single CAS.
+/// External submissions land in a mutex-guarded injection queue from which
+/// workers pull *batches* into their own deque, so the per-task cost on the
+/// execution side is the lock-free deque, not the lock — and once tasks are
+/// distributed, imbalance (one scenario's cells finishing early while
+/// another's drag) is healed by stealing instead of idling. This is what
+/// lets several concurrent campaigns share one pool as a single thread
+/// budget (`cloudrepro suite`).
+///
+/// Task execution order is unspecified (own-deque LIFO, steals FIFO);
+/// callers that need determinism write results into pre-assigned slots,
+/// exactly as with the old FIFO queue.
 ///
 /// Tasks must not let exceptions escape (an escaping exception terminates
 /// the process, as with any detached thread); callers that need error
@@ -31,7 +48,7 @@ class ThreadPool {
   /// Spawns `resolve_thread_count(threads)` workers.
   explicit ThreadPool(int threads = 0);
 
-  /// Drains nothing: joins after the queue empties naturally or stop is
+  /// Drains nothing: joins after the queues empty naturally or stop is
   /// observed; pending tasks submitted before destruction still run.
   ~ThreadPool();
 
@@ -40,26 +57,73 @@ class ThreadPool {
 
   int thread_count() const noexcept { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task for execution by some worker.
+  /// Enqueues a task for execution by some worker. From a worker thread of
+  /// this pool the task goes straight onto that worker's own deque
+  /// (lock-free); from any other thread it goes through the injection
+  /// queue.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is executing.
+  /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
   /// Maps the user-facing `threads` knob: 0 = hardware concurrency
   /// (at least 1), otherwise the requested count.
   static int resolve_thread_count(int requested) noexcept;
 
+  /// Index of the calling thread within this pool: [0, thread_count()) for
+  /// this pool's workers, -1 for every other thread. Stable for the life of
+  /// the pool, which is what lets per-worker SPSC structures (the campaign
+  /// journal rings) key on it.
+  int current_worker_index() const noexcept;
+
  private:
-  void worker_loop();
+  using Task = std::function<void()>;
+
+  /// Chase–Lev work-stealing deque over heap-allocated task pointers.
+  /// Fixed capacity: `push_bottom` reports false when full and the caller
+  /// leaves the task in the injection queue instead (no dynamic growth, so
+  /// no reclamation problem). Orderings follow Le et al., "Correct and
+  /// Efficient Work-Stealing for Weak Memory Models", with the standalone
+  /// fences strengthened to seq_cst operations on `top_`/`bottom_` — TSan
+  /// does not model fences, and these paths are under TSan in CI.
+  class Deque {
+   public:
+    explicit Deque(std::size_t capacity);
+
+    bool push_bottom(Task* task) noexcept;  ///< Owner only.
+    Task* pop_bottom() noexcept;            ///< Owner only.
+    Task* steal_top() noexcept;             ///< Any thief.
+
+   private:
+    std::vector<std::atomic<Task*>> slots_;
+    std::size_t mask_;
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+  };
+
+  void worker_loop(int self);
+  /// Own deque, then an injection-queue batch, then stealing round-robin
+  /// from the other workers. Null when nothing is currently available.
+  Task* try_acquire(int self);
+  void enqueue(Task* task);
+  void run_task(Task* task) noexcept;
+  void notify_if_sleepers();
+
+  std::vector<std::unique_ptr<Deque>> deques_;  ///< One per worker.
+  std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Task*> inject_;          ///< External submissions; guarded by mu_.
+  bool stopping_ = false;             ///< Guarded by mu_.
+  std::atomic<int> sleepers_{0};      ///< Workers blocked on work_cv_.
+  /// Tasks submitted but not yet picked up by a worker (anywhere: injection
+  /// queue or a deque). The sleep predicate: > 0 means an idle worker can
+  /// make progress.
+  std::atomic<std::size_t> unstarted_{0};
+  /// Tasks submitted but not yet finished executing; wait_idle blocks on 0.
+  std::atomic<std::size_t> unfinished_{0};
 };
 
 /// Runs `body(i)` for every i in [0, count) across up to

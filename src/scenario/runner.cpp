@@ -1,6 +1,8 @@
 #include "scenario/runner.h"
 
 #include <chrono>
+#include <exception>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -14,6 +16,7 @@
 #include "core/journal.h"
 #include "faults/fault_plan.h"
 #include "obs/metrics.h"
+#include "runtime/thread_pool.h"
 #include "simnet/qos.h"
 
 namespace cloudrepro::scenario {
@@ -275,6 +278,7 @@ ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& optio
 
   auto campaign_opts = campaign_options(spec);
   campaign_opts.threads = options.threads;
+  campaign_opts.pool = options.pool;
   campaign_opts.max_measurements = options.max_measurements;
   campaign_opts.cancel = options.cancel;
   campaign_opts.vfs = options.vfs;
@@ -331,6 +335,77 @@ ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& optio
   }
   result.campaign = std::move(campaign);
   return result;
+}
+
+SuiteRunResult run_suite(const std::vector<ScenarioSpec>& specs,
+                         const RunOptions& options,
+                         const SuiteMemberCallback& on_member) {
+  SuiteRunResult suite;
+  suite.members.resize(specs.size());
+  if (specs.empty()) return suite;
+
+  const int threads =
+      options.pool ? options.pool->thread_count()
+                   : runtime::ThreadPool::resolve_thread_count(options.threads);
+  if (!options.pool && threads <= 1) {
+    // Serial reference: members in order, each campaign on this thread.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      suite.members[i] = run_scenario(specs[i], options);
+      if (on_member) on_member(i, suite.members[i]);
+      if (!suite.members[i].complete) suite.complete = false;
+      if (options.cancel && options.cancel->load(std::memory_order_relaxed)) {
+        suite.complete = false;
+        break;
+      }
+    }
+    return suite;
+  }
+
+  std::unique_ptr<runtime::ThreadPool> owned_pool;
+  runtime::ThreadPool* pool = options.pool;
+  if (!pool) {
+    owned_pool = std::make_unique<runtime::ThreadPool>(threads);
+    pool = owned_pool.get();
+  }
+
+  // One coordinator thread per member: it holds the member's single-flight
+  // lock, writes its journal (draining the campaign's SPSC handoff rings),
+  // and builds its summary, while the measurement tasks themselves all run
+  // on the shared pool. Coordinators must be dedicated threads, not pool
+  // tasks — a coordinator blocks waiting for its campaign's cells, and a
+  // blocked pool task would eat a worker the cells need.
+  std::vector<std::exception_ptr> errors(specs.size());
+  std::vector<std::thread> coordinators;
+  coordinators.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    coordinators.emplace_back([&, i, pool] {
+      try {
+        RunOptions member_options = options;
+        member_options.pool = pool;
+        suite.members[i] = run_scenario(specs[i], member_options);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+
+  // Ordered emission: join in member order and emit each member as soon as
+  // its whole prefix has landed. After the first error, later members still
+  // join (they ran; the cache keeps their work) but are not emitted — the
+  // serial loop would have thrown before reaching them.
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    coordinators[i].join();
+    if (first_error) continue;
+    if (errors[i]) {
+      first_error = errors[i];
+      continue;
+    }
+    if (on_member) on_member(i, suite.members[i]);
+    if (!suite.members[i].complete) suite.complete = false;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return suite;
 }
 
 }  // namespace cloudrepro::scenario

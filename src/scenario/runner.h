@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +47,13 @@ std::string summary_json(const ScenarioSpec& spec, std::uint64_t seed,
 struct RunOptions {
   /// Campaign worker threads: 1 = serial reference, 0 = all cores.
   int threads = 1;
+  /// External worker pool shared across scenarios — `run_suite`'s thread
+  /// budget. When set it overrides `threads` and the campaign submits its
+  /// (cell, repetition) tasks there; the pool's work-stealing deques keep
+  /// every worker busy even when one scenario's cells finish early. Never
+  /// part of any cache key: scheduling does not change what a scenario
+  /// computes.
+  runtime::ThreadPool* pool = nullptr;
   /// Master seed; defaults to the spec's.
   std::optional<std::uint64_t> seed;
   /// Result cache; nullptr disables journaling and summary reuse.
@@ -106,5 +114,38 @@ struct ScenarioRunResult {
 /// only its measurements re-run; a corrupt summary is evicted and the
 /// journal resumed. Real I/O errors (ENOSPC, EIO) always propagate.
 ScenarioRunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options = {});
+
+struct SuiteRunResult {
+  /// One entry per spec, in member (not completion) order.
+  std::vector<ScenarioRunResult> members;
+  /// False when any executed member was interrupted (budget, cancellation).
+  bool complete = true;
+};
+
+/// Called once per member, in member order, as soon as that member and all
+/// its predecessors have finished — the ordered-emission seam that keeps a
+/// suite's streamed output byte-identical at any thread count.
+using SuiteMemberCallback =
+    std::function<void(std::size_t, const ScenarioRunResult&)>;
+
+/// Runs every scenario of a suite against one shared thread budget.
+///
+/// With an effective thread count of 1 (and no external pool) the members
+/// run serially in order — the byte-for-byte reference. Otherwise one
+/// work-stealing pool of `threads` workers is shared by all members: each
+/// member gets a coordinator thread (its single-flight admission, journal
+/// writing, and summary generation), and every member's (cell, repetition)
+/// tasks land in the same pool, so a scenario with long cells no longer
+/// serializes the suite behind it — idle workers steal the stragglers.
+/// Because each campaign's values land in pre-assigned slots and summaries
+/// are pure functions of those values, `members` — and anything emitted via
+/// `on_member` — is byte-identical to the serial reference.
+///
+/// Exceptions: the first failing member (by member order) is rethrown after
+/// every coordinator has joined; `on_member` fires only for the members
+/// before it, exactly as if the serial loop had thrown there.
+SuiteRunResult run_suite(const std::vector<ScenarioSpec>& specs,
+                         const RunOptions& options = {},
+                         const SuiteMemberCallback& on_member = {});
 
 }  // namespace cloudrepro::scenario

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
+#include "runtime/calendar_queue.h"
 #include "simnet/units.h"
 
 namespace cloudrepro::simnet {
@@ -17,8 +17,6 @@ struct Event {
   double time = 0.0;
   EventKind kind = EventKind::kAck;
   double send_time = 0.0;  ///< For RTT samples on acks.
-
-  bool operator>(const Event& other) const noexcept { return time > other.time; }
 };
 
 }  // namespace
@@ -40,7 +38,12 @@ TcpStreamResult run_tcp_stream(QosPolicy& qos, const VnicConfig& vnic,
   TcpStreamResult result;
   result.duration_s = config.duration_s;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  // Calendar queue over the in-flight window's ack/loss timers. Event
+  // spacing tracks the RTT scale, which seeds the bucket width; equal
+  // timestamps (e.g. a burst of tail drops detected together) pop in push
+  // order, so the event flow is a pure function of the send sequence.
+  runtime::CalendarQueue<Event> events{
+      vnic.base_rtt_s > 0.0 ? vnic.base_rtt_s : 1e-3};
 
   double now = 0.0;
   double server_free_at = 0.0;   ///< Bottleneck queue: time the server drains.
@@ -106,7 +109,7 @@ TcpStreamResult run_tcp_stream(QosPolicy& qos, const VnicConfig& vnic,
       // data would have arrived (triple duplicate ACK).
       const double detect = now + queue_wait + 3.0 * service_s +
                             vnic.base_rtt_s + srtt;
-      events.push(Event{detect, EventKind::kLossSignal, now});
+      events.push(detect, Event{detect, EventKind::kLossSignal, now});
       if (is_retransmission) ++result.retransmissions;
       return;
     }
@@ -114,7 +117,7 @@ TcpStreamResult run_tcp_stream(QosPolicy& qos, const VnicConfig& vnic,
     server_free_at = std::max(server_free_at, now) + service_s;
     const double jitter = std::exp(rng.normal(0.0, 0.2 * vnic.rtt_jitter_sigma));
     const double ack_time = server_free_at + vnic.base_rtt_s * jitter;
-    events.push(Event{ack_time, EventKind::kAck, now});
+    events.push(ack_time, Event{ack_time, EventKind::kAck, now});
     if (is_retransmission) {
       ++result.retransmissions;
     }
@@ -126,8 +129,7 @@ TcpStreamResult run_tcp_stream(QosPolicy& qos, const VnicConfig& vnic,
   }
 
   while (now < config.duration_s && !events.empty()) {
-    const Event ev = events.top();
-    events.pop();
+    const Event ev = events.pop();
     if (ev.time > config.duration_s) break;
     now = ev.time;
     flush_interval(now);
