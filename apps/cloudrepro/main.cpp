@@ -27,10 +27,14 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "scenario/registry.h"
 #include "scenario/result_store.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/socket.h"
 
 namespace {
 
@@ -69,6 +73,11 @@ int usage(std::ostream& os, int code) {
         "  cache verify             integrity-check every entry (exit 1 on damage)\n"
         "  cache clear              remove every cache entry\n"
         "  cache evict <scenario>   remove one scenario's entry\n"
+        "  serve                    result-serving daemon over the cache (TCP,\n"
+        "                           line-delimited JSON; concurrent GETs for an\n"
+        "                           uncached scenario run its campaign once)\n"
+        "  fetch <scenario>         GET a summary from a running serve daemon;\n"
+        "                           stdout bytes identical to `run`\n"
         "\n"
         "<scenario> is a catalog name, a path ending in .json, or - (stdin).\n"
         "\n"
@@ -91,7 +100,21 @@ int usage(std::ostream& os, int code) {
         "                           caches separately (run / suite / describe)\n"
         "  --error-bound B          override confirm.error_bound (implies --adaptive)\n"
         "  --out FILE               write the summary to FILE instead of stdout\n"
-        "  --csv FILE               write config,treatment,repetition,value CSV\n";
+        "  --csv FILE               write config,treatment,repetition,value CSV\n"
+        "\n"
+        "options (serve):\n"
+        "  --listen HOST:PORT       bind address (default 127.0.0.1:9119;\n"
+        "                           port 0 = ephemeral, printed on stderr)\n"
+        "  --max-connections N      connection table bound (default 64)\n"
+        "  --max-inflight N         concurrent campaign bound; GETs beyond it\n"
+        "                           get a \"busy\" error (default 16)\n"
+        "  --peer HOST:PORT         read-through peer: ask another serve daemon\n"
+        "                           before executing a campaign locally\n"
+        "\n"
+        "options (fetch):\n"
+        "  --server HOST:PORT       serve daemon address (default 127.0.0.1:9119)\n"
+        "  --list                   print the server's catalog + cache (JSON)\n"
+        "  --stats                  print the server's metrics snapshot (JSON)\n";
   return code;
 }
 
@@ -106,6 +129,13 @@ struct Cli {
   std::optional<double> error_bound;
   std::string out_path;
   std::string csv_path;
+  std::string listen = "127.0.0.1:9119";
+  std::string server = "127.0.0.1:9119";
+  std::string peer;
+  int max_connections = 64;
+  int max_inflight = 16;
+  bool fetch_list = false;
+  bool fetch_stats = false;
   std::vector<std::string> positional;
 };
 
@@ -208,6 +238,45 @@ bool parse_cli(int argc, char** argv, int first, Cli& cli) {
       if (!v) return false;
       cli.csv_path = v;
       ++i;
+    } else if (arg == "--listen") {
+      const char* v = need(i);
+      if (!v) return false;
+      cli.listen = v;
+      ++i;
+    } else if (arg == "--server") {
+      const char* v = need(i);
+      if (!v) return false;
+      cli.server = v;
+      ++i;
+    } else if (arg == "--peer") {
+      const char* v = need(i);
+      if (!v) return false;
+      cli.peer = v;
+      ++i;
+    } else if (arg == "--max-connections") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto n = parse_int(v);
+      if (!n || *n == 0) {
+        std::cerr << "cloudrepro: bad --max-connections \"" << v << "\"\n";
+        return false;
+      }
+      cli.max_connections = *n;
+      ++i;
+    } else if (arg == "--max-inflight") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto n = parse_int(v);
+      if (!n || *n == 0) {
+        std::cerr << "cloudrepro: bad --max-inflight \"" << v << "\"\n";
+        return false;
+      }
+      cli.max_inflight = *n;
+      ++i;
+    } else if (arg == "--list") {
+      cli.fetch_list = true;
+    } else if (arg == "--stats") {
+      cli.fetch_stats = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout, 0);
       std::exit(0);
@@ -497,6 +566,91 @@ int cmd_cache(const Cli& cli) {
   return 2;
 }
 
+int cmd_serve(const Cli& cli) {
+  namespace serve = cloudrepro::serve;
+  if (!cli.positional.empty()) {
+    std::cerr << "cloudrepro: serve takes no positional arguments\n";
+    return 2;
+  }
+  if (cli.no_cache) {
+    std::cerr << "cloudrepro: serve needs the result cache (drop --no-cache)\n";
+    return 2;
+  }
+  const auto [host, port] = serve::parse_endpoint(cli.listen);
+
+  cloudrepro::obs::MetricsRegistry metrics;
+  ResultStore::Options store_options;
+  store_options.max_bytes = cli.cache_max_bytes;
+  ResultStore store{cache_root(cli), &metrics, nullptr, store_options};
+
+  serve::ServeOptions options;
+  options.max_connections = static_cast<std::size_t>(cli.max_connections);
+  options.max_inflight = static_cast<std::size_t>(cli.max_inflight);
+  options.campaign_threads = cli.threads;
+  if (!cli.peer.empty()) {
+    const auto [peer_host, peer_port] = serve::parse_endpoint(cli.peer);
+    options.peer = [peer_host = peer_host, peer_port = peer_port]()
+        -> std::unique_ptr<serve::Transport> {
+      return serve::connect_tcp(peer_host, peer_port);
+    };
+  }
+
+  serve::ServerCore core{store, metrics, options};
+  serve::SocketServer socket_server{core, host, port};
+  // The smoke scripts grep this exact line for the resolved ephemeral port.
+  std::cerr << "cloudrepro: serving on " << host << ":" << socket_server.port()
+            << " (cache " << store.root().string() << ")\n"
+            << std::flush;
+  socket_server.run(g_cancel);
+  std::cerr << "cloudrepro: serve shut down cleanly\n";
+  return 0;
+}
+
+int cmd_fetch(const Cli& cli) {
+  namespace serve = cloudrepro::serve;
+  const auto [host, port] = serve::parse_endpoint(cli.server);
+  serve::FetchClient client{serve::connect_tcp(host, port)};
+
+  if (cli.fetch_list || cli.fetch_stats) {
+    if (!cli.positional.empty()) {
+      std::cerr << "cloudrepro: fetch --list/--stats takes no scenario\n";
+      return 2;
+    }
+    const serve::Response response =
+        cli.fetch_list ? client.list() : client.stats();
+    if (!response.ok) {
+      std::cerr << "cloudrepro: fetch failed: " << response.error_code << ": "
+                << response.error_message << "\n";
+      return 1;
+    }
+    emit(cli.out_path, response.body);
+    return 0;
+  }
+
+  if (cli.positional.size() != 1) {
+    std::cerr << "cloudrepro: fetch needs exactly one scenario "
+                 "(or --list/--stats)\n";
+    return 2;
+  }
+  const ScenarioSpec spec =
+      apply_overrides(resolve_scenario(cli.positional.front()), cli);
+  std::cerr << "cloudrepro: fetch " << spec.name << " hash="
+            << spec.content_hash() << " seed=" << cli.seed.value_or(spec.seed)
+            << " from " << host << ":" << port << "\n";
+  const serve::Response response = client.get(spec, cli.seed);
+  if (!response.ok) {
+    std::cerr << "cloudrepro: fetch failed: " << response.error_code << ": "
+              << response.error_message << "\n";
+    // "busy" mirrors the interrupted/resumable contract: retry later.
+    return response.error_code == "busy" ? 3 : 1;
+  }
+  std::cerr << "cloudrepro: served " << response.hit << "\n";
+  // The summary bytes are the stored canonical document, so this stdout is
+  // byte-identical to `cloudrepro run` of the same (scenario, seed).
+  emit(cli.out_path, response.summary);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -521,6 +675,11 @@ int main(int argc, char** argv) {
       return cmd_suite(cli);
     }
     if (command == "cache") return cmd_cache(cli);
+    if (command == "serve") {
+      install_signal_handlers();
+      return cmd_serve(cli);
+    }
+    if (command == "fetch") return cmd_fetch(cli);
     std::cerr << "cloudrepro: unknown command \"" << command << "\"\n";
     return usage(std::cerr, 2);
   } catch (const std::exception& error) {

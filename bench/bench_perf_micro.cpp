@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 #include <queue>
@@ -23,7 +24,13 @@
 #include "runtime/calendar_queue.h"
 #include "runtime/spsc_ring.h"
 #include "runtime/thread_pool.h"
+#include "obs/metrics.h"
+#include "scenario/result_store.h"
 #include "scenario/runner.h"
+#include "serve/frame.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/transport.h"
 #include "simnet/fluid_network.h"
 #include "simnet/packet_path.h"
 #include "simnet/qos.h"
@@ -306,6 +313,56 @@ void BM_SuiteWorkStealing(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (3 * 2 + 2));
 }
 BENCHMARK(BM_SuiteWorkStealing)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The serving daemon's cached-hit request path over the in-memory
+// transport: request framing, reactor dispatch, the checked summary read,
+// and response framing — everything but the wire. This is the per-request
+// overhead a warm `cloudrepro fetch` pays on top of the network.
+void BM_ServeRequest(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "cloudrepro-bench-serve";
+  fs::remove_all(root);
+  {
+    obs::MetricsRegistry metrics;
+    scenario::ResultStore store{root, &metrics};
+    scenario::ScenarioSpec spec;
+    spec.name = "bench-serve";
+    spec.workloads = {{"hibench", "TS", std::nullopt}};
+    spec.budgets = {5000.0};
+    spec.repetitions = 2;
+    scenario::RunOptions run;
+    run.store = &store;
+    (void)scenario::run_scenario(spec, run);  // Warm: every GET below hits.
+
+    serve::ServerCore core{store, metrics, {}};
+    auto [client_end, server_end] = serve::make_memory_pair();
+    core.add_connection(std::move(server_end));
+
+    const std::string frame = serve::get_request_frame(spec, std::nullopt) + "\n";
+    serve::FrameDecoder decoder{1u << 20};
+    char buffer[4096];
+    std::string response;
+    for (auto _ : state) {
+      (void)client_end->write(frame);
+      bool got = false;
+      while (!got) {
+        core.poll_once();
+        for (;;) {
+          const auto r = client_end->read(buffer, sizeof buffer);
+          if (r.status != serve::IoStatus::kOk) break;
+          decoder.push(std::string_view{buffer, r.bytes});
+          if (decoder.next(response) == serve::FrameDecoder::Status::kFrame) {
+            got = true;
+            break;
+          }
+        }
+      }
+      benchmark::DoNotOptimize(response.data());
+    }
+  }
+  fs::remove_all(root);
+}
+BENCHMARK(BM_ServeRequest);
 
 void BM_MedianCi(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

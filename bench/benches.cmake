@@ -45,9 +45,10 @@ cloudrepro_bench(bench_ablation_sensitivity)
 cloudrepro_bench(bench_ablation_fault_mitigation)
 
 cloudrepro_bench(bench_perf_micro)
-# BM_SuiteWorkStealing drives scenario::run_suite, so the micro binary links
-# the scenario layer on top of core.
-target_link_libraries(bench_perf_micro PRIVATE cloudrepro_scenario benchmark::benchmark)
+# BM_SuiteWorkStealing drives scenario::run_suite and BM_ServeRequest the
+# serving daemon's reactor, so the micro binary links the scenario and serve
+# layers on top of core.
+target_link_libraries(bench_perf_micro PRIVATE cloudrepro_scenario cloudrepro_serve benchmark::benchmark)
 
 # Perf trajectory: `cmake --build build --target bench-smoke` runs the
 # campaign/fluid/lock-free hot-path microbenches and records machine-readable
@@ -59,7 +60,7 @@ target_link_libraries(bench_perf_micro PRIVATE cloudrepro_scenario benchmark::be
 # numbers would still be garbage). Override for local experiments with
 # -DCLOUDREPRO_BENCH_ALLOW_NONRELEASE=ON.
 set(CLOUDREPRO_BENCH_FILTER
-    "BM_CampaignParallel|BM_FluidAggregateRate|BM_FluidAllToAll|BM_WeekLongTokenBucketProbe|BM_EventQueue|BM_JournalHandoff|BM_SuiteWorkStealing")
+    "BM_CampaignParallel|BM_FluidAggregateRate|BM_FluidAllToAll|BM_WeekLongTokenBucketProbe|BM_EventQueue|BM_JournalHandoff|BM_SuiteWorkStealing|BM_ServeRequest")
 if(CMAKE_BUILD_TYPE STREQUAL "Release" OR CLOUDREPRO_BENCH_ALLOW_NONRELEASE)
   add_custom_target(bench-smoke
     COMMAND $<TARGET_FILE:bench_perf_micro>

@@ -55,7 +55,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int thread_count() const noexcept { return static_cast<int>(workers_.size()); }
+  /// Sized off deques_, not workers_: the deque table is complete before
+  /// the first worker thread starts, while workers_ is still growing as
+  /// early workers begin stealing (reading workers_.size() there is a data
+  /// race with the constructor's emplace_back).
+  int thread_count() const noexcept { return static_cast<int>(deques_.size()); }
 
   /// Enqueues a task for execution by some worker. From a worker thread of
   /// this pool the task goes straight onto that worker's own deque

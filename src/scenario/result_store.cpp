@@ -244,6 +244,11 @@ ResultStore::Lookup ResultStore::lookup(const ScenarioSpec& spec, std::uint64_t 
   return result;
 }
 
+void ResultStore::touch(const ScenarioSpec& spec, std::uint64_t seed) {
+  const auto dir = entry_dir(spec, seed);
+  if (vfs_->exists(dir)) touch_entry(dir);
+}
+
 std::filesystem::path ResultStore::prepare(const ScenarioSpec& spec,
                                            std::uint64_t seed) {
   const auto dir = entry_dir(spec, seed);

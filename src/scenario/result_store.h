@@ -145,6 +145,13 @@ class ResultStore {
   void write_summary(const ScenarioSpec& spec, std::uint64_t seed,
                      std::string_view summary);
 
+  /// Freshens the entry's LRU clock without classifying it or bumping any
+  /// cache counter — for servers that answer hits via `peek` /
+  /// `read_summary_checked` (keeping scenario.cache.* meaning "campaign
+  /// admissions") but still want served entries to stay budget-resident.
+  /// No-op when the entry does not exist.
+  void touch(const ScenarioSpec& spec, std::uint64_t seed);
+
   /// Single-flight: acquires the entry's lock file, stealing it from a
   /// provably dead holder (recorded pid no longer alive; for this process's
   /// own pid, a crashed earlier incarnation is recognized by the lock not

@@ -1,0 +1,92 @@
+#include "serve/client.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cloudrepro::serve {
+
+FetchClient::FetchClient(std::unique_ptr<Transport> transport, Options options)
+    : transport_(std::move(transport)),
+      decoder_(options.max_frame_bytes),
+      options_(options) {
+  if (!transport_) throw std::invalid_argument{"FetchClient: null transport"};
+}
+
+Response FetchClient::get(const scenario::ScenarioSpec& spec,
+                          std::optional<std::uint64_t> seed) {
+  return request(get_request_frame(spec, seed));
+}
+
+Response FetchClient::get_by_name(std::string_view name,
+                                  std::optional<std::uint64_t> seed) {
+  return request(get_request_frame_by_name(name, seed));
+}
+
+Response FetchClient::get_by_hash(std::string_view hash, std::uint64_t seed) {
+  return request(get_request_frame_by_hash(hash, seed));
+}
+
+Response FetchClient::list() { return request(list_request_frame()); }
+
+Response FetchClient::stats() { return request(stats_request_frame()); }
+
+Response FetchClient::request(const std::string& frame) {
+  const Deadline deadline = std::chrono::steady_clock::now() + options_.timeout;
+  write_all(frame + "\n", deadline);
+  return parse_response(read_frame(deadline));
+}
+
+void FetchClient::write_all(std::string_view data, Deadline deadline) {
+  while (!data.empty()) {
+    const IoResult result = transport_->write(data);
+    switch (result.status) {
+      case IoStatus::kOk:
+        data.remove_prefix(result.bytes);
+        break;
+      case IoStatus::kWouldBlock:
+        if (std::chrono::steady_clock::now() >= deadline) {
+          throw std::runtime_error{"fetch: timed out sending request"};
+        }
+        transport_->wait_writable();
+        break;
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        throw std::runtime_error{"fetch: connection lost while sending request"};
+    }
+  }
+}
+
+std::string FetchClient::read_frame(Deadline deadline) {
+  std::string frame;
+  for (;;) {
+    switch (decoder_.next(frame)) {
+      case FrameDecoder::Status::kFrame:
+        return frame;
+      case FrameDecoder::Status::kOversize:
+        throw ProtocolError{"oversize",
+                            "response frame exceeds the client frame bound"};
+      case FrameDecoder::Status::kNeedMore:
+        break;
+    }
+    char buffer[16 * 1024];
+    const IoResult result = transport_->read(buffer, sizeof buffer);
+    switch (result.status) {
+      case IoStatus::kOk:
+        decoder_.push({buffer, result.bytes});
+        break;
+      case IoStatus::kWouldBlock:
+        if (std::chrono::steady_clock::now() >= deadline) {
+          throw std::runtime_error{"fetch: timed out waiting for response"};
+        }
+        transport_->wait_readable();
+        break;
+      case IoStatus::kClosed:
+        throw std::runtime_error{
+            "fetch: server closed the connection before replying"};
+      case IoStatus::kError:
+        throw std::runtime_error{"fetch: transport error while reading response"};
+    }
+  }
+}
+
+}  // namespace cloudrepro::serve

@@ -1,0 +1,45 @@
+#include "serve/frame.h"
+
+namespace cloudrepro::serve {
+
+void FrameDecoder::push(std::string_view bytes) { buffer_.append(bytes); }
+
+FrameDecoder::Status FrameDecoder::next(std::string& frame) {
+  for (;;) {
+    if (discarding_) {
+      // Resynchronize after an oversize line (already reported): drop
+      // everything up to and including the next '\n'.
+      const auto nl = buffer_.find('\n');
+      if (nl == std::string::npos) {
+        buffer_.clear();
+        return Status::kNeedMore;
+      }
+      buffer_.erase(0, nl + 1);
+      discarding_ = false;
+      continue;
+    }
+
+    const auto nl = buffer_.find('\n');
+    if (nl == std::string::npos) {
+      if (buffer_.size() > max_frame_bytes_) {
+        // The line already exceeds the bound with no terminator in sight:
+        // cap memory now and skip the rest of the line as it trickles in.
+        buffer_.clear();
+        discarding_ = true;
+        return Status::kOversize;
+      }
+      return Status::kNeedMore;
+    }
+    if (nl > max_frame_bytes_) {
+      // Terminator arrived in the same push that overflowed the bound.
+      buffer_.erase(0, nl + 1);
+      return Status::kOversize;
+    }
+    frame.assign(buffer_, 0, nl);
+    buffer_.erase(0, nl + 1);
+    if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+    return Status::kFrame;
+  }
+}
+
+}  // namespace cloudrepro::serve

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace cloudrepro::serve {
+
+/// Incremental decoder for the line-delimited protocol: one frame = one
+/// '\n'-terminated line (an optional trailing '\r' is stripped, so a
+/// netcat/telnet client works). Bytes arrive from the transport in whatever
+/// chunks the wire produced — a frame torn into single bytes, or several
+/// frames merged into one read, decode identically.
+///
+/// Oversize defense: a line longer than `max_frame_bytes` can never become
+/// a frame, so the decoder reports kOversize *as soon as* the bound is
+/// crossed (not when the newline finally arrives — a hostile client could
+/// otherwise grow the buffer without bound) and discards input until the
+/// next '\n' to resynchronize. The connection stays usable; the protocol
+/// layer answers the oversize frame with an error response.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw transport bytes.
+  void push(std::string_view bytes);
+
+  enum class Status {
+    kFrame,     ///< `frame` holds one complete line (terminator stripped).
+    kNeedMore,  ///< No complete frame buffered; push more bytes.
+    kOversize,  ///< Dropped an over-long line; reported once per such line.
+  };
+
+  /// Extracts the next event. Call repeatedly until kNeedMore: one push may
+  /// complete several frames (pipelined requests).
+  Status next(std::string& frame);
+
+  /// Bytes currently buffered (diagnostics / tests).
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;  ///< Skipping to the next '\n' after an oversize.
+};
+
+}  // namespace cloudrepro::serve

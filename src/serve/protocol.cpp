@@ -1,0 +1,233 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <utility>
+
+#include "scenario/json.h"
+#include "scenario/result_store.h"
+
+namespace cloudrepro::serve {
+
+namespace {
+
+using scenario::Json;
+using scenario::JsonError;
+using scenario::JsonObject;
+
+bool is_content_hash(std::string_view text) {
+  if (text.size() != 64) return false;
+  for (const char c : text) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+Json parse_frame_json(std::string_view frame) {
+  try {
+    return Json::parse(frame);
+  } catch (const JsonError& error) {
+    throw ProtocolError{"bad_json", std::string{"frame is not JSON: "} + error.what()};
+  }
+}
+
+}  // namespace
+
+Request parse_request(std::string_view frame) {
+  const Json doc = parse_frame_json(frame);
+  if (!doc.is_object()) {
+    throw ProtocolError{"bad_json", "request must be a JSON object"};
+  }
+
+  if (const Json* protocol = doc.find("protocol")) {
+    if (!protocol->is_number() || protocol->as_int() != kProtocolVersion) {
+      throw ProtocolError{"protocol",
+                          "unsupported protocol version (server speaks " +
+                              std::to_string(kProtocolVersion) + ")"};
+    }
+  }
+
+  const Json* op = doc.find("op");
+  if (!op || !op->is_string()) {
+    throw ProtocolError{"bad_field", "missing string field \"op\""};
+  }
+
+  Request request;
+  const std::string& op_name = op->as_string();
+  if (op_name == "GET") {
+    request.op = Request::Op::kGet;
+  } else if (op_name == "LIST") {
+    request.op = Request::Op::kList;
+  } else if (op_name == "STATS") {
+    request.op = Request::Op::kStats;
+  } else {
+    throw ProtocolError{"bad_op", "unknown op \"" + op_name + "\""};
+  }
+
+  // Shared optional fields.
+  if (const Json* seed = doc.find("seed")) {
+    try {
+      request.seed = seed->as_uint();
+    } catch (const JsonError&) {
+      throw ProtocolError{"bad_field", "\"seed\" must be a non-negative integer"};
+    }
+  }
+  if (const Json* schema = doc.find("schema_version")) {
+    try {
+      request.schema_version = static_cast<int>(schema->as_int());
+    } catch (const JsonError&) {
+      throw ProtocolError{"bad_field", "\"schema_version\" must be an integer"};
+    }
+  }
+
+  if (request.op != Request::Op::kGet) return request;
+
+  int addresses = 0;
+  if (const Json* spec = doc.find("spec")) {
+    ++addresses;
+    try {
+      request.spec = scenario::ScenarioSpec::from_json(*spec);
+    } catch (const JsonError& error) {
+      throw ProtocolError{"bad_spec", std::string{"inline spec rejected: "} + error.what()};
+    }
+  }
+  if (const Json* name = doc.find("scenario")) {
+    ++addresses;
+    if (!name->is_string() || name->as_string().empty()) {
+      throw ProtocolError{"bad_field", "\"scenario\" must be a non-empty string"};
+    }
+    request.scenario_name = name->as_string();
+  }
+  if (const Json* hash = doc.find("hash")) {
+    ++addresses;
+    if (!hash->is_string() || !is_content_hash(hash->as_string())) {
+      throw ProtocolError{"bad_field", "\"hash\" must be a 64-hex content hash"};
+    }
+    request.hash = hash->as_string();
+  }
+  if (addresses != 1) {
+    throw ProtocolError{"bad_field",
+                        "GET needs exactly one of \"spec\", \"scenario\", \"hash\""};
+  }
+  if (request.schema_version &&
+      *request.schema_version != scenario::kResultSchemaVersion) {
+    throw ProtocolError{"schema",
+                        "result schema version mismatch (server serves v" +
+                            std::to_string(scenario::kResultSchemaVersion) + ")"};
+  }
+  return request;
+}
+
+std::string error_response(std::string_view code, std::string_view message) {
+  JsonObject error;
+  error["code"] = Json{std::string{code}};
+  error["message"] = Json{std::string{message}};
+  JsonObject root;
+  root["error"] = Json{std::move(error)};
+  root["ok"] = Json{false};
+  return Json{std::move(root)}.canonical();
+}
+
+std::string get_response(const std::string& hash, std::uint64_t seed,
+                         std::string_view hit, const std::string& summary_json) {
+  JsonObject root;
+  root["hash"] = Json{hash};
+  root["hit"] = Json{std::string{hit}};
+  root["ok"] = Json{true};
+  root["seed"] = Json{seed};
+  // Parse-then-embed: the summary is canonical JSON, and canonical JSON
+  // round-trips bit-exactly (pinned by the scenario JSON tests), so the
+  // sub-document's bytes inside this response equal the stored summary.
+  root["summary"] = Json::parse(summary_json);
+  return Json{std::move(root)}.canonical();
+}
+
+Response parse_response(std::string_view frame) {
+  const Json doc = parse_frame_json(frame);
+  if (!doc.is_object()) {
+    throw ProtocolError{"bad_json", "response must be a JSON object"};
+  }
+  const Json* ok = doc.find("ok");
+  if (!ok || !ok->is_bool()) {
+    throw ProtocolError{"bad_field", "response missing bool field \"ok\""};
+  }
+
+  Response response;
+  response.ok = ok->as_bool();
+  if (!response.ok) {
+    const Json* error = doc.find("error");
+    if (!error || !error->is_object()) {
+      throw ProtocolError{"bad_field", "error response missing \"error\" object"};
+    }
+    if (const Json* code = error->find("code"); code && code->is_string()) {
+      response.error_code = code->as_string();
+    }
+    if (const Json* message = error->find("message");
+        message && message->is_string()) {
+      response.error_message = message->as_string();
+    }
+    return response;
+  }
+  if (const Json* summary = doc.find("summary")) {
+    response.summary = summary->canonical();
+    if (const Json* hash = doc.find("hash"); hash && hash->is_string()) {
+      response.hash = hash->as_string();
+    }
+    if (const Json* seed = doc.find("seed"); seed && seed->is_number()) {
+      response.seed = seed->as_uint();
+    }
+    if (const Json* hit = doc.find("hit"); hit && hit->is_string()) {
+      response.hit = hit->as_string();
+    }
+  } else {
+    response.body = doc.canonical();
+  }
+  return response;
+}
+
+std::string get_request_frame(const scenario::ScenarioSpec& spec,
+                              std::optional<std::uint64_t> seed) {
+  JsonObject root;
+  root["op"] = Json{"GET"};
+  root["protocol"] = Json{kProtocolVersion};
+  root["schema_version"] = Json{scenario::kResultSchemaVersion};
+  if (seed) root["seed"] = Json{*seed};
+  root["spec"] = spec.to_json();
+  return Json{std::move(root)}.canonical();
+}
+
+std::string get_request_frame_by_name(std::string_view name,
+                                      std::optional<std::uint64_t> seed) {
+  JsonObject root;
+  root["op"] = Json{"GET"};
+  root["protocol"] = Json{kProtocolVersion};
+  root["scenario"] = Json{std::string{name}};
+  root["schema_version"] = Json{scenario::kResultSchemaVersion};
+  if (seed) root["seed"] = Json{*seed};
+  return Json{std::move(root)}.canonical();
+}
+
+std::string get_request_frame_by_hash(std::string_view hash, std::uint64_t seed) {
+  JsonObject root;
+  root["hash"] = Json{std::string{hash}};
+  root["op"] = Json{"GET"};
+  root["protocol"] = Json{kProtocolVersion};
+  root["schema_version"] = Json{scenario::kResultSchemaVersion};
+  root["seed"] = Json{seed};
+  return Json{std::move(root)}.canonical();
+}
+
+std::string list_request_frame() {
+  JsonObject root;
+  root["op"] = Json{"LIST"};
+  root["protocol"] = Json{kProtocolVersion};
+  return Json{std::move(root)}.canonical();
+}
+
+std::string stats_request_frame() {
+  JsonObject root;
+  root["op"] = Json{"STATS"};
+  root["protocol"] = Json{kProtocolVersion};
+  return Json{std::move(root)}.canonical();
+}
+
+}  // namespace cloudrepro::serve

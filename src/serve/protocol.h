@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "scenario/spec.h"
+
+namespace cloudrepro::serve {
+
+/// Version of the serve wire protocol. A server answers requests carrying
+/// no `protocol` field or the current value; anything else is rejected, so
+/// an old client fails loudly instead of misparsing.
+inline constexpr int kProtocolVersion = 1;
+
+/// A request frame failed to parse or failed validation. The message is
+/// safe to echo back to the client (it names fields, never file paths).
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  /// Stable machine-readable discriminator ("bad_json", "bad_field", ...).
+  const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// One decoded client request. The GET key is the paper-facing triple
+/// (content hash, seed, schema version): the scenario may arrive as an
+/// inline spec (hash derived), a registry name (hash of the named spec), or
+/// a bare content hash (resolved against the server's registry index).
+struct Request {
+  enum class Op { kGet, kList, kStats };
+  Op op = Op::kGet;
+
+  // GET addressing — exactly one of these three is set.
+  std::optional<scenario::ScenarioSpec> spec;  ///< Inline spec document.
+  std::string scenario_name;                   ///< Registry name.
+  std::string hash;                            ///< 64-hex content hash.
+
+  /// Defaults to the resolved spec's own seed when absent.
+  std::optional<std::uint64_t> seed;
+  /// When present must equal scenario::kResultSchemaVersion — a client
+  /// built against other measurement semantics must not be served bytes it
+  /// cannot reproduce.
+  std::optional<int> schema_version;
+};
+
+/// Parses one request frame (a line of JSON). Throws ProtocolError.
+Request parse_request(std::string_view frame);
+
+/// Response builders. Every response is one line of canonical JSON with an
+/// "ok" discriminator; the GET success payload embeds the summary document
+/// verbatim-by-value (canonical JSON round-trips bit-exactly, which is what
+/// keeps a fetched summary byte-identical to `cloudrepro run` output).
+std::string error_response(std::string_view code, std::string_view message);
+/// `hit` is the server-side disposition: "hit" (served from cache),
+/// "miss" / "partial" (campaign executed by this request), "coalesced"
+/// (shared another request's in-flight execution), "peer" (read through a
+/// peer cache).
+std::string get_response(const std::string& hash, std::uint64_t seed,
+                         std::string_view hit, const std::string& summary_json);
+
+/// Client-side: parses a response line; throws ProtocolError on frames that
+/// are not a valid response document.
+struct Response {
+  bool ok = false;
+  std::string error_code;     ///< Set when !ok.
+  std::string error_message;  ///< Set when !ok.
+  std::string hash;           ///< GET only.
+  std::uint64_t seed = 0;     ///< GET only.
+  std::string hit;            ///< GET only.
+  std::string summary;        ///< GET only: canonical summary bytes.
+  std::string body;           ///< LIST/STATS: the whole canonical document.
+};
+Response parse_response(std::string_view frame);
+
+/// Canonical request frames (no trailing newline), used by the client and
+/// by tests.
+std::string get_request_frame(const scenario::ScenarioSpec& spec,
+                              std::optional<std::uint64_t> seed);
+std::string get_request_frame_by_name(std::string_view name,
+                                      std::optional<std::uint64_t> seed);
+std::string get_request_frame_by_hash(std::string_view hash,
+                                      std::uint64_t seed);
+std::string list_request_frame();
+std::string stats_request_frame();
+
+}  // namespace cloudrepro::serve

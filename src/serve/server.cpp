@@ -1,0 +1,485 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "scenario/json.h"
+#include "scenario/runner.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace cloudrepro::serve {
+
+using scenario::Json;
+using scenario::JsonArray;
+using scenario::JsonObject;
+
+ServerCore::ServerCore(scenario::ResultStore& store, obs::MetricsRegistry& metrics,
+                       ServeOptions options)
+    : store_(store),
+      metrics_(metrics),
+      options_(std::move(options)),
+      registry_(options_.registry ? options_.registry
+                                  : &scenario::ScenarioRegistry::builtin()) {
+  for (const auto& spec : registry_->scenarios()) {
+    hash_index_.emplace(spec.content_hash(), &spec);
+  }
+  executor_ = std::make_unique<runtime::ThreadPool>(
+      std::max(1, options_.executor_threads));
+}
+
+ServerCore::~ServerCore() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  // Join the executor from the destructor *body*: its tasks touch the
+  // completion queue and the flight table, which member destruction would
+  // otherwise tear down first (members die in reverse declaration order).
+  executor_.reset();
+  for (auto& [id, conn] : connections_) conn.transport->close();
+}
+
+std::uint64_t ServerCore::add_connection(std::unique_ptr<Transport> transport) {
+  if (!transport) return 0;
+  if (connections_.size() >= options_.max_connections) {
+    transport->close();
+    count("serve.connections_rejected");
+    return 0;
+  }
+  const std::uint64_t id = next_id_++;
+  connections_.emplace(
+      std::piecewise_construct, std::forward_as_tuple(id),
+      std::forward_as_tuple(id, std::move(transport), options_.max_frame_bytes));
+  count("serve.connections_accepted");
+  metrics_.gauge("serve.connections").set(static_cast<double>(connections_.size()));
+  return id;
+}
+
+bool ServerCore::poll_once() {
+  bool progress = drain_completions();
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection& conn = it->second;
+    progress |= pump_writes(conn);
+    progress |= pump_reads(conn);
+    progress |= process_frames(conn);
+    // A half-closed connection survives until its response is flushed (the
+    // client may have shut down its send side and still be reading).
+    const bool flushed_eof =
+        conn.read_closed && conn.write_buf.empty() && !conn.executing;
+    if (conn.dead || flushed_eof) {
+      conn.transport->close();
+      count("serve.connections_closed");
+      it = connections_.erase(it);
+      progress = true;
+    } else {
+      ++it;
+    }
+  }
+  metrics_.gauge("serve.connections").set(static_cast<double>(connections_.size()));
+  return progress;
+}
+
+bool ServerCore::drain_completions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock{completions_mu_};
+    batch.swap(completions_);
+  }
+  for (const Completion& completion : batch) {
+    const auto it = connections_.find(completion.connection_id);
+    if (it == connections_.end()) continue;  // Client left mid-flight.
+    Connection& conn = it->second;
+    conn.executing = false;
+    if (!completion.ok) count("serve.get_errors");
+    respond(conn, completion.response);
+    observe_latency(conn);
+  }
+  return !batch.empty();
+}
+
+bool ServerCore::pump_writes(Connection& conn) {
+  if (conn.dead || conn.write_buf.empty()) return false;
+  bool progress = false;
+  std::size_t budget = options_.write_budget_per_poll;
+  while (budget > 0 && !conn.write_buf.empty()) {
+    const std::string_view chunk{conn.write_buf.data(),
+                                 std::min(budget, conn.write_buf.size())};
+    const IoResult result = conn.transport->write(chunk);
+    if (result.status == IoStatus::kOk) {
+      conn.write_buf.erase(0, result.bytes);
+      budget -= result.bytes;
+      count("serve.bytes_out", static_cast<double>(result.bytes));
+      progress = true;
+    } else if (result.status == IoStatus::kWouldBlock) {
+      break;
+    } else {
+      conn.dead = true;
+      break;
+    }
+  }
+  return progress;
+}
+
+bool ServerCore::pump_reads(Connection& conn) {
+  // Reads pause while a GET executes: the client's next pipelined request
+  // stays in the kernel/pipe buffer, which is the per-connection flow
+  // control (one outstanding campaign per connection). Reads continue
+  // through shutdown — frames are answered with "shutting_down" errors, a
+  // clean refusal instead of a silent stall.
+  if (conn.dead || conn.executing || conn.read_closed) return false;
+  bool progress = false;
+  std::size_t budget = options_.read_budget_per_poll;
+  char buffer[8 * 1024];
+  while (budget > 0) {
+    const std::size_t want = std::min(budget, sizeof buffer);
+    const IoResult result = conn.transport->read(buffer, want);
+    if (result.status == IoStatus::kOk) {
+      conn.decoder.push({buffer, result.bytes});
+      budget -= result.bytes;
+      count("serve.bytes_in", static_cast<double>(result.bytes));
+      progress = true;
+      if (result.bytes < want) break;  // Drained the transport.
+    } else if (result.status == IoStatus::kWouldBlock) {
+      break;
+    } else if (result.status == IoStatus::kClosed) {
+      conn.read_closed = true;
+      progress = true;
+      break;
+    } else {
+      conn.dead = true;
+      break;
+    }
+  }
+  return progress;
+}
+
+bool ServerCore::process_frames(Connection& conn) {
+  bool progress = false;
+  std::string frame;
+  while (!conn.dead && !conn.executing) {
+    const FrameDecoder::Status status = conn.decoder.next(frame);
+    if (status == FrameDecoder::Status::kNeedMore) break;
+    progress = true;
+    if (status == FrameDecoder::Status::kOversize) {
+      count("serve.requests_oversize");
+      respond(conn,
+              error_response("oversize",
+                             "request frame exceeds " +
+                                 std::to_string(options_.max_frame_bytes) +
+                                 " bytes"));
+      continue;
+    }
+    count("serve.frames");
+    handle_frame(conn, frame);
+  }
+  return progress;
+}
+
+void ServerCore::handle_frame(Connection& conn, const std::string& frame) {
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    respond(conn, error_response("shutting_down", "server is shutting down"));
+    return;
+  }
+  Request request;
+  try {
+    request = parse_request(frame);
+  } catch (const ProtocolError& error) {
+    count("serve.requests_bad");
+    respond(conn, error_response(error.code(), error.what()));
+    return;
+  }
+  switch (request.op) {
+    case Request::Op::kList:
+      count("serve.requests_list");
+      respond(conn, list_response());
+      return;
+    case Request::Op::kStats:
+      count("serve.requests_stats");
+      respond(conn, stats_response());
+      return;
+    case Request::Op::kGet:
+      break;
+  }
+  count("serve.requests_get");
+  conn.request_start = std::chrono::steady_clock::now();
+  handle_get(conn, request);
+}
+
+void ServerCore::handle_get(Connection& conn, const Request& request) {
+  const scenario::ScenarioSpec* spec = nullptr;
+  if (request.spec) {
+    spec = &*request.spec;
+  } else if (!request.scenario_name.empty()) {
+    spec = resolve_by_name(request.scenario_name);
+    if (!spec) {
+      count("serve.requests_bad");
+      respond(conn, error_response("unknown_scenario",
+                                   "no scenario named \"" +
+                                       request.scenario_name + "\""));
+      return;
+    }
+  } else {
+    spec = resolve_by_hash(request.hash);
+    if (!spec) {
+      count("serve.requests_bad");
+      respond(conn,
+              error_response("unknown_hash",
+                             "no registry scenario with that content hash"));
+      return;
+    }
+  }
+  const std::uint64_t seed = request.seed.value_or(spec->seed);
+  const std::string hash = spec->content_hash();
+
+  // Fast path: complete entries are served inline — no executor hop, no
+  // single-flight. Deliberately peek-style (read_summary_checked + touch,
+  // not lookup): scenario.cache.* counters keep meaning "campaign
+  // admissions", so N served hits do not inflate them — the reconciliation
+  // the herd test asserts. A summary corrupted on disk fails validation
+  // here, is evicted, and the request falls through to execution.
+  if (auto summary = store_.read_summary_checked(*spec, seed)) {
+    store_.touch(*spec, seed);
+    count("serve.get_hit");
+    respond(conn, get_response(hash, seed, "hit", *summary));
+    observe_latency(conn);
+    return;
+  }
+
+  if (inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+    count("serve.busy_rejected");
+    respond(conn,
+            error_response("busy", "execution queue is full; retry later"));
+    return;
+  }
+
+  conn.executing = true;
+  const std::string key = store_.entry_key(*spec, seed);
+  const std::uint64_t conn_id = conn.id;
+  auto callback = [this, conn_id, hash, seed](const FlightOutcome& outcome,
+                                              bool leader) {
+    Completion completion;
+    completion.connection_id = conn_id;
+    completion.ok = outcome.ok;
+    completion.response =
+        outcome.ok
+            ? get_response(hash, seed, leader ? outcome.hit : "coalesced",
+                           outcome.summary)
+            : error_response(outcome.error_code, outcome.error_message);
+    std::function<void()> wake;
+    {
+      std::lock_guard<std::mutex> lock{completions_mu_};
+      completions_.push_back(std::move(completion));
+      wake = wake_hook_;
+    }
+    completions_cv_.notify_all();
+    if (wake) wake();
+  };
+
+  if (flights_.join(key, std::move(callback))) {
+    count("serve.single_flight_leader");
+    const auto depth = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    metrics_.gauge("serve.queue_depth").set(static_cast<double>(depth));
+    executor_->submit([this, spec = *spec, seed, key] {
+      FlightOutcome outcome = execute(spec, seed);
+      if (outcome.ok) count("serve.get_executed");
+      const auto left = inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      metrics_.gauge("serve.queue_depth").set(static_cast<double>(left));
+      flights_.complete(key, outcome);
+    });
+  } else {
+    count("serve.single_flight_coalesced");
+  }
+}
+
+FlightOutcome ServerCore::execute(const scenario::ScenarioSpec& spec,
+                                  std::uint64_t seed) {
+  FlightOutcome outcome;
+  try {
+    if (options_.peer && fetch_from_peer(spec, seed, outcome)) return outcome;
+    scenario::RunOptions run;
+    run.threads = options_.campaign_threads;
+    run.seed = seed;
+    run.store = &store_;
+    run.metrics = &metrics_;
+    run.cancel = &shutdown_;
+    const scenario::ScenarioRunResult result = scenario::run_scenario(spec, run);
+    if (!result.complete) {
+      outcome.error_code = "interrupted";
+      outcome.error_message =
+          "campaign interrupted before completion; journaled progress resumes "
+          "on retry";
+      return outcome;
+    }
+    outcome.ok = true;
+    outcome.summary = result.summary;
+    outcome.hit = scenario::ResultStore::to_string(result.hit_state);
+  } catch (const std::exception& error) {
+    outcome.error_code = "execution";
+    outcome.error_message = error.what();
+  }
+  return outcome;
+}
+
+bool ServerCore::fetch_from_peer(const scenario::ScenarioSpec& spec,
+                                 std::uint64_t seed, FlightOutcome& outcome) {
+  try {
+    std::unique_ptr<Transport> transport = options_.peer();
+    if (!transport) {
+      count("serve.peer_error");
+      return false;
+    }
+    FetchClient client{std::move(transport)};
+    const Response response = client.get(spec, seed);
+    if (!response.ok || response.summary.empty()) {
+      count("serve.peer_miss");
+      return false;
+    }
+    if (response.hash != spec.content_hash()) {
+      count("serve.peer_error");
+      return false;
+    }
+    store_.prepare(spec, seed);
+    store_.write_summary(spec, seed, response.summary);
+    outcome.ok = true;
+    outcome.summary = response.summary;
+    outcome.hit = "peer";
+    count("serve.peer_hit");
+    return true;
+  } catch (const std::exception&) {
+    count("serve.peer_error");
+    return false;
+  }
+}
+
+void ServerCore::respond(Connection& conn, const std::string& response) {
+  if (conn.dead) return;
+  conn.write_buf += response;
+  conn.write_buf += '\n';
+  if (conn.write_buf.size() > options_.max_write_buffer) {
+    count("serve.slow_client_drops");
+    conn.dead = true;
+  }
+}
+
+void ServerCore::observe_latency(const Connection& conn) {
+  const auto elapsed = std::chrono::steady_clock::now() - conn.request_start;
+  metrics_.histogram("serve.request_latency_s")
+      .observe(std::chrono::duration<double>(elapsed).count());
+}
+
+const scenario::ScenarioSpec* ServerCore::resolve_by_name(
+    const std::string& name) const {
+  return registry_->find(name);
+}
+
+const scenario::ScenarioSpec* ServerCore::resolve_by_hash(
+    const std::string& hash) const {
+  const auto it = hash_index_.find(hash);
+  return it == hash_index_.end() ? nullptr : it->second;
+}
+
+std::string ServerCore::list_response() const {
+  JsonObject root;
+  root["ok"] = Json{true};
+  JsonArray scenarios;
+  for (const auto& spec : registry_->scenarios()) {
+    JsonObject item;
+    item["hash"] = Json{spec.content_hash()};
+    item["name"] = Json{spec.name};
+    item["seed"] = Json{spec.seed};
+    scenarios.push_back(Json{std::move(item)});
+  }
+  root["scenarios"] = Json{std::move(scenarios)};
+  JsonArray cache;
+  for (const auto& entry : store_.entries()) {
+    JsonObject item;
+    item["complete"] = Json{entry.complete};
+    item["key"] = Json{entry.key};
+    item["measurements"] =
+        Json{static_cast<std::uint64_t>(entry.journal_measurements)};
+    cache.push_back(Json{std::move(item)});
+  }
+  root["cache"] = Json{std::move(cache)};
+  return Json{std::move(root)}.canonical();
+}
+
+std::string ServerCore::stats_response() {
+  metrics_.gauge("serve.connections").set(static_cast<double>(connections_.size()));
+  metrics_.gauge("serve.queue_depth")
+      .set(static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+  metrics_.gauge("serve.open_flights")
+      .set(static_cast<double>(flights_.open_flights()));
+  JsonObject root;
+  root["metrics"] = Json::parse(metrics_.to_json());
+  root["ok"] = Json{true};
+  return Json{std::move(root)}.canonical();
+}
+
+void ServerCore::count(const char* name, double delta) {
+  metrics_.counter(name).add(delta);
+}
+
+std::vector<ServerCore::Interest> ServerCore::interests() const {
+  std::vector<Interest> out;
+  out.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) {
+    Interest interest;
+    interest.id = id;
+    interest.want_read = !conn.executing && !conn.read_closed && !conn.dead;
+    interest.want_write = !conn.write_buf.empty();
+    out.push_back(interest);
+  }
+  return out;
+}
+
+void ServerCore::set_wake_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock{completions_mu_};
+  wake_hook_ = std::move(hook);
+}
+
+void ServerCore::wait_activity(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock{completions_mu_};
+  completions_cv_.wait_for(lock, timeout,
+                           [this] { return !completions_.empty(); });
+}
+
+void ServerCore::pump_until_idle() {
+  for (;;) {
+    const bool progress = poll_once();
+    if (progress) continue;
+    bool buffered = false;
+    for (const auto& [id, conn] : connections_) {
+      if (!conn.write_buf.empty() || conn.decoder.buffered() > 0) {
+        buffered = true;
+        break;
+      }
+    }
+    const bool busy =
+        inflight_.load(std::memory_order_relaxed) != 0 || flights_.open_flights() != 0;
+    if (!busy && !buffered) {
+      std::lock_guard<std::mutex> lock{completions_mu_};
+      if (completions_.empty()) return;
+      continue;
+    }
+    wait_activity(std::chrono::milliseconds{5});
+  }
+}
+
+void ServerCore::begin_shutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+}
+
+bool ServerCore::drained() const {
+  if (inflight_.load(std::memory_order_relaxed) != 0) return false;
+  {
+    std::lock_guard<std::mutex> lock{completions_mu_};
+    if (!completions_.empty()) return false;
+  }
+  for (const auto& [id, conn] : connections_) {
+    if (!conn.write_buf.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace cloudrepro::serve

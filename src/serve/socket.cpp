@@ -1,0 +1,269 @@
+#include "serve/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace cloudrepro::serve {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int fd) : fd_(fd) {
+  if (fd_ < 0) throw std::invalid_argument{"SocketTransport: bad fd"};
+  set_nonblocking(fd_);
+}
+
+SocketTransport::~SocketTransport() { close(); }
+
+IoResult SocketTransport::read(char* buffer, std::size_t max) {
+  if (fd_ < 0) return {IoStatus::kClosed, 0};
+  if (max == 0) return {IoStatus::kOk, 0};
+  const ssize_t n = ::recv(fd_, buffer, max, 0);
+  if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  if (n == 0) return {IoStatus::kClosed, 0};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return {IoStatus::kWouldBlock, 0};
+  }
+  if (errno == ECONNRESET) return {IoStatus::kClosed, 0};
+  return {IoStatus::kError, 0};
+}
+
+IoResult SocketTransport::write(std::string_view data) {
+  if (fd_ < 0) return {IoStatus::kClosed, 0};
+  if (data.empty()) return {IoStatus::kOk, 0};
+  // MSG_NOSIGNAL: a peer that closed mid-response must surface as kClosed,
+  // not kill the server with SIGPIPE.
+  const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+  if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+    return {IoStatus::kWouldBlock, 0};
+  }
+  if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+    return {IoStatus::kClosed, 0};
+  }
+  return {IoStatus::kError, 0};
+}
+
+void SocketTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void SocketTransport::wait_readable() {
+  if (fd_ < 0) return;
+  pollfd p{fd_, POLLIN, 0};
+  ::poll(&p, 1, 100);
+}
+
+void SocketTransport::wait_writable() {
+  if (fd_ < 0) return;
+  pollfd p{fd_, POLLOUT, 0};
+  ::poll(&p, 1, 100);
+}
+
+std::pair<std::string, std::uint16_t> parse_endpoint(const std::string& endpoint) {
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == endpoint.size()) {
+    throw std::invalid_argument{"endpoint must be host:port, got \"" + endpoint +
+                                "\""};
+  }
+  const std::string port_text = endpoint.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port > 65535) {
+    throw std::invalid_argument{"endpoint port out of range in \"" + endpoint +
+                                "\""};
+  }
+  return {endpoint.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+std::unique_ptr<SocketTransport> connect_tcp(const std::string& host,
+                                             std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &results);
+  if (rc != 0) {
+    throw std::runtime_error{"connect: cannot resolve " + host + ": " +
+                             ::gai_strerror(rc)};
+  }
+  int fd = -1;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    // Connect while still blocking: a refused/unreachable endpoint fails
+    // here with a clean errno; the transport flips to non-blocking after.
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    throw std::runtime_error{"connect: cannot reach " + host + ":" +
+                             std::to_string(port)};
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<SocketTransport>(fd);
+}
+
+SocketServer::SocketServer(ServerCore& core, const std::string& host,
+                           std::uint16_t port)
+    : core_(core) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("serve: socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0" || host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error{"serve: listen host must be an IPv4 address, got \"" +
+                             host + "\""};
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("serve: bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("serve: listen");
+  }
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("serve: pipe");
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+}
+
+SocketServer::~SocketServer() {
+  core_.set_wake_hook({});
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void SocketServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (drained) or transient error — retry later.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto transport = std::make_unique<SocketTransport>(fd);
+    const int conn_fd = transport->fd();
+    // The core owns the transport from here; on rejection (table full) it
+    // closed the fd already.
+    const std::uint64_t id = core_.add_connection(std::move(transport));
+    if (id != 0) connection_fds_.emplace(id, conn_fd);
+  }
+}
+
+void SocketServer::prune_closed() {
+  // Connections the core dropped disappear from its interest list; their
+  // fds are already closed (the transports own them), so just forget them.
+  std::map<std::uint64_t, int> alive;
+  for (const auto& interest : core_.interests()) {
+    const auto it = connection_fds_.find(interest.id);
+    if (it != connection_fds_.end()) alive.emplace(it->first, it->second);
+  }
+  connection_fds_ = std::move(alive);
+}
+
+void SocketServer::run(const std::atomic<bool>& stop) {
+  core_.set_wake_hook([fd = wake_pipe_[1]] {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  });
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    while (core_.poll_once()) {
+    }
+    prune_closed();
+
+    std::vector<pollfd> pfds;
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& interest : core_.interests()) {
+      const auto it = connection_fds_.find(interest.id);
+      if (it == connection_fds_.end()) continue;
+      short events = 0;
+      if (interest.want_read) events |= POLLIN;
+      if (interest.want_write) events |= POLLOUT;
+      if (events != 0) pfds.push_back({it->second, events, 0});
+    }
+    // 100 ms cap bounds stop-flag latency even with no traffic at all.
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 100);
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {
+      }
+    }
+    if ((pfds[1].revents & POLLIN) != 0) accept_ready();
+  }
+
+  // Graceful drain: cancel in-flight campaigns (cooperative — journals are
+  // flushed and resumable), deliver their outcomes, flush response bytes.
+  core_.begin_shutdown();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds{5};
+  while (!core_.drained() && std::chrono::steady_clock::now() < deadline) {
+    if (!core_.poll_once()) core_.wait_activity(std::chrono::milliseconds{50});
+  }
+  while (core_.poll_once()) {
+  }
+  core_.set_wake_hook({});
+}
+
+}  // namespace cloudrepro::serve

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace cloudrepro::serve {
+
+/// Non-blocking TCP endpoint: the production implementation of the
+/// Transport seam. Owns the fd; sets O_NONBLOCK on construction. The wait
+/// hooks poll(2) in bounded (100 ms) slices so a blocking client's
+/// deadline checks stay live even against a stalled peer.
+class SocketTransport : public Transport {
+ public:
+  explicit SocketTransport(int fd);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  IoResult read(char* buffer, std::size_t max) override;
+  IoResult write(std::string_view data) override;
+  void close() override;
+  void wait_readable() override;
+  void wait_writable() override;
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Splits "host:port" (host may be a name or numeric address); throws
+/// std::invalid_argument on malformed input.
+std::pair<std::string, std::uint16_t> parse_endpoint(const std::string& endpoint);
+
+/// Dials host:port (IPv4/IPv6 via getaddrinfo) and returns a connected
+/// non-blocking transport; throws std::runtime_error on failure.
+std::unique_ptr<SocketTransport> connect_tcp(const std::string& host,
+                                             std::uint16_t port);
+
+/// The poll(2) accept-and-pump loop marrying a listening TCP socket to a
+/// ServerCore: readiness interests come from the core, executor
+/// completions interrupt the poll through a self-pipe, and accepted fds
+/// become SocketTransport connections. Single-threaded — the caller's
+/// thread is the reactor thread.
+class SocketServer {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port (read it back via
+  /// `port()`). Throws std::runtime_error on bind/listen failure.
+  SocketServer(ServerCore& core, const std::string& host, std::uint16_t port);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Serves until `stop` becomes true, then shuts the core down
+  /// gracefully: in-flight campaigns are cancelled (journals intact),
+  /// pending responses are flushed (bounded), connections closed.
+  void run(const std::atomic<bool>& stop);
+
+ private:
+  void accept_ready();
+  void prune_closed();
+
+  ServerCore& core_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::map<std::uint64_t, int> connection_fds_;  ///< core id -> fd.
+};
+
+}  // namespace cloudrepro::serve

@@ -1,0 +1,99 @@
+#include "serve/transport.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cloudrepro::serve {
+
+std::size_t PipeBuffer::push(std::string_view data) {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (closed_) return 0;  // Caller maps this to kClosed via closed check.
+  const std::size_t free = capacity_ > data_.size() ? capacity_ - data_.size() : 0;
+  const std::size_t take = std::min(free, data.size());
+  if (take == 0) return 0;
+  data_.append(data.data(), take);
+  cv_.notify_all();
+  return take;
+}
+
+std::size_t PipeBuffer::pop(char* out, std::size_t max) {
+  std::lock_guard<std::mutex> lock{mu_};
+  const std::size_t take = std::min(max, data_.size());
+  if (take > 0) {
+    std::memcpy(out, data_.data(), take);
+    data_.erase(0, take);
+    cv_.notify_all();
+  }
+  return take;
+}
+
+void PipeBuffer::close() {
+  std::lock_guard<std::mutex> lock{mu_};
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool PipeBuffer::is_closed() {
+  std::lock_guard<std::mutex> lock{mu_};
+  return closed_;
+}
+
+bool PipeBuffer::closed_and_empty() {
+  std::lock_guard<std::mutex> lock{mu_};
+  return closed_ && data_.empty();
+}
+
+bool PipeBuffer::readable() {
+  std::lock_guard<std::mutex> lock{mu_};
+  return !data_.empty() || closed_;
+}
+
+bool PipeBuffer::writable() {
+  std::lock_guard<std::mutex> lock{mu_};
+  return data_.size() < capacity_ || closed_;
+}
+
+void PipeBuffer::wait_readable() {
+  std::unique_lock<std::mutex> lock{mu_};
+  cv_.wait(lock, [this] { return !data_.empty() || closed_; });
+}
+
+void PipeBuffer::wait_writable() {
+  std::unique_lock<std::mutex> lock{mu_};
+  cv_.wait(lock, [this] { return data_.size() < capacity_ || closed_; });
+}
+
+IoResult MemoryTransport::read(char* buffer, std::size_t max) {
+  if (max_read_chunk_ > 0) max = std::min(max, max_read_chunk_);
+  const std::size_t got = in_->pop(buffer, max);
+  if (got > 0) return {IoStatus::kOk, got};
+  if (in_->closed_and_empty()) return {IoStatus::kClosed, 0};
+  return {IoStatus::kWouldBlock, 0};
+}
+
+IoResult MemoryTransport::write(std::string_view data) {
+  if (data.empty()) return {IoStatus::kOk, 0};
+  const std::size_t took = out_->push(data);
+  if (took > 0) return {IoStatus::kOk, took};
+  // push refuses for two reasons: the pipe is closed (peer gone) or full.
+  if (out_->is_closed()) return {IoStatus::kClosed, 0};
+  return {IoStatus::kWouldBlock, 0};
+}
+
+void MemoryTransport::close() {
+  in_->close();
+  out_->close();
+}
+
+std::pair<std::unique_ptr<MemoryTransport>, std::unique_ptr<MemoryTransport>>
+make_memory_pair(const MemoryPipeOptions& options) {
+  auto a_to_b = std::make_shared<PipeBuffer>(options.capacity);
+  auto b_to_a = std::make_shared<PipeBuffer>(options.capacity);
+  auto first = std::make_unique<MemoryTransport>(b_to_a, a_to_b,
+                                                 options.max_read_chunk);
+  auto second = std::make_unique<MemoryTransport>(a_to_b, b_to_a,
+                                                  options.max_read_chunk);
+  return {std::move(first), std::move(second)};
+}
+
+}  // namespace cloudrepro::serve

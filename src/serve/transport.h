@@ -1,0 +1,123 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cloudrepro::serve {
+
+/// Outcome of one non-blocking transport operation.
+enum class IoStatus {
+  kOk,          ///< Some bytes moved (see IoResult::bytes; may be partial).
+  kWouldBlock,  ///< Nothing to read / no buffer space; retry after readiness.
+  kClosed,      ///< Peer closed cleanly; no more bytes will ever move.
+  kError,       ///< Transport-level failure; the connection is dead.
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;  ///< Meaningful only when status == kOk.
+};
+
+/// Byte-stream seam between the protocol engine and the wire.
+///
+/// This is what makes the serve state machines testable without sockets:
+/// the reactor and every connection state machine see only this interface,
+/// so the same code runs over a real non-blocking TCP socket in production
+/// and over a deterministic in-memory pipe in ctest — where partial reads,
+/// torn frames, and slow-client backpressure are induced exactly, not
+/// raced for. The contract is non-blocking POSIX semantics:
+///
+///  - `read` moves up to `max` bytes and reports kWouldBlock when no data
+///    is available *yet* (kClosed once the peer is gone and the pipe is
+///    drained);
+///  - `write` may accept any prefix of `data` (partial write) and reports
+///    kWouldBlock when the outbound buffer is full — the slow-client
+///    signal the per-connection write budget turns into backpressure;
+///  - both are safe to call again after kWouldBlock.
+///
+/// The wait hooks block until the next read/write could make progress;
+/// reactors never call them (they poll), but the blocking `FetchClient`
+/// does, and the in-memory implementation backs them with condvars so
+/// client threads in tests park instead of spinning.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual IoResult read(char* buffer, std::size_t max) = 0;
+  virtual IoResult write(std::string_view data) = 0;
+  /// Idempotent; after close, reads on the peer drain then report kClosed.
+  virtual void close() = 0;
+
+  virtual void wait_readable() = 0;
+  virtual void wait_writable() = 0;
+};
+
+/// One direction of an in-memory pipe: a bounded byte queue. Thread-safe so
+/// hammer tests can drive client endpoints from many threads while the
+/// reactor thread polls the server endpoints.
+class PipeBuffer {
+ public:
+  explicit PipeBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Accepts up to the free capacity; returns bytes taken (0 = would block).
+  std::size_t push(std::string_view data);
+  /// Moves up to `max` bytes out; closed_and_empty reports end-of-stream.
+  std::size_t pop(char* out, std::size_t max);
+  void close();
+
+  bool is_closed();
+  bool closed_and_empty();
+  bool readable();   ///< Data available or closed (read would not block).
+  bool writable();   ///< Free space or closed (write would not block forever).
+  void wait_readable();
+  void wait_writable();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::string data_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+struct MemoryPipeOptions {
+  /// Byte capacity of each direction. Small capacities model slow clients:
+  /// the server's write hits kWouldBlock until the client drains.
+  std::size_t capacity = 64 * 1024;
+  /// Upper bound on bytes returned by a single `read` (0 = no bound).
+  /// Forcing 1 makes every frame arrive torn into single bytes — the
+  /// deterministic partial-read regime the framing tests run in.
+  std::size_t max_read_chunk = 0;
+};
+
+/// In-memory Transport endpoint over two shared PipeBuffers.
+class MemoryTransport : public Transport {
+ public:
+  MemoryTransport(std::shared_ptr<PipeBuffer> in, std::shared_ptr<PipeBuffer> out,
+                  std::size_t max_read_chunk)
+      : in_(std::move(in)), out_(std::move(out)), max_read_chunk_(max_read_chunk) {}
+
+  IoResult read(char* buffer, std::size_t max) override;
+  IoResult write(std::string_view data) override;
+  void close() override;
+  void wait_readable() override { in_->wait_readable(); }
+  void wait_writable() override { out_->wait_writable(); }
+
+ private:
+  std::shared_ptr<PipeBuffer> in_;
+  std::shared_ptr<PipeBuffer> out_;
+  std::size_t max_read_chunk_;
+};
+
+/// A connected pair of in-memory endpoints: writes on `first` are reads on
+/// `second` and vice versa. Deterministic: byte order is FIFO per
+/// direction, chunk boundaries are exactly what the options induce.
+std::pair<std::unique_ptr<MemoryTransport>, std::unique_ptr<MemoryTransport>>
+make_memory_pair(const MemoryPipeOptions& options = {});
+
+}  // namespace cloudrepro::serve

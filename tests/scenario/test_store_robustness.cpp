@@ -156,6 +156,71 @@ TEST_F(StoreRobustnessTest, WaiterReadsThroughTheHoldersPublishedSummary) {
   EXPECT_GT(metrics.counter_value("scenario.cache.lock_wait"), 0.0);
 }
 
+TEST_F(StoreRobustnessTest, WaiterEvictsCorruptWinnerSummaryAndRetries) {
+  // Regression: the read-through path must VALIDATE the winner's summary.
+  // A waiter that wakes to a torn summary.json (winner crashed mid-write,
+  // torn by fault injection, etc.) must evict it and run the campaign
+  // itself — never serve the torn bytes, never deadlock.
+  obs::MetricsRegistry metrics;
+  ResultStore store{root_, &metrics};
+  const auto spec = tiny_spec();
+  const auto reference = run_scenario(spec);
+
+  auto holder = store.try_lock(spec, spec.seed);
+  ASSERT_TRUE(holder);
+
+  ScenarioRunResult waited;
+  std::thread waiter{[&] {
+    RunOptions options;
+    options.store = &store;
+    options.metrics = &metrics;
+    options.lock_wait_ms = 5;
+    options.lock_wait_attempts = 2000;
+    waited = run_scenario(spec, options);
+  }};
+
+  // "The winner" publishes a torn summary, then releases its lock — the
+  // worst interleaving: the waiter sees has_summary() true, reads, and the
+  // bytes are garbage.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  write_raw(store.summary_path(spec, spec.seed), "{\"complete\":tru");
+  holder.release();
+  waiter.join();
+
+  EXPECT_TRUE(waited.complete);
+  EXPECT_FALSE(waited.from_cached_summary)
+      << "the torn summary must not be served";
+  EXPECT_EQ(waited.summary, reference.summary);
+  EXPECT_GE(metrics.counter_value("scenario.cache.corrupt_summaries"), 1.0);
+  // The re-run republished a valid summary over the torn one.
+  EXPECT_EQ(store.read_summary_checked(spec, spec.seed), reference.summary);
+}
+
+TEST_F(StoreRobustnessTest, TouchFreshensTheClockWithoutClassifying) {
+  obs::MetricsRegistry metrics;
+  ResultStore store{root_, &metrics};
+  const auto spec = tiny_spec();
+
+  store.write_summary(spec, 1, "{\"id\":1}");
+  store.write_summary(spec, 2, "{\"id\":2}");
+  store.lookup(spec, 2);  // 2 is now fresher than 1.
+  store.touch(spec, 1);   // ...until touched.
+
+  const auto entries = store.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  const auto& e1 = entries[0].key == store.entry_key(spec, 1) ? entries[0] : entries[1];
+  const auto& e2 = entries[0].key == store.entry_key(spec, 2) ? entries[0] : entries[1];
+  EXPECT_GT(e1.last_used, e2.last_used);
+
+  // touch() is the serve fast path's freshener: it must not count as a
+  // cache classification (lookup did: one hit), and a missing entry is a
+  // no-op, not a directory creation.
+  EXPECT_EQ(metrics.counter_value("scenario.cache.hit"), 1.0);
+  EXPECT_EQ(metrics.counter_value("scenario.cache.miss"), 0.0);
+  store.touch(spec, 99);
+  EXPECT_FALSE(fs::exists(store.entry_dir(spec, 99)));
+}
+
 TEST_F(StoreRobustnessTest, LockWaitTimesOutWithBoundedRetries) {
   ResultStore store{root_};
   const auto spec = tiny_spec();

@@ -1,0 +1,122 @@
+// Line framing under hostile chunking: frames torn into single bytes,
+// merged into one read, oversize lines, and garbage must all decode (or be
+// rejected) identically to clean input.
+
+#include "serve/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cloudrepro::serve {
+namespace {
+
+std::vector<std::string> drain(FrameDecoder& decoder) {
+  std::vector<std::string> frames;
+  std::string frame;
+  while (decoder.next(frame) == FrameDecoder::Status::kFrame) {
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+TEST(ServeFrame, SingleLineDecodes) {
+  FrameDecoder decoder{1024};
+  decoder.push("{\"op\":\"LIST\"}\n");
+  EXPECT_EQ(drain(decoder), (std::vector<std::string>{"{\"op\":\"LIST\"}"}));
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(ServeFrame, MergedLinesDecodeInOrder) {
+  FrameDecoder decoder{1024};
+  decoder.push("one\ntwo\nthree\n");
+  EXPECT_EQ(drain(decoder), (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(ServeFrame, ByteAtATimeDecodesIdentically) {
+  const std::string wire = "alpha\nbeta\n";
+  FrameDecoder decoder{1024};
+  std::vector<std::string> frames;
+  for (const char byte : wire) {
+    decoder.push({&byte, 1});
+    for (auto& frame : drain(decoder)) frames.push_back(std::move(frame));
+  }
+  EXPECT_EQ(frames, (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(ServeFrame, SplitAtEveryPossibleBoundaryDecodesIdentically) {
+  const std::string wire = "first\nsecond\n";
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    FrameDecoder decoder{1024};
+    decoder.push(wire.substr(0, split));
+    auto frames = drain(decoder);
+    decoder.push(wire.substr(split));
+    for (auto& frame : drain(decoder)) frames.push_back(std::move(frame));
+    EXPECT_EQ(frames, (std::vector<std::string>{"first", "second"}))
+        << "split at " << split;
+  }
+}
+
+TEST(ServeFrame, CarriageReturnStripped) {
+  FrameDecoder decoder{1024};
+  decoder.push("netcat line\r\n");
+  EXPECT_EQ(drain(decoder), (std::vector<std::string>{"netcat line"}));
+}
+
+TEST(ServeFrame, EmptyLineIsAnEmptyFrame) {
+  FrameDecoder decoder{1024};
+  decoder.push("\n");
+  std::string frame{"sentinel"};
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame, "");
+}
+
+TEST(ServeFrame, OversizeReportedOnceAtDetectionAndResyncs) {
+  FrameDecoder decoder{8};
+  decoder.push("0123456789");  // Over the bound with no newline yet.
+  std::string frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kOversize);
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);  // Hostile input must not accumulate.
+
+  // More of the same long line: silently discarded, not re-reported.
+  decoder.push("aaaaaaaaaaaaaaaaaaaa");
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);
+
+  // The newline resynchronizes; the next line decodes normally.
+  decoder.push("zz\nok\n");
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame, "ok");
+}
+
+TEST(ServeFrame, OversizeCompletedLineInOnePushAlsoRejected) {
+  FrameDecoder decoder{4};
+  decoder.push("longline\nok\n");
+  std::string frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kOversize);
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame, "ok");
+}
+
+TEST(ServeFrame, ExactBoundIsNotOversize) {
+  FrameDecoder decoder{4};
+  decoder.push("abcd\n");
+  std::string frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame, "abcd");
+}
+
+TEST(ServeFrame, BinaryGarbageStaysInertUntilNewline) {
+  FrameDecoder decoder{1024};
+  decoder.push(std::string{"\x00\x01\xff\xfe", 4});
+  std::string frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore);
+  decoder.push("\n");
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame, (std::string{"\x00\x01\xff\xfe", 4}));
+}
+
+}  // namespace
+}  // namespace cloudrepro::serve

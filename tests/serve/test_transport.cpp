@@ -1,0 +1,118 @@
+// The Transport seam: in-memory pipes must honor non-blocking POSIX
+// semantics exactly — partial writes at capacity, chunk-capped reads,
+// drain-then-EOF on close — because the server state machines are tested
+// against these semantics in place of a kernel socket.
+
+#include "serve/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace cloudrepro::serve {
+namespace {
+
+std::string read_all(Transport& transport, std::size_t max = 4096) {
+  std::string out(max, '\0');
+  const IoResult result = transport.read(out.data(), out.size());
+  EXPECT_EQ(result.status, IoStatus::kOk);
+  out.resize(result.bytes);
+  return out;
+}
+
+TEST(ServeTransport, PairMovesBytesFifoBothDirections) {
+  auto [client, server] = make_memory_pair();
+  EXPECT_EQ(client->write("hello ").status, IoStatus::kOk);
+  EXPECT_EQ(client->write("world").status, IoStatus::kOk);
+  EXPECT_EQ(read_all(*server), "hello world");
+
+  EXPECT_EQ(server->write("reply").status, IoStatus::kOk);
+  EXPECT_EQ(read_all(*client), "reply");
+}
+
+TEST(ServeTransport, EmptyPipeWouldBlockNotClose) {
+  auto [client, server] = make_memory_pair();
+  char byte = 0;
+  EXPECT_EQ(server->read(&byte, 1).status, IoStatus::kWouldBlock);
+}
+
+TEST(ServeTransport, WritesArePartialAtCapacity) {
+  MemoryPipeOptions options;
+  options.capacity = 4;
+  auto [client, server] = make_memory_pair(options);
+
+  const IoResult first = client->write("0123456789");
+  EXPECT_EQ(first.status, IoStatus::kOk);
+  EXPECT_EQ(first.bytes, 4u);  // Took exactly the free capacity.
+  EXPECT_EQ(client->write("xyz").status, IoStatus::kWouldBlock);
+
+  // Draining frees capacity; the writer can continue.
+  EXPECT_EQ(read_all(*server), "0123");
+  const IoResult second = client->write("456789");
+  EXPECT_EQ(second.status, IoStatus::kOk);
+  EXPECT_EQ(second.bytes, 4u);
+}
+
+TEST(ServeTransport, ReadChunkCapTearsStreamIntoSingleBytes) {
+  MemoryPipeOptions options;
+  options.max_read_chunk = 1;
+  auto [client, server] = make_memory_pair(options);
+  ASSERT_EQ(client->write("abc").status, IoStatus::kOk);
+
+  std::string got;
+  char byte = 0;
+  for (int i = 0; i < 3; ++i) {
+    const IoResult result = server->read(&byte, sizeof byte * 16);
+    ASSERT_EQ(result.status, IoStatus::kOk);
+    ASSERT_EQ(result.bytes, 1u);  // Capped regardless of the caller's max.
+    got.push_back(byte);
+  }
+  EXPECT_EQ(got, "abc");
+  EXPECT_EQ(server->read(&byte, 1).status, IoStatus::kWouldBlock);
+}
+
+TEST(ServeTransport, CloseDrainsBufferedBytesThenReportsClosed) {
+  auto [client, server] = make_memory_pair();
+  ASSERT_EQ(client->write("tail").status, IoStatus::kOk);
+  client->close();
+
+  EXPECT_EQ(read_all(*server), "tail");
+  char byte = 0;
+  EXPECT_EQ(server->read(&byte, 1).status, IoStatus::kClosed);
+}
+
+TEST(ServeTransport, WriteAfterPeerCloseReportsClosed) {
+  auto [client, server] = make_memory_pair();
+  server->close();
+  EXPECT_EQ(client->write("x").status, IoStatus::kClosed);
+}
+
+TEST(ServeTransport, WaitReadableParksUntilPeerWrites) {
+  auto [client, server] = make_memory_pair();
+  std::thread writer{[&client] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    ASSERT_EQ(client->write("late").status, IoStatus::kOk);
+  }};
+  server->wait_readable();  // Must return once bytes (or close) arrive.
+  writer.join();
+  EXPECT_EQ(read_all(*server), "late");
+}
+
+TEST(ServeTransport, WaitWritableParksUntilPeerDrains) {
+  MemoryPipeOptions options;
+  options.capacity = 2;
+  auto [client, server] = make_memory_pair(options);
+  ASSERT_EQ(client->write("ab").bytes, 2u);
+  std::thread reader{[&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    char drain[2];
+    ASSERT_EQ(server->read(drain, sizeof drain).status, IoStatus::kOk);
+  }};
+  client->wait_writable();
+  reader.join();
+  EXPECT_EQ(client->write("cd").status, IoStatus::kOk);
+}
+
+}  // namespace
+}  // namespace cloudrepro::serve
