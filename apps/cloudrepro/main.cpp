@@ -27,6 +27,12 @@
 #include <string_view>
 #include <vector>
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "obs/metrics.h"
 #include "scenario/registry.h"
 #include "scenario/result_store.h"
@@ -35,6 +41,8 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/socket.h"
+#include "serve/worker.h"
+#include "shard/local.h"
 
 namespace {
 
@@ -78,6 +86,9 @@ int usage(std::ostream& os, int code) {
         "                           uncached scenario run its campaign once)\n"
         "  fetch <scenario>         GET a summary from a running serve daemon;\n"
         "                           stdout bytes identical to `run`\n"
+        "  work                     shard worker: pull campaign cells from a\n"
+        "                           serve coordinator, run them, push journal\n"
+        "                           records back\n"
         "\n"
         "<scenario> is a catalog name, a path ending in .json, or - (stdin).\n"
         "\n"
@@ -101,6 +112,12 @@ int usage(std::ostream& os, int code) {
         "  --error-bound B          override confirm.error_bound (implies --adaptive)\n"
         "  --out FILE               write the summary to FILE instead of stdout\n"
         "  --csv FILE               write config,treatment,repetition,value CSV\n"
+        "  --shards N               (run) split the campaign's cells across N\n"
+        "                           in-process shard workers and merge their\n"
+        "                           journals; output bytes identical to a\n"
+        "                           single-node run (requires the cache)\n"
+        "  --workers T              (run --shards) threads per shard worker\n"
+        "                           for non-adaptive repetitions (default 1)\n"
         "\n"
         "options (serve):\n"
         "  --listen HOST:PORT       bind address (default 127.0.0.1:9119;\n"
@@ -114,7 +131,18 @@ int usage(std::ostream& os, int code) {
         "options (fetch):\n"
         "  --server HOST:PORT       serve daemon address (default 127.0.0.1:9119)\n"
         "  --list                   print the server's catalog + cache (JSON)\n"
-        "  --stats                  print the server's metrics snapshot (JSON)\n";
+        "  --stats                  print the server's metrics snapshot (JSON)\n"
+        "  --timeout SECS           per-request wall-clock budget (default 600);\n"
+        "                           a hung server exits 3 (retryable)\n"
+        "\n"
+        "options (work):\n"
+        "  --coordinator HOST:PORT  serve daemon to pull assignments from\n"
+        "                           (default 127.0.0.1:9119)\n"
+        "  --worker-id NAME         worker name in coordinator logs\n"
+        "                           (default worker-<pid>)\n"
+        "  --threads T              threads per assigned cell (default 1)\n"
+        "  --max-idle N             exit after N consecutive idle polls\n"
+        "                           (default 0 = keep polling until signalled)\n";
   return code;
 }
 
@@ -136,6 +164,12 @@ struct Cli {
   int max_inflight = 16;
   bool fetch_list = false;
   bool fetch_stats = false;
+  int shards = 0;  ///< run: 0 = single-node path, N > 0 = sharded driver.
+  int workers = 1;
+  std::string coordinator = "127.0.0.1:9119";
+  std::string worker_id;
+  int max_idle = 0;
+  int timeout_s = 600;
   std::vector<std::string> positional;
 };
 
@@ -277,6 +311,56 @@ bool parse_cli(int argc, char** argv, int first, Cli& cli) {
       cli.fetch_list = true;
     } else if (arg == "--stats") {
       cli.fetch_stats = true;
+    } else if (arg == "--shards") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto n = parse_int(v);
+      if (!n || *n == 0) {
+        std::cerr << "cloudrepro: bad --shards \"" << v << "\"\n";
+        return false;
+      }
+      cli.shards = *n;
+      ++i;
+    } else if (arg == "--workers") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto n = parse_int(v);
+      if (!n || *n == 0) {
+        std::cerr << "cloudrepro: bad --workers \"" << v << "\"\n";
+        return false;
+      }
+      cli.workers = *n;
+      ++i;
+    } else if (arg == "--coordinator") {
+      const char* v = need(i);
+      if (!v) return false;
+      cli.coordinator = v;
+      ++i;
+    } else if (arg == "--worker-id") {
+      const char* v = need(i);
+      if (!v) return false;
+      cli.worker_id = v;
+      ++i;
+    } else if (arg == "--max-idle") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto n = parse_int(v);
+      if (!n) {
+        std::cerr << "cloudrepro: bad --max-idle \"" << v << "\"\n";
+        return false;
+      }
+      cli.max_idle = *n;
+      ++i;
+    } else if (arg == "--timeout") {
+      const char* v = need(i);
+      if (!v) return false;
+      const auto n = parse_int(v);
+      if (!n || *n == 0) {
+        std::cerr << "cloudrepro: bad --timeout \"" << v << "\"\n";
+        return false;
+      }
+      cli.timeout_s = *n;
+      ++i;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout, 0);
       std::exit(0);
@@ -358,9 +442,22 @@ int run_one(const ScenarioSpec& spec, const Cli& cli, ResultStore* store,
 
   const std::uint64_t seed = cli.seed.value_or(spec.seed);
   std::cerr << "cloudrepro: " << spec.name << " hash=" << spec.content_hash()
-            << " seed=" << seed << "\n";
+            << " seed=" << seed
+            << (cli.shards > 0 ? " shards=" + std::to_string(cli.shards) : "")
+            << "\n";
 
-  const auto result = cloudrepro::scenario::run_scenario(spec, options);
+  cloudrepro::scenario::ScenarioRunResult result;
+  if (cli.shards > 0) {
+    cloudrepro::shard::LocalShardOptions sharded;
+    sharded.shards = static_cast<std::size_t>(cli.shards);
+    sharded.worker_threads = cli.workers;
+    sharded.store = store;
+    sharded.seed = cli.seed;
+    sharded.cancel = &g_cancel;
+    result = cloudrepro::shard::run_scenario_sharded(spec, sharded);
+  } else {
+    result = cloudrepro::scenario::run_scenario(spec, options);
+  }
 
   std::cerr << "cloudrepro: cache " << ResultStore::to_string(result.hit_state)
             << (store ? "" : " (disabled)") << ", executed "
@@ -439,6 +536,16 @@ int cmd_describe(const Cli& cli) {
 int cmd_run(const Cli& cli) {
   if (cli.positional.size() != 1) {
     std::cerr << "cloudrepro: run needs exactly one scenario\n";
+    return 2;
+  }
+  if (cli.shards > 0 && cli.no_cache) {
+    std::cerr << "cloudrepro: --shards needs the result cache (drop "
+                 "--no-cache): the merged journal lands in its entry\n";
+    return 2;
+  }
+  if (cli.shards > 0 && !cli.csv_path.empty()) {
+    std::cerr << "cloudrepro: --csv is not supported with --shards; rerun "
+                 "without --shards (the cache entry is shared)\n";
     return 2;
   }
   const ScenarioSpec spec =
@@ -609,7 +716,9 @@ int cmd_serve(const Cli& cli) {
 int cmd_fetch(const Cli& cli) {
   namespace serve = cloudrepro::serve;
   const auto [host, port] = serve::parse_endpoint(cli.server);
-  serve::FetchClient client{serve::connect_tcp(host, port)};
+  serve::FetchClient::Options client_options;
+  client_options.timeout = std::chrono::seconds{cli.timeout_s};
+  serve::FetchClient client{serve::connect_tcp(host, port), client_options};
 
   if (cli.fetch_list || cli.fetch_stats) {
     if (!cli.positional.empty()) {
@@ -651,6 +760,64 @@ int cmd_fetch(const Cli& cli) {
   return 0;
 }
 
+int cmd_work(const Cli& cli) {
+  namespace serve = cloudrepro::serve;
+  if (!cli.positional.empty()) {
+    std::cerr << "cloudrepro: work takes no positional arguments\n";
+    return 2;
+  }
+  const auto [host, port] = serve::parse_endpoint(cli.coordinator);
+
+  serve::WorkerOptions options;
+  options.name = cli.worker_id.empty()
+                     ? "worker-" + std::to_string(::getpid())
+                     : cli.worker_id;
+  options.threads = std::max(1, cli.threads);
+  options.max_idle_polls = cli.max_idle;
+  options.cancel = &g_cancel;
+  options.on_event = [](const std::string& line) {
+    std::cerr << "cloudrepro: " << line << "\n" << std::flush;
+  };
+
+  // Outer loop: (re)connect and run the pull/push loop. Reconnecting after
+  // transport loss keeps a worker useful across coordinator restarts; the
+  // dial retries cover workers started before the coordinator is listening
+  // (the CI ordering).
+  int dials_left = 100;
+  for (;;) {
+    if (g_cancel.load(std::memory_order_relaxed)) return 3;
+    std::unique_ptr<serve::SocketTransport> transport;
+    try {
+      transport = serve::connect_tcp(host, port);
+    } catch (const std::exception& error) {
+      if (--dials_left <= 0) {
+        std::cerr << "cloudrepro: cannot reach coordinator " << host << ":"
+                  << port << ": " << error.what() << "\n";
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      continue;
+    }
+    // The smoke scripts wait for this exact line before fetching.
+    std::cerr << "cloudrepro: worker " << options.name << " connected to "
+              << host << ":" << port << "\n"
+              << std::flush;
+    try {
+      const serve::WorkerStats stats =
+          serve::run_worker(std::move(transport), options);
+      std::cerr << "cloudrepro: worker " << options.name << " done: "
+                << stats.cells_completed << " cells completed, "
+                << stats.cells_partial << " partial, " << stats.records_pushed
+                << " records pushed\n";
+      return g_cancel.load(std::memory_order_relaxed) ? 3 : 0;
+    } catch (const std::exception& error) {
+      if (g_cancel.load(std::memory_order_relaxed)) return 3;
+      std::cerr << "cloudrepro: worker connection lost (" << error.what()
+                << "); reconnecting\n";
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -680,8 +847,17 @@ int main(int argc, char** argv) {
       return cmd_serve(cli);
     }
     if (command == "fetch") return cmd_fetch(cli);
+    if (command == "work") {
+      install_signal_handlers();
+      return cmd_work(cli);
+    }
     std::cerr << "cloudrepro: unknown command \"" << command << "\"\n";
     return usage(std::cerr, 2);
+  } catch (const cloudrepro::serve::FetchTimeout& error) {
+    // Deadline, not failure: the server may still be computing. Exit 3
+    // mirrors the interrupted/resumable contract — retry later.
+    std::cerr << "cloudrepro: " << error.what() << "\n";
+    return 3;
   } catch (const std::exception& error) {
     std::cerr << "cloudrepro: " << error.what() << "\n";
     return 1;

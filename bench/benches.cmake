@@ -29,7 +29,9 @@ cloudrepro_bench(bench_table4_setup)
 cloudrepro_bench(bench_fig15_terasort_budget)
 cloudrepro_bench(bench_fig16_hibench_budget)
 cloudrepro_bench(bench_fig17_tpcds_budget)
-# These two render catalog scenarios (src/scenario) instead of inline sweeps.
+# These render catalog scenarios (src/scenario) instead of inline sweeps.
+target_link_libraries(bench_fig13_confirm PRIVATE cloudrepro_scenario)
+target_link_libraries(bench_table4_setup PRIVATE cloudrepro_scenario)
 target_link_libraries(bench_fig16_hibench_budget PRIVATE cloudrepro_scenario)
 target_link_libraries(bench_fig17_tpcds_budget PRIVATE cloudrepro_scenario)
 cloudrepro_bench(bench_fig18_straggler)
@@ -60,7 +62,7 @@ target_link_libraries(bench_perf_micro PRIVATE cloudrepro_scenario cloudrepro_se
 # numbers would still be garbage). Override for local experiments with
 # -DCLOUDREPRO_BENCH_ALLOW_NONRELEASE=ON.
 set(CLOUDREPRO_BENCH_FILTER
-    "BM_CampaignParallel|BM_FluidAggregateRate|BM_FluidAllToAll|BM_WeekLongTokenBucketProbe|BM_EventQueue|BM_JournalHandoff|BM_SuiteWorkStealing|BM_ServeRequest")
+    "BM_CampaignParallel|BM_FluidAggregateRate|BM_FluidAllToAll|BM_WeekLongTokenBucketProbe|BM_EventQueue|BM_JournalHandoff|BM_SuiteWorkStealing|BM_ServeRequest|BM_ShardedCampaign")
 if(CMAKE_BUILD_TYPE STREQUAL "Release" OR CLOUDREPRO_BENCH_ALLOW_NONRELEASE)
   add_custom_target(bench-smoke
     COMMAND $<TARGET_FILE:bench_perf_micro>

@@ -39,10 +39,6 @@ std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
   return z ^ (z >> 31);
 }
 
-std::uint64_t repetition_seed(std::uint64_t master, std::size_t cell, int rep) noexcept {
-  return mix(mix(master, cell + 1), static_cast<std::uint64_t>(rep) + 1);
-}
-
 bool cancelled(const CampaignOptions& options) noexcept {
   return options.cancel && options.cancel->load(std::memory_order_relaxed);
 }
@@ -140,6 +136,25 @@ class JournalHandoff {
 };
 
 }  // namespace
+
+std::uint64_t campaign_repetition_seed(std::uint64_t master, std::size_t cell,
+                                       int rep) noexcept {
+  return mix(mix(master, cell + 1), static_cast<std::uint64_t>(rep) + 1);
+}
+
+std::vector<std::size_t> campaign_execution_order(std::size_t cell_count,
+                                                  const CampaignOptions& options,
+                                                  std::uint64_t seed) {
+  std::vector<std::size_t> order;
+  if (options.randomize_order) {
+    stats::Rng order_rng{mix(seed, 0)};
+    order = order_rng.permutation(cell_count);
+  } else {
+    order.resize(cell_count);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  }
+  return order;
+}
 
 std::vector<std::size_t> CampaignResult::cells_for(const std::string& config) const {
   std::vector<std::size_t> out;
@@ -247,15 +262,7 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
   // so we shuffle cells and run each cell's repetitions consecutively with
   // fresh state per repetition. The order comes from its own derived stream
   // so it matches across interrupt/resume cycles.
-  if (options.randomize_order) {
-    stats::Rng order_rng{mix(seed, 0)};
-    result.execution_order = order_rng.permutation(cells.size());
-  } else {
-    result.execution_order.resize(cells.size());
-    for (std::size_t i = 0; i < result.execution_order.size(); ++i) {
-      result.execution_order[i] = i;
-    }
-  }
+  result.execution_order = campaign_execution_order(cells.size(), options, seed);
 
   // Journal: replay the checksummed valid prefix, truncate any torn or
   // corrupt tail, then append new measurements as they finish. All journal
@@ -336,7 +343,7 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
           }
           CLOUDREPRO_OBS_STMT(const double m_start = wall_s();)
           cells[idx].fresh();
-          stats::Rng rep_rng{repetition_seed(seed, idx, r)};
+          stats::Rng rep_rng{campaign_repetition_seed(seed, idx, r)};
           value = cells[idx].run_once(rep_rng);
           CLOUDREPRO_OBS_STMT(
               const double m_dur = wall_s() - m_start;
@@ -487,7 +494,7 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
         }
         CLOUDREPRO_OBS_STMT(const double m_start = wall_s();)
         cells[idx].fresh();
-        stats::Rng rep_rng{repetition_seed(seed, idx, r)};
+        stats::Rng rep_rng{campaign_repetition_seed(seed, idx, r)};
         const double value = cells[idx].run_once(rep_rng);
         CLOUDREPRO_OBS_STMT(
             const double m_dur = wall_s() - m_start;
@@ -564,7 +571,7 @@ CampaignResult run_campaign(std::vector<CampaignCell> cells,
               const auto [idx, r] = pending[t];
               CLOUDREPRO_OBS_STMT(const double m_start = wall_s();)
               cells[idx].fresh();
-              stats::Rng rep_rng{repetition_seed(seed, idx, r)};
+              stats::Rng rep_rng{campaign_repetition_seed(seed, idx, r)};
               const double value = cells[idx].run_once(rep_rng);
               CLOUDREPRO_OBS_STMT(
                   const double m_dur = wall_s() - m_start;

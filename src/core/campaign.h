@@ -201,6 +201,23 @@ struct CampaignResult {
   void write_csv(std::ostream& os) const;
 };
 
+/// The RNG stream seed for one (cell, repetition) of a campaign with master
+/// seed `master`. This is the contract that makes campaign values a pure
+/// function of (cells, options, seed): resume, thread count, and — via
+/// src/shard — the worker process a repetition lands on never change what it
+/// computes. Exposed so shard workers derive exactly the streams
+/// `run_campaign` would.
+std::uint64_t campaign_repetition_seed(std::uint64_t master, std::size_t cell,
+                                       int rep) noexcept;
+
+/// The cell visit order `run_campaign` derives from (seed,
+/// options.randomize_order): a seed-keyed permutation when randomizing, else
+/// identity. The canonical journal's records appear in this order, which is
+/// what a sharded merge must reproduce byte-for-byte.
+std::vector<std::size_t> campaign_execution_order(std::size_t cell_count,
+                                                  const CampaignOptions& options,
+                                                  std::uint64_t seed);
+
 /// Runs the campaign from a master seed. Execution order and every
 /// repetition's RNG stream are derived from (seed, cell index, repetition),
 /// so the result is a pure function of (cells, options, seed) — including

@@ -1,9 +1,23 @@
 #include "serve/client.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace cloudrepro::serve {
+
+namespace {
+
+/// Time left until `deadline`, rounded up so a sub-millisecond remainder
+/// still parks instead of spinning. Callers check expiry before waiting.
+std::chrono::milliseconds remaining(
+    std::chrono::steady_clock::time_point deadline) {
+  return std::max(std::chrono::milliseconds{1},
+                  std::chrono::ceil<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now()));
+}
+
+}  // namespace
 
 FetchClient::FetchClient(std::unique_ptr<Transport> transport, Options options)
     : transport_(std::move(transport)),
@@ -45,9 +59,9 @@ void FetchClient::write_all(std::string_view data, Deadline deadline) {
         break;
       case IoStatus::kWouldBlock:
         if (std::chrono::steady_clock::now() >= deadline) {
-          throw std::runtime_error{"fetch: timed out sending request"};
+          throw FetchTimeout{"fetch: timed out sending request"};
         }
-        transport_->wait_writable();
+        transport_->wait_writable(remaining(deadline));
         break;
       case IoStatus::kClosed:
       case IoStatus::kError:
@@ -76,9 +90,9 @@ std::string FetchClient::read_frame(Deadline deadline) {
         break;
       case IoStatus::kWouldBlock:
         if (std::chrono::steady_clock::now() >= deadline) {
-          throw std::runtime_error{"fetch: timed out waiting for response"};
+          throw FetchTimeout{"fetch: timed out waiting for response"};
         }
-        transport_->wait_readable();
+        transport_->wait_readable(remaining(deadline));
         break;
       case IoStatus::kClosed:
         throw std::runtime_error{

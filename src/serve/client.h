@@ -14,10 +14,20 @@
 
 namespace cloudrepro::serve {
 
+/// A request exceeded its wall-clock budget (connection made but the peer
+/// never delivered). Distinct from transport loss so the CLI can map it to
+/// the retryable exit code.
+class FetchTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Blocking request/response client over any Transport: `cloudrepro fetch`
 /// over a TCP socket, the server's peer read-through over a socket, and the
 /// tests over in-memory pipes. One request at a time; the transport's
-/// wait hooks park the thread between partial reads/writes.
+/// wait hooks park the thread between partial reads/writes — bounded by
+/// the request deadline, so a hung peer surfaces as FetchTimeout instead
+/// of an unbounded block.
 class FetchClient {
  public:
   struct Options {
@@ -43,8 +53,8 @@ class FetchClient {
   Response stats();
 
   /// Sends one raw frame (newline appended) and returns the parsed reply.
-  /// Throws std::runtime_error on transport loss or deadline, ProtocolError
-  /// on an unparseable reply.
+  /// Throws FetchTimeout past the deadline, std::runtime_error on transport
+  /// loss, ProtocolError on an unparseable reply.
   Response request(const std::string& frame);
 
  private:

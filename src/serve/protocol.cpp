@@ -59,6 +59,12 @@ Request parse_request(std::string_view frame) {
     request.op = Request::Op::kList;
   } else if (op_name == "STATS") {
     request.op = Request::Op::kStats;
+  } else if (op_name == "SHARD_PLAN") {
+    request.op = Request::Op::kShardPlan;
+  } else if (op_name == "SHARD_PULL") {
+    request.op = Request::Op::kShardPull;
+  } else if (op_name == "SHARD_PUSH") {
+    request.op = Request::Op::kShardPush;
   } else {
     throw ProtocolError{"bad_op", "unknown op \"" + op_name + "\""};
   }
@@ -79,7 +85,67 @@ Request parse_request(std::string_view frame) {
     }
   }
 
-  if (request.op != Request::Op::kGet) return request;
+  if (request.op == Request::Op::kShardPull) {
+    const Json* worker = doc.find("worker");
+    if (!worker || !worker->is_string() || worker->as_string().empty()) {
+      throw ProtocolError{"bad_field",
+                          "SHARD_PULL needs a non-empty string \"worker\""};
+    }
+    request.worker = worker->as_string();
+    return request;
+  }
+  if (request.op == Request::Op::kShardPush) {
+    const Json* worker = doc.find("worker");
+    if (!worker || !worker->is_string() || worker->as_string().empty()) {
+      throw ProtocolError{"bad_field",
+                          "SHARD_PUSH needs a non-empty string \"worker\""};
+    }
+    request.worker = worker->as_string();
+    const Json* key = doc.find("key");
+    if (!key || !key->is_string() || key->as_string().empty()) {
+      throw ProtocolError{"bad_field",
+                          "SHARD_PUSH needs a non-empty string \"key\""};
+    }
+    request.key = key->as_string();
+    const Json* cell = doc.find("cell");
+    if (!cell || !cell->is_number()) {
+      throw ProtocolError{"bad_field", "SHARD_PUSH needs an integer \"cell\""};
+    }
+    try {
+      request.cell = static_cast<std::size_t>(cell->as_uint());
+    } catch (const JsonError&) {
+      throw ProtocolError{"bad_field", "\"cell\" must be a non-negative integer"};
+    }
+    if (const Json* records = doc.find("records")) {
+      if (!records->is_array()) {
+        throw ProtocolError{"bad_field", "\"records\" must be an array of strings"};
+      }
+      for (const Json& line : records->as_array()) {
+        if (!line.is_string()) {
+          throw ProtocolError{"bad_field",
+                              "\"records\" must be an array of strings"};
+        }
+        request.records.push_back(line.as_string());
+      }
+    }
+    if (const Json* done = doc.find("done")) {
+      if (!done->is_bool()) {
+        throw ProtocolError{"bad_field", "\"done\" must be a boolean"};
+      }
+      request.done = done->as_bool();
+    }
+    if (const Json* wall = doc.find("wall_s")) {
+      if (!wall->is_number()) {
+        throw ProtocolError{"bad_field", "\"wall_s\" must be a number"};
+      }
+      request.wall_s = wall->as_double();
+    }
+    return request;
+  }
+  if (request.op != Request::Op::kGet &&
+      request.op != Request::Op::kShardPlan) {
+    return request;
+  }
 
   int addresses = 0;
   if (const Json* spec = doc.find("spec")) {
@@ -105,8 +171,9 @@ Request parse_request(std::string_view frame) {
     request.hash = hash->as_string();
   }
   if (addresses != 1) {
-    throw ProtocolError{"bad_field",
-                        "GET needs exactly one of \"spec\", \"scenario\", \"hash\""};
+    throw ProtocolError{
+        "bad_field",
+        op_name + " needs exactly one of \"spec\", \"scenario\", \"hash\""};
   }
   if (request.schema_version &&
       *request.schema_version != scenario::kResultSchemaVersion) {
@@ -216,6 +283,198 @@ std::string get_request_frame_by_hash(std::string_view hash, std::uint64_t seed)
   return Json{std::move(root)}.canonical();
 }
 
+namespace {
+
+/// Shared precondition for the shard response parsers: the frame must be a
+/// JSON object with `"ok":true`. Error frames should be routed through
+/// parse_response by callers; reaching here with one is a protocol bug.
+Json parse_ok_object(std::string_view frame, const char* what) {
+  Json doc = parse_frame_json(frame);
+  if (!doc.is_object()) {
+    throw ProtocolError{"bad_json",
+                        std::string{what} + " response must be a JSON object"};
+  }
+  const Json* ok = doc.find("ok");
+  if (!ok || !ok->is_bool() || !ok->as_bool()) {
+    throw ProtocolError{"bad_field",
+                        std::string{what} + " response is not \"ok\":true"};
+  }
+  return doc;
+}
+
+std::size_t require_size(const Json& object, const char* field,
+                         const char* what) {
+  const Json* value = object.find(field);
+  if (!value || !value->is_number()) {
+    throw ProtocolError{"bad_field", std::string{what} +
+                                         " response missing integer \"" +
+                                         field + "\""};
+  }
+  try {
+    return static_cast<std::size_t>(value->as_uint());
+  } catch (const JsonError&) {
+    throw ProtocolError{"bad_field", std::string{"\""} + field +
+                                         "\" must be a non-negative integer"};
+  }
+}
+
+}  // namespace
+
+std::string shard_plan_response(const ShardPlanInfo& info) {
+  JsonObject root;
+  root["assigned"] = Json{static_cast<std::uint64_t>(info.assigned)};
+  root["cells"] = Json{static_cast<std::uint64_t>(info.cells)};
+  root["completed"] = Json{static_cast<std::uint64_t>(info.completed)};
+  root["key"] = Json{info.key};
+  root["ok"] = Json{true};
+  root["pending"] = Json{static_cast<std::uint64_t>(info.pending)};
+  root["state"] = Json{info.state};
+  root["workers"] = Json{static_cast<std::uint64_t>(info.workers)};
+  return Json{std::move(root)}.canonical();
+}
+
+ShardPlanInfo parse_shard_plan_response(std::string_view frame) {
+  const Json doc = parse_ok_object(frame, "SHARD_PLAN");
+  ShardPlanInfo info;
+  const Json* key = doc.find("key");
+  if (!key || !key->is_string()) {
+    throw ProtocolError{"bad_field", "SHARD_PLAN response missing \"key\""};
+  }
+  info.key = key->as_string();
+  const Json* state = doc.find("state");
+  if (!state || !state->is_string()) {
+    throw ProtocolError{"bad_field", "SHARD_PLAN response missing \"state\""};
+  }
+  info.state = state->as_string();
+  info.cells = require_size(doc, "cells", "SHARD_PLAN");
+  info.completed = require_size(doc, "completed", "SHARD_PLAN");
+  info.pending = require_size(doc, "pending", "SHARD_PLAN");
+  info.assigned = require_size(doc, "assigned", "SHARD_PLAN");
+  info.workers = require_size(doc, "workers", "SHARD_PLAN");
+  return info;
+}
+
+std::string shard_idle_response(int retry_ms) {
+  JsonObject root;
+  root["idle"] = Json{true};
+  root["ok"] = Json{true};
+  root["retry_ms"] = Json{retry_ms};
+  return Json{std::move(root)}.canonical();
+}
+
+std::string shard_assignment_response(const std::string& key, std::size_t cell,
+                                      const scenario::ScenarioSpec& spec,
+                                      std::uint64_t seed,
+                                      const std::vector<std::string>& resume) {
+  JsonObject assignment;
+  assignment["cell"] = Json{static_cast<std::uint64_t>(cell)};
+  assignment["key"] = Json{key};
+  std::vector<Json> lines;
+  lines.reserve(resume.size());
+  for (const std::string& line : resume) lines.emplace_back(line);
+  assignment["resume"] = Json{std::move(lines)};
+  assignment["seed"] = Json{seed};
+  assignment["spec"] = spec.to_json();
+  JsonObject root;
+  root["assignment"] = Json{std::move(assignment)};
+  root["ok"] = Json{true};
+  return Json{std::move(root)}.canonical();
+}
+
+ShardAssignment parse_shard_pull_response(std::string_view frame) {
+  const Json doc = parse_ok_object(frame, "SHARD_PULL");
+  ShardAssignment out;
+  if (const Json* idle = doc.find("idle"); idle && idle->is_bool() &&
+                                           idle->as_bool()) {
+    out.idle = true;
+    if (const Json* retry = doc.find("retry_ms");
+        retry && retry->is_number()) {
+      out.retry_ms = static_cast<int>(retry->as_int());
+    }
+    return out;
+  }
+  const Json* assignment = doc.find("assignment");
+  if (!assignment || !assignment->is_object()) {
+    throw ProtocolError{"bad_field",
+                        "SHARD_PULL response has neither \"idle\" nor "
+                        "\"assignment\""};
+  }
+  out.idle = false;
+  const Json* key = assignment->find("key");
+  if (!key || !key->is_string() || key->as_string().empty()) {
+    throw ProtocolError{"bad_field", "assignment missing \"key\""};
+  }
+  out.key = key->as_string();
+  out.cell = require_size(*assignment, "cell", "SHARD_PULL");
+  const Json* seed = assignment->find("seed");
+  if (!seed || !seed->is_number()) {
+    throw ProtocolError{"bad_field", "assignment missing \"seed\""};
+  }
+  try {
+    out.seed = seed->as_uint();
+  } catch (const JsonError&) {
+    throw ProtocolError{"bad_field",
+                        "\"seed\" must be a non-negative integer"};
+  }
+  const Json* spec = assignment->find("spec");
+  if (!spec) {
+    throw ProtocolError{"bad_field", "assignment missing \"spec\""};
+  }
+  try {
+    out.spec = scenario::ScenarioSpec::from_json(*spec);
+  } catch (const JsonError& error) {
+    throw ProtocolError{"bad_spec",
+                        std::string{"assignment spec rejected: "} +
+                            error.what()};
+  }
+  if (const Json* resume = assignment->find("resume")) {
+    if (!resume->is_array()) {
+      throw ProtocolError{"bad_field",
+                          "\"resume\" must be an array of strings"};
+    }
+    for (const Json& line : resume->as_array()) {
+      if (!line.is_string()) {
+        throw ProtocolError{"bad_field",
+                            "\"resume\" must be an array of strings"};
+      }
+      out.resume.push_back(line.as_string());
+    }
+  }
+  return out;
+}
+
+std::string shard_push_response(const ShardPushAck& ack) {
+  JsonObject root;
+  root["accepted"] = Json{static_cast<std::uint64_t>(ack.accepted)};
+  root["campaign_complete"] = Json{ack.campaign_complete};
+  root["cell_complete"] = Json{ack.cell_complete};
+  root["dropped"] = Json{static_cast<std::uint64_t>(ack.dropped)};
+  root["duplicates"] = Json{static_cast<std::uint64_t>(ack.duplicates)};
+  root["ok"] = Json{true};
+  return Json{std::move(root)}.canonical();
+}
+
+ShardPushAck parse_shard_push_response(std::string_view frame) {
+  const Json doc = parse_ok_object(frame, "SHARD_PUSH");
+  ShardPushAck ack;
+  ack.accepted = require_size(doc, "accepted", "SHARD_PUSH");
+  ack.duplicates = require_size(doc, "duplicates", "SHARD_PUSH");
+  ack.dropped = require_size(doc, "dropped", "SHARD_PUSH");
+  const Json* cell = doc.find("cell_complete");
+  if (!cell || !cell->is_bool()) {
+    throw ProtocolError{"bad_field",
+                        "SHARD_PUSH response missing \"cell_complete\""};
+  }
+  ack.cell_complete = cell->as_bool();
+  const Json* campaign = doc.find("campaign_complete");
+  if (!campaign || !campaign->is_bool()) {
+    throw ProtocolError{"bad_field",
+                        "SHARD_PUSH response missing \"campaign_complete\""};
+  }
+  ack.campaign_complete = campaign->as_bool();
+  return ack;
+}
+
 std::string list_request_frame() {
   JsonObject root;
   root["op"] = Json{"LIST"};
@@ -227,6 +486,43 @@ std::string stats_request_frame() {
   JsonObject root;
   root["op"] = Json{"STATS"};
   root["protocol"] = Json{kProtocolVersion};
+  return Json{std::move(root)}.canonical();
+}
+
+std::string shard_plan_request_frame_by_name(
+    std::string_view name, std::optional<std::uint64_t> seed) {
+  JsonObject root;
+  root["op"] = Json{"SHARD_PLAN"};
+  root["protocol"] = Json{kProtocolVersion};
+  root["scenario"] = Json{std::string{name}};
+  if (seed) root["seed"] = Json{*seed};
+  return Json{std::move(root)}.canonical();
+}
+
+std::string shard_pull_request_frame(std::string_view worker) {
+  JsonObject root;
+  root["op"] = Json{"SHARD_PULL"};
+  root["protocol"] = Json{kProtocolVersion};
+  root["worker"] = Json{std::string{worker}};
+  return Json{std::move(root)}.canonical();
+}
+
+std::string shard_push_request_frame(std::string_view worker,
+                                     const std::string& key, std::size_t cell,
+                                     const std::vector<std::string>& records,
+                                     bool done, double wall_s) {
+  JsonObject root;
+  root["cell"] = Json{static_cast<std::uint64_t>(cell)};
+  root["done"] = Json{done};
+  root["key"] = Json{key};
+  root["op"] = Json{"SHARD_PUSH"};
+  root["protocol"] = Json{kProtocolVersion};
+  std::vector<Json> lines;
+  lines.reserve(records.size());
+  for (const std::string& line : records) lines.emplace_back(line);
+  root["records"] = Json{std::move(lines)};
+  root["wall_s"] = Json{wall_s};
+  root["worker"] = Json{std::string{worker}};
   return Json{std::move(root)}.canonical();
 }
 

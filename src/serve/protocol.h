@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "scenario/spec.h"
 
@@ -33,10 +34,10 @@ class ProtocolError : public std::runtime_error {
 /// inline spec (hash derived), a registry name (hash of the named spec), or
 /// a bare content hash (resolved against the server's registry index).
 struct Request {
-  enum class Op { kGet, kList, kStats };
+  enum class Op { kGet, kList, kStats, kShardPlan, kShardPull, kShardPush };
   Op op = Op::kGet;
 
-  // GET addressing — exactly one of these three is set.
+  // GET / SHARD_PLAN addressing — exactly one of these three is set.
   std::optional<scenario::ScenarioSpec> spec;  ///< Inline spec document.
   std::string scenario_name;                   ///< Registry name.
   std::string hash;                            ///< 64-hex content hash.
@@ -47,6 +48,15 @@ struct Request {
   /// built against other measurement semantics must not be served bytes it
   /// cannot reproduce.
   std::optional<int> schema_version;
+
+  // SHARD_PULL / SHARD_PUSH fields.
+  std::string worker;                ///< Worker name (liveness attribution).
+  std::string key;                   ///< Session key (opaque to workers).
+  std::size_t cell = 0;              ///< SHARD_PUSH: cell the records are for.
+  std::vector<std::string> records;  ///< SHARD_PUSH: journal record lines.
+  bool done = false;                 ///< SHARD_PUSH: worker claims the cell
+                                     ///< reached its stop point.
+  double wall_s = 0.0;               ///< SHARD_PUSH: cell wall time (metrics).
 };
 
 /// Parses one request frame (a line of JSON). Throws ProtocolError.
@@ -78,6 +88,58 @@ struct Response {
 };
 Response parse_response(std::string_view frame);
 
+// --- Shard coordination (SHARD_PLAN / SHARD_PULL / SHARD_PUSH) -----------
+// SHARD_PLAN reports a campaign's sharding state (observability and test
+// introspection; campaigns start via GET so single-flight stays the only
+// admission path). SHARD_PULL registers the connection as a worker and
+// claims the next unassigned cell; SHARD_PUSH streams a cell's journal
+// records back. Workers never see the registry or the store — assignments
+// ship the spec inline and records are opaque journal lines.
+
+/// Server-side state of one distributed campaign, as reported by
+/// SHARD_PLAN and parsed from its response.
+struct ShardPlanInfo {
+  std::string key;
+  /// "complete" (summary published), "running" (session open), or "idle"
+  /// (no session; a GET would open one while workers are connected).
+  std::string state;
+  std::size_t cells = 0;
+  std::size_t completed = 0;
+  std::size_t pending = 0;   ///< Unassigned cells (running sessions).
+  std::size_t assigned = 0;  ///< Cells currently out with workers.
+  std::size_t workers = 0;   ///< Worker connections registered.
+};
+std::string shard_plan_response(const ShardPlanInfo& info);
+ShardPlanInfo parse_shard_plan_response(std::string_view frame);
+
+/// One SHARD_PULL outcome: an assignment, or idle (retry later).
+struct ShardAssignment {
+  bool idle = true;
+  int retry_ms = 100;                          ///< Meaningful when idle.
+  std::string key;                             ///< Session key; echo in PUSH.
+  std::size_t cell = 0;
+  std::uint64_t seed = 0;
+  std::optional<scenario::ScenarioSpec> spec;  ///< Inline spec.
+  std::vector<std::string> resume;             ///< Known record lines.
+};
+std::string shard_idle_response(int retry_ms);
+std::string shard_assignment_response(const std::string& key, std::size_t cell,
+                                      const scenario::ScenarioSpec& spec,
+                                      std::uint64_t seed,
+                                      const std::vector<std::string>& resume);
+ShardAssignment parse_shard_pull_response(std::string_view frame);
+
+/// SHARD_PUSH acknowledgement: the plan's ingestion outcome.
+struct ShardPushAck {
+  std::size_t accepted = 0;
+  std::size_t duplicates = 0;
+  std::size_t dropped = 0;
+  bool cell_complete = false;
+  bool campaign_complete = false;
+};
+std::string shard_push_response(const ShardPushAck& ack);
+ShardPushAck parse_shard_push_response(std::string_view frame);
+
 /// Canonical request frames (no trailing newline), used by the client and
 /// by tests.
 std::string get_request_frame(const scenario::ScenarioSpec& spec,
@@ -88,5 +150,12 @@ std::string get_request_frame_by_hash(std::string_view hash,
                                       std::uint64_t seed);
 std::string list_request_frame();
 std::string stats_request_frame();
+std::string shard_plan_request_frame_by_name(std::string_view name,
+                                             std::optional<std::uint64_t> seed);
+std::string shard_pull_request_frame(std::string_view worker);
+std::string shard_push_request_frame(std::string_view worker,
+                                     const std::string& key, std::size_t cell,
+                                     const std::vector<std::string>& records,
+                                     bool done, double wall_s);
 
 }  // namespace cloudrepro::serve

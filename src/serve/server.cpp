@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/journal.h"
+#include "io/vfs.h"
 #include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "scenario/json.h"
@@ -68,6 +70,7 @@ bool ServerCore::poll_once() {
     const bool flushed_eof =
         conn.read_closed && conn.write_buf.empty() && !conn.executing;
     if (conn.dead || flushed_eof) {
+      if (conn.is_worker) forget_worker(conn);
       conn.transport->close();
       count("serve.connections_closed");
       it = connections_.erase(it);
@@ -198,6 +201,18 @@ void ServerCore::handle_frame(Connection& conn, const std::string& frame) {
       count("serve.requests_stats");
       respond(conn, stats_response());
       return;
+    case Request::Op::kShardPlan:
+      count("serve.requests_shard_plan");
+      handle_shard_plan(conn, request);
+      return;
+    case Request::Op::kShardPull:
+      count("serve.requests_shard_pull");
+      handle_shard_pull(conn, request);
+      return;
+    case Request::Op::kShardPush:
+      count("serve.requests_shard_push");
+      handle_shard_push(conn, request);
+      return;
     case Request::Op::kGet:
       break;
   }
@@ -206,29 +221,32 @@ void ServerCore::handle_frame(Connection& conn, const std::string& frame) {
   handle_get(conn, request);
 }
 
-void ServerCore::handle_get(Connection& conn, const Request& request) {
-  const scenario::ScenarioSpec* spec = nullptr;
-  if (request.spec) {
-    spec = &*request.spec;
-  } else if (!request.scenario_name.empty()) {
-    spec = resolve_by_name(request.scenario_name);
+const scenario::ScenarioSpec* ServerCore::resolve_request_spec(
+    Connection& conn, const Request& request) {
+  if (request.spec) return &*request.spec;
+  if (!request.scenario_name.empty()) {
+    const scenario::ScenarioSpec* spec = resolve_by_name(request.scenario_name);
     if (!spec) {
       count("serve.requests_bad");
       respond(conn, error_response("unknown_scenario",
                                    "no scenario named \"" +
                                        request.scenario_name + "\""));
-      return;
     }
-  } else {
-    spec = resolve_by_hash(request.hash);
-    if (!spec) {
-      count("serve.requests_bad");
-      respond(conn,
-              error_response("unknown_hash",
-                             "no registry scenario with that content hash"));
-      return;
-    }
+    return spec;
   }
+  const scenario::ScenarioSpec* spec = resolve_by_hash(request.hash);
+  if (!spec) {
+    count("serve.requests_bad");
+    respond(conn,
+            error_response("unknown_hash",
+                           "no registry scenario with that content hash"));
+  }
+  return spec;
+}
+
+void ServerCore::handle_get(Connection& conn, const Request& request) {
+  const scenario::ScenarioSpec* spec = resolve_request_spec(conn, request);
+  if (!spec) return;
   const std::uint64_t seed = request.seed.value_or(spec->seed);
   const std::string hash = spec->content_hash();
 
@@ -280,6 +298,19 @@ void ServerCore::handle_get(Connection& conn, const Request& request) {
     count("serve.single_flight_leader");
     const auto depth = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
     metrics_.gauge("serve.queue_depth").set(static_cast<double>(depth));
+    // With workers registered, the leader opens a distributed session
+    // instead of executing locally; the session completes this same flight,
+    // so the herd still coalesces onto one campaign.
+    if (worker_count_ > 0 && open_shard_session(*spec, seed, key)) {
+      count("shard.sessions_opened");
+      const auto session = sessions_.find(key);
+      if (session != sessions_.end() && session->second.plan->complete()) {
+        // Warm journal already proves completion (only the summary was
+        // missing): finalize immediately, no assignments needed.
+        close_session(key);
+      }
+      return;
+    }
     executor_->submit([this, spec = *spec, seed, key] {
       FlightOutcome outcome = execute(spec, seed);
       if (outcome.ok) count("serve.get_executed");
@@ -292,11 +323,246 @@ void ServerCore::handle_get(Connection& conn, const Request& request) {
   }
 }
 
+void ServerCore::handle_shard_plan(Connection& conn, const Request& request) {
+  const scenario::ScenarioSpec* spec = resolve_request_spec(conn, request);
+  if (!spec) return;
+  const std::uint64_t seed = request.seed.value_or(spec->seed);
+  ShardPlanInfo info;
+  info.key = store_.entry_key(*spec, seed);
+  info.workers = worker_count_;
+  const auto it = sessions_.find(info.key);
+  if (it != sessions_.end()) {
+    const ShardSession& session = it->second;
+    info.state = "running";
+    info.cells = session.plan->cell_count();
+    info.completed = session.plan->completed_cells();
+    info.pending = session.pending.size();
+    for (const auto& [id, cells] : session.assigned) {
+      info.assigned += cells.size();
+    }
+  } else {
+    info.cells = scenario::build_cells(*spec).size();
+    if (store_.has_summary(*spec, seed)) {
+      info.state = "complete";
+      info.completed = info.cells;
+    } else {
+      info.state = "idle";
+    }
+  }
+  respond(conn, shard_plan_response(info));
+}
+
+void ServerCore::handle_shard_pull(Connection& conn, const Request& request) {
+  (void)request;  // The worker name is attribution only.
+  if (!conn.is_worker) {
+    conn.is_worker = true;
+    ++worker_count_;
+    metrics_.gauge("shard.workers").set(static_cast<double>(worker_count_));
+  }
+  for (auto& [key, session] : sessions_) {
+    if (session.pending.empty()) continue;
+    const std::size_t cell = session.pending.front();
+    session.pending.pop_front();
+    session.assigned[conn.id].push_back(cell);
+    count("shard.cells_assigned");
+    respond(conn,
+            shard_assignment_response(key, cell, session.spec, session.seed,
+                                      session.plan->resume_lines(cell)));
+    return;
+  }
+  respond(conn, shard_idle_response(options_.worker_retry_ms));
+}
+
+void ServerCore::handle_shard_push(Connection& conn, const Request& request) {
+  const auto it = sessions_.find(request.key);
+  if (it == sessions_.end()) {
+    respond(conn, error_response("unknown_session",
+                                 "no open shard session for that key"));
+    return;
+  }
+  ShardSession& session = it->second;
+  if (request.cell >= session.plan->cell_count()) {
+    count("serve.requests_bad");
+    respond(conn, error_response("bad_field", "cell index out of range"));
+    return;
+  }
+  shard::ShardPlan::PushOutcome outcome;
+  try {
+    outcome = session.plan->push(request.cell, request.records);
+  } catch (const shard::ShardMergeError& error) {
+    // Nothing was committed (push has strong exception safety); requeue the
+    // cell so a healthy worker re-derives it, and bounce the typed error to
+    // the pusher.
+    count("shard.push_rejected");
+    release_assignment(session, conn.id, request.cell, /*requeue=*/true);
+    respond(conn, error_response(error.code(), error.what()));
+    return;
+  }
+  count("shard.records_accepted", static_cast<double>(outcome.accepted));
+  count("shard.records_duplicate", static_cast<double>(outcome.duplicates));
+  if (request.wall_s > 0) {
+    metrics_.histogram("shard.cell_wall_s").observe(request.wall_s);
+  }
+  // Completion is *derived* from the plan's record set, never taken from the
+  // worker's claim: a cancelled or lossy worker's cell goes back in the
+  // queue regardless of what it said.
+  const bool cell_done = session.plan->cell_complete(request.cell);
+  release_assignment(session, conn.id, request.cell, /*requeue=*/!cell_done);
+  if (cell_done) count("shard.cells_completed");
+  ShardPushAck ack;
+  ack.accepted = outcome.accepted;
+  ack.duplicates = outcome.duplicates;
+  ack.dropped = outcome.dropped;
+  ack.cell_complete = cell_done;
+  ack.campaign_complete = session.plan->complete();
+  respond(conn, shard_push_response(ack));
+  if (ack.campaign_complete) close_session(request.key);
+}
+
+bool ServerCore::open_shard_session(const scenario::ScenarioSpec& spec,
+                                    std::uint64_t seed,
+                                    const std::string& key) {
+  try {
+    scenario::EntryLock lock = store_.try_lock(spec, seed);
+    if (!lock) return false;  // Cross-process holder: the executor path waits.
+    std::filesystem::path journal_path = store_.prepare(spec, seed);
+    const auto cells = scenario::build_cells(spec);
+    const core::CampaignOptions copts = scenario::campaign_options(spec);
+    auto plan = std::make_unique<shard::ShardPlan>(cells, copts, seed);
+    try {
+      plan->absorb_replay(core::replay_journal(io::real_vfs(), journal_path,
+                                               plan->header(), cells.size(),
+                                               copts.repetitions_per_cell));
+    } catch (const core::JournalMismatch&) {
+      // A journal from a different grid/build: evict and go cold, exactly
+      // as run_scenario would.
+      lock.release();
+      store_.evict(spec, seed);
+      journal_path = store_.prepare(spec, seed);
+      lock = store_.try_lock(spec, seed);
+      if (!lock) return false;
+      plan = std::make_unique<shard::ShardPlan>(cells, copts, seed);
+    }
+    ShardSession session;
+    session.spec = spec;
+    session.seed = seed;
+    session.journal_path = std::move(journal_path);
+    for (const std::size_t cell : plan->execution_order()) {
+      if (!plan->cell_complete(cell)) session.pending.push_back(cell);
+    }
+    session.plan = std::move(plan);
+    session.lock = std::make_shared<scenario::EntryLock>(std::move(lock));
+    sessions_.emplace(key, std::move(session));
+    return true;
+  } catch (const std::exception&) {
+    return false;  // Session setup failed; the executor path still works.
+  }
+}
+
+void ServerCore::close_session(const std::string& key) {
+  const auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  ShardSession session = std::move(it->second);
+  sessions_.erase(it);
+
+  // Snapshot the journal bytes on the reactor (the plan dies with the
+  // session): the canonical merged journal when complete, else the header
+  // plus every known record — replay accepts the set in any order.
+  const bool complete = session.plan->complete();
+  std::string bytes;
+  if (complete) {
+    bytes = session.plan->merge();
+  } else {
+    bytes = session.plan->header();
+    bytes += '\n';
+    for (const std::size_t cell : session.plan->execution_order()) {
+      for (const std::string& line : session.plan->resume_lines(cell)) {
+        bytes += line;
+        bytes += '\n';
+      }
+    }
+  }
+  count(complete ? "shard.sessions_finalized" : "shard.sessions_demoted");
+
+  // File I/O and the replay run belong on the executor. The peer
+  // read-through is skipped: the journal on disk is already authoritative.
+  executor_->submit([this, key, spec = session.spec, seed = session.seed,
+                     path = session.journal_path, bytes = std::move(bytes),
+                     lock = session.lock] {
+    FlightOutcome outcome;
+    try {
+      io::Vfs& vfs = io::real_vfs();
+      {
+        auto file = vfs.open_write(path, io::WriteMode::kTruncate);
+        file->append(bytes);
+        file->sync();
+        file->close();
+      }
+      vfs.sync_dir(path.parent_path());
+      // Release before the replay run: run_scenario takes the entry lock
+      // itself, and this process already holding it would read as
+      // contention.
+      lock->release();
+      outcome = execute(spec, seed, /*allow_peer=*/false);
+    } catch (const std::exception& error) {
+      lock->release();
+      outcome.ok = false;
+      outcome.error_code = "execution";
+      outcome.error_message = error.what();
+    }
+    if (outcome.ok) count("serve.get_executed");
+    const auto left = inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    metrics_.gauge("serve.queue_depth").set(static_cast<double>(left));
+    flights_.complete(key, outcome);
+  });
+}
+
+void ServerCore::forget_worker(const Connection& conn) {
+  --worker_count_;
+  metrics_.gauge("shard.workers").set(static_cast<double>(worker_count_));
+  for (auto& [key, session] : sessions_) {
+    const auto it = session.assigned.find(conn.id);
+    if (it == session.assigned.end()) continue;
+    for (const std::size_t cell : it->second) {
+      if (!session.plan->cell_complete(cell)) {
+        session.pending.push_back(cell);
+        count("shard.cells_reassigned");
+      }
+    }
+    session.assigned.erase(it);
+  }
+  if (worker_count_ == 0 && !sessions_.empty()) {
+    // The last worker died: demote every open session to local execution,
+    // resuming from whatever the workers pushed.
+    std::vector<std::string> keys;
+    keys.reserve(sessions_.size());
+    for (const auto& [key, session] : sessions_) keys.push_back(key);
+    for (const std::string& key : keys) close_session(key);
+  }
+}
+
+void ServerCore::release_assignment(ShardSession& session,
+                                    std::uint64_t conn_id, std::size_t cell,
+                                    bool requeue) {
+  const auto it = session.assigned.find(conn_id);
+  if (it != session.assigned.end()) {
+    auto& cells = it->second;
+    cells.erase(std::remove(cells.begin(), cells.end(), cell), cells.end());
+    if (cells.empty()) session.assigned.erase(it);
+  }
+  if (requeue && std::find(session.pending.begin(), session.pending.end(),
+                           cell) == session.pending.end()) {
+    session.pending.push_back(cell);
+  }
+}
+
 FlightOutcome ServerCore::execute(const scenario::ScenarioSpec& spec,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, bool allow_peer) {
   FlightOutcome outcome;
   try {
-    if (options_.peer && fetch_from_peer(spec, seed, outcome)) return outcome;
+    if (allow_peer && options_.peer && fetch_from_peer(spec, seed, outcome)) {
+      return outcome;
+    }
     scenario::RunOptions run;
     run.threads = options_.campaign_threads;
     run.seed = seed;
@@ -468,6 +734,13 @@ void ServerCore::pump_until_idle() {
 
 void ServerCore::begin_shutdown() {
   shutdown_.store(true, std::memory_order_relaxed);
+  // Open shard sessions drain through the executor: their partial journals
+  // are persisted (resumable) and their flights complete — as "interrupted"
+  // when the replay run sees the cancel flag before finishing.
+  std::vector<std::string> keys;
+  keys.reserve(sessions_.size());
+  for (const auto& [key, session] : sessions_) keys.push_back(key);
+  for (const std::string& key : keys) close_session(key);
 }
 
 bool ServerCore::drained() const {

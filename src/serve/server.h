@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "serve/frame.h"
 #include "serve/single_flight.h"
 #include "serve/transport.h"
+#include "shard/plan.h"
 
 namespace cloudrepro::obs {
 class MetricsRegistry;
@@ -55,6 +57,8 @@ struct ServeOptions {
   int executor_threads = 2;
   /// `RunOptions::threads` for each executed campaign.
   int campaign_threads = 1;
+  /// Retry hint returned to a worker whose SHARD_PULL found no work.
+  int worker_retry_ms = 50;
   /// Scenario catalog for name/hash-addressed GETs; null = builtin().
   const scenario::ScenarioRegistry* registry = nullptr;
   /// Read-through peer: on a local miss the leader first asks the peer for
@@ -92,8 +96,31 @@ struct ServeOptions {
 ///   serve.single_flight_coalesced     requests that shared an open flight
 ///   serve.peer_hit / _miss / _error   read-through outcomes
 ///   serve.slow_client_drops           connections dropped over max_write_buffer
-/// Gauges: serve.connections, serve.queue_depth (inflight campaigns).
-/// Histogram: serve.request_latency_s (GET admission to response enqueue).
+///   serve.requests_shard_plan / _shard_pull / _shard_push
+///   shard.sessions_opened             distributed campaigns started
+///   shard.sessions_finalized          merged complete and published
+///   shard.sessions_demoted            fell back to local execution
+///   shard.cells_assigned / _completed / _reassigned
+///   shard.records_accepted / _duplicate
+///   shard.push_rejected               pushes refused by a merge invariant
+/// Gauges: serve.connections, serve.queue_depth (inflight campaigns),
+///         shard.workers (registered worker connections).
+/// Histograms: serve.request_latency_s (GET admission to response enqueue),
+///             shard.cell_wall_s (worker-reported cell wall time).
+///
+/// Distributed campaigns: a leader GET that finds worker connections
+/// registered (a prior SHARD_PULL marks its connection) opens a *shard
+/// session* instead of submitting the campaign to the executor. The session
+/// owns the entry lock and a shard::ShardPlan; workers pull cell
+/// assignments and push journal records; once the plan proves the campaign
+/// complete, the merged journal is persisted and replayed through
+/// run_scenario (zero new measurements), publishing a summary
+/// byte-identical to a single-node run. A worker death requeues its cells;
+/// the death of the *last* worker demotes every open session to the
+/// ordinary executor path, which resumes from the persisted partial
+/// journal. Single-flight semantics are unchanged — the session completes
+/// the same flight the leader GET opened, so a herd on an uncached scenario
+/// still costs exactly one (now distributed) campaign.
 class ServerCore {
  public:
   ServerCore(scenario::ResultStore& store, obs::MetricsRegistry& metrics,
@@ -123,8 +150,10 @@ class ServerCore {
   void pump_until_idle();
 
   /// New frames get "shutting_down" errors; in-flight campaigns are
-  /// cancelled cooperatively (journals flushed — resumable), outcomes are
-  /// still delivered, and write buffers drain.
+  /// cancelled cooperatively (journals flushed — resumable), open shard
+  /// sessions persist their partial journals and drain through the
+  /// executor, outcomes are still delivered, and write buffers drain.
+  /// Reactor thread only.
   void begin_shutdown();
   /// True once nothing is in flight and every response byte is out.
   bool drained() const;
@@ -153,6 +182,7 @@ class ServerCore {
     bool executing = false;    ///< A GET is in flight; reads are paused.
     bool read_closed = false;  ///< Peer EOF seen; flush then drop.
     bool dead = false;         ///< Marked for removal at the end of the pass.
+    bool is_worker = false;    ///< Sent a SHARD_PULL; cells may be assigned.
     std::chrono::steady_clock::time_point request_start{};
 
     Connection(std::uint64_t id_, std::unique_ptr<Transport> t,
@@ -166,6 +196,24 @@ class ServerCore {
     bool ok = false;
   };
 
+  /// One open distributed campaign, keyed in `sessions_` by the cache entry
+  /// key (the single-flight key — the flight the leader GET opened is the
+  /// flight this session completes). Reactor thread only.
+  struct ShardSession {
+    scenario::ScenarioSpec spec;
+    std::uint64_t seed = 0;
+    std::filesystem::path journal_path;
+    std::unique_ptr<shard::ShardPlan> plan;
+    /// Held for the session's whole life; shared_ptr because the finalize
+    /// closure (a copyable std::function) releases it on an executor thread
+    /// after persisting the journal.
+    std::shared_ptr<scenario::EntryLock> lock;
+    /// Unassigned incomplete cells, in canonical execution order.
+    std::deque<std::size_t> pending;
+    /// connection id -> cells currently out with that worker.
+    std::map<std::uint64_t, std::vector<std::size_t>> assigned;
+  };
+
   // Reactor-side steps.
   bool drain_completions();
   bool pump_writes(Connection& conn);
@@ -176,12 +224,36 @@ class ServerCore {
   void respond(Connection& conn, const std::string& response);
   void observe_latency(const Connection& conn);
 
+  // Shard coordination (reactor thread only).
+  void handle_shard_plan(Connection& conn, const struct Request& request);
+  void handle_shard_pull(Connection& conn, const struct Request& request);
+  void handle_shard_push(Connection& conn, const struct Request& request);
+  /// Opens a session for the flight's leader; false = fall back to the
+  /// executor (cross-process lock holder, or session setup failed).
+  bool open_shard_session(const scenario::ScenarioSpec& spec,
+                          std::uint64_t seed, const std::string& key);
+  /// Persists the session's journal (merged when complete, partial
+  /// otherwise), erases it, and hands the flight to the executor: release
+  /// the entry lock, replay/resume through run_scenario, complete the
+  /// flight.
+  void close_session(const std::string& key);
+  /// Worker connection going away: requeue its cells; when it was the last
+  /// worker, demote every open session to local execution.
+  void forget_worker(const Connection& conn);
+  static void release_assignment(ShardSession& session, std::uint64_t conn_id,
+                                 std::size_t cell, bool requeue);
+
   // Request plumbing.
   const scenario::ScenarioSpec* resolve_by_name(const std::string& name) const;
   const scenario::ScenarioSpec* resolve_by_hash(const std::string& hash) const;
+  /// GET / SHARD_PLAN addressing: resolves the request's spec, answering
+  /// the error itself (and returning null) when nothing matches.
+  const scenario::ScenarioSpec* resolve_request_spec(
+      Connection& conn, const struct Request& request);
   std::string list_response() const;
   std::string stats_response();
-  FlightOutcome execute(const scenario::ScenarioSpec& spec, std::uint64_t seed);
+  FlightOutcome execute(const scenario::ScenarioSpec& spec, std::uint64_t seed,
+                        bool allow_peer = true);
   bool fetch_from_peer(const scenario::ScenarioSpec& spec, std::uint64_t seed,
                        FlightOutcome& outcome);
   void count(const char* name, double delta = 1.0);
@@ -197,6 +269,11 @@ class ServerCore {
   std::map<std::uint64_t, Connection> connections_;
   std::uint64_t next_id_ = 1;
   std::atomic<bool> shutdown_{false};
+
+  /// Open distributed campaigns by entry key, plus the count of connections
+  /// registered as workers. Reactor thread only.
+  std::map<std::string, ShardSession> sessions_;
+  std::size_t worker_count_ = 0;
 
   SingleFlight flights_;
   std::unique_ptr<runtime::ThreadPool> executor_;

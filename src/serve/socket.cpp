@@ -74,16 +74,30 @@ void SocketTransport::close() {
   }
 }
 
-void SocketTransport::wait_readable() {
-  if (fd_ < 0) return;
-  pollfd p{fd_, POLLIN, 0};
-  ::poll(&p, 1, 100);
+namespace {
+
+/// poll(2) timeout for a wait hook: honor the caller's bound, clamped to
+/// int milliseconds and floored at 0 (an expired bound polls readiness
+/// without blocking).
+int poll_timeout_ms(std::chrono::milliseconds max_wait) {
+  const auto count = max_wait.count();
+  if (count <= 0) return 0;
+  if (count > 60'000) return 60'000;
+  return static_cast<int>(count);
 }
 
-void SocketTransport::wait_writable() {
+}  // namespace
+
+void SocketTransport::wait_readable(std::chrono::milliseconds max_wait) {
+  if (fd_ < 0) return;
+  pollfd p{fd_, POLLIN, 0};
+  ::poll(&p, 1, poll_timeout_ms(max_wait));
+}
+
+void SocketTransport::wait_writable(std::chrono::milliseconds max_wait) {
   if (fd_ < 0) return;
   pollfd p{fd_, POLLOUT, 0};
-  ::poll(&p, 1, 100);
+  ::poll(&p, 1, poll_timeout_ms(max_wait));
 }
 
 std::pair<std::string, std::uint16_t> parse_endpoint(const std::string& endpoint) {

@@ -14,7 +14,7 @@ namespace cloudrepro::serve {
 
 /// Non-blocking TCP endpoint: the production implementation of the
 /// Transport seam. Owns the fd; sets O_NONBLOCK on construction. The wait
-/// hooks poll(2) in bounded (100 ms) slices so a blocking client's
+/// hooks poll(2) for at most the caller's bound, so a blocking client's
 /// deadline checks stay live even against a stalled peer.
 class SocketTransport : public Transport {
  public:
@@ -27,8 +27,10 @@ class SocketTransport : public Transport {
   IoResult read(char* buffer, std::size_t max) override;
   IoResult write(std::string_view data) override;
   void close() override;
-  void wait_readable() override;
-  void wait_writable() override;
+  void wait_readable(std::chrono::milliseconds max_wait =
+                         std::chrono::milliseconds{100}) override;
+  void wait_writable(std::chrono::milliseconds max_wait =
+                         std::chrono::milliseconds{100}) override;
 
   int fd() const noexcept { return fd_; }
 

@@ -53,14 +53,15 @@ bool PipeBuffer::writable() {
   return data_.size() < capacity_ || closed_;
 }
 
-void PipeBuffer::wait_readable() {
+void PipeBuffer::wait_readable(std::chrono::milliseconds max_wait) {
   std::unique_lock<std::mutex> lock{mu_};
-  cv_.wait(lock, [this] { return !data_.empty() || closed_; });
+  cv_.wait_for(lock, max_wait, [this] { return !data_.empty() || closed_; });
 }
 
-void PipeBuffer::wait_writable() {
+void PipeBuffer::wait_writable(std::chrono::milliseconds max_wait) {
   std::unique_lock<std::mutex> lock{mu_};
-  cv_.wait(lock, [this] { return data_.size() < capacity_ || closed_; });
+  cv_.wait_for(lock, max_wait,
+               [this] { return data_.size() < capacity_ || closed_; });
 }
 
 IoResult MemoryTransport::read(char* buffer, std::size_t max) {

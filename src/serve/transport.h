@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -53,8 +54,15 @@ class Transport {
   /// Idempotent; after close, reads on the peer drain then report kClosed.
   virtual void close() = 0;
 
-  virtual void wait_readable() = 0;
-  virtual void wait_writable() = 0;
+  /// Block until the next read/write could make progress, or `max_wait`
+  /// elapses — whichever comes first. May return spuriously; callers loop,
+  /// retry the operation, and re-check their own deadline. The bound is
+  /// what keeps a blocking client's deadline live against a peer that
+  /// accepted the connection and then never delivers a byte.
+  virtual void wait_readable(
+      std::chrono::milliseconds max_wait = std::chrono::milliseconds{100}) = 0;
+  virtual void wait_writable(
+      std::chrono::milliseconds max_wait = std::chrono::milliseconds{100}) = 0;
 };
 
 /// One direction of an in-memory pipe: a bounded byte queue. Thread-safe so
@@ -74,8 +82,10 @@ class PipeBuffer {
   bool closed_and_empty();
   bool readable();   ///< Data available or closed (read would not block).
   bool writable();   ///< Free space or closed (write would not block forever).
-  void wait_readable();
-  void wait_writable();
+  void wait_readable(
+      std::chrono::milliseconds max_wait = std::chrono::milliseconds{100});
+  void wait_writable(
+      std::chrono::milliseconds max_wait = std::chrono::milliseconds{100});
 
  private:
   std::mutex mu_;
@@ -105,8 +115,14 @@ class MemoryTransport : public Transport {
   IoResult read(char* buffer, std::size_t max) override;
   IoResult write(std::string_view data) override;
   void close() override;
-  void wait_readable() override { in_->wait_readable(); }
-  void wait_writable() override { out_->wait_writable(); }
+  void wait_readable(std::chrono::milliseconds max_wait =
+                         std::chrono::milliseconds{100}) override {
+    in_->wait_readable(max_wait);
+  }
+  void wait_writable(std::chrono::milliseconds max_wait =
+                         std::chrono::milliseconds{100}) override {
+    out_->wait_writable(max_wait);
+  }
 
  private:
   std::shared_ptr<PipeBuffer> in_;

@@ -1,0 +1,133 @@
+#include "serve/worker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "shard/runner.h"
+
+namespace cloudrepro::serve {
+
+namespace {
+
+/// Per-session worker context: cells materialized once from the inline spec
+/// and reused across this session's assignments. Cells are stateless between
+/// repetitions (each run_once builds everything from its repetition RNG), so
+/// reuse never leaks state across assignments.
+struct SessionContext {
+  std::vector<core::CampaignCell> cells;
+  core::CampaignOptions options;
+};
+
+void emit(const WorkerOptions& options, const std::string& line) {
+  if (options.on_event) options.on_event(line);
+}
+
+bool cancelled(const WorkerOptions& options) {
+  return options.cancel && options.cancel->load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+WorkerStats run_worker(std::unique_ptr<Transport> transport,
+                       const WorkerOptions& options) {
+  FetchClient client{std::move(transport)};
+  WorkerStats stats;
+  std::map<std::string, SessionContext> sessions;
+  int consecutive_idle = 0;
+
+  while (!cancelled(options)) {
+    Response pull = client.request(shard_pull_request_frame(options.name));
+    if (!pull.ok) {
+      if (pull.error_code == "shutting_down") {
+        emit(options, "coordinator shutting down");
+        break;
+      }
+      throw std::runtime_error{"SHARD_PULL rejected (" + pull.error_code +
+                               "): " + pull.error_message};
+    }
+    const ShardAssignment assignment = parse_shard_pull_response(pull.body);
+    if (assignment.idle) {
+      ++stats.idle_polls;
+      ++consecutive_idle;
+      if (options.max_idle_polls > 0 &&
+          consecutive_idle >= options.max_idle_polls) {
+        emit(options, "idle poll budget exhausted");
+        break;
+      }
+      const int sleep_ms = std::max(options.idle_sleep_ms,
+                                    std::max(assignment.retry_ms, 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      continue;
+    }
+    consecutive_idle = 0;
+
+    auto context = sessions.find(assignment.key);
+    if (context == sessions.end()) {
+      SessionContext fresh;
+      fresh.cells = scenario::build_cells(*assignment.spec);
+      fresh.options = scenario::campaign_options(*assignment.spec);
+      context = sessions.emplace(assignment.key, std::move(fresh)).first;
+    }
+    emit(options, "assigned cell " + std::to_string(assignment.cell) + " (" +
+                      std::to_string(assignment.resume.size()) +
+                      " resume lines)");
+
+    shard::CellTask task;
+    task.cell = assignment.cell;
+    task.resume_lines = assignment.resume;
+    const auto started = std::chrono::steady_clock::now();
+    const shard::CellTaskResult result =
+        shard::run_cell_task(context->second.cells, context->second.options,
+                             assignment.seed, task, options.threads,
+                             options.cancel);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+
+    Response push = client.request(
+        shard_push_request_frame(options.name, assignment.key, assignment.cell,
+                                 result.lines, result.complete, wall_s));
+    if (!push.ok) {
+      if (push.error_code == "unknown_session") {
+        // The coordinator finalized or abandoned this campaign while we were
+        // measuring — normal when another worker pushed the last cell. Our
+        // records are reproducible, so dropping them loses nothing.
+        sessions.erase(assignment.key);
+        emit(options, "session gone; dropping cell " +
+                          std::to_string(assignment.cell));
+        continue;
+      }
+      if (push.error_code == "shutting_down") {
+        emit(options, "coordinator shutting down");
+        break;
+      }
+      throw std::runtime_error{"SHARD_PUSH rejected (" + push.error_code +
+                               "): " + push.error_message};
+    }
+    const ShardPushAck ack = parse_shard_push_response(push.body);
+    stats.records_pushed += ack.accepted;
+    if (result.complete) {
+      ++stats.cells_completed;
+    } else {
+      ++stats.cells_partial;
+    }
+    emit(options, "pushed cell " + std::to_string(assignment.cell) + ": " +
+                      std::to_string(ack.accepted) + " accepted, " +
+                      std::to_string(ack.duplicates) + " duplicate" +
+                      (ack.campaign_complete ? ", campaign complete" : ""));
+    if (ack.campaign_complete) sessions.erase(assignment.key);
+    if (!result.complete) break;  // Cancelled mid-cell; partial was pushed.
+  }
+  return stats;
+}
+
+}  // namespace cloudrepro::serve

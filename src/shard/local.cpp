@@ -1,0 +1,154 @@
+#include "shard/local.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/journal.h"
+#include "io/vfs.h"
+#include "obs/metrics.h"
+#include "shard/plan.h"
+#include "shard/runner.h"
+
+namespace cloudrepro::shard {
+
+scenario::ScenarioRunResult run_scenario_sharded(const scenario::ScenarioSpec& spec,
+                                                 const LocalShardOptions& options) {
+  if (!options.store) {
+    throw std::invalid_argument{"run_scenario_sharded: a result store is required"};
+  }
+  scenario::ResultStore& store = *options.store;
+  const std::uint64_t seed = options.seed.value_or(spec.seed);
+
+  scenario::RunOptions run;
+  run.threads = 1;
+  run.seed = seed;
+  run.store = &store;
+  run.metrics = options.metrics;
+  run.cancel = options.cancel;
+
+  // Complete entries and lock contention take the ordinary path: the shard
+  // machinery only adds value when this process executes the campaign.
+  if (store.has_summary(spec, seed)) return scenario::run_scenario(spec, run);
+  scenario::EntryLock lock = store.try_lock(spec, seed);
+  if (!lock) return scenario::run_scenario(spec, run);
+
+  auto cells = scenario::build_cells(spec);
+  const core::CampaignOptions copts = scenario::campaign_options(spec);
+  ShardPlan plan{cells, copts, seed};
+
+  io::Vfs& vfs = io::real_vfs();
+  std::filesystem::path journal_path = store.prepare(spec, seed);
+  try {
+    plan.absorb_replay(core::replay_journal(vfs, journal_path, plan.header(),
+                                            cells.size(),
+                                            copts.repetitions_per_cell));
+  } catch (const core::JournalMismatch&) {
+    // A journal from a different grid/build: evict and go cold, exactly as
+    // run_scenario would.
+    lock.release();
+    store.evict(spec, seed);
+    journal_path = store.prepare(spec, seed);
+    lock = store.try_lock(spec, seed);
+    if (!lock) return scenario::run_scenario(spec, run);
+  }
+
+  const std::string key = store.entry_key(spec, seed);
+  const std::size_t shards = std::max<std::size_t>(1, options.shards);
+
+  obs::Counter* c_assigned =
+      options.metrics ? &options.metrics->counter("shard.cells_assigned") : nullptr;
+  obs::Counter* c_completed =
+      options.metrics ? &options.metrics->counter("shard.cells_completed") : nullptr;
+  obs::Histogram* h_cell_wall =
+      options.metrics ? &options.metrics->histogram("shard.cell_wall_s") : nullptr;
+  obs::Histogram* h_straggler =
+      options.metrics ? &options.metrics->histogram("shard.straggler_wait_s")
+                      : nullptr;
+
+  std::mutex plan_mu;
+  std::exception_ptr error;
+  std::vector<std::chrono::steady_clock::time_point> finished(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    workers.emplace_back([&, s] {
+      try {
+        // Each worker materializes its own cells: the callables build all
+        // per-repetition state internally, but private copies keep the
+        // workers trivially independent (as worker *processes* would be).
+        auto worker_cells = scenario::build_cells(spec);
+        for (const std::size_t cell : plan.execution_order()) {
+          if (shard_of(key, cell, shards) != s) continue;
+          CellTask task{cell, {}};
+          {
+            std::lock_guard<std::mutex> guard{plan_mu};
+            if (plan.cell_complete(cell)) continue;
+            task.resume_lines = plan.resume_lines(cell);
+            if (c_assigned) c_assigned->add();
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          const CellTaskResult result =
+              run_cell_task(worker_cells, copts, seed, task,
+                            options.worker_threads, options.cancel);
+          const double wall =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+          std::lock_guard<std::mutex> guard{plan_mu};
+          plan.push(cell, result.lines);
+          if (h_cell_wall) h_cell_wall->observe(wall);
+          if (result.complete && c_completed) c_completed->add();
+          if (!result.complete) break;  // Cancelled; journal keeps the prefix.
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> guard{plan_mu};
+        if (!error) error = std::current_exception();
+      }
+      finished[s] = std::chrono::steady_clock::now();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (error) std::rethrow_exception(error);
+
+  if (h_straggler) {
+    const auto last = *std::max_element(finished.begin(), finished.end());
+    for (const auto& t : finished) {
+      h_straggler->observe(std::chrono::duration<double>(last - t).count());
+    }
+  }
+
+  // Persist what the shards produced: the canonical merged journal when
+  // complete, else the header plus every known record (any order — replay
+  // accepts the set). Then the ordinary runner replays it: zero new
+  // measurements, and a summary byte-identical to a single-node run.
+  std::string bytes;
+  if (plan.complete()) {
+    bytes = plan.merge();
+  } else {
+    bytes = plan.header();
+    bytes += '\n';
+    for (const std::size_t cell : plan.execution_order()) {
+      for (const std::string& line : plan.resume_lines(cell)) {
+        bytes += line;
+        bytes += '\n';
+      }
+    }
+  }
+  {
+    auto file = vfs.open_write(journal_path, io::WriteMode::kTruncate);
+    file->append(bytes);
+    file->sync();
+    file->close();
+  }
+  vfs.sync_dir(journal_path.parent_path());
+  // Release before the replay run: run_scenario takes the entry lock
+  // itself, and this process already holding it would read as contention.
+  lock.release();
+  return scenario::run_scenario(spec, run);
+}
+
+}  // namespace cloudrepro::shard

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "scenario/runner.h"
+
+namespace cloudrepro::obs {
+class MetricsRegistry;
+}  // namespace cloudrepro::obs
+
+namespace cloudrepro::shard {
+
+/// `cloudrepro run --shards N`: the in-process sharded driver. Cells are
+/// partitioned across N shard workers by `shard_of` (the same deterministic
+/// cell key a multi-machine deployment uses), each worker runs its cells
+/// through `run_cell_task`, the records merge through a `ShardPlan`, and
+/// the merged journal is written into the result store for the ordinary
+/// `run_scenario` to replay — which executes zero new measurements and
+/// publishes a summary byte-identical to a single-node run.
+struct LocalShardOptions {
+  /// Shard workers (each its own thread). 1 reproduces the single-node
+  /// path through the full shard machinery — the coordinator-overhead
+  /// reference point.
+  std::size_t shards = 2;
+  /// Threads per worker for non-adaptive repetitions within a cell.
+  int worker_threads = 1;
+  /// Result cache; required (the merged journal lands in its entry).
+  scenario::ResultStore* store = nullptr;
+  /// Master seed; defaults to the spec's.
+  std::optional<std::uint64_t> seed;
+  /// Cooperative cancellation; an interrupted run leaves the journal
+  /// resumable, like the single-node path.
+  const std::atomic<bool>* cancel = nullptr;
+  /// shard.* instrumentation sink (optional).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Runs one scenario through the sharded path. Falls back to plain
+/// `run_scenario` when the entry already has a summary or another live
+/// process holds its lock. Throws std::invalid_argument without a store and
+/// ShardMergeError on (impossible under correct operation) record
+/// divergence.
+scenario::ScenarioRunResult run_scenario_sharded(const scenario::ScenarioSpec& spec,
+                                                 const LocalShardOptions& options);
+
+}  // namespace cloudrepro::shard

@@ -1,0 +1,139 @@
+#include "shard/runner.h"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/confirm.h"
+#include "core/journal.h"
+#include "runtime/thread_pool.h"
+
+namespace cloudrepro::shard {
+
+namespace {
+
+bool cancelled(const std::atomic<bool>* cancel) noexcept {
+  return cancel && cancel->load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+CellTaskResult run_cell_task(std::vector<core::CampaignCell>& cells,
+                             const core::CampaignOptions& options,
+                             std::uint64_t seed, const CellTask& task,
+                             int threads, const std::atomic<bool>* cancel) {
+  const std::size_t idx = task.cell;
+  if (idx >= cells.size()) {
+    throw std::invalid_argument{"run_cell_task: cell index out of range"};
+  }
+  if (!cells[idx].run_once || !cells[idx].fresh) {
+    throw std::invalid_argument{"run_cell_task: cell callables must be set"};
+  }
+  const int cap = options.repetitions_per_cell;
+
+  std::map<int, double> done;
+  int stop_journaled = -1;
+  for (const std::string& line : task.resume_lines) {
+    core::JournalRecord record;
+    if (!core::parse_journal_line(line, record)) continue;
+    if (record.cell != idx) {
+      throw std::invalid_argument{
+          "run_cell_task: resume line for a different cell"};
+    }
+    if (record.kind == core::JournalRecord::Kind::kValue) {
+      if (record.rep >= 0 && record.rep < cap) done[record.rep] = record.value;
+    } else {
+      stop_journaled = record.rep;
+    }
+  }
+
+  CellTaskResult result;
+  if (options.adaptive.enabled) {
+    // Sequential by necessity: the stopping rule decides after every value
+    // whether the next repetition exists. Resumed values replay through the
+    // monitor so the stop decision is re-derived identically.
+    core::ConfirmMonitor monitor{options.adaptive};
+    for (int r = 0; r < cap; ++r) {
+      double value = 0.0;
+      if (const auto it = done.find(r); it != done.end()) {
+        value = it->second;
+        ++result.resumed;
+      } else {
+        if (cancelled(cancel)) return result;
+        cells[idx].fresh();
+        stats::Rng rep_rng{core::campaign_repetition_seed(seed, idx, r)};
+        value = cells[idx].run_once(rep_rng);
+        result.lines.push_back(core::journal_line({idx, r, value}));
+        ++result.executed;
+      }
+      if (monitor.add(value)) {
+        // Re-emitting a stop lost to a torn tail heals it, exactly as
+        // run_campaign does on resume.
+        if (stop_journaled < 0) {
+          result.lines.push_back(core::journal_line(core::journal_stop_record(
+              idx, static_cast<int>(monitor.stop_repetitions()))));
+        }
+        break;
+      }
+    }
+    result.complete = true;
+    return result;
+  }
+
+  // Non-adaptive: the pending repetition set is known up front, so it
+  // parallelizes into pre-assigned slots; lines are emitted rep-ascending
+  // regardless of completion order.
+  std::vector<int> pending;
+  for (int r = 0; r < cap; ++r) {
+    if (done.find(r) == done.end()) pending.push_back(r);
+  }
+  result.resumed = static_cast<std::size_t>(cap) - pending.size();
+
+  std::vector<double> values(pending.size());
+  const int workers = runtime::ThreadPool::resolve_thread_count(threads);
+  const auto run_one = [&](std::size_t t) {
+    const int r = pending[t];
+    cells[idx].fresh();
+    stats::Rng rep_rng{core::campaign_repetition_seed(seed, idx, r)};
+    values[t] = cells[idx].run_once(rep_rng);
+  };
+  if (cancelled(cancel)) return result;
+  if (workers > 1 && pending.size() > 1) {
+    runtime::ThreadPool pool{workers};
+    std::atomic<std::size_t> left{pending.size()};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+    for (std::size_t t = 0; t < pending.size(); ++t) {
+      pool.submit([&, t] {
+        try {
+          if (!cancelled(cancel)) run_one(t);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock{mu};
+          if (!error) error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock{mu};
+        left.fetch_sub(1, std::memory_order_seq_cst);
+        cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock{mu};
+    cv.wait(lock, [&] { return left.load(std::memory_order_seq_cst) == 0; });
+    if (error) std::rethrow_exception(error);
+    if (cancelled(cancel)) return result;
+  } else {
+    for (std::size_t t = 0; t < pending.size(); ++t) {
+      if (cancelled(cancel)) return result;
+      run_one(t);
+    }
+  }
+  for (std::size_t t = 0; t < pending.size(); ++t) {
+    result.lines.push_back(core::journal_line({idx, pending[t], values[t]}));
+  }
+  result.executed = pending.size();
+  result.complete = true;
+  return result;
+}
+
+}  // namespace cloudrepro::shard

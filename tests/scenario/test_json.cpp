@@ -43,6 +43,66 @@ TEST(ScenarioJson, DoubleCanonicalFormIsShortestRoundTrip) {
   }
 }
 
+// Golden literals for the shortest-round-trip formatter. The scenario
+// content hash and the journal/summary byte-identity guarantees (including
+// the sharded merge) all stand on these exact bytes: if any entry here
+// changes, every cached summary and committed golden file silently
+// invalidates. A failure means the formatter (or toolchain to_chars)
+// changed behavior — that is a breaking change, not a test to update
+// casually.
+TEST(ScenarioJson, DoubleFormattingGoldenLiterals) {
+  struct GoldenCase {
+    double value;
+    const char* expected;
+  };
+  const GoldenCase cases[] = {
+      // Decimal fractions that are not binary-representable: shortest form
+      // wins over the 17-digit exact neighborhood.
+      {0.1, "0.1"},
+      {0.2, "0.2"},
+      {0.3, "0.3"},
+      // ... but arithmetic artifacts keep their full 17 digits when needed.
+      {0.1 + 0.2, "0.30000000000000004"},
+      {1.0 / 3.0, "0.3333333333333333"},
+      {2.0 / 3.0, "0.6666666666666666"},
+      {3.141592653589793, "3.141592653589793"},
+      {123456789.123456789, "123456789.12345679"},
+      // Exact powers of two stay exact.
+      {0.5, "0.5"},
+      {0.125, "0.125"},
+      {1048576.0, "1048576"},
+      // The 2^53 integer-precision cliff: 9007199254740993 is not
+      // representable and collapses to its even neighbor.
+      {9007199254740992.0, "9007199254740992"},
+      {9007199254740993.0, "9007199254740992"},
+      {9007199254740994.0, "9007199254740994"},
+      // Integers above 2^53 still print in integer form, not exponent form.
+      {72057594037927936.0, "72057594037927936"},
+      // Exponent-form thresholds and extremes of the binary64 range.
+      {1e21, "1e+21"},
+      {1e-7, "1e-07"},
+      {-1e-7, "-1e-07"},
+      {1.5e300, "1.5e+300"},
+      {std::numeric_limits<double>::max(), "1.7976931348623157e+308"},
+      {std::numeric_limits<double>::min(), "2.2250738585072014e-308"},
+      // Subnormals, down to the very smallest.
+      {2.2250738585072011e-308, "2.225073858507201e-308"},
+      {std::numeric_limits<double>::denorm_min(), "5e-324"},
+      // Physical-constant-shaped inputs round-trip their source literal.
+      {6.62607015e-34, "6.62607015e-34"},
+      {-0.1, "-0.1"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(canonical_double(c.value), c.expected)
+        << "for value " << c.value;
+    // Golden form is self-consistent: parsing it back yields the same
+    // binary64, bit for bit.
+    const Json parsed = Json::parse(canonical_double(c.value));
+    EXPECT_EQ(std::signbit(parsed.as_double()), std::signbit(c.value));
+    EXPECT_EQ(parsed.as_double(), c.value);
+  }
+}
+
 TEST(ScenarioJson, NonFiniteDoublesAreRejected) {
   EXPECT_THROW(canonical_double(std::numeric_limits<double>::infinity()), JsonError);
   EXPECT_THROW(canonical_double(std::nan("")), JsonError);

@@ -1,0 +1,199 @@
+// The in-process sharded driver's headline guarantee, checked as bytes:
+// the merged journal and published summary of `run_scenario_sharded` are
+// identical to a single-node serial run across every (shard count, worker
+// threads, cold/warm cache, interruption) combination.
+
+#include "shard/local.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "scenario/result_store.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "shard/plan.h"
+
+namespace cloudrepro::shard {
+namespace {
+
+namespace fs = std::filesystem;
+using scenario::ResultStore;
+using scenario::ScenarioSpec;
+
+ScenarioSpec grid_spec() {
+  ScenarioSpec spec;
+  spec.name = "shard-local-test";
+  spec.workloads = {{"hibench", "TS", std::nullopt}, {"hibench", "KM", std::nullopt}};
+  spec.budgets = {5000.0, 10.0};
+  spec.repetitions = 3;
+  return spec;
+}
+
+ScenarioSpec adaptive_spec() {
+  ScenarioSpec spec;
+  spec.name = "shard-local-adaptive";
+  spec.workloads = {{"hibench", "TS", std::nullopt}, {"hibench", "KM", std::nullopt}};
+  spec.budgets = {5000.0};
+  spec.engine.machine_noise_cv = 0.05;
+  spec.repetitions = 40;
+  spec.confirm.enabled = true;
+  spec.confirm.adaptive = true;
+  spec.confirm.error_bound = 0.10;
+  spec.confirm.min_repetitions = 8;
+  return spec;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in) << "missing " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class ShardLocalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path{::testing::TempDir()} /
+            ("cloudrepro-shard-" + std::string{::testing::UnitTest::GetInstance()
+                                                   ->current_test_info()
+                                                   ->name()});
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// Serial single-node reference: summary and journal bytes.
+  struct Reference {
+    std::string summary;
+    std::string journal;
+  };
+  Reference reference_for(const ScenarioSpec& spec) {
+    ResultStore store{root_ / "reference"};
+    scenario::RunOptions options;
+    options.threads = 1;
+    options.store = &store;
+    Reference ref;
+    ref.summary = scenario::run_scenario(spec, options).summary;
+    ref.journal = slurp(store.journal_path(spec, spec.seed));
+    return ref;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ShardLocalTest, ByteIdenticalAcrossShardAndThreadMatrix) {
+  const auto spec = grid_spec();
+  const Reference ref = reference_for(spec);
+
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    for (const int worker_threads : {1, 4}) {
+      const std::string label = "shards=" + std::to_string(shards) +
+                                " threads=" + std::to_string(worker_threads);
+      ResultStore store{root_ / ("s" + std::to_string(shards) + "t" +
+                                 std::to_string(worker_threads))};
+      LocalShardOptions options;
+      options.shards = shards;
+      options.worker_threads = worker_threads;
+      options.store = &store;
+
+      // Cold: the campaign actually executes, split across shard workers.
+      const auto cold = run_scenario_sharded(spec, options);
+      EXPECT_FALSE(cold.from_cached_summary) << label;
+      EXPECT_EQ(cold.summary, ref.summary) << label;
+      EXPECT_EQ(slurp(store.journal_path(spec, spec.seed)), ref.journal) << label;
+
+      // Warm: a second sharded run is a pure cache hit — same bytes, zero
+      // new measurements.
+      const auto warm = run_scenario_sharded(spec, options);
+      EXPECT_TRUE(warm.from_cached_summary) << label;
+      EXPECT_EQ(warm.executed_measurements, 0u) << label;
+      EXPECT_EQ(warm.summary, ref.summary) << label;
+    }
+  }
+}
+
+TEST_F(ShardLocalTest, AdaptiveStoppingIsShardInvariant) {
+  const auto spec = adaptive_spec();
+  const Reference ref = reference_for(spec);
+
+  for (const std::size_t shards : {2u, 3u}) {
+    ResultStore store{root_ / ("a" + std::to_string(shards))};
+    LocalShardOptions options;
+    options.shards = shards;
+    options.store = &store;
+    const auto result = run_scenario_sharded(spec, options);
+    EXPECT_EQ(result.summary, ref.summary) << "shards=" << shards;
+    EXPECT_EQ(slurp(store.journal_path(spec, spec.seed)), ref.journal)
+        << "shards=" << shards;
+  }
+}
+
+TEST_F(ShardLocalTest, InterruptedShardedRunResumesToIdenticalBytes) {
+  const auto spec = grid_spec();
+  const Reference ref = reference_for(spec);
+
+  ResultStore store{root_ / "interrupted"};
+  // Cancellation hits before any cell finishes its repetitions: workers
+  // stop cooperatively, the partial (possibly empty) journal persists.
+  std::atomic<bool> cancel{true};
+  LocalShardOptions options;
+  options.shards = 2;
+  options.store = &store;
+  options.cancel = &cancel;
+  const auto interrupted = run_scenario_sharded(spec, options);
+  EXPECT_FALSE(interrupted.complete);
+  EXPECT_FALSE(store.has_summary(spec, spec.seed));
+
+  // The next (uncancelled) sharded run resumes the journal and lands on the
+  // reference bytes — interruption cost progress, never correctness.
+  cancel.store(false);
+  const auto resumed = run_scenario_sharded(spec, options);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.summary, ref.summary);
+  EXPECT_EQ(slurp(store.journal_path(spec, spec.seed)), ref.journal);
+}
+
+TEST_F(ShardLocalTest, WarmStartFromPartialSingleNodeJournal) {
+  const auto spec = grid_spec();
+  const Reference ref = reference_for(spec);
+
+  // A single-node run interrupted after a bounded number of measurements
+  // leaves a partial journal; the sharded driver absorbs it and executes
+  // only the remainder.
+  ResultStore store{root_ / "partial"};
+  scenario::RunOptions partial;
+  partial.threads = 1;
+  partial.store = &store;
+  partial.max_measurements = 5;
+  const auto first = scenario::run_scenario(spec, partial);
+  ASSERT_FALSE(first.complete);
+
+  LocalShardOptions options;
+  options.shards = 4;
+  options.store = &store;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  const auto result = run_scenario_sharded(spec, options);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.summary, ref.summary);
+  EXPECT_EQ(slurp(store.journal_path(spec, spec.seed)), ref.journal);
+  // The 5 journaled measurements were replayed, not re-run.
+  EXPECT_EQ(result.resumed_measurements + result.executed_measurements,
+            static_cast<std::size_t>(spec.total_measurements()));
+  EXPECT_GE(metrics.counter("shard.cells_completed").value(), 1.0);
+}
+
+TEST_F(ShardLocalTest, StoreIsRequired) {
+  LocalShardOptions options;
+  EXPECT_THROW(run_scenario_sharded(grid_spec(), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudrepro::shard
